@@ -1,0 +1,183 @@
+// Command zkvc proves and verifies matrix multiplications on disk — the
+// paper's client/server workflow (Figure 1) as a CLI.
+//
+// The server holds a private weight matrix w.json and receives a public
+// input x.json; it proves Y = X·W without revealing W:
+//
+//	zkvc gen -rows 49 -cols 64 -bound 256 -out x.json
+//	zkvc gen -rows 64 -cols 128 -bound 256 -out w.json
+//	zkvc prove -x x.json -w w.json -backend spartan -out proof.bin
+//	zkvc verify -x x.json -proof proof.bin
+//
+// Matrices are JSON ({"rows":R,"cols":C,"data":[...int64]}); proofs are
+// gob-encoded zkvc.MatMulProof blobs.
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"flag"
+	"fmt"
+	mrand "math/rand"
+	"os"
+
+	"zkvc"
+)
+
+// matrixFile is the on-disk matrix format.
+type matrixFile struct {
+	Rows int     `json:"rows"`
+	Cols int     `json:"cols"`
+	Data []int64 `json:"data"`
+}
+
+func readMatrix(path string) (*zkvc.Matrix, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mf matrixFile
+	if err := json.Unmarshal(raw, &mf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if mf.Rows <= 0 || mf.Cols <= 0 || len(mf.Data) != mf.Rows*mf.Cols {
+		return nil, fmt.Errorf("%s: inconsistent dims %dx%d with %d values", path, mf.Rows, mf.Cols, len(mf.Data))
+	}
+	return zkvc.MatrixFromInt64(mf.Rows, mf.Cols, mf.Data), nil
+}
+
+func writeMatrix(path string, m *zkvc.Matrix) error {
+	mf := matrixFile{Rows: m.Rows, Cols: m.Cols, Data: zkvc.MatrixToInt64(m)}
+	raw, err := json.MarshalIndent(mf, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "zkvc: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("usage: zkvc <gen|prove|verify> [flags]")
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "prove":
+		cmdProve(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	default:
+		fatalf("unknown subcommand %q (want gen, prove or verify)", os.Args[1])
+	}
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	rows := fs.Int("rows", 49, "matrix rows")
+	cols := fs.Int("cols", 64, "matrix cols")
+	bound := fs.Int64("bound", 256, "entries drawn uniformly from [-bound, bound]")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output path (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fatalf("gen: -out is required")
+	}
+	m := zkvc.RandomMatrix(mrand.New(mrand.NewSource(*seed)), *rows, *cols, *bound)
+	if err := writeMatrix(*out, m); err != nil {
+		fatalf("gen: %v", err)
+	}
+	fmt.Printf("wrote %dx%d matrix to %s\n", *rows, *cols, *out)
+}
+
+func cmdProve(args []string) {
+	fs := flag.NewFlagSet("prove", flag.ExitOnError)
+	xPath := fs.String("x", "", "public input matrix (required)")
+	wPath := fs.String("w", "", "private weight matrix (required)")
+	backendName := fs.String("backend", "spartan", "proof system: groth16 or spartan")
+	out := fs.String("out", "proof.bin", "proof output path")
+	yOut := fs.String("y", "", "optionally write the public result Y as JSON")
+	vanilla := fs.Bool("vanilla", false, "disable CRPC+PSQ (baseline circuit; slow)")
+	fs.Parse(args)
+	if *xPath == "" || *wPath == "" {
+		fatalf("prove: -x and -w are required")
+	}
+	x, err := readMatrix(*xPath)
+	if err != nil {
+		fatalf("prove: %v", err)
+	}
+	w, err := readMatrix(*wPath)
+	if err != nil {
+		fatalf("prove: %v", err)
+	}
+
+	var backend zkvc.Backend
+	switch *backendName {
+	case "groth16":
+		backend = zkvc.Groth16
+	case "spartan":
+		backend = zkvc.Spartan
+	default:
+		fatalf("prove: unknown backend %q", *backendName)
+	}
+	opts := zkvc.DefaultOptions()
+	if *vanilla {
+		opts = zkvc.Options{}
+	}
+
+	prover := zkvc.NewMatMulProver(backend, opts)
+	proof, err := prover.Prove(x, w)
+	if err != nil {
+		fatalf("prove: %v", err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("prove: %v", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(proof); err != nil {
+		fatalf("prove: encoding proof: %v", err)
+	}
+	fmt.Printf("proved [%d,%d]x[%d,%d] on %s: synthesis %v, setup %v, prove %v, proof %d bytes → %s\n",
+		x.Rows, x.Cols, w.Rows, w.Cols, backend,
+		proof.Timings.Synthesis.Round(1e6), proof.Timings.Setup.Round(1e6),
+		proof.Timings.Prove.Round(1e6), proof.SizeBytes(), *out)
+	if *yOut != "" {
+		if err := writeMatrix(*yOut, proof.Y); err != nil {
+			fatalf("prove: writing Y: %v", err)
+		}
+	}
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	xPath := fs.String("x", "", "public input matrix (required)")
+	proofPath := fs.String("proof", "proof.bin", "proof path")
+	fs.Parse(args)
+	if *xPath == "" {
+		fatalf("verify: -x is required")
+	}
+	x, err := readMatrix(*xPath)
+	if err != nil {
+		fatalf("verify: %v", err)
+	}
+	f, err := os.Open(*proofPath)
+	if err != nil {
+		fatalf("verify: %v", err)
+	}
+	defer f.Close()
+	var proof zkvc.MatMulProof
+	if err := gob.NewDecoder(f).Decode(&proof); err != nil {
+		fatalf("verify: decoding proof: %v", err)
+	}
+	if err := zkvc.VerifyMatMul(x, &proof); err != nil {
+		fatalf("verification FAILED: %v", err)
+	}
+	fmt.Printf("verification OK: Y is %dx%d, backend %s, circuit %s, proof %d bytes\n",
+		proof.Y.Rows, proof.Y.Cols, proof.Backend, proof.Opts, proof.SizeBytes())
+}

@@ -1,0 +1,59 @@
+// BERT token-mixer study (the paper's Table IV): compare the proving
+// cost of the four token-mixer variants of a BERT encoder — full SoftMax
+// attention, scaling attention, linear mixing, and the planner's zkVC
+// hybrid — on both backends, at the paper's full architectural shapes
+// (4 layers / 4 heads / dim 256 / 128 tokens), using the harness's
+// measure-and-extrapolate path.
+//
+//	go run ./examples/bert-glue
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zkvc"
+)
+
+func main() {
+	bert := zkvc.BERTGLUE()
+	n := bert.TotalBlocks()
+
+	variants := []struct {
+		label  string
+		mixers []zkvc.Mixer
+	}{
+		{"SoftApprox.", zkvc.UniformMixers(n, zkvc.MixerSoftmax)},
+		{"SoftFree-S", zkvc.UniformMixers(n, zkvc.MixerScaling)},
+		{"SoftFree-L", zkvc.UniformMixers(n, zkvc.MixerLinear)},
+		{"zkVC (hybrid)", zkvc.PlanHybrid(bert)},
+	}
+
+	fmt.Println("BERT 4L/4H/256, seq 128 — estimated end-to-end proving on this machine")
+	fmt.Printf("%-14s %12s %12s %14s\n", "model", "P_G (s)", "P_S (s)", "wires")
+	var base float64
+	for i, v := range variants {
+		cfg := bert.WithMixers(v.mixers)
+
+		optsG := zkvc.DefaultInferenceOptions()
+		optsG.Backend = zkvc.Groth16
+		estG, err := zkvc.EstimateInference(cfg, optsG)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optsS := zkvc.DefaultInferenceOptions()
+		estS, err := zkvc.EstimateInference(cfg, optsS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %12.1f %12.1f %14.3g", v.label, estG.ProveSeconds, estS.ProveSeconds, estG.Wires)
+		if i == 0 {
+			base = estG.ProveSeconds
+			fmt.Println()
+		} else {
+			fmt.Printf("   (%.0f%% of SoftApprox.)\n", 100*estG.ProveSeconds/base)
+		}
+	}
+	fmt.Println("\nmixers chosen by the planner:", zkvc.PlanHybrid(bert))
+	fmt.Println("(accuracy columns cannot be re-measured here; see Table IV in EXPERIMENTS.md)")
+}

@@ -1,0 +1,129 @@
+// Verifiable matmul as a service: the paper's Figure 1 client/server
+// workflow over HTTP.
+//
+// The server owns a private weight matrix W (its intellectual property).
+// A client POSTs a public input matrix X to /infer; the server answers
+// with Y = X·W and a zkVC proof. The client verifies the proof locally —
+// if the server had tampered with the computation (or silently swapped
+// models between requests, detected via the W commitment), verification
+// would fail.
+//
+//	go run ./examples/verifiable-matmul
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"log"
+	mrand "math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"zkvc"
+)
+
+// inferRequest is the client's public input.
+type inferRequest struct {
+	Rows int     `json:"rows"`
+	Cols int     `json:"cols"`
+	Data []int64 `json:"data"`
+}
+
+// server holds the private model and proves every inference.
+type server struct {
+	w      *zkvc.Matrix
+	prover *zkvc.MatMulProver
+}
+
+func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Rows*req.Cols != len(req.Data) || req.Cols != s.w.Rows {
+		http.Error(w, "bad input shape", http.StatusBadRequest)
+		return
+	}
+	x := zkvc.MatrixFromInt64(req.Rows, req.Cols, req.Data)
+	proof, err := s.prover.Prove(x, s.w)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(proof); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(buf.Bytes())
+}
+
+func main() {
+	rng := mrand.New(mrand.NewSource(7))
+
+	// Server side: a private 64×32 weight matrix.
+	srv := &server{
+		w:      zkvc.RandomMatrix(rng, 64, 32, 256),
+		prover: zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions()),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /infer", srv.handleInfer)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, mux)
+	url := fmt.Sprintf("http://%s/infer", ln.Addr())
+	fmt.Println("server holding private W, listening on", url)
+
+	// Client side: send a public input, receive Y + proof, verify.
+	x := zkvc.RandomMatrix(rng, 16, 64, 256)
+	req := inferRequest{Rows: x.Rows, Cols: x.Cols, Data: zkvc.MatrixToInt64(x)}
+	body, _ := json.Marshal(req)
+
+	start := time.Now()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("server error: %s", resp.Status)
+	}
+	var proof zkvc.MatMulProof
+	if err := gob.NewDecoder(resp.Body).Decode(&proof); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client received %dx%d result + %d-byte proof in %v\n",
+		proof.Y.Rows, proof.Y.Cols, proof.SizeBytes(), time.Since(start).Round(time.Millisecond))
+
+	if err := zkvc.VerifyMatMul(x, &proof); err != nil {
+		log.Fatal("verification failed: ", err)
+	}
+	fmt.Println("client verified: the server really computed Y = X·W")
+
+	// A second request must bind to the same committed model.
+	resp2, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var proof2 zkvc.MatMulProof
+	if err := gob.NewDecoder(resp2.Body).Decode(&proof2); err != nil {
+		log.Fatal(err)
+	}
+	if err := zkvc.VerifyMatMul(x, &proof2); err != nil {
+		log.Fatal("verification failed: ", err)
+	}
+	if zkvc.SameCommitment(&proof, &proof2) {
+		fmt.Println("model commitment stable across requests: server did not swap W")
+	} else {
+		log.Fatal("server swapped models between requests")
+	}
+}

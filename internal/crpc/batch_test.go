@@ -1,0 +1,160 @@
+package crpc
+
+import (
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"zkvc/internal/matrix"
+	"zkvc/internal/pcs"
+	"zkvc/internal/spartan"
+)
+
+func randomBatch(rng *mrand.Rand, shapes [][3]int) *BatchStatement {
+	bs := &BatchStatement{}
+	for _, sh := range shapes {
+		x := matrix.Random(rng, sh[0], sh[1], 64)
+		w := matrix.Random(rng, sh[1], sh[2], 64)
+		bs.Stmts = append(bs.Stmts, NewStatement(x, w))
+	}
+	return bs
+}
+
+var batchShapes = [][3]int{{3, 4, 5}, {2, 6, 2}, {4, 4, 4}}
+
+func TestBatchSatisfiedBothWirings(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(21))
+	bs := randomBatch(rng, batchShapes)
+	for _, opts := range []Options{{CRPC: true}, {CRPC: true, PSQ: true}} {
+		syn, err := SynthesizeBatch(bs, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", opts, err)
+		}
+		if err := syn.Sys.Satisfied(syn.Assignment); err != nil {
+			t.Fatalf("%v: %v", opts, err)
+		}
+	}
+}
+
+func TestBatchConstraintCountIsSumOfInner(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(22))
+	bs := randomBatch(rng, batchShapes)
+	syn, err := SynthesizeBatch(bs, Options{CRPC: true, PSQ: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, s := range bs.Stmts {
+		want += s.X.Cols // n_m constraints per product
+	}
+	if got := syn.Sys.Stats().Constraints; got != want {
+		t.Fatalf("batch has %d constraints, want Σn = %d", got, want)
+	}
+}
+
+func TestBatchRejectsWrongProduct(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(23))
+	for tampered := 0; tampered < len(batchShapes); tampered++ {
+		bs := randomBatch(rng, batchShapes)
+		bs.Stmts[tampered].Y.At(0, 0).SetInt64(1 << 20)
+		for _, opts := range []Options{{CRPC: true}, {CRPC: true, PSQ: true}} {
+			syn, err := SynthesizeBatch(bs, opts)
+			if err != nil {
+				continue // rejection at synthesis is also fine
+			}
+			if syn.Sys.Satisfied(syn.Assignment) == nil {
+				t.Fatalf("tampered product %d satisfied under %v", tampered, opts)
+			}
+		}
+	}
+}
+
+func TestBatchRequiresCRPC(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(24))
+	bs := randomBatch(rng, batchShapes[:1])
+	if _, err := SynthesizeBatch(bs, Options{}); err == nil {
+		t.Fatal("vanilla batching accepted")
+	}
+	if _, err := SynthesizeBatch(&BatchStatement{}, Options{CRPC: true}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestBatchShapeMatchesProverCircuit(t *testing.T) {
+	// The verifier reconstructs the circuit from shapes + challenges; it
+	// must match the prover's system exactly (constraint counts and
+	// satisfaction of the prover's assignment against the rebuilt system).
+	rng := mrand.New(mrand.NewSource(25))
+	bs := randomBatch(rng, batchShapes)
+	opts := Options{CRPC: true, PSQ: true}
+	syn, err := SynthesizeBatch(bs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, gamma := DeriveBatchChallenges(bs.Stmts, BatchCommit(bs.Stmts))
+	shapes := make([][3]int, len(bs.Stmts))
+	for i, s := range bs.Stmts {
+		shapes[i] = [3]int{s.X.Rows, s.X.Cols, s.W.Cols}
+	}
+	sys := SynthesizeBatchShape(shapes, z, gamma, opts)
+	if sys.Stats() != syn.Sys.Stats() {
+		t.Fatalf("rebuilt stats %+v != prover stats %+v", sys.Stats(), syn.Sys.Stats())
+	}
+	if err := sys.Satisfied(syn.Assignment); err != nil {
+		t.Fatalf("prover assignment does not satisfy rebuilt system: %v", err)
+	}
+}
+
+func TestBatchSpartanEndToEnd(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(26))
+	bs := randomBatch(rng, batchShapes)
+	opts := Options{CRPC: true, PSQ: true}
+	syn, err := SynthesizeBatch(bs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := pcs.DefaultParams()
+	proof, err := spartan.Prove(syn.Sys, syn.Assignment, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spartan.Verify(syn.Sys, proof, syn.Public, params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchChallengesBindEveryStatement(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(27))
+	a := randomBatch(rng, batchShapes)
+	b := randomBatch(rng, batchShapes) // different random data
+	za, ga := DeriveBatchChallenges(a.Stmts, BatchCommit(a.Stmts))
+	zb, gb := DeriveBatchChallenges(b.Stmts, BatchCommit(b.Stmts))
+	if za.Equal(&zb) || ga.Equal(&gb) {
+		t.Fatal("different batches share challenges")
+	}
+}
+
+// TestQuickBatchSoundness property: random batches satisfy; corrupting
+// any single y entry anywhere in the batch breaks satisfaction.
+func TestQuickBatchSoundness(t *testing.T) {
+	f := func(seed int64, which, entry uint8) bool {
+		rng := mrand.New(mrand.NewSource(seed))
+		bs := randomBatch(rng, batchShapes)
+		syn, err := SynthesizeBatch(bs, Options{CRPC: true, PSQ: true})
+		if err != nil || syn.Sys.Satisfied(syn.Assignment) != nil {
+			return false
+		}
+		mi := int(which) % len(bs.Stmts)
+		y := bs.Stmts[mi].Y
+		idx := int(entry) % len(y.Data)
+		y.Data[idx].SetInt64(1 << 25)
+		synBad, err := SynthesizeBatch(bs, Options{CRPC: true, PSQ: true})
+		if err != nil {
+			return true
+		}
+		return synBad.Sys.Satisfied(synBad.Assignment) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package crpc implements zkVC's two matmul circuit optimizations
+// (paper §III):
+//
+//   - CRPC (Constraint-Reduced Polynomial Circuits): the matrix product
+//     Y[a×b] = X[a×n]·W[n×b] is verified through the single aggregated
+//     polynomial identity
+//
+//     Σ_{i,j} Z^{ib+j}·y_ij  =  Σ_k ( Σ_i Z^{ib}·x_ik )·( Σ_j Z^j·w_kj )
+//
+//     at a Fiat–Shamir challenge Z. Both inner sums are linear
+//     combinations — free in R1CS — so only n multiplication constraints
+//     remain instead of a·b·n. The monomials Z^{ib+j} are pairwise
+//     distinct, so by Schwartz–Zippel a false Y survives with probability
+//     at most a·b/|F| ≈ 2^{-240}.
+//
+//   - PSQ (Prefix-Sum Query): instead of materializing every product and
+//     closing with one wide addition constraint (whose left side touches
+//     every product wire), each constraint writes into a running prefix
+//     sum: p_k = s_k − s_{k−1}. The last prefix IS the result, the wide
+//     addition disappears, and the number of live wires drops.
+//
+// Both switches compose, giving the four circuits of the paper's Table II
+// ablation.
+package crpc
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"zkvc/internal/ff"
+	"zkvc/internal/matrix"
+	"zkvc/internal/r1cs"
+	"zkvc/internal/transcript"
+)
+
+// Options selects which optimizations to apply; the zero value is the
+// vanilla circuit (paper Figure 4a / 5a).
+type Options struct {
+	CRPC bool
+	PSQ  bool
+}
+
+// String names the configuration as in Table II.
+func (o Options) String() string {
+	switch {
+	case o.CRPC && o.PSQ:
+		return "CRPC+PSQ"
+	case o.CRPC:
+		return "CRPC"
+	case o.PSQ:
+		return "PSQ"
+	default:
+		return "vanilla"
+	}
+}
+
+// Statement is the matmul relation Y = X·W with X and Y public and the
+// model matrix W private (Figure 1's client/server split).
+type Statement struct {
+	X, Y *matrix.Matrix // public
+	W    *matrix.Matrix // private witness
+}
+
+// NewStatement computes Y = X·W honestly and packages the statement.
+func NewStatement(x, w *matrix.Matrix) *Statement {
+	return &Statement{X: x, W: w, Y: matrix.Mul(x, w)}
+}
+
+// Synthesis is a synthesized matmul circuit with its satisfying
+// assignment.
+type Synthesis struct {
+	Sys        *r1cs.System
+	Assignment []ff.Fr
+	Public     []ff.Fr
+	Z          ff.Fr // the CRPC challenge (zero when CRPC is off)
+	Opts       Options
+}
+
+// Stats exposes circuit complexity for the ablation tables.
+func (s *Synthesis) Stats() r1cs.Stats { return s.Sys.Stats() }
+
+// WCommit returns the hash commitment to the private matrix used in the
+// Fiat–Shamir derivation of Z.
+func WCommit(w *matrix.Matrix) []byte {
+	h := sha256.Sum256(w.Bytes())
+	return h[:]
+}
+
+// DeriveZ computes the CRPC challenge by Fiat–Shamir over the public
+// matrices and a hash commitment to W. Binding the commitment to the
+// in-circuit witness is a protocol-level assumption shared with
+// vCNN-style CP-SNARK linkage (see DESIGN.md).
+func DeriveZ(stmt *Statement) ff.Fr {
+	return DeriveZFromCommit(stmt.X, stmt.Y, WCommit(stmt.W))
+}
+
+// DeriveZFromCommit recomputes Z on the verifier side, which holds only
+// the public matrices and the prover's commitment to W.
+func DeriveZFromCommit(x, y *matrix.Matrix, wCommit []byte) ff.Fr {
+	tr := transcript.New("zkvc.crpc.z")
+	tr.Append("x", x.Bytes())
+	tr.Append("y", y.Bytes())
+	tr.Append("w.commit", wCommit)
+	return tr.ChallengeFr("z")
+}
+
+// SynthesizeShape rebuilds just the constraint system for given dimensions
+// and challenge, without any witness values: the circuit structure depends
+// only on (a, n, b, Z, opts), so a verifier can reconstruct it from public
+// data. The returned assignment is meaningless and must not be used.
+func SynthesizeShape(a, n, b int, z ff.Fr, opts Options) *r1cs.System {
+	stmt := &Statement{
+		X: matrix.New(a, n),
+		W: matrix.New(n, b),
+		Y: matrix.New(a, b),
+	}
+	syn, err := synthesizeWithZ(stmt, z, opts)
+	if err != nil {
+		panic(err) // zero statements of consistent shape cannot fail
+	}
+	return syn.Sys
+}
+
+// Synthesize builds the circuit selected by opts and returns the system,
+// assignment and public witness. It errors if the dimensions disagree.
+func Synthesize(stmt *Statement, opts Options) (*Synthesis, error) {
+	var z ff.Fr
+	if opts.CRPC {
+		z = DeriveZ(stmt)
+	}
+	return synthesizeWithZ(stmt, z, opts)
+}
+
+// synthesizeWithZ is Synthesize with the challenge supplied by the caller
+// (the verifier recomputes Z from the W commitment).
+func synthesizeWithZ(stmt *Statement, z ff.Fr, opts Options) (*Synthesis, error) {
+	a, n := stmt.X.Rows, stmt.X.Cols
+	n2, b := stmt.W.Rows, stmt.W.Cols
+	if n != n2 {
+		return nil, fmt.Errorf("crpc: inner dimensions %d != %d", n, n2)
+	}
+	if stmt.Y.Rows != a || stmt.Y.Cols != b {
+		return nil, fmt.Errorf("crpc: output is %dx%d, want %dx%d", stmt.Y.Rows, stmt.Y.Cols, a, b)
+	}
+
+	bld := r1cs.NewBuilder()
+	// Publics first: X then Y.
+	xVars := make([]r1cs.Var, a*n)
+	for i := range stmt.X.Data {
+		xVars[i] = bld.PublicInput(stmt.X.Data[i])
+	}
+	yVars := make([]r1cs.Var, a*b)
+	for i := range stmt.Y.Data {
+		yVars[i] = bld.PublicInput(stmt.Y.Data[i])
+	}
+	wVars := make([]r1cs.Var, n*b)
+	for i := range stmt.W.Data {
+		wVars[i] = bld.Secret(stmt.W.Data[i])
+	}
+
+	syn := &Synthesis{Opts: opts}
+	if opts.CRPC {
+		syn.Z = z
+		synthesizeCRPC(bld, stmt, xVars, yVars, wVars, &syn.Z, opts.PSQ)
+	} else {
+		synthesizeVanilla(bld, stmt, xVars, yVars, wVars, opts.PSQ)
+	}
+	sys, assignment := bld.Finish()
+	syn.Sys = sys
+	syn.Assignment = assignment
+	syn.Public = bld.PublicWitness()
+	return syn, nil
+}
+
+// synthesizeVanilla emits the unoptimized circuit: one constraint per
+// scalar product. Without PSQ each dot product additionally closes with a
+// wide addition constraint over all its product wires (Figure 5a); with
+// PSQ the products accumulate into prefix-sum wires and the last product
+// constraint writes directly against the public y wire (Figure 5b).
+func synthesizeVanilla(bld *r1cs.Builder, stmt *Statement, xVars, yVars, wVars []r1cs.Var, psq bool) {
+	a, n, b := stmt.X.Rows, stmt.X.Cols, stmt.W.Cols
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			yVar := yVars[i*b+j]
+			if !psq {
+				prods := make([]r1cs.Var, n)
+				for k := 0; k < n; k++ {
+					prods[k] = bld.Mul(
+						r1cs.VarLC(xVars[i*n+k]),
+						r1cs.VarLC(wVars[k*b+j]),
+					)
+				}
+				sum := r1cs.LC{}
+				for _, p := range prods {
+					sum = r1cs.AddLC(sum, r1cs.VarLC(p))
+				}
+				bld.AssertEqual(sum, r1cs.VarLC(yVar))
+				continue
+			}
+			// PSQ: p_k = s_k − s_{k−1}; the final prefix is y itself.
+			var prev r1cs.LC
+			for k := 0; k < n; k++ {
+				xLC := r1cs.VarLC(xVars[i*n+k])
+				wLC := r1cs.VarLC(wVars[k*b+j])
+				if k == n-1 {
+					rhs := r1cs.VarLC(yVar)
+					if prev != nil {
+						rhs = r1cs.SubLC(rhs, prev)
+					}
+					bld.AssertMul(xLC, wLC, rhs)
+					continue
+				}
+				// Allocate the prefix wire s_k with its running value.
+				var prefixVal ff.Fr
+				if prev != nil {
+					prefixVal = bld.Eval(prev)
+				}
+				var prod ff.Fr
+				xv := bld.Value(xVars[i*n+k])
+				wv := bld.Value(wVars[k*b+j])
+				prod.Mul(&xv, &wv)
+				prefixVal.Add(&prefixVal, &prod)
+				s := bld.Secret(prefixVal)
+				rhs := r1cs.VarLC(s)
+				if prev != nil {
+					rhs = r1cs.SubLC(rhs, prev)
+				}
+				bld.AssertMul(xLC, wLC, rhs)
+				prev = r1cs.VarLC(s)
+			}
+		}
+	}
+}
+
+// synthesizeCRPC emits the aggregated polynomial circuit: n multiplication
+// constraints between the Z-weighted column combination of X and the
+// Z-weighted row combination of W (Figure 4b), accumulated either through
+// one wide addition (PSQ off) or prefix sums ending on the Z-weighted
+// public Y combination (PSQ on).
+func synthesizeCRPC(bld *r1cs.Builder, stmt *Statement, xVars, yVars, wVars []r1cs.Var, z *ff.Fr, psq bool) {
+	a, n, b := stmt.X.Rows, stmt.X.Cols, stmt.W.Cols
+
+	// Precompute powers of Z up to max(a·b) and the aggregated LCs.
+	maxPow := a * b
+	if n > maxPow {
+		maxPow = n
+	}
+	pows := make([]ff.Fr, maxPow+1)
+	pows[0].SetOne()
+	for i := 1; i <= maxPow; i++ {
+		pows[i].Mul(&pows[i-1], z)
+	}
+
+	// colX_k = Σ_i Z^{ib}·x_ik,  rowW_k = Σ_j Z^j·w_kj.
+	colX := make([]r1cs.LC, n)
+	rowW := make([]r1cs.LC, n)
+	for k := 0; k < n; k++ {
+		lcx := make(r1cs.LC, 0, a)
+		for i := 0; i < a; i++ {
+			lcx = append(lcx, r1cs.Term{Coeff: pows[i*b], V: xVars[i*n+k]})
+		}
+		colX[k] = lcx
+		lcw := make(r1cs.LC, 0, b)
+		for j := 0; j < b; j++ {
+			lcw = append(lcw, r1cs.Term{Coeff: pows[j], V: wVars[k*b+j]})
+		}
+		rowW[k] = lcw
+	}
+	// yAgg = Σ_{i,j} Z^{ib+j}·y_ij.
+	yAgg := make(r1cs.LC, 0, a*b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			yAgg = append(yAgg, r1cs.Term{Coeff: pows[i*b+j], V: yVars[i*b+j]})
+		}
+	}
+
+	if !psq {
+		prods := make([]r1cs.Var, n)
+		for k := 0; k < n; k++ {
+			prods[k] = bld.Mul(colX[k], rowW[k])
+		}
+		sum := r1cs.LC{}
+		for _, p := range prods {
+			sum = r1cs.AddLC(sum, r1cs.VarLC(p))
+		}
+		bld.AssertEqual(sum, yAgg)
+		return
+	}
+	var prev r1cs.LC
+	for k := 0; k < n; k++ {
+		if k == n-1 {
+			rhs := yAgg
+			if prev != nil {
+				rhs = r1cs.SubLC(rhs, prev)
+			}
+			bld.AssertMul(colX[k], rowW[k], rhs)
+			continue
+		}
+		var prefixVal ff.Fr
+		if prev != nil {
+			prefixVal = bld.Eval(prev)
+		}
+		cx := bld.Eval(colX[k])
+		rw := bld.Eval(rowW[k])
+		var prod ff.Fr
+		prod.Mul(&cx, &rw)
+		prefixVal.Add(&prefixVal, &prod)
+		s := bld.Secret(prefixVal)
+		rhs := r1cs.VarLC(s)
+		if prev != nil {
+			rhs = r1cs.SubLC(rhs, prev)
+		}
+		bld.AssertMul(colX[k], rowW[k], rhs)
+		prev = r1cs.VarLC(s)
+	}
+}

@@ -1,0 +1,372 @@
+package curve
+
+import (
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"zkvc/internal/ff"
+)
+
+func randScalar(rng *mrand.Rand) ff.Fr {
+	var s ff.Fr
+	s.SetPseudoRandom(rng)
+	return s
+}
+
+func TestG1GeneratorOnCurve(t *testing.T) {
+	g := G1Generator()
+	if !g.IsOnCurve() {
+		t.Fatal("G1 generator not on curve")
+	}
+}
+
+func TestG2GeneratorOnCurve(t *testing.T) {
+	g := G2Generator()
+	if !g.IsOnCurve() {
+		t.Fatal("G2 generator not on curve")
+	}
+}
+
+func TestG1Order(t *testing.T) {
+	// r·G must be the identity.
+	g := G1GeneratorJac()
+	var r ff.Fr
+	r.SetBig(new(big.Int).Sub(ff.RModulus(), big.NewInt(1)))
+	var rm1G, sum G1Jac
+	rm1G.ScalarMul(&g, &r) // (r-1)·G = −G
+	sum.Set(&rm1G)
+	sum.AddAssign(&g)
+	if !sum.IsInfinity() {
+		t.Fatal("r·G1 != infinity")
+	}
+}
+
+func TestG2Order(t *testing.T) {
+	g := G2GeneratorJac()
+	var r ff.Fr
+	r.SetBig(new(big.Int).Sub(ff.RModulus(), big.NewInt(1)))
+	var rm1G, sum G2Jac
+	rm1G.ScalarMul(&g, &r)
+	sum.Set(&rm1G)
+	sum.AddAssign(&g)
+	if !sum.IsInfinity() {
+		t.Fatal("r·G2 != infinity")
+	}
+}
+
+func TestG1GroupLaws(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(42))
+	g := G1GeneratorJac()
+	a, b := randScalar(rng), randScalar(rng)
+	var pa, pb, ab1, ab2 G1Jac
+	pa.ScalarMul(&g, &a)
+	pb.ScalarMul(&g, &b)
+	// (a+b)G == aG + bG
+	var sum ff.Fr
+	sum.Add(&a, &b)
+	ab1.ScalarMul(&g, &sum)
+	ab2.Set(&pa)
+	ab2.AddAssign(&pb)
+	if !ab1.Equal(&ab2) {
+		t.Fatal("(a+b)G != aG + bG")
+	}
+	// commutativity
+	var ba G1Jac
+	ba.Set(&pb)
+	ba.AddAssign(&pa)
+	if !ab2.Equal(&ba) {
+		t.Fatal("addition not commutative")
+	}
+	// double == add self
+	var d1, d2 G1Jac
+	d1.Double(&pa)
+	d2.Set(&pa)
+	d2.AddAssign(&pa)
+	if !d1.Equal(&d2) {
+		t.Fatal("double != add self")
+	}
+	// mixed addition agrees with jacobian addition
+	aff := pb.ToAffine()
+	var m G1Jac
+	m.Set(&pa)
+	m.AddMixed(&aff)
+	if !m.Equal(&ab2) {
+		t.Fatal("AddMixed mismatch")
+	}
+	// P + (−P) = O
+	var neg, z G1Jac
+	neg.Neg(&pa)
+	z.Set(&pa)
+	z.AddAssign(&neg)
+	if !z.IsInfinity() {
+		t.Fatal("P + (−P) != O")
+	}
+}
+
+func TestG1ToAffineRoundTrip(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(43))
+	g := G1GeneratorJac()
+	s := randScalar(rng)
+	var p G1Jac
+	p.ScalarMul(&g, &s)
+	aff := p.ToAffine()
+	if !aff.IsOnCurve() {
+		t.Fatal("scalar multiple off curve")
+	}
+	var back G1Jac
+	back.FromAffine(&aff)
+	if !back.Equal(&p) {
+		t.Fatal("affine roundtrip failed")
+	}
+}
+
+func TestBatchToAffineG1(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(44))
+	g := G1GeneratorJac()
+	pts := make([]G1Jac, 33)
+	for i := range pts {
+		if i == 7 {
+			pts[i].SetInfinity()
+			continue
+		}
+		s := randScalar(rng)
+		pts[i].ScalarMul(&g, &s)
+	}
+	affs := BatchToAffineG1(pts)
+	for i := range pts {
+		want := pts[i].ToAffine()
+		if !affs[i].Equal(&want) {
+			t.Fatalf("batch affine mismatch at %d", i)
+		}
+	}
+}
+
+func TestMSMG1MatchesNaive(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(45))
+	g := G1GeneratorJac()
+	for _, n := range []int{1, 2, 15, 16, 17, 100, 700} {
+		pts := make([]G1Affine, n)
+		scalars := make([]ff.Fr, n)
+		var want G1Jac
+		want.SetInfinity()
+		for i := 0; i < n; i++ {
+			s := randScalar(rng)
+			var p G1Jac
+			p.ScalarMul(&g, &s)
+			pts[i] = p.ToAffine()
+			scalars[i] = randScalar(rng)
+			var term G1Jac
+			term.ScalarMul(&p, &scalars[i])
+			want.AddAssign(&term)
+		}
+		got := MSMG1(pts, scalars)
+		if !got.Equal(&want) {
+			t.Fatalf("MSM mismatch for n=%d", n)
+		}
+	}
+}
+
+func TestMSMG2MatchesNaive(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(46))
+	g := G2GeneratorJac()
+	n := 50
+	pts := make([]G2Affine, n)
+	scalars := make([]ff.Fr, n)
+	var want G2Jac
+	want.SetInfinity()
+	for i := 0; i < n; i++ {
+		s := randScalar(rng)
+		var p G2Jac
+		p.ScalarMul(&g, &s)
+		pts[i] = p.ToAffine()
+		scalars[i] = randScalar(rng)
+		var term G2Jac
+		term.ScalarMul(&p, &scalars[i])
+		want.AddAssign(&term)
+	}
+	got := MSMG2(pts, scalars)
+	if !got.Equal(&want) {
+		t.Fatal("G2 MSM mismatch")
+	}
+}
+
+func TestFixedBaseMulG1(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(47))
+	g := G1GeneratorJac()
+	scalars := make([]ff.Fr, 40)
+	for i := range scalars {
+		scalars[i] = randScalar(rng)
+	}
+	scalars[3].SetZero()
+	got := FixedBaseMulG1(g, scalars)
+	for i := range scalars {
+		var want G1Jac
+		want.ScalarMul(&g, &scalars[i])
+		if !got[i].Equal(&want) {
+			t.Fatalf("fixed-base mismatch at %d", i)
+		}
+	}
+}
+
+func TestPairingBilinearity(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(48))
+	g1 := G1Generator()
+	g2 := G2Generator()
+	a, b := randScalar(rng), randScalar(rng)
+
+	var pa G1Jac
+	pa.ScalarMul(func() *G1Jac { j := G1GeneratorJac(); return &j }(), &a)
+	paAff := pa.ToAffine()
+	var qb G2Jac
+	qb.ScalarMul(func() *G2Jac { j := G2GeneratorJac(); return &j }(), &b)
+	qbAff := qb.ToAffine()
+
+	// e(aP, bQ) == e(P, Q)^{ab}
+	lhs := Pair(&paAff, &qbAff)
+	base := Pair(&g1, &g2)
+	abBig := new(big.Int).Mul(a.Big(), b.Big())
+	abBig.Mod(abBig, ff.RModulus())
+	var rhs ff.Fp12
+	rhs.Exp(&base, abBig)
+	if !lhs.Equal(&rhs) {
+		t.Fatal("pairing not bilinear: e(aP,bQ) != e(P,Q)^{ab}")
+	}
+}
+
+func TestPairingNonDegenerate(t *testing.T) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	e := Pair(&g1, &g2)
+	if e.IsOne() {
+		t.Fatal("pairing degenerate: e(G1, G2) == 1")
+	}
+	// Also confirm e(G1,G2) has order dividing r: e^r == 1.
+	var er ff.Fp12
+	er.Exp(&e, ff.RModulus())
+	if !er.IsOne() {
+		t.Fatal("pairing output not in the order-r subgroup")
+	}
+}
+
+func TestPairingInfinity(t *testing.T) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	var infP G1Affine
+	infP.Infinity = true
+	var infQ G2Affine
+	infQ.Infinity = true
+	if got := Pair(&infP, &g2); !got.IsOne() {
+		t.Fatal("e(O, Q) != 1")
+	}
+	if got := Pair(&g1, &infQ); !got.IsOne() {
+		t.Fatal("e(P, O) != 1")
+	}
+}
+
+func TestPairingCheck(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(49))
+	gj := G1GeneratorJac()
+	hj := G2GeneratorJac()
+	a := randScalar(rng)
+
+	// e(aG, H) · e(−G, aH) == 1
+	var ag G1Jac
+	ag.ScalarMul(&gj, &a)
+	agAff := ag.ToAffine()
+	var ah G2Jac
+	ah.ScalarMul(&hj, &a)
+	ahAff := ah.ToAffine()
+	negG := G1Generator()
+	negG.Neg(&negG)
+
+	if !PairingCheck([]G1Affine{agAff, negG}, []G2Affine{G2Generator(), ahAff}) {
+		t.Fatal("valid pairing product rejected")
+	}
+	// Perturb one side: must fail.
+	var b ff.Fr
+	b.Add(&a, func() *ff.Fr { o := ff.NewFr(1); return &o }())
+	var bg G1Jac
+	bg.ScalarMul(&gj, &b)
+	bgAff := bg.ToAffine()
+	if PairingCheck([]G1Affine{bgAff, negG}, []G2Affine{G2Generator(), ahAff}) {
+		t.Fatal("invalid pairing product accepted")
+	}
+}
+
+func BenchmarkPairing(b *testing.B) {
+	g1 := G1Generator()
+	g2 := G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Pair(&g1, &g2)
+	}
+}
+
+func BenchmarkMSMG1_4096(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(50))
+	g := G1GeneratorJac()
+	n := 4096
+	scalars := make([]ff.Fr, n)
+	for i := range scalars {
+		scalars[i] = randScalar(rng)
+	}
+	jacs := FixedBaseMulG1(g, scalars)
+	pts := BatchToAffineG1(jacs)
+	for i := range scalars {
+		scalars[i] = randScalar(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MSMG1(pts, scalars)
+	}
+}
+
+// TestMSMWindowsAgree pins every explicit Pippenger window size to the
+// auto-tuned result.
+func TestMSMWindowsAgree(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(77))
+	n := 512
+	points := make([]G1Affine, n)
+	scalars := make([]ff.Fr, n)
+	jac := G1GeneratorJac()
+	for i := range points {
+		s := randScalar(rng)
+		var p G1Jac
+		p.ScalarMul(&jac, &s)
+		points[i] = p.ToAffine()
+		scalars[i] = randScalar(rng)
+	}
+	want := MSMG1(points, scalars)
+	for _, c := range []uint{3, 5, 8, 11, 14} {
+		got := MSMG1WithWindow(points, scalars, c)
+		if !got.Equal(&want) {
+			t.Errorf("window %d disagrees with auto", c)
+		}
+	}
+}
+
+// BenchmarkMSMWindow ablates the Pippenger window size at 4096 points
+// (DESIGN.md ablation 2).
+func BenchmarkMSMWindow(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(78))
+	n := 4096
+	points := make([]G1Affine, n)
+	scalars := make([]ff.Fr, n)
+	jac := G1GeneratorJac()
+	for i := range points {
+		s := randScalar(rng)
+		var p G1Jac
+		p.ScalarMul(&jac, &s)
+		points[i] = p.ToAffine()
+		scalars[i] = randScalar(rng)
+	}
+	for _, c := range []uint{5, 8, 11, 14} {
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MSMG1WithWindow(points, scalars, c)
+			}
+		})
+	}
+}

@@ -1,0 +1,198 @@
+package curve
+
+import (
+	"runtime"
+	"sync"
+
+	"zkvc/internal/ff"
+)
+
+// msmWindow picks a Pippenger window size for n points.
+func msmWindow(n int) uint {
+	switch {
+	case n < 32:
+		return 3
+	case n < 256:
+		return 5
+	case n < 4096:
+		return 8
+	case n < 1<<17:
+		return 11
+	default:
+		return 14
+	}
+}
+
+// MSMG1 computes Σ scalars[i]·points[i] with the Pippenger bucket method,
+// parallelized across windows. The window size is auto-tuned; use
+// MSMG1WithWindow to ablate it (BenchmarkMSMWindow).
+func MSMG1(points []G1Affine, scalars []ff.Fr) G1Jac {
+	return MSMG1WithWindow(points, scalars, 0)
+}
+
+// MSMG1WithWindow is MSMG1 with an explicit Pippenger window size c
+// (0 = auto).
+func MSMG1WithWindow(points []G1Affine, scalars []ff.Fr, c uint) G1Jac {
+	n := len(points)
+	if n != len(scalars) {
+		panic("curve: MSMG1 length mismatch")
+	}
+	var total G1Jac
+	total.SetInfinity()
+	if n == 0 {
+		return total
+	}
+	if n < 16 && c == 0 {
+		// Direct double-and-add is faster below the bucketing break-even.
+		for i := range points {
+			var p, s G1Jac
+			p.FromAffine(&points[i])
+			s.ScalarMul(&p, &scalars[i])
+			total.AddAssign(&s)
+		}
+		return total
+	}
+
+	if c == 0 {
+		c = msmWindow(n)
+	}
+	nWindows := (256 + int(c) - 1) / int(c)
+	limbs := make([][4]uint64, n)
+	for i := range scalars {
+		limbs[i] = scalars[i].Canonical()
+	}
+
+	windowSums := make([]G1Jac, nWindows)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for w := 0; w < nWindows; w++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(w int) {
+			defer func() { <-sem; wg.Done() }()
+			windowSums[w] = msmWindowSumG1(points, limbs, w, c)
+		}(w)
+	}
+	wg.Wait()
+
+	// total = Σ_w windowSums[w] · 2^{cw}, combined MSB-first.
+	for w := nWindows - 1; w >= 0; w-- {
+		if w != nWindows-1 {
+			for k := uint(0); k < c; k++ {
+				total.Double(&total)
+			}
+		}
+		total.AddAssign(&windowSums[w])
+	}
+	return total
+}
+
+// msmWindowSumG1 accumulates one Pippenger window.
+func msmWindowSumG1(points []G1Affine, limbs [][4]uint64, w int, c uint) G1Jac {
+	buckets := make([]G1Jac, 1<<c)
+	for i := range buckets {
+		buckets[i].SetInfinity()
+	}
+	bitOffset := uint(w) * c
+	for i := range points {
+		d := windowDigit(&limbs[i], bitOffset, c)
+		if d != 0 {
+			buckets[d].AddMixed(&points[i])
+		}
+	}
+	// Σ i·bucket[i] via suffix sums.
+	var running, sum G1Jac
+	running.SetInfinity()
+	sum.SetInfinity()
+	for i := len(buckets) - 1; i >= 1; i-- {
+		running.AddAssign(&buckets[i])
+		sum.AddAssign(&running)
+	}
+	return sum
+}
+
+// windowDigit extracts c bits of a 256-bit little-endian limb vector
+// starting at bitOffset.
+func windowDigit(l *[4]uint64, bitOffset, c uint) uint64 {
+	limb := bitOffset / 64
+	shift := bitOffset % 64
+	if limb >= 4 {
+		return 0
+	}
+	d := l[limb] >> shift
+	if shift+c > 64 && limb+1 < 4 {
+		d |= l[limb+1] << (64 - shift)
+	}
+	return d & ((1 << c) - 1)
+}
+
+// FixedBaseMulG1 computes scalar·base for every scalar using one shared
+// precomputed window table; this is the workhorse of CRS generation.
+func FixedBaseMulG1(base G1Jac, scalars []ff.Fr) []G1Jac {
+	const c = 8
+	nWindows := (256 + c - 1) / c
+	// table[w][d-1] = d · 2^{cw} · base, d ∈ [1, 2^c).
+	table := make([][]G1Affine, nWindows)
+	var cur G1Jac
+	cur.Set(&base)
+	for w := 0; w < nWindows; w++ {
+		row := make([]G1Jac, (1<<c)-1)
+		row[0].Set(&cur)
+		for d := 1; d < (1<<c)-1; d++ {
+			row[d].Set(&row[d-1])
+			row[d].AddAssign(&cur)
+		}
+		table[w] = BatchToAffineG1(row)
+		// advance cur to 2^{c(w+1)}·base
+		for k := 0; k < c; k++ {
+			cur.Double(&cur)
+		}
+	}
+
+	out := make([]G1Jac, len(scalars))
+	parallelFor(len(scalars), func(start, end int) {
+		for i := start; i < end; i++ {
+			limbs := scalars[i].Canonical()
+			var acc G1Jac
+			acc.SetInfinity()
+			for w := 0; w < nWindows; w++ {
+				d := windowDigit(&limbs, uint(w*c), c)
+				if d != 0 {
+					acc.AddMixed(&table[w][d-1])
+				}
+			}
+			out[i] = acc
+		}
+	})
+	return out
+}
+
+// parallelFor splits [0,n) across GOMAXPROCS workers.
+func parallelFor(n int, body func(start, end int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			break
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,128 @@
+package curve
+
+import (
+	"runtime"
+	"sync"
+
+	"zkvc/internal/ff"
+)
+
+// MSMG2 computes Σ scalars[i]·points[i] with the Pippenger bucket method,
+// parallelized across windows.
+func MSMG2(points []G2Affine, scalars []ff.Fr) G2Jac {
+	n := len(points)
+	if n != len(scalars) {
+		panic("curve: MSMG2 length mismatch")
+	}
+	var total G2Jac
+	total.SetInfinity()
+	if n == 0 {
+		return total
+	}
+	if n < 16 {
+		// Direct double-and-add is faster below the bucketing break-even.
+		for i := range points {
+			var p, s G2Jac
+			p.FromAffine(&points[i])
+			s.ScalarMul(&p, &scalars[i])
+			total.AddAssign(&s)
+		}
+		return total
+	}
+
+	c := msmWindow(n)
+	nWindows := (256 + int(c) - 1) / int(c)
+	limbs := make([][4]uint64, n)
+	for i := range scalars {
+		limbs[i] = scalars[i].Canonical()
+	}
+
+	windowSums := make([]G2Jac, nWindows)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for w := 0; w < nWindows; w++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(w int) {
+			defer func() { <-sem; wg.Done() }()
+			windowSums[w] = msmWindowSumG2(points, limbs, w, c)
+		}(w)
+	}
+	wg.Wait()
+
+	// total = Σ_w windowSums[w] · 2^{cw}, combined MSB-first.
+	for w := nWindows - 1; w >= 0; w-- {
+		if w != nWindows-1 {
+			for k := uint(0); k < c; k++ {
+				total.Double(&total)
+			}
+		}
+		total.AddAssign(&windowSums[w])
+	}
+	return total
+}
+
+// msmWindowSumG2 accumulates one Pippenger window.
+func msmWindowSumG2(points []G2Affine, limbs [][4]uint64, w int, c uint) G2Jac {
+	buckets := make([]G2Jac, 1<<c)
+	for i := range buckets {
+		buckets[i].SetInfinity()
+	}
+	bitOffset := uint(w) * c
+	for i := range points {
+		d := windowDigit(&limbs[i], bitOffset, c)
+		if d != 0 {
+			buckets[d].AddMixed(&points[i])
+		}
+	}
+	// Σ i·bucket[i] via suffix sums.
+	var running, sum G2Jac
+	running.SetInfinity()
+	sum.SetInfinity()
+	for i := len(buckets) - 1; i >= 1; i-- {
+		running.AddAssign(&buckets[i])
+		sum.AddAssign(&running)
+	}
+	return sum
+}
+
+// FixedBaseMulG2 computes scalar·base for every scalar using one shared
+// precomputed window table; this is the workhorse of CRS generation.
+func FixedBaseMulG2(base G2Jac, scalars []ff.Fr) []G2Jac {
+	const c = 8
+	nWindows := (256 + c - 1) / c
+	// table[w][d-1] = d · 2^{cw} · base, d ∈ [1, 2^c).
+	table := make([][]G2Affine, nWindows)
+	var cur G2Jac
+	cur.Set(&base)
+	for w := 0; w < nWindows; w++ {
+		row := make([]G2Jac, (1<<c)-1)
+		row[0].Set(&cur)
+		for d := 1; d < (1<<c)-1; d++ {
+			row[d].Set(&row[d-1])
+			row[d].AddAssign(&cur)
+		}
+		table[w] = BatchToAffineG2(row)
+		// advance cur to 2^{c(w+1)}·base
+		for k := 0; k < c; k++ {
+			cur.Double(&cur)
+		}
+	}
+
+	out := make([]G2Jac, len(scalars))
+	parallelFor(len(scalars), func(start, end int) {
+		for i := start; i < end; i++ {
+			limbs := scalars[i].Canonical()
+			var acc G2Jac
+			acc.SetInfinity()
+			for w := 0; w < nWindows; w++ {
+				d := windowDigit(&limbs, uint(w*c), c)
+				if d != 0 {
+					acc.AddMixed(&table[w][d-1])
+				}
+			}
+			out[i] = acc
+		}
+	})
+	return out
+}

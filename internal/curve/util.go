@@ -1,0 +1,13 @@
+package curve
+
+import "math/big"
+
+// mustBig parses a decimal constant, panicking on malformed literals
+// (programmer error, caught at init).
+func mustBig(dec string) *big.Int {
+	v, ok := new(big.Int).SetString(dec, 10)
+	if !ok {
+		panic("curve: bad integer literal " + dec)
+	}
+	return v
+}

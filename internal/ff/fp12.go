@@ -1,0 +1,113 @@
+package ff
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Fp12 is an element d0 + d1·w of Fp6[w]/(w² − v). It is the target group
+// of the pairing (after final exponentiation the element lies in GT, the
+// order-r subgroup).
+type Fp12 struct {
+	D0, D1 Fp6
+}
+
+// SetZero sets z = 0 and returns z.
+func (z *Fp12) SetZero() *Fp12 { z.D0.SetZero(); z.D1.SetZero(); return z }
+
+// SetOne sets z = 1 and returns z.
+func (z *Fp12) SetOne() *Fp12 { z.D0.SetOne(); z.D1.SetZero(); return z }
+
+// Set sets z = x and returns z.
+func (z *Fp12) Set(x *Fp12) *Fp12 { *z = *x; return z }
+
+// Add sets z = x+y and returns z.
+func (z *Fp12) Add(x, y *Fp12) *Fp12 {
+	z.D0.Add(&x.D0, &y.D0)
+	z.D1.Add(&x.D1, &y.D1)
+	return z
+}
+
+// Sub sets z = x−y and returns z.
+func (z *Fp12) Sub(x, y *Fp12) *Fp12 {
+	z.D0.Sub(&x.D0, &y.D0)
+	z.D1.Sub(&x.D1, &y.D1)
+	return z
+}
+
+// Mul sets z = x·y and returns z.
+func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
+	var v0, v1, t0, t1 Fp6
+	v0.Mul(&x.D0, &y.D0)
+	v1.Mul(&x.D1, &y.D1)
+	t0.Add(&x.D0, &x.D1)
+	t1.Add(&y.D0, &y.D1)
+	t0.Mul(&t0, &t1)
+	t0.Sub(&t0, &v0)
+	t0.Sub(&t0, &v1) // = d0e1 + d1e0
+	v1.MulByV(&v1)   // v·d1e1
+	z.D0.Add(&v0, &v1)
+	z.D1.Set(&t0)
+	return z
+}
+
+// Square sets z = x² and returns z.
+func (z *Fp12) Square(x *Fp12) *Fp12 { return z.Mul(x, x) }
+
+// Conjugate sets z = d0 − d1·w and returns z. For unitary elements (after
+// final exponentiation) the conjugate equals the inverse.
+func (z *Fp12) Conjugate(x *Fp12) *Fp12 {
+	z.D0.Set(&x.D0)
+	z.D1.Neg(&x.D1)
+	return z
+}
+
+// Inverse sets z = x⁻¹ and returns z. The inverse of 0 is 0.
+func (z *Fp12) Inverse(x *Fp12) *Fp12 {
+	// 1/(d0 + d1w) = (d0 − d1w)/(d0² − v·d1²)
+	var t0, t1 Fp6
+	t0.Square(&x.D0)
+	t1.Square(&x.D1)
+	t1.MulByV(&t1)
+	t0.Sub(&t0, &t1)
+	t0.Inverse(&t0)
+	z.D0.Mul(&x.D0, &t0)
+	t0.Neg(&t0)
+	z.D1.Mul(&x.D1, &t0)
+	return z
+}
+
+// Exp sets z = x^e and returns z (square-and-multiply, e ≥ 0).
+func (z *Fp12) Exp(x *Fp12, e *big.Int) *Fp12 {
+	var base Fp12
+	base.Set(x)
+	if e.Sign() < 0 {
+		base.Inverse(&base)
+		e = new(big.Int).Neg(e)
+	}
+	var acc Fp12
+	acc.SetOne()
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		acc.Square(&acc)
+		if e.Bit(i) == 1 {
+			acc.Mul(&acc, &base)
+		}
+	}
+	return z.Set(&acc)
+}
+
+// Equal reports whether z == x.
+func (z *Fp12) Equal(x *Fp12) bool { return z.D0.Equal(&x.D0) && z.D1.Equal(&x.D1) }
+
+// IsZero reports whether z == 0.
+func (z *Fp12) IsZero() bool { return z.D0.IsZero() && z.D1.IsZero() }
+
+// IsOne reports whether z == 1.
+func (z *Fp12) IsOne() bool {
+	var one Fp12
+	one.SetOne()
+	return z.Equal(&one)
+}
+
+// String renders z as "(d0) + (d1)w".
+func (z *Fp12) String() string { return fmt.Sprintf("(%v) + (%v)w", &z.D0, &z.D1) }

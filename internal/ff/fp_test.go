@@ -1,0 +1,267 @@
+package ff
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randFr(rng *mrand.Rand) Fr {
+	var z Fr
+	z.SetPseudoRandom(rng)
+	return z
+}
+
+func randFp(rng *mrand.Rand) Fp {
+	var z Fp
+	z.SetPseudoRandom(rng)
+	return z
+}
+
+func TestFpRoundTripBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		v := new(big.Int).Rand(rng, pMod.big)
+		var x Fp
+		x.SetBig(v)
+		if got := x.Big(); got.Cmp(v) != 0 {
+			t.Fatalf("roundtrip mismatch: got %v want %v", got, v)
+		}
+	}
+}
+
+func TestFrRoundTripBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		v := new(big.Int).Rand(rng, rMod.big)
+		var x Fr
+		x.SetBig(v)
+		if got := x.Big(); got.Cmp(v) != 0 {
+			t.Fatalf("roundtrip mismatch: got %v want %v", got, v)
+		}
+	}
+}
+
+func TestFpMulMatchesBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a := new(big.Int).Rand(rng, pMod.big)
+		b := new(big.Int).Rand(rng, pMod.big)
+		var x, y, z Fp
+		x.SetBig(a)
+		y.SetBig(b)
+		z.Mul(&x, &y)
+		want := new(big.Int).Mul(a, b)
+		want.Mod(want, pMod.big)
+		if z.Big().Cmp(want) != 0 {
+			t.Fatalf("mul mismatch at %d", i)
+		}
+	}
+}
+
+func TestFrMulMatchesBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		a := new(big.Int).Rand(rng, rMod.big)
+		b := new(big.Int).Rand(rng, rMod.big)
+		var x, y, z Fr
+		x.SetBig(a)
+		y.SetBig(b)
+		z.Mul(&x, &y)
+		want := new(big.Int).Mul(a, b)
+		want.Mod(want, rMod.big)
+		if z.Big().Cmp(want) != 0 {
+			t.Fatalf("mul mismatch at %d", i)
+		}
+	}
+}
+
+func TestFrFieldAxiomsQuick(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(5))
+	comm := func(seedA, seedB int64) bool {
+		a := randFr(rng)
+		b := randFr(rng)
+		var ab, ba Fr
+		ab.Mul(&a, &b)
+		ba.Mul(&b, &a)
+		var s1, s2 Fr
+		s1.Add(&a, &b)
+		s2.Add(&b, &a)
+		return ab.Equal(&ba) && s1.Equal(&s2)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Fatal(err)
+	}
+	assoc := func(_ int64) bool {
+		a, b, c := randFr(rng), randFr(rng), randFr(rng)
+		var l, r Fr
+		l.Mul(&a, &b)
+		l.Mul(&l, &c)
+		r.Mul(&b, &c)
+		r.Mul(&a, &r)
+		return l.Equal(&r)
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Fatal(err)
+	}
+	distrib := func(_ int64) bool {
+		a, b, c := randFr(rng), randFr(rng), randFr(rng)
+		var l, r, t1, t2 Fr
+		t1.Add(&b, &c)
+		l.Mul(&a, &t1)
+		t1.Mul(&a, &b)
+		t2.Mul(&a, &c)
+		r.Add(&t1, &t2)
+		return l.Equal(&r)
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrInverse(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		a := randFr(rng)
+		if a.IsZero() {
+			continue
+		}
+		var inv, prod Fr
+		inv.Inverse(&a)
+		prod.Mul(&a, &inv)
+		if !prod.IsOne() {
+			t.Fatalf("a * a^-1 != 1 for a=%v", &a)
+		}
+	}
+	var z, zi Fr
+	zi.Inverse(&z)
+	if !zi.IsZero() {
+		t.Fatal("Inverse(0) should be 0")
+	}
+}
+
+func TestFpInverseAndNeg(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		a := randFp(rng)
+		if a.IsZero() {
+			continue
+		}
+		var inv, prod, n, s Fp
+		inv.Inverse(&a)
+		prod.Mul(&a, &inv)
+		if !prod.IsOne() {
+			t.Fatal("a * a^-1 != 1")
+		}
+		n.Neg(&a)
+		s.Add(&a, &n)
+		if !s.IsZero() {
+			t.Fatal("a + (-a) != 0")
+		}
+	}
+}
+
+func TestFrSubAddInverse(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		a, b := randFr(rng), randFr(rng)
+		var d, s Fr
+		d.Sub(&a, &b)
+		s.Add(&d, &b)
+		if !s.Equal(&a) {
+			t.Fatal("(a-b)+b != a")
+		}
+	}
+}
+
+func TestFrExp(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(9))
+	a := randFr(rng)
+	// Fermat: a^(r-1) = 1.
+	exp := new(big.Int).Sub(rMod.big, big.NewInt(1))
+	var res Fr
+	res.Exp(&a, exp)
+	if !res.IsOne() {
+		t.Fatal("a^(r-1) != 1")
+	}
+	// a^5 == a*a*a*a*a
+	var p5, m Fr
+	p5.Exp(&a, big.NewInt(5))
+	m.Mul(&a, &a)
+	m.Mul(&m, &a)
+	m.Mul(&m, &a)
+	m.Mul(&m, &a)
+	if !p5.Equal(&m) {
+		t.Fatal("a^5 mismatch")
+	}
+	// negative exponent
+	var pm1, inv Fr
+	pm1.Exp(&a, big.NewInt(-1))
+	inv.Inverse(&a)
+	if !pm1.Equal(&inv) {
+		t.Fatal("a^-1 mismatch")
+	}
+}
+
+func TestFrSetInt64(t *testing.T) {
+	var a, b, s Fr
+	a.SetInt64(-7)
+	b.SetUint64(7)
+	s.Add(&a, &b)
+	if !s.IsZero() {
+		t.Fatal("SetInt64(-7) + 7 != 0")
+	}
+}
+
+func TestFrBytesRoundTrip(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(10))
+	for i := 0; i < 50; i++ {
+		a := randFr(rng)
+		buf := a.Bytes()
+		var b Fr
+		b.SetBytes(buf[:])
+		if !a.Equal(&b) {
+			t.Fatal("bytes roundtrip failed")
+		}
+	}
+}
+
+func TestFrAliasedOps(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(11))
+	a := randFr(rng)
+	want := new(big.Int).Mul(a.Big(), a.Big())
+	want.Mod(want, rMod.big)
+	a.Mul(&a, &a)
+	if a.Big().Cmp(want) != 0 {
+		t.Fatal("aliased square broken")
+	}
+	b := randFr(rng)
+	wantSum := new(big.Int).Add(b.Big(), b.Big())
+	wantSum.Mod(wantSum, rMod.big)
+	b.Add(&b, &b)
+	if b.Big().Cmp(wantSum) != 0 {
+		t.Fatal("aliased add broken")
+	}
+}
+
+func BenchmarkFrMul(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(12))
+	x, y := randFr(rng), randFr(rng)
+	var z Fr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Mul(&x, &y)
+	}
+	_ = z
+}
+
+func BenchmarkFpInverse(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(13))
+	x := randFp(rng)
+	var z Fp
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Inverse(&x)
+	}
+}

@@ -1,0 +1,108 @@
+// Package fixed provides the power-of-two fixed-point arithmetic used to
+// map neural-network tensors into the scalar field (the NITI-style integer
+// quantization cited in the paper's §IV). A value x is stored as
+// round(x·2^FracBits) in an int64.
+package fixed
+
+import "math"
+
+// Config fixes the binary point.
+type Config struct {
+	FracBits uint
+}
+
+// Default uses 8 fractional bits, enough for the approximation error of
+// the paper's nonlinearities to dominate the quantization error.
+func Default() Config { return Config{FracBits: 8} }
+
+// Scale returns 2^FracBits.
+func (c Config) Scale() int64 { return 1 << c.FracBits }
+
+// Quantize converts a float to fixed point (round half away from zero).
+func (c Config) Quantize(x float64) int64 {
+	return int64(math.Round(x * float64(c.Scale())))
+}
+
+// Dequantize converts fixed point back to float.
+func (c Config) Dequantize(v int64) float64 {
+	return float64(v) / float64(c.Scale())
+}
+
+// Mul multiplies two fixed-point values, rescaling back (truncated shift,
+// which is what the in-circuit remainder division mirrors).
+func (c Config) Mul(a, b int64) int64 {
+	return floorDiv(a*b, c.Scale())
+}
+
+// Div divides two fixed-point values: (a·scale)/b, truncated.
+func (c Config) Div(a, b int64) int64 {
+	if b == 0 {
+		panic("fixed: division by zero")
+	}
+	return floorDiv(a*c.Scale(), b)
+}
+
+// floorDiv is division rounding toward −∞ (matching the nonnegative
+// remainder convention the circuits range-check).
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// FloorDiv exposes floor division for gadget witnesses.
+func FloorDiv(a, b int64) int64 { return floorDiv(a, b) }
+
+// ExpNeg approximates e^x for x ≤ 0 in fixed point using the paper's
+// clipped limit form: 0 below the threshold T, else (1 + x/2^n)^{2^n}.
+func (c Config) ExpNeg(v int64, thresholdT int64, n uint) int64 {
+	if v < thresholdT {
+		return 0
+	}
+	if v > 0 {
+		v = 0
+	}
+	// u = scale + v/2^n, then square n times with rescale.
+	u := c.Scale() + floorDiv(v, 1<<n)
+	for i := uint(0); i < n; i++ {
+		u = c.Mul(u, u)
+	}
+	return u
+}
+
+// GELUQuad is the paper's quadratic GELU approximation
+// x²/8 + x/4 + 1/2 in fixed point.
+func (c Config) GELUQuad(v int64) int64 {
+	sq := c.Mul(v, v)
+	return floorDiv(sq, 8) + floorDiv(v, 4) + c.Scale()/2
+}
+
+// Softmax computes the §III-C softmax: normalize by the max, exponentiate
+// with ExpNeg, then divide by the sum. Returns fixed-point probabilities.
+func (c Config) Softmax(xs []int64, thresholdT int64, n uint) []int64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	max := xs[0]
+	for _, v := range xs[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	exps := make([]int64, len(xs))
+	var sum int64
+	for i, v := range xs {
+		exps[i] = c.ExpNeg(v-max, thresholdT, n)
+		sum += exps[i]
+	}
+	out := make([]int64, len(xs))
+	if sum == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = floorDiv(exps[i]*c.Scale(), sum)
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package fixed
+
+import (
+	"math"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	c := Default()
+	for _, x := range []float64{0, 1, -1, 0.5, -0.5, 3.14159, -2.71828} {
+		got := c.Dequantize(c.Quantize(x))
+		if math.Abs(got-x) > 1.0/float64(c.Scale()) {
+			t.Fatalf("roundtrip error for %v: got %v", x, got)
+		}
+	}
+}
+
+func TestMulMatchesFloat(t *testing.T) {
+	c := Default()
+	rng := mrand.New(mrand.NewSource(900))
+	for i := 0; i < 500; i++ {
+		a := rng.Float64()*8 - 4
+		b := rng.Float64()*8 - 4
+		got := c.Dequantize(c.Mul(c.Quantize(a), c.Quantize(b)))
+		if math.Abs(got-a*b) > 0.1 {
+			t.Fatalf("mul(%v,%v)=%v, want %v", a, b, got, a*b)
+		}
+	}
+}
+
+func TestFloorDivProperties(t *testing.T) {
+	f := func(a int64, b int64) bool {
+		if b == 0 {
+			b = 1
+		}
+		q := FloorDiv(a, b)
+		r := a - q*b
+		// remainder has the sign of b and |r| < |b|
+		if b > 0 {
+			return r >= 0 && r < b
+		}
+		return r <= 0 && r > b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpNegAccuracy(t *testing.T) {
+	c := Config{FracBits: 12}
+	T := c.Quantize(-8)
+	for x := -7.5; x <= 0; x += 0.25 {
+		got := c.Dequantize(c.ExpNeg(c.Quantize(x), T, 6))
+		want := math.Exp(x)
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("ExpNeg(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Below the threshold: clipped to 0.
+	if c.ExpNeg(c.Quantize(-20), T, 6) != 0 {
+		t.Fatal("ExpNeg below threshold not clipped")
+	}
+}
+
+func TestGELUQuadShape(t *testing.T) {
+	// The paper publishes GELU(x) ≈ x²/8 + x/4 + 1/2 (§III-C). We
+	// reproduce that exact polynomial; the fixed-point evaluation must
+	// match the real-valued polynomial to quantization accuracy. (The
+	// polynomial itself is a coarse CDF-style fit — accuracy consequences
+	// are the paper's, recorded in its Tables III/IV.)
+	c := Config{FracBits: 10}
+	ref := func(x float64) float64 { return x*x/8 + x/4 + 0.5 }
+	for x := -4.0; x <= 4.0; x += 0.125 {
+		got := c.Dequantize(c.GELUQuad(c.Quantize(x)))
+		if math.Abs(got-ref(x)) > 0.02 {
+			t.Fatalf("GELUQuad(%v) = %v, want %v", x, got, ref(x))
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	c := Config{FracBits: 12}
+	rng := mrand.New(mrand.NewSource(901))
+	T := c.Quantize(-8)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		xs := make([]int64, n)
+		floats := make([]float64, n)
+		for i := range xs {
+			floats[i] = rng.Float64()*6 - 3
+			xs[i] = c.Quantize(floats[i])
+		}
+		out := c.Softmax(xs, T, 6)
+		// sums to ≈ 1
+		var sum int64
+		for _, v := range out {
+			sum += v
+			if v < 0 {
+				t.Fatal("negative probability")
+			}
+		}
+		if math.Abs(c.Dequantize(sum)-1) > 0.05 {
+			t.Fatalf("softmax sums to %v", c.Dequantize(sum))
+		}
+		// matches float softmax
+		var fs float64
+		fexp := make([]float64, n)
+		maxF := floats[0]
+		for _, f := range floats[1:] {
+			if f > maxF {
+				maxF = f
+			}
+		}
+		for i, f := range floats {
+			fexp[i] = math.Exp(f - maxF)
+			fs += fexp[i]
+		}
+		for i := range out {
+			if math.Abs(c.Dequantize(out[i])-fexp[i]/fs) > 0.05 {
+				t.Fatalf("softmax[%d] = %v, want %v", i, c.Dequantize(out[i]), fexp[i]/fs)
+			}
+		}
+	}
+}
+
+func TestSoftmaxEdgeCases(t *testing.T) {
+	c := Default()
+	if out := c.Softmax(nil, -1000, 5); out != nil {
+		t.Fatal("nil input should give nil output")
+	}
+	out := c.Softmax([]int64{c.Quantize(1)}, c.Quantize(-8), 5)
+	if math.Abs(c.Dequantize(out[0])-1) > 0.05 {
+		t.Fatal("singleton softmax should be ≈ 1")
+	}
+}

@@ -1,0 +1,184 @@
+package groth16
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"zkvc/internal/ff"
+	"zkvc/internal/r1cs"
+)
+
+func fr(v int64) ff.Fr {
+	var x ff.Fr
+	x.SetInt64(v)
+	return x
+}
+
+// paperCircuit builds y = (x1 + w)·(x2 + w) with x1, x2, y public, w secret.
+func paperCircuit(x1, x2, w int64) (*r1cs.System, []ff.Fr, []ff.Fr) {
+	b := r1cs.NewBuilder()
+	vx1 := b.PublicInput(fr(x1))
+	vx2 := b.PublicInput(fr(x2))
+	vy := b.PublicInput(fr((x1 + w) * (x2 + w)))
+	vw := b.Secret(fr(w))
+	left := r1cs.AddLC(r1cs.VarLC(vx1), r1cs.VarLC(vw))
+	right := r1cs.AddLC(r1cs.VarLC(vx2), r1cs.VarLC(vw))
+	b.AssertMul(left, right, r1cs.VarLC(vy))
+	sys, z := b.Finish()
+	return sys, z, b.PublicWitness()
+}
+
+func TestProveVerifyPaperCircuit(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(100))
+	sys, z, pub := paperCircuit(3, 4, 5)
+	if err := sys.Satisfied(z); err != nil {
+		t.Fatal(err)
+	}
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(sys, pk, z, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, proof, pub); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongPublicInput(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(101))
+	sys, z, pub := paperCircuit(3, 4, 5)
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(sys, pk, z, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]ff.Fr, len(pub))
+	copy(bad, pub)
+	bad[3] = fr(73) // claim a different y
+	if err := Verify(vk, proof, bad); err == nil {
+		t.Fatal("proof accepted for wrong public output")
+	}
+}
+
+func TestVerifyRejectsForgedProof(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(102))
+	sys, z, pub := paperCircuit(3, 4, 5)
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(sys, pk, z, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *proof
+	forged.A = pk.BetaG1 // arbitrary group element
+	if err := Verify(vk, &forged, pub); err == nil {
+		t.Fatal("forged proof accepted")
+	}
+}
+
+func TestProveRejectsBadWitness(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(103))
+	sys, z, _ := paperCircuit(3, 4, 5)
+	pk, _, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z[len(z)-1] = fr(6) // wrong secret w
+	if _, err := Prove(sys, pk, z, rng); err == nil {
+		t.Fatal("Prove accepted unsatisfying witness")
+	}
+}
+
+// TestMediumCircuit exercises a multi-constraint circuit (a chain of
+// multiplications) so the QAP domain is larger than one.
+func TestMediumCircuit(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(104))
+	b := r1cs.NewBuilder()
+	// public: claimed product of 1..10 plus chain inputs
+	prod := int64(1)
+	for i := int64(1); i <= 10; i++ {
+		prod *= i
+	}
+	out := b.PublicInput(fr(prod))
+	cur := r1cs.OneLC()
+	for i := int64(1); i <= 10; i++ {
+		factor := b.Secret(fr(i))
+		v := b.Mul(cur, r1cs.VarLC(factor))
+		cur = r1cs.VarLC(v)
+	}
+	b.AssertEqual(cur, r1cs.VarLC(out))
+	sys, z := b.Finish()
+	pub := b.PublicWitness()
+	if err := sys.Satisfied(z); err != nil {
+		t.Fatal(err)
+	}
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(sys, pk, z, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, proof, pub); err != nil {
+		t.Fatalf("valid medium proof rejected: %v", err)
+	}
+	// wrong claimed product
+	badPub := make([]ff.Fr, len(pub))
+	copy(badPub, pub)
+	badPub[1] = fr(prod + 1)
+	if err := Verify(vk, proof, badPub); err == nil {
+		t.Fatal("accepted wrong product claim")
+	}
+}
+
+func TestProofIsRandomized(t *testing.T) {
+	// Zero-knowledge smoke test: two proofs of the same witness must differ.
+	rng := mrand.New(mrand.NewSource(105))
+	sys, z, pub := paperCircuit(3, 4, 5)
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Prove(sys, pk, z, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Prove(sys, pk, z, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.A.Equal(&p2.A) {
+		t.Fatal("proofs not randomized")
+	}
+	if err := Verify(vk, p1, pub); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, p2, pub); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyPublicLengthMismatch(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(106))
+	sys, z, pub := paperCircuit(3, 4, 5)
+	pk, vk, err := Setup(sys, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := Prove(sys, pk, z, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, proof, pub[:2]); err == nil {
+		t.Fatal("short public witness accepted")
+	}
+}

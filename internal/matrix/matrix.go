@@ -1,0 +1,112 @@
+// Package matrix provides small dense field-element matrices shared by the
+// matmul circuit builders and the interactive baseline protocols.
+package matrix
+
+import (
+	"fmt"
+	mrand "math/rand"
+
+	"zkvc/internal/ff"
+)
+
+// Matrix is a row-major dense matrix over the scalar field.
+type Matrix struct {
+	Rows, Cols int
+	Data       []ff.Fr
+}
+
+// New returns a zero matrix.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]ff.Fr, rows*cols)}
+}
+
+// FromInt64 builds a matrix from row-major integers.
+func FromInt64(rows, cols int, vals []int64) *Matrix {
+	if len(vals) != rows*cols {
+		panic(fmt.Sprintf("matrix: %d values for %dx%d", len(vals), rows, cols))
+	}
+	m := New(rows, cols)
+	for i, v := range vals {
+		m.Data[i].SetInt64(v)
+	}
+	return m
+}
+
+// At returns a pointer to entry (i, j).
+func (m *Matrix) At(i, j int) *ff.Fr { return &m.Data[i*m.Cols+j] }
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, v ff.Fr) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Equal reports whether two matrices are identical.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if !m.Data[i].Equal(&o.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns m·o.
+func Mul(m, o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("matrix: %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Rows, o.Cols)
+	var t ff.Fr
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			xik := m.At(i, k)
+			if xik.IsZero() {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				t.Mul(xik, o.At(k, j))
+				out.At(i, j).Add(out.At(i, j), &t)
+			}
+		}
+	}
+	return out
+}
+
+// Random fills a matrix with small signed integers in [−bound, bound],
+// mimicking quantized neural-network tensors.
+func Random(rng *mrand.Rand, rows, cols int, bound int64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		v := rng.Int63n(2*bound+1) - bound
+		m.Data[i].SetInt64(v)
+	}
+	return m
+}
+
+// Bytes serializes the matrix canonically (dims then entries), for
+// Fiat–Shamir hashing.
+func (m *Matrix) Bytes() []byte {
+	out := make([]byte, 0, 16+32*len(m.Data))
+	var dim [8]byte
+	put := func(v int) {
+		for i := 0; i < 8; i++ {
+			dim[i] = byte(v >> (8 * i))
+		}
+		out = append(out, dim[:]...)
+	}
+	put(m.Rows)
+	put(m.Cols)
+	for i := range m.Data {
+		b := m.Data[i].Bytes()
+		out = append(out, b[:]...)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package matrix
+
+import (
+	"bytes"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"zkvc/internal/ff"
+)
+
+func fromInts(rows, cols int, vals ...int64) *Matrix {
+	return FromInt64(rows, cols, vals)
+}
+
+func TestMulSmall(t *testing.T) {
+	// [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+	a := fromInts(2, 2, 1, 2, 3, 4)
+	b := fromInts(2, 2, 5, 6, 7, 8)
+	want := fromInts(2, 2, 19, 22, 43, 50)
+	if got := Mul(a, b); !got.Equal(want) {
+		t.Fatalf("Mul wrong: %+v", got)
+	}
+}
+
+func TestMulWithNegatives(t *testing.T) {
+	a := fromInts(1, 2, -3, 4)
+	b := fromInts(2, 1, 5, -6)
+	// −15 − 24 = −39
+	want := fromInts(1, 1, -39)
+	if got := Mul(a, b); !got.Equal(want) {
+		t.Fatal("negative entries mishandled")
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	Mul(New(2, 3), New(4, 2))
+}
+
+func TestFromInt64LengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad length")
+		}
+	}()
+	FromInt64(2, 2, []int64{1, 2, 3})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := fromInts(1, 2, 1, 2)
+	c := m.Clone()
+	c.At(0, 0).SetInt64(99)
+	var one ff.Fr
+	one.SetInt64(1)
+	if !m.At(0, 0).Equal(&one) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := fromInts(1, 2, 1, 2)
+	if a.Equal(fromInts(2, 1, 1, 2)) {
+		t.Error("shape ignored")
+	}
+	if a.Equal(fromInts(1, 2, 1, 3)) {
+		t.Error("content ignored")
+	}
+	if !a.Equal(fromInts(1, 2, 1, 2)) {
+		t.Error("equal matrices unequal")
+	}
+}
+
+func TestBytesCanonical(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	a := Random(rng, 3, 4, 100)
+	if !bytes.Equal(a.Bytes(), a.Clone().Bytes()) {
+		t.Fatal("serialization not deterministic")
+	}
+	b := a.Clone()
+	b.At(2, 3).SetInt64(12345)
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serialization ignores content")
+	}
+	// Dims are framed: a 1x4 and 4x1 with equal data must differ.
+	c := fromInts(1, 4, 1, 2, 3, 4)
+	d := fromInts(4, 1, 1, 2, 3, 4)
+	if bytes.Equal(c.Bytes(), d.Bytes()) {
+		t.Fatal("serialization ignores shape")
+	}
+}
+
+func TestRandomBounds(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(2))
+	m := Random(rng, 8, 8, 5)
+	for i := range m.Data {
+		v := m.Data[i]
+		// v must be in {-5..5}: either small positive or r − small.
+		var x ff.Fr
+		ok := false
+		for k := int64(-5); k <= 5; k++ {
+			x.SetInt64(k)
+			if x.Equal(&v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("entry %d out of bounds", i)
+		}
+	}
+}
+
+// TestQuickMulLinearity property: (A + A)·B = 2·(A·B) via field scaling.
+func TestQuickMulLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mrand.New(mrand.NewSource(seed))
+		a := Random(rng, 3, 4, 50)
+		b := Random(rng, 4, 2, 50)
+		ab := Mul(a, b)
+
+		a2 := a.Clone()
+		for i := range a2.Data {
+			a2.Data[i].Add(&a2.Data[i], &a.Data[i])
+		}
+		twice := Mul(a2, b)
+		for i := range ab.Data {
+			var want ff.Fr
+			want.Add(&ab.Data[i], &ab.Data[i])
+			if !twice.Data[i].Equal(&want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMulAssociativity property: (A·B)·C = A·(B·C).
+func TestQuickMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mrand.New(mrand.NewSource(seed))
+		a := Random(rng, 2, 3, 30)
+		b := Random(rng, 3, 4, 30)
+		c := Random(rng, 4, 2, 30)
+		return Mul(Mul(a, b), c).Equal(Mul(a, Mul(b, c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package mle implements dense and sparse multilinear extensions over the
+// Boolean hypercube, the polynomial substrate of the sumcheck-based
+// backends (Spartan and the zkCNN-style interactive matmul protocol).
+//
+// A Dense MLE of k variables stores its 2^k hypercube evaluations indexed
+// by integers whose MOST significant bit is variable 0; Fix binds variable
+// 0 first, which matches the round order of the sumcheck prover.
+package mle
+
+import (
+	"fmt"
+
+	"zkvc/internal/ff"
+)
+
+// Dense is a multilinear polynomial given by its hypercube evaluations.
+type Dense struct {
+	NumVars int
+	Evals   []ff.Fr // length 2^NumVars
+}
+
+// NewDense pads the given evaluations with zeros to the next power of two
+// and wraps them as an MLE.
+func NewDense(evals []ff.Fr) *Dense {
+	k := 0
+	for (1 << k) < len(evals) {
+		k++
+	}
+	padded := make([]ff.Fr, 1<<k)
+	copy(padded, evals)
+	return &Dense{NumVars: k, Evals: padded}
+}
+
+// Clone deep-copies the MLE (Fix mutates in place).
+func (m *Dense) Clone() *Dense {
+	e := make([]ff.Fr, len(m.Evals))
+	copy(e, m.Evals)
+	return &Dense{NumVars: m.NumVars, Evals: e}
+}
+
+// Fix binds variable 0 to r, halving the table:
+// f'(x₁..x_{k−1}) = (1−r)·f(0,x) + r·f(1,x).
+func (m *Dense) Fix(r *ff.Fr) {
+	if m.NumVars == 0 {
+		panic("mle: Fix on 0-variable polynomial")
+	}
+	half := len(m.Evals) / 2
+	for i := 0; i < half; i++ {
+		var diff ff.Fr
+		diff.Sub(&m.Evals[half+i], &m.Evals[i])
+		diff.Mul(&diff, r)
+		m.Evals[i].Add(&m.Evals[i], &diff)
+	}
+	m.Evals = m.Evals[:half]
+	m.NumVars--
+}
+
+// Eval evaluates the MLE at an arbitrary point (len(point) == NumVars)
+// without mutating the receiver.
+func (m *Dense) Eval(point []ff.Fr) ff.Fr {
+	if len(point) != m.NumVars {
+		panic(fmt.Sprintf("mle: point has %d coords, want %d", len(point), m.NumVars))
+	}
+	c := m.Clone()
+	for i := range point {
+		c.Fix(&point[i])
+	}
+	return c.Evals[0]
+}
+
+// Sum returns the sum of all hypercube evaluations.
+func (m *Dense) Sum() ff.Fr {
+	var acc ff.Fr
+	for i := range m.Evals {
+		acc.Add(&acc, &m.Evals[i])
+	}
+	return acc
+}
+
+// EqTable returns the vector eq(r, x) for all x ∈ {0,1}^k, where
+// eq(r,x) = Π_i (r_i·x_i + (1−r_i)(1−x_i)). Variable 0 is the most
+// significant bit of the index, matching Dense.
+func EqTable(r []ff.Fr) []ff.Fr {
+	out := make([]ff.Fr, 1)
+	out[0].SetOne()
+	var one ff.Fr
+	one.SetOne()
+	for i := range r {
+		next := make([]ff.Fr, 2*len(out))
+		var om ff.Fr
+		om.Sub(&one, &r[i])
+		for j := range out {
+			// Variable i becomes the next-lower bit: index = 2j + bit.
+			next[2*j].Mul(&out[j], &om)
+			next[2*j+1].Mul(&out[j], &r[i])
+		}
+		out = next
+	}
+	return out
+}
+
+// EqEval computes eq(a, b) for two points of equal length.
+func EqEval(a, b []ff.Fr) ff.Fr {
+	if len(a) != len(b) {
+		panic("mle: eq points of different lengths")
+	}
+	var acc, one, t, u ff.Fr
+	acc.SetOne()
+	one.SetOne()
+	for i := range a {
+		// a_i·b_i + (1−a_i)(1−b_i)
+		t.Mul(&a[i], &b[i])
+		var na, nb ff.Fr
+		na.Sub(&one, &a[i])
+		nb.Sub(&one, &b[i])
+		u.Mul(&na, &nb)
+		t.Add(&t, &u)
+		acc.Mul(&acc, &t)
+	}
+	return acc
+}
+
+// SparseEntry is one nonzero of a sparse two-index function (matrix).
+type SparseEntry struct {
+	Row, Col int
+	Val      ff.Fr
+}
+
+// Sparse is a matrix viewed as an MLE over (row, col) variable blocks.
+type Sparse struct {
+	RowVars, ColVars int
+	Entries          []SparseEntry
+}
+
+// NewSparse wraps entries for a numRows×numCols function.
+func NewSparse(entries []SparseEntry, numRows, numCols int) *Sparse {
+	rv, cv := 0, 0
+	for (1 << rv) < numRows {
+		rv++
+	}
+	for (1 << cv) < numCols {
+		cv++
+	}
+	return &Sparse{RowVars: rv, ColVars: cv, Entries: entries}
+}
+
+// Eval computes M̃(rx, ry) = Σ entries v·eq(rx,row)·eq(ry,col) in
+// O(2^rowVars + 2^colVars + nnz).
+func (s *Sparse) Eval(rx, ry []ff.Fr) ff.Fr {
+	eqR := EqTable(rx)
+	eqC := EqTable(ry)
+	var acc, t ff.Fr
+	for _, e := range s.Entries {
+		t.Mul(&e.Val, &eqR[e.Row])
+		t.Mul(&t, &eqC[e.Col])
+		acc.Add(&acc, &t)
+	}
+	return acc
+}
+
+// BindRows returns the dense column vector d[col] = Σ_rows eq(rx,row)·M[row,col],
+// i.e. the matrix MLE with the row block bound to rx. O(2^colVars + nnz).
+func (s *Sparse) BindRows(rx []ff.Fr) *Dense {
+	eqR := EqTable(rx)
+	evals := make([]ff.Fr, 1<<s.ColVars)
+	var t ff.Fr
+	for _, e := range s.Entries {
+		t.Mul(&e.Val, &eqR[e.Row])
+		evals[e.Col].Add(&evals[e.Col], &t)
+	}
+	return &Dense{NumVars: s.ColVars, Evals: evals}
+}

@@ -1,0 +1,457 @@
+package nn
+
+import (
+	"math"
+	mrand "math/rand"
+)
+
+// This file is a self-contained float64 training loop for the tiny probe
+// models behind the synthetic accuracy study (synthetic.go). The paper's
+// models are trained on GPUs and only *inferred* under ZKP; likewise here
+// the float probe exists purely to measure what accuracy each token mixer
+// can reach — the quantized integer path in model.go is what the circuits
+// in internal/zkml verify.
+//
+// The probe is a one-block transformer: embed → mixer → mean-pool → head,
+// trained end-to-end with softmax cross-entropy and plain SGD+momentum.
+// Backpropagation through each mixer is written out by hand.
+
+// fmat is a tiny row-major float64 matrix for the training loop.
+type fmat struct {
+	rows, cols int
+	data       []float64
+}
+
+func newFmat(r, c int) *fmat { return &fmat{rows: r, cols: c, data: make([]float64, r*c)} }
+
+func (m *fmat) at(i, j int) float64     { return m.data[i*m.cols+j] }
+func (m *fmat) set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+func (m *fmat) row(i int) []float64     { return m.data[i*m.cols : (i+1)*m.cols] }
+
+func (m *fmat) clone() *fmat {
+	out := newFmat(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+func randFmat(rng *mrand.Rand, r, c int, std float64) *fmat {
+	m := newFmat(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// fmul returns a·b.
+func fmul(a, b *fmat) *fmat {
+	out := newFmat(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.row(i)
+		orow := out.row(i)
+		for k := 0; k < a.cols; k++ {
+			v := arow[k]
+			if v == 0 {
+				continue
+			}
+			brow := b.row(k)
+			for j := range orow {
+				orow[j] += v * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// fmulT returns a·bᵀ.
+func fmulT(a, b *fmat) *fmat {
+	out := newFmat(a.rows, b.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.row(i)
+		for j := 0; j < b.rows; j++ {
+			brow := b.row(j)
+			var s float64
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			out.set(i, j, s)
+		}
+	}
+	return out
+}
+
+// fTmul returns aᵀ·b.
+func fTmul(a, b *fmat) *fmat {
+	out := newFmat(a.cols, b.cols)
+	for k := 0; k < a.rows; k++ {
+		arow := a.row(k)
+		brow := b.row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// softmaxRowsF applies softmax to each row in place and returns m.
+func softmaxRowsF(m *fmat) *fmat {
+	for i := 0; i < m.rows; i++ {
+		row := m.row(i)
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			row[j] = math.Exp(v - maxV)
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return m
+}
+
+// softmaxBackRows computes dX for Y = softmaxRows(X): for each row,
+// dx = y ⊙ (dy − ⟨dy, y⟩).
+func softmaxBackRows(y, dy *fmat) *fmat {
+	dx := newFmat(y.rows, y.cols)
+	for i := 0; i < y.rows; i++ {
+		yr, dyr, dxr := y.row(i), dy.row(i), dx.row(i)
+		var dot float64
+		for j := range yr {
+			dot += yr[j] * dyr[j]
+		}
+		for j := range yr {
+			dxr[j] = yr[j] * (dyr[j] - dot)
+		}
+	}
+	return dx
+}
+
+func transposeF(m *fmat) *fmat {
+	out := newFmat(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.set(j, i, m.at(i, j))
+		}
+	}
+	return out
+}
+
+// probeModel is the trainable one-block model.
+type probeModel struct {
+	kind    MixerKind
+	dim     int
+	classes int
+
+	we *fmat // patchDim × dim
+	wq *fmat // dim × dim (attention mixers)
+	wk *fmat
+	wv *fmat
+	mx *fmat // tokens × tokens (linear mixer)
+	wh *fmat // dim × classes
+	bh []float64
+
+	poolW int // pooling radius
+}
+
+func newProbeModel(kind MixerKind, tokens, patchDim, dim, classes int, rng *mrand.Rand) *probeModel {
+	p := &probeModel{kind: kind, dim: dim, classes: classes, poolW: 2}
+	p.we = randFmat(rng, patchDim, dim, 1/math.Sqrt(float64(patchDim)))
+	p.wh = randFmat(rng, dim, classes, 1/math.Sqrt(float64(dim)))
+	p.bh = make([]float64, classes)
+	std := 1 / math.Sqrt(float64(dim))
+	switch kind {
+	case MixerSoftmax, MixerScaling:
+		p.wq = randFmat(rng, dim, dim, std)
+		p.wk = randFmat(rng, dim, dim, std)
+		p.wv = randFmat(rng, dim, dim, std)
+	case MixerLinear:
+		p.mx = randFmat(rng, tokens, tokens, 1/math.Sqrt(float64(tokens)))
+	}
+	return p
+}
+
+// probeActs caches the forward pass for backprop.
+type probeActs struct {
+	x, e, mixed *fmat
+	pooled      []float64
+	probs       []float64
+
+	// attention caches
+	q, k, v, scores, probsAttn *fmat
+	// scaling caches
+	qs, ks, ctx *fmat
+}
+
+// forward runs the probe on one example (x: tokens × patchDim) and
+// returns class probabilities.
+func (p *probeModel) forward(x *fmat) *probeActs {
+	a := &probeActs{x: x}
+	a.e = fmul(x, p.we)
+
+	switch p.kind {
+	case MixerSoftmax:
+		a.q = fmul(a.e, p.wq)
+		a.k = fmul(a.e, p.wk)
+		a.v = fmul(a.e, p.wv)
+		a.scores = fmulT(a.q, a.k)
+		inv := 1 / math.Sqrt(float64(p.dim))
+		for i := range a.scores.data {
+			a.scores.data[i] *= inv
+		}
+		a.probsAttn = softmaxRowsF(a.scores.clone())
+		a.mixed = fmul(a.probsAttn, a.v)
+	case MixerScaling:
+		a.q = fmul(a.e, p.wq)
+		a.k = fmul(a.e, p.wk)
+		a.v = fmul(a.e, p.wv)
+		a.qs = softmaxRowsF(a.q.clone())                 // feature axis
+		a.ks = transposeF(softmaxRowsF(transposeF(a.k))) // token axis
+		a.ctx = fTmul(a.ks, a.v)                         // dim × dim
+		a.mixed = fmul(a.qs, a.ctx)                      // tokens × dim
+	case MixerPooling:
+		a.mixed = poolF(a.e, p.poolW)
+	case MixerLinear:
+		a.mixed = fmul(p.mx, a.e)
+	}
+
+	a.pooled = make([]float64, a.mixed.cols)
+	for i := 0; i < a.mixed.rows; i++ {
+		row := a.mixed.row(i)
+		for j, v := range row {
+			a.pooled[j] += v
+		}
+	}
+	for j := range a.pooled {
+		a.pooled[j] /= float64(a.mixed.rows)
+	}
+
+	logits := make([]float64, p.classes)
+	for c := 0; c < p.classes; c++ {
+		s := p.bh[c]
+		for j, v := range a.pooled {
+			s += v * p.wh.at(j, c)
+		}
+		logits[c] = s
+	}
+	a.probs = softmaxVec(logits)
+	return a
+}
+
+func softmaxVec(logits []float64) []float64 {
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func poolF(e *fmat, w int) *fmat {
+	out := newFmat(e.rows, e.cols)
+	for i := 0; i < e.rows; i++ {
+		lo, hi := i-w, i+w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > e.rows-1 {
+			hi = e.rows - 1
+		}
+		n := float64(hi - lo + 1)
+		orow := out.row(i)
+		for t := lo; t <= hi; t++ {
+			erow := e.row(t)
+			for j := range orow {
+				orow[j] += erow[j] / n
+			}
+		}
+	}
+	return out
+}
+
+// poolBack is the adjoint of poolF (the pooling matrix is symmetric in
+// structure but not in normalization, so redistribute with 1/n of the
+// *destination* row).
+func poolBack(de *fmat, w int) *fmat {
+	out := newFmat(de.rows, de.cols)
+	for i := 0; i < de.rows; i++ {
+		lo, hi := i-w, i+w
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > de.rows-1 {
+			hi = de.rows - 1
+		}
+		n := float64(hi - lo + 1)
+		drow := de.row(i)
+		for t := lo; t <= hi; t++ {
+			orow := out.row(t)
+			for j := range drow {
+				orow[j] += drow[j] / n
+			}
+		}
+	}
+	return out
+}
+
+// grads mirrors params() ordering.
+type probeGrads struct {
+	we, wq, wk, wv, mx, wh *fmat
+	bh                     []float64
+}
+
+func newProbeGrads(p *probeModel) *probeGrads {
+	g := &probeGrads{
+		we: newFmat(p.we.rows, p.we.cols),
+		wh: newFmat(p.wh.rows, p.wh.cols),
+		bh: make([]float64, p.classes),
+	}
+	if p.wq != nil {
+		g.wq = newFmat(p.wq.rows, p.wq.cols)
+		g.wk = newFmat(p.wk.rows, p.wk.cols)
+		g.wv = newFmat(p.wv.rows, p.wv.cols)
+	}
+	if p.mx != nil {
+		g.mx = newFmat(p.mx.rows, p.mx.cols)
+	}
+	return g
+}
+
+func addInto(dst, src *fmat) {
+	for i := range dst.data {
+		dst.data[i] += src.data[i]
+	}
+}
+
+// backward accumulates gradients of softmax cross-entropy at label y.
+func (p *probeModel) backward(a *probeActs, y int, g *probeGrads) {
+	// dLogits = probs − onehot(y).
+	dlogits := append([]float64(nil), a.probs...)
+	dlogits[y] -= 1
+
+	// Head.
+	dpooled := make([]float64, p.dim)
+	for c := 0; c < p.classes; c++ {
+		g.bh[c] += dlogits[c]
+		for j := 0; j < p.dim; j++ {
+			g.wh.data[j*p.classes+c] += a.pooled[j] * dlogits[c]
+			dpooled[j] += p.wh.at(j, c) * dlogits[c]
+		}
+	}
+
+	// Mean pool.
+	tokens := a.mixed.rows
+	dmixed := newFmat(tokens, p.dim)
+	for i := 0; i < tokens; i++ {
+		row := dmixed.row(i)
+		for j := range row {
+			row[j] = dpooled[j] / float64(tokens)
+		}
+	}
+
+	var de *fmat
+	switch p.kind {
+	case MixerSoftmax:
+		// mixed = P·V, P = softmaxRows(S), S = Q·Kᵀ/√d.
+		dP := fmulT(dmixed, a.v) // tokens × tokens
+		dV := fTmul(a.probsAttn, dmixed)
+		dS := softmaxBackRows(a.probsAttn, dP)
+		inv := 1 / math.Sqrt(float64(p.dim))
+		for i := range dS.data {
+			dS.data[i] *= inv
+		}
+		dQ := fmul(dS, a.k)
+		dK := fTmul(dS, a.q)
+		addInto(g.wq, fTmul(a.e, dQ))
+		addInto(g.wk, fTmul(a.e, dK))
+		addInto(g.wv, fTmul(a.e, dV))
+		de = fmulT(dQ, p.wq)
+		addInto(de, fmulT(dK, p.wk))
+		addInto(de, fmulT(dV, p.wv))
+	case MixerScaling:
+		// mixed = Qs·C, C = Ksᵀ·V.
+		dQs := fmulT(dmixed, a.ctx)
+		dC := fTmul(a.qs, dmixed)
+		dKs := fmulT(a.v, dC) // dKs = V·dCᵀ
+		dV := fmul(a.ks, dC)
+		dQ := softmaxBackRows(a.qs, dQs)
+		// Ks softmax runs down columns: transpose, backprop, transpose.
+		dK := transposeF(softmaxBackRows(transposeF(a.ks), transposeF(dKs)))
+		addInto(g.wq, fTmul(a.e, dQ))
+		addInto(g.wk, fTmul(a.e, dK))
+		addInto(g.wv, fTmul(a.e, dV))
+		de = fmulT(dQ, p.wq)
+		addInto(de, fmulT(dK, p.wk))
+		addInto(de, fmulT(dV, p.wv))
+	case MixerPooling:
+		de = poolBack(dmixed, p.poolW)
+	case MixerLinear:
+		addInto(g.mx, fmulT(dmixed, a.e))
+		de = fTmul(p.mx, dmixed)
+	}
+
+	// Embedding.
+	addInto(g.we, fTmul(a.x, de))
+}
+
+// sgdStep applies momentum SGD to every parameter.
+func (p *probeModel) sgdStep(g *probeGrads, vel *probeGrads, lr, mom float64, batch int) {
+	step := func(w, gr, v *fmat) {
+		if w == nil {
+			return
+		}
+		inv := 1 / float64(batch)
+		for i := range w.data {
+			v.data[i] = mom*v.data[i] + gr.data[i]*inv
+			w.data[i] -= lr * v.data[i]
+			gr.data[i] = 0
+		}
+	}
+	step(p.we, g.we, vel.we)
+	step(p.wq, g.wq, vel.wq)
+	step(p.wk, g.wk, vel.wk)
+	step(p.wv, g.wv, vel.wv)
+	step(p.mx, g.mx, vel.mx)
+	step(p.wh, g.wh, vel.wh)
+	inv := 1 / float64(batch)
+	for c := range p.bh {
+		vel.bh[c] = mom*vel.bh[c] + g.bh[c]*inv
+		p.bh[c] -= lr * vel.bh[c]
+		g.bh[c] = 0
+	}
+}
+
+// toFmat dequantizes a fixed-point tensor for the float probe.
+func toFmat(m interface {
+	Row(int) []int64
+}, rows, cols int, scale float64) *fmat {
+	out := newFmat(rows, cols)
+	for i := 0; i < rows; i++ {
+		src := m.Row(i)
+		dst := out.row(i)
+		for j := range dst {
+			dst[j] = float64(src[j]) / scale
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"math"
+	mrand "math/rand"
+	"testing"
+)
+
+// lossAt evaluates the cross-entropy loss of the probe on one example.
+func lossAt(p *probeModel, x *fmat, y int) float64 {
+	a := p.forward(x)
+	return -math.Log(a.probs[y] + 1e-300)
+}
+
+// TestProbeGradients finite-differences every parameter of every mixer's
+// probe against the hand-written backprop.
+func TestProbeGradients(t *testing.T) {
+	const (
+		tokens, patchDim, dim, classes = 5, 6, 8, 3
+		eps                            = 1e-6
+		tol                            = 1e-4
+	)
+	for _, kind := range []MixerKind{MixerSoftmax, MixerScaling, MixerPooling, MixerLinear} {
+		rng := mrand.New(mrand.NewSource(3 + int64(kind)))
+		p := newProbeModel(kind, tokens, patchDim, dim, classes, rng)
+		x := randFmat(rng, tokens, patchDim, 1)
+		y := 1
+
+		g := newProbeGrads(p)
+		acts := p.forward(x)
+		p.backward(acts, y, g)
+
+		check := func(name string, w, gw *fmat) {
+			if w == nil {
+				return
+			}
+			// Sample a handful of coordinates.
+			for s := 0; s < 6; s++ {
+				i := rng.Intn(len(w.data))
+				orig := w.data[i]
+				w.data[i] = orig + eps
+				lp := lossAt(p, x, y)
+				w.data[i] = orig - eps
+				lm := lossAt(p, x, y)
+				w.data[i] = orig
+				num := (lp - lm) / (2 * eps)
+				ana := gw.data[i]
+				if math.Abs(num-ana) > tol*(1+math.Abs(num)) {
+					t.Errorf("%v %s[%d]: numeric %g vs analytic %g", kind, name, i, num, ana)
+				}
+			}
+		}
+		check("we", p.we, g.we)
+		check("wq", p.wq, g.wq)
+		check("wk", p.wk, g.wk)
+		check("wv", p.wv, g.wv)
+		check("mx", p.mx, g.mx)
+		check("wh", p.wh, g.wh)
+		for c := range p.bh {
+			orig := p.bh[c]
+			p.bh[c] = orig + eps
+			lp := lossAt(p, x, y)
+			p.bh[c] = orig - eps
+			lm := lossAt(p, x, y)
+			p.bh[c] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-g.bh[c]) > tol*(1+math.Abs(num)) {
+				t.Errorf("%v bh[%d]: numeric %g vs analytic %g", kind, c, num, g.bh[c])
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package pcs implements a transparent, hash-based polynomial commitment
+// for multilinear polynomials in the Ligero/Brakedown style: the
+// coefficient (evaluation) vector is arranged as a matrix, rows are
+// Reed–Solomon encoded with the scalar-field NTT, and columns are committed
+// with a SHA-256 Merkle tree. Evaluation openings send two combined rows
+// (a random combination for proximity and the eq-weighted combination for
+// consistency) plus spot-checked columns.
+package pcs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// merkleTree is a binary SHA-256 tree over an arbitrary number of leaves
+// (padded to a power of two with the empty hash).
+type merkleTree struct {
+	layers [][][32]byte // layers[0] = leaf hashes, last = root
+}
+
+func hashLeaf(data []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x00}) // domain separation: leaf
+	h.Write(data)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func hashNode(l, r [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01}) // domain separation: internal
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func newMerkleTree(leaves [][]byte) *merkleTree {
+	n := 1
+	for n < len(leaves) {
+		n <<= 1
+	}
+	layer := make([][32]byte, n)
+	for i := range leaves {
+		layer[i] = hashLeaf(leaves[i])
+	}
+	empty := hashLeaf(nil)
+	for i := len(leaves); i < n; i++ {
+		layer[i] = empty
+	}
+	t := &merkleTree{layers: [][][32]byte{layer}}
+	for len(layer) > 1 {
+		next := make([][32]byte, len(layer)/2)
+		for i := range next {
+			next[i] = hashNode(layer[2*i], layer[2*i+1])
+		}
+		t.layers = append(t.layers, next)
+		layer = next
+	}
+	return t
+}
+
+func (t *merkleTree) root() [32]byte { return t.layers[len(t.layers)-1][0] }
+
+// path returns the sibling hashes from leaf i to the root.
+func (t *merkleTree) path(i int) [][32]byte {
+	var out [][32]byte
+	for lvl := 0; lvl < len(t.layers)-1; lvl++ {
+		out = append(out, t.layers[lvl][i^1])
+		i >>= 1
+	}
+	return out
+}
+
+// verifyPath checks a leaf against a root.
+func verifyPath(root [32]byte, leafData []byte, index int, path [][32]byte) bool {
+	h := hashLeaf(leafData)
+	for _, sib := range path {
+		if index&1 == 0 {
+			h = hashNode(h, sib)
+		} else {
+			h = hashNode(sib, h)
+		}
+		index >>= 1
+	}
+	return bytes.Equal(h[:], root[:])
+}
+
+// leafBytes serializes a column of field elements into a Merkle leaf.
+func leafBytes(col [][32]byte) []byte {
+	out := make([]byte, 0, 8+32*len(col))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(col)))
+	out = append(out, n[:]...)
+	for i := range col {
+		out = append(out, col[i][:]...)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package pcs
+
+import (
+	"errors"
+	"fmt"
+
+	"zkvc/internal/ff"
+	"zkvc/internal/mle"
+	"zkvc/internal/poly"
+	"zkvc/internal/transcript"
+)
+
+// Params configures the code rate and the number of column spot checks.
+// Soundness error is roughly (1 − δ)^Queries for proximity parameter δ
+// determined by the blowup; the defaults target the benchmarking regime
+// (see DESIGN.md for the security discussion).
+type Params struct {
+	Blowup  int // Reed–Solomon expansion factor (≥ 2, power of two)
+	Queries int // number of spot-checked columns
+}
+
+// DefaultParams matches a rate-1/4 code with 33 queries.
+func DefaultParams() Params { return Params{Blowup: 4, Queries: 33} }
+
+// Commitment is the verifier's view of a committed multilinear polynomial.
+type Commitment struct {
+	Root    [32]byte
+	NumVars int
+	Rows    int
+	Cols    int
+}
+
+// ProverState retains everything the prover needs to open the commitment.
+type ProverState struct {
+	params   Params
+	rows     int
+	cols     int
+	numVars  int
+	message  [][]ff.Fr // rows × cols message matrix
+	codeword [][]ff.Fr // rows × (cols·blowup) RS codewords
+	tree     *merkleTree
+	comm     Commitment
+}
+
+// ColumnOpening reveals one codeword column with its Merkle path.
+type ColumnOpening struct {
+	Index  int
+	Values []ff.Fr
+	Path   [][32]byte
+}
+
+// Opening proves one evaluation of the committed polynomial.
+type Opening struct {
+	URand   []ff.Fr // random row combination (proximity)
+	UEq     []ff.Fr // eq-weighted row combination (consistency)
+	Columns []ColumnOpening
+}
+
+// SizeBytes estimates the wire size of the opening.
+func (o *Opening) SizeBytes() int {
+	n := 32 * (len(o.URand) + len(o.UEq))
+	for _, c := range o.Columns {
+		n += 8 + 32*len(c.Values) + 32*len(c.Path)
+	}
+	return n
+}
+
+// Commit arranges the 2^k evaluation vector as a ~square matrix, encodes
+// the rows, and Merkle-commits the codeword columns.
+func Commit(values []ff.Fr, p Params) (*Commitment, *ProverState, error) {
+	if p.Blowup < 2 {
+		return nil, nil, errors.New("pcs: blowup must be at least 2")
+	}
+	k := 0
+	for (1 << k) < len(values) {
+		k++
+	}
+	padded := make([]ff.Fr, 1<<k)
+	copy(padded, values)
+
+	rowVars := k / 2
+	rows := 1 << rowVars
+	cols := 1 << (k - rowVars)
+
+	st := &ProverState{params: p, rows: rows, cols: cols, numVars: k}
+	st.message = make([][]ff.Fr, rows)
+	st.codeword = make([][]ff.Fr, rows)
+	d, err := poly.NewDomain(cols * p.Blowup)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < rows; i++ {
+		st.message[i] = padded[i*cols : (i+1)*cols]
+		cw := make([]ff.Fr, d.N)
+		copy(cw, st.message[i])
+		d.NTT(cw)
+		st.codeword[i] = cw
+	}
+	// Column leaves.
+	leaves := make([][]byte, d.N)
+	colBuf := make([][32]byte, rows)
+	for j := 0; j < d.N; j++ {
+		for i := 0; i < rows; i++ {
+			colBuf[i] = st.codeword[i][j].Bytes()
+		}
+		leaves[j] = leafBytes(colBuf)
+	}
+	st.tree = newMerkleTree(leaves)
+	st.comm = Commitment{Root: st.tree.root(), NumVars: k, Rows: rows, Cols: cols}
+	return &st.comm, st, nil
+}
+
+// Eval evaluates the committed polynomial at a point (prover side).
+func (st *ProverState) Eval(point []ff.Fr) ff.Fr {
+	eqR, eqC := splitEq(point, st.rows, st.cols)
+	var acc, t ff.Fr
+	for i := 0; i < st.rows; i++ {
+		for j := 0; j < st.cols; j++ {
+			t.Mul(&st.message[i][j], &eqR[i])
+			t.Mul(&t, &eqC[j])
+			acc.Add(&acc, &t)
+		}
+	}
+	return acc
+}
+
+// Open produces an evaluation opening at the given point. The transcript
+// must already have absorbed the commitment root (the caller does this so
+// multi-commitment protocols stay well-ordered).
+func (st *ProverState) Open(point []ff.Fr, tr *transcript.Transcript) *Opening {
+	tr.AppendFrs("pcs.point", point)
+	rho := tr.ChallengeFrs("pcs.rho", st.rows)
+	eqR, _ := splitEq(point, st.rows, st.cols)
+
+	combine := func(w []ff.Fr) []ff.Fr {
+		u := make([]ff.Fr, st.cols)
+		var t ff.Fr
+		for i := 0; i < st.rows; i++ {
+			for j := 0; j < st.cols; j++ {
+				t.Mul(&w[i], &st.message[i][j])
+				u[j].Add(&u[j], &t)
+			}
+		}
+		return u
+	}
+	op := &Opening{URand: combine(rho), UEq: combine(eqR)}
+	tr.AppendFrs("pcs.urand", op.URand)
+	tr.AppendFrs("pcs.ueq", op.UEq)
+
+	cwLen := st.cols * st.params.Blowup
+	idxs := tr.ChallengeIndices("pcs.columns", st.params.Queries, cwLen)
+	for _, j := range idxs {
+		col := make([]ff.Fr, st.rows)
+		for i := 0; i < st.rows; i++ {
+			col[i] = st.codeword[i][j]
+		}
+		op.Columns = append(op.Columns, ColumnOpening{Index: j, Values: col, Path: st.tree.path(j)})
+	}
+	return op
+}
+
+// ErrOpening is returned when an opening fails verification.
+var ErrOpening = errors.New("pcs: invalid opening")
+
+// VerifyOpen checks an opening against the commitment and the claimed
+// evaluation. The transcript must mirror the prover's.
+func VerifyOpen(c *Commitment, point []ff.Fr, claim *ff.Fr, op *Opening, p Params, tr *transcript.Transcript) error {
+	if len(point) != c.NumVars {
+		return fmt.Errorf("%w: point has %d coords, want %d", ErrOpening, len(point), c.NumVars)
+	}
+	if len(op.URand) != c.Cols || len(op.UEq) != c.Cols {
+		return fmt.Errorf("%w: combined rows have wrong length", ErrOpening)
+	}
+	tr.AppendFrs("pcs.point", point)
+	rho := tr.ChallengeFrs("pcs.rho", c.Rows)
+	tr.AppendFrs("pcs.urand", op.URand)
+	tr.AppendFrs("pcs.ueq", op.UEq)
+
+	eqR, eqC := splitEq(point, c.Rows, c.Cols)
+
+	// Consistency with the claimed evaluation: ⟨uEq, eqC⟩ == claim.
+	var got, t ff.Fr
+	for j := range op.UEq {
+		t.Mul(&op.UEq[j], &eqC[j])
+		got.Add(&got, &t)
+	}
+	if !got.Equal(claim) {
+		return fmt.Errorf("%w: eq-row does not reproduce the claimed evaluation", ErrOpening)
+	}
+
+	// Encode both combined rows.
+	cwLen := c.Cols * p.Blowup
+	d, err := poly.NewDomain(cwLen)
+	if err != nil {
+		return err
+	}
+	encode := func(u []ff.Fr) []ff.Fr {
+		cw := make([]ff.Fr, d.N)
+		copy(cw, u)
+		d.NTT(cw)
+		return cw
+	}
+	cwRand := encode(op.URand)
+	cwEq := encode(op.UEq)
+
+	idxs := tr.ChallengeIndices("pcs.columns", p.Queries, cwLen)
+	if len(op.Columns) != len(idxs) {
+		return fmt.Errorf("%w: %d columns opened, want %d", ErrOpening, len(op.Columns), len(idxs))
+	}
+	colBuf := make([][32]byte, c.Rows)
+	for qi, j := range idxs {
+		col := op.Columns[qi]
+		if col.Index != j {
+			return fmt.Errorf("%w: column %d opened, challenge was %d", ErrOpening, col.Index, j)
+		}
+		if len(col.Values) != c.Rows {
+			return fmt.Errorf("%w: column height mismatch", ErrOpening)
+		}
+		for i := range col.Values {
+			colBuf[i] = col.Values[i].Bytes()
+		}
+		if !verifyPath(c.Root, leafBytes(colBuf), j, col.Path) {
+			return fmt.Errorf("%w: bad Merkle path for column %d", ErrOpening, j)
+		}
+		// Σ_i ρ_i·col[i] == encode(uRand)[j] and likewise for eq weights.
+		var sRand, sEq ff.Fr
+		for i := range col.Values {
+			t.Mul(&rho[i], &col.Values[i])
+			sRand.Add(&sRand, &t)
+			t.Mul(&eqR[i], &col.Values[i])
+			sEq.Add(&sEq, &t)
+		}
+		if !sRand.Equal(&cwRand[j]) {
+			return fmt.Errorf("%w: proximity check failed at column %d", ErrOpening, j)
+		}
+		if !sEq.Equal(&cwEq[j]) {
+			return fmt.Errorf("%w: consistency check failed at column %d", ErrOpening, j)
+		}
+	}
+	return nil
+}
+
+// splitEq returns the eq tables for the row block (variables 0..log rows)
+// and column block (the rest) of an evaluation point.
+func splitEq(point []ff.Fr, rows, cols int) (eqR, eqC []ff.Fr) {
+	rowVars := 0
+	for (1 << rowVars) < rows {
+		rowVars++
+	}
+	eqR = mle.EqTable(point[:rowVars])
+	eqC = mle.EqTable(point[rowVars:])
+	return eqR, eqC
+}

@@ -1,0 +1,171 @@
+package planner
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"zkvc/internal/nn"
+)
+
+func TestFullBudgetKeepsSoftmax(t *testing.T) {
+	cfg := nn.ViTCIFAR10()
+	plan := Search(cfg, DefaultCostModel(), 1.0)
+	for l, k := range plan.Mixers {
+		if k != nn.MixerSoftmax {
+			t.Errorf("layer %d: got %v with full budget", l, k)
+		}
+	}
+	if plan.Cost > plan.Budget*1.001 {
+		t.Errorf("cost %.0f exceeds budget %.0f", plan.Cost, plan.Budget)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	cfg := nn.ViTCIFAR10()
+	cm := DefaultCostModel()
+	minFrac := MinFeasibleFrac(cfg, cm)
+	if minFrac <= 0 || minFrac >= 1 {
+		t.Fatalf("implausible feasibility floor %.2f", minFrac)
+	}
+	for _, extra := range []float64{0.02, 0.2, 0.5} {
+		frac := minFrac + extra*(1-minFrac)
+		plan := Search(cfg, cm, frac)
+		if plan.Cost > plan.Budget*1.01 { // 1% slack for bin rounding
+			t.Errorf("frac %.2f: cost %.0f exceeds budget %.0f", frac, plan.Cost, plan.Budget)
+		}
+		if len(plan.Mixers) != cfg.TotalBlocks() {
+			t.Errorf("frac %.2f: %d mixers for %d blocks", frac, len(plan.Mixers), cfg.TotalBlocks())
+		}
+	}
+}
+
+func TestInfeasibleBudgetFallsBackToCheapest(t *testing.T) {
+	cfg := nn.ViTCIFAR10()
+	cm := DefaultCostModel()
+	plan := Search(cfg, cm, 0.01)
+	for l, k := range plan.Mixers {
+		if k != nn.MixerPooling {
+			t.Errorf("layer %d: fallback picked %v, want cheapest (pooling)", l, k)
+		}
+	}
+	if plan.Cost <= plan.Budget {
+		t.Error("fallback should report the overshoot")
+	}
+}
+
+func TestUtilityMonotoneInBudget(t *testing.T) {
+	cfg := nn.ViTTinyImageNet()
+	prev := -1.0
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		plan := Search(cfg, DefaultCostModel(), frac)
+		if plan.Utility < prev-1e-9 {
+			t.Errorf("utility decreased at frac %.1f: %.3f < %.3f", frac, plan.Utility, prev)
+		}
+		prev = plan.Utility
+	}
+}
+
+func TestHybridPrefersAttentionInLateLayers(t *testing.T) {
+	// On the hierarchical ImageNet model, early stages have thousands of
+	// tokens (softmax attention quadratic → huge) and late stages have
+	// 49; the paper's hybrid keeps softmax late. The planner must do the
+	// same under a mid budget.
+	cfg := nn.ViTImageNetHier()
+	plan := Search(cfg, DefaultCostModel(), 0.55)
+	total := cfg.TotalBlocks()
+	first, last := plan.Mixers[0], plan.Mixers[total-1]
+	if first == nn.MixerSoftmax {
+		t.Errorf("earliest (3136-token) layer kept SoftMax attention under 0.55 budget")
+	}
+	if last != nn.MixerSoftmax && last != nn.MixerScaling {
+		t.Errorf("final (49-token) layer lost attention entirely: %v", last)
+	}
+	if plan.Speedup() < 1.5 {
+		t.Errorf("hybrid speedup only %.2fx", plan.Speedup())
+	}
+}
+
+func TestCostModelShapes(t *testing.T) {
+	cm := DefaultCostModel()
+	// Softmax attention must be quadratic in tokens, scaling linear-ish:
+	// quadrupling tokens should blow up softmax cost by ~16x on the
+	// token-token terms but scaling cost by ~4x.
+	s1 := cm.Mixer(nn.MixerSoftmax, 64, 64, 4)
+	s4 := cm.Mixer(nn.MixerSoftmax, 256, 64, 4)
+	l1 := cm.Mixer(nn.MixerScaling, 64, 64, 4)
+	l4 := cm.Mixer(nn.MixerScaling, 256, 64, 4)
+	if s4/s1 < 6 {
+		t.Errorf("softmax cost ratio %.1f, want clearly superlinear", s4/s1)
+	}
+	if l4/l1 > 5 {
+		t.Errorf("scaling cost ratio %.1f, want near-linear", l4/l1)
+	}
+	if cm.Mixer(nn.MixerPooling, 64, 64, 4) != 0 {
+		t.Error("pooling should be free")
+	}
+	if cm.Mixer(nn.MixerLinear, 64, 64, 4) != cm.MatMul(64, 64, 64) {
+		t.Error("linear mixer cost should be one t×t×d matmul")
+	}
+}
+
+func TestTraceCostMatchesAnalyticModel(t *testing.T) {
+	// The analytic Block/Model costs must agree with costing an actual
+	// recorded trace (they price the same shapes).
+	cfg := nn.Config{
+		Name:       "cost-check",
+		Stages:     []nn.Stage{{Blocks: 2, Dim: 16, Tokens: 8}},
+		Heads:      2,
+		PatchDim:   12,
+		NumClasses: 3,
+	}
+	base := nn.ViTCIFAR10() // borrow defaults
+	cfg.MLPRatio = base.MLPRatio
+	cfg.Fixed = base.Fixed
+	cfg.ClipT = base.ClipT
+	cfg.SquareIters = base.SquareIters
+	cfg.PoolWindow = base.PoolWindow
+	for _, kind := range []nn.MixerKind{nn.MixerSoftmax, nn.MixerScaling, nn.MixerPooling, nn.MixerLinear} {
+		cfg.Mixers = nn.UniformMixers(2, kind)
+		m, err := nn.NewModel(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace nn.Trace
+		m.Forward(m.RandomInput(randSource()), &trace)
+		cm := DefaultCostModel()
+		got := cm.Trace(&trace)
+		want := cm.Model(cfg)
+		if got != want {
+			t.Errorf("%v: trace cost %.0f != analytic cost %.0f", kind, got, want)
+		}
+	}
+}
+
+func TestPaperHybridIsMixed(t *testing.T) {
+	ms := PaperHybrid(nn.ViTCIFAR10())
+	seen := map[nn.MixerKind]bool{}
+	for _, k := range ms {
+		seen[k] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("paper hybrid degenerated to a single mixer: %v", ms)
+	}
+}
+
+func TestCandidatesShape(t *testing.T) {
+	cfg := nn.BERTGLUE()
+	cands := Candidates(cfg, DefaultCostModel())
+	if len(cands) != cfg.TotalBlocks() {
+		t.Fatalf("%d candidate rows for %d blocks", len(cands), cfg.TotalBlocks())
+	}
+	for l, opts := range cands {
+		if len(opts) != 4 {
+			t.Errorf("layer %d: %d options", l, len(opts))
+		}
+		if opts[0].Kind != nn.MixerSoftmax {
+			t.Errorf("layer %d: first option %v, want softmax", l, opts[0].Kind)
+		}
+	}
+}
+
+func randSource() *mrand.Rand { return mrand.New(mrand.NewSource(4)) }

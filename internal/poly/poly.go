@@ -1,0 +1,288 @@
+// Package poly provides dense polynomial arithmetic over the BN254 scalar
+// field, including radix-2 NTT evaluation domains used for QAP division and
+// Reed–Solomon encoding.
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"zkvc/internal/ff"
+)
+
+// MaxTwoAdicity is the 2-adicity of r−1 for BN254 (r−1 = 2^28·odd).
+const MaxTwoAdicity = 28
+
+// Domain is a multiplicative subgroup of Fr* of power-of-two order together
+// with the constants needed for (coset) NTTs over it.
+type Domain struct {
+	N        int
+	Log2N    int
+	Omega    ff.Fr // primitive N-th root of unity
+	OmegaInv ff.Fr
+	NInv     ff.Fr
+	Coset    ff.Fr // multiplicative generator used as coset shift
+	CosetInv ff.Fr
+
+	roots    [][]ff.Fr // roots[s] = powers of the 2^s-th root, length 2^(s-1)
+	rootsInv [][]ff.Fr
+}
+
+// NewDomain returns the smallest power-of-two domain with at least minSize
+// elements.
+func NewDomain(minSize int) (*Domain, error) {
+	if minSize < 1 {
+		return nil, fmt.Errorf("poly: domain size %d < 1", minSize)
+	}
+	n := 1
+	log2n := 0
+	for n < minSize {
+		n <<= 1
+		log2n++
+	}
+	if log2n > MaxTwoAdicity {
+		return nil, fmt.Errorf("poly: domain size 2^%d exceeds field 2-adicity 2^%d", log2n, MaxTwoAdicity)
+	}
+	d := &Domain{N: n, Log2N: log2n}
+
+	// ω = g^((r−1)/n) where g = 5 generates Fr*.
+	rMinus1 := new(big.Int).Sub(ff.RModulus(), big.NewInt(1))
+	exp := new(big.Int).Rsh(rMinus1, uint(log2n))
+	var g ff.Fr
+	g.SetUint64(5)
+	d.Omega.Exp(&g, exp)
+	d.OmegaInv.Inverse(&d.Omega)
+	var nFr ff.Fr
+	nFr.SetUint64(uint64(n))
+	d.NInv.Inverse(&nFr)
+	d.Coset.SetUint64(5)
+	d.CosetInv.Inverse(&d.Coset)
+
+	d.roots = precomputeRoots(&d.Omega, log2n)
+	d.rootsInv = precomputeRoots(&d.OmegaInv, log2n)
+	return d, nil
+}
+
+// precomputeRoots builds per-level twiddle tables for an NTT of 2^log2n
+// points: level s uses the primitive 2^s-th root ω^(n/2^s).
+func precomputeRoots(omega *ff.Fr, log2n int) [][]ff.Fr {
+	tables := make([][]ff.Fr, log2n+1)
+	// w_s = omega^(2^(log2n - s)) is a primitive 2^s-th root.
+	for s := 1; s <= log2n; s++ {
+		var ws ff.Fr
+		ws.Set(omega)
+		for k := 0; k < log2n-s; k++ {
+			ws.Mul(&ws, &ws)
+		}
+		half := 1 << (s - 1)
+		row := make([]ff.Fr, half)
+		row[0].SetOne()
+		for j := 1; j < half; j++ {
+			row[j].Mul(&row[j-1], &ws)
+		}
+		tables[s] = row
+	}
+	return tables
+}
+
+// NTT evaluates the coefficient vector a (in place) on the domain:
+// a[k] ← Σ_j a[j]·ω^{jk}. len(a) must equal d.N.
+func (d *Domain) NTT(a []ff.Fr) {
+	d.transform(a, d.roots)
+}
+
+// INTT interpolates evaluations back to coefficients in place.
+func (d *Domain) INTT(a []ff.Fr) {
+	d.transform(a, d.rootsInv)
+	for i := range a {
+		a[i].Mul(&a[i], &d.NInv)
+	}
+}
+
+func (d *Domain) transform(a []ff.Fr, roots [][]ff.Fr) {
+	n := d.N
+	if len(a) != n {
+		panic(fmt.Sprintf("poly: NTT input length %d != domain size %d", len(a), n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(d.Log2N)
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for s := 1; s <= d.Log2N; s++ {
+		size := 1 << s
+		half := size >> 1
+		tw := roots[s]
+		for start := 0; start < n; start += size {
+			for j := 0; j < half; j++ {
+				var t, u ff.Fr
+				t.Mul(&tw[j], &a[start+half+j])
+				u.Set(&a[start+j])
+				a[start+j].Add(&u, &t)
+				a[start+half+j].Sub(&u, &t)
+			}
+		}
+	}
+}
+
+// CosetNTT evaluates the coefficients on the coset g·H.
+func (d *Domain) CosetNTT(a []ff.Fr) {
+	mulByPowers(a, &d.Coset)
+	d.NTT(a)
+}
+
+// CosetINTT interpolates evaluations on the coset g·H back to coefficients.
+func (d *Domain) CosetINTT(a []ff.Fr) {
+	d.INTT(a)
+	mulByPowers(a, &d.CosetInv)
+}
+
+// mulByPowers scales a[i] by s^i.
+func mulByPowers(a []ff.Fr, s *ff.Fr) {
+	var acc ff.Fr
+	acc.SetOne()
+	for i := range a {
+		a[i].Mul(&a[i], &acc)
+		acc.Mul(&acc, s)
+	}
+}
+
+// VanishingAtCoset returns Z_H(g·x) for x ∈ H, which is the constant
+// g^N − 1 (the whole coset shares one value).
+func (d *Domain) VanishingAtCoset() ff.Fr {
+	var z ff.Fr
+	z.Exp(&d.Coset, big.NewInt(int64(d.N)))
+	var one ff.Fr
+	one.SetOne()
+	z.Sub(&z, &one)
+	return z
+}
+
+// VanishingAt returns Z_H(x) = x^N − 1 at an arbitrary point.
+func (d *Domain) VanishingAt(x *ff.Fr) ff.Fr {
+	var z, one ff.Fr
+	z.Exp(x, big.NewInt(int64(d.N)))
+	one.SetOne()
+	z.Sub(&z, &one)
+	return z
+}
+
+// LagrangeAt returns all N Lagrange basis polynomials evaluated at the
+// point tau: L_q(τ) = (Z_H(τ)·ω^q) / (N·(τ − ω^q)). Uses one batch
+// inversion. If τ happens to be in H, the indicator vector is returned.
+func (d *Domain) LagrangeAt(tau *ff.Fr) []ff.Fr {
+	out := make([]ff.Fr, d.N)
+	z := d.VanishingAt(tau)
+	if z.IsZero() {
+		// τ = ω^q for some q: L_q = 1, rest 0.
+		var wq ff.Fr
+		wq.SetOne()
+		for q := 0; q < d.N; q++ {
+			if wq.Equal(tau) {
+				out[q].SetOne()
+			}
+			wq.Mul(&wq, &d.Omega)
+		}
+		return out
+	}
+	// denominators N·(τ − ω^q)
+	den := make([]ff.Fr, d.N)
+	var wq, nFr ff.Fr
+	wq.SetOne()
+	nFr.SetUint64(uint64(d.N))
+	for q := 0; q < d.N; q++ {
+		den[q].Sub(tau, &wq)
+		den[q].Mul(&den[q], &nFr)
+		wq.Mul(&wq, &d.Omega)
+	}
+	BatchInverse(den)
+	wq.SetOne()
+	for q := 0; q < d.N; q++ {
+		out[q].Mul(&z, &wq)
+		out[q].Mul(&out[q], &den[q])
+		wq.Mul(&wq, &d.Omega)
+	}
+	return out
+}
+
+// BatchInverse inverts every element of a in place with a single field
+// inversion (zero entries stay zero).
+func BatchInverse(a []ff.Fr) {
+	prefix := make([]ff.Fr, len(a))
+	var acc ff.Fr
+	acc.SetOne()
+	for i := range a {
+		prefix[i].Set(&acc)
+		if !a[i].IsZero() {
+			acc.Mul(&acc, &a[i])
+		}
+	}
+	var accInv ff.Fr
+	accInv.Inverse(&acc)
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i].IsZero() {
+			continue
+		}
+		var inv ff.Fr
+		inv.Mul(&accInv, &prefix[i])
+		accInv.Mul(&accInv, &a[i])
+		a[i].Set(&inv)
+	}
+}
+
+// EvalPoly evaluates a coefficient vector at x (Horner).
+func EvalPoly(coeffs []ff.Fr, x *ff.Fr) ff.Fr {
+	var acc ff.Fr
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc.Mul(&acc, x)
+		acc.Add(&acc, &coeffs[i])
+	}
+	return acc
+}
+
+// MulNaive multiplies two coefficient vectors in O(n²); used for testing
+// the NTT path and for tiny polynomials.
+func MulNaive(a, b []ff.Fr) []ff.Fr {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]ff.Fr, len(a)+len(b)-1)
+	for i := range a {
+		if a[i].IsZero() {
+			continue
+		}
+		for j := range b {
+			var t ff.Fr
+			t.Mul(&a[i], &b[j])
+			out[i+j].Add(&out[i+j], &t)
+		}
+	}
+	return out
+}
+
+// Mul multiplies two coefficient vectors via NTT.
+func Mul(a, b []ff.Fr) ([]ff.Fr, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, nil
+	}
+	outLen := len(a) + len(b) - 1
+	d, err := NewDomain(outLen)
+	if err != nil {
+		return nil, err
+	}
+	fa := make([]ff.Fr, d.N)
+	fb := make([]ff.Fr, d.N)
+	copy(fa, a)
+	copy(fb, b)
+	d.NTT(fa)
+	d.NTT(fb)
+	for i := range fa {
+		fa[i].Mul(&fa[i], &fb[i])
+	}
+	d.INTT(fa)
+	return fa[:outLen], nil
+}

@@ -1,0 +1,171 @@
+// Package qap reduces an R1CS instance to a Quadratic Arithmetic Program
+// over a radix-2 evaluation domain: each variable i gets polynomials
+// u_i, v_i, w_i with u_i(ω^q) = A_{q,i} etc., and the satisfiability
+// condition becomes Z_H(X) | (Σ z_i·u_i)(Σ z_i·v_i) − Σ z_i·w_i.
+package qap
+
+import (
+	"fmt"
+
+	"zkvc/internal/ff"
+	"zkvc/internal/poly"
+	"zkvc/internal/r1cs"
+)
+
+// Domain returns the evaluation domain sized for the system's constraints.
+func Domain(sys *r1cs.System) (*poly.Domain, error) {
+	n := sys.NumConstraints()
+	if n == 0 {
+		n = 1
+	}
+	return poly.NewDomain(n)
+}
+
+// EvalAtTau evaluates the QAP variable polynomials at a point τ:
+// u[i] = u_i(τ), v[i] = v_i(τ), w[i] = w_i(τ). Cost is O(nnz + N).
+func EvalAtTau(sys *r1cs.System, d *poly.Domain, tau *ff.Fr) (u, v, w []ff.Fr) {
+	lag := d.LagrangeAt(tau)
+	u = make([]ff.Fr, sys.NumVars)
+	v = make([]ff.Fr, sys.NumVars)
+	w = make([]ff.Fr, sys.NumVars)
+	var t ff.Fr
+	for q := range sys.Constraints {
+		c := &sys.Constraints[q]
+		for _, term := range c.A {
+			t.Mul(&term.Coeff, &lag[q])
+			u[term.V].Add(&u[term.V], &t)
+		}
+		for _, term := range c.B {
+			t.Mul(&term.Coeff, &lag[q])
+			v[term.V].Add(&v[term.V], &t)
+		}
+		for _, term := range c.C {
+			t.Mul(&term.Coeff, &lag[q])
+			w[term.V].Add(&w[term.V], &t)
+		}
+	}
+	return u, v, w
+}
+
+// ABCEvals computes the per-constraint inner products
+// a_q = ⟨A_q, z⟩, b_q = ⟨B_q, z⟩, c_q = ⟨C_q, z⟩ padded to the domain size.
+func ABCEvals(sys *r1cs.System, z []ff.Fr, d *poly.Domain) (a, b, c []ff.Fr) {
+	a = make([]ff.Fr, d.N)
+	b = make([]ff.Fr, d.N)
+	c = make([]ff.Fr, d.N)
+	for q := range sys.Constraints {
+		a[q] = r1cs.EvalLC(sys.Constraints[q].A, z)
+		b[q] = r1cs.EvalLC(sys.Constraints[q].B, z)
+		c[q] = r1cs.EvalLC(sys.Constraints[q].C, z)
+	}
+	return a, b, c
+}
+
+// HCoefficients computes the quotient h(X) = (A(X)·B(X) − C(X)) / Z_H(X)
+// on a coset (degree ≤ N−2, returned with N coefficients, the top one
+// zero). Returns an error when the assignment does not satisfy the system
+// (the division would not be exact).
+func HCoefficients(sys *r1cs.System, z []ff.Fr, d *poly.Domain) ([]ff.Fr, error) {
+	a, b, c := ABCEvals(sys, z, d)
+	// To coefficients.
+	d.INTT(a)
+	d.INTT(b)
+	d.INTT(c)
+	// To the coset.
+	d.CosetNTT(a)
+	d.CosetNTT(b)
+	d.CosetNTT(c)
+	// h on the coset = (a·b − c)/Z_H, with Z_H constant on the coset.
+	zInv := d.VanishingAtCoset()
+	zInv.Inverse(&zInv)
+	h := make([]ff.Fr, d.N)
+	for i := range h {
+		var t ff.Fr
+		t.Mul(&a[i], &b[i])
+		t.Sub(&t, &c[i])
+		h[i].Mul(&t, &zInv)
+	}
+	d.CosetINTT(h)
+	// Exact division means h has degree ≤ N−2.
+	if !h[d.N-1].IsZero() {
+		return nil, fmt.Errorf("qap: assignment does not satisfy the system (non-exact division)")
+	}
+	return h, nil
+}
+
+// HCoefficientsNaive computes the same quotient h(X) by schoolbook
+// Lagrange interpolation and O(N²) polynomial arithmetic. It exists as
+// the correctness oracle and cost comparator for the NTT path
+// (BenchmarkQAPDivision ablates the two; TestHNaiveMatchesNTT pins
+// equality).
+func HCoefficientsNaive(sys *r1cs.System, z []ff.Fr, d *poly.Domain) ([]ff.Fr, error) {
+	aEv, bEv, cEv := ABCEvals(sys, z, d)
+	a := interpolateNaive(aEv, d)
+	b := interpolateNaive(bEv, d)
+	c := interpolateNaive(cEv, d)
+
+	// ab = a·b − c, schoolbook convolution.
+	ab := make([]ff.Fr, 2*d.N-1)
+	var t ff.Fr
+	for i := range a {
+		if a[i].IsZero() {
+			continue
+		}
+		for j := range b {
+			t.Mul(&a[i], &b[j])
+			ab[i+j].Add(&ab[i+j], &t)
+		}
+	}
+	for i := range c {
+		ab[i].Sub(&ab[i], &c[i])
+	}
+
+	// Exact synthetic division by Z_H(X) = X^N − 1:
+	// quotient[k] = ab[k+N] + quotient[k+N] (top-down).
+	n := d.N
+	h := make([]ff.Fr, n)
+	for k := len(ab) - n - 1; k >= 0; k-- {
+		h[k] = ab[k+n]
+		if k+n < len(h) {
+			h[k].Add(&h[k], &h[k+n])
+		}
+	}
+	// Remainder check: r[k] = ab[k] + h[k] must vanish for exactness.
+	for k := 0; k < n; k++ {
+		var r ff.Fr
+		r.Add(&ab[k], &h[k])
+		if !r.IsZero() {
+			return nil, fmt.Errorf("qap: assignment does not satisfy the system (naive division remainder)")
+		}
+	}
+	return h, nil
+}
+
+// interpolateNaive recovers coefficients from evaluations on the domain
+// with one O(N²) Lagrange pass per point (reference implementation).
+func interpolateNaive(evals []ff.Fr, d *poly.Domain) []ff.Fr {
+	// The inverse DFT as a matrix product: coeff[j] = (1/N)·Σ_q
+	// evals[q]·ω^{−jq}.
+	n := d.N
+	out := make([]ff.Fr, n)
+	var nInv ff.Fr
+	nInv.SetInt64(int64(n))
+	nInv.Inverse(&nInv)
+	omegaInv := d.OmegaInv
+	// powers[q] = ω^{−q}
+	powers := make([]ff.Fr, n)
+	powers[0].SetOne()
+	for q := 1; q < n; q++ {
+		powers[q].Mul(&powers[q-1], &omegaInv)
+	}
+	var t ff.Fr
+	for j := 0; j < n; j++ {
+		var acc ff.Fr
+		for q := 0; q < n; q++ {
+			t.Mul(&evals[q], &powers[(j*q)%n])
+			acc.Add(&acc, &t)
+		}
+		out[j].Mul(&acc, &nInv)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package qap
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"zkvc/internal/ff"
+	"zkvc/internal/poly"
+	"zkvc/internal/r1cs"
+)
+
+func fr(v int64) ff.Fr {
+	var x ff.Fr
+	x.SetInt64(v)
+	return x
+}
+
+func chainCircuit(n int) (*r1cs.System, []ff.Fr) {
+	b := r1cs.NewBuilder()
+	cur := r1cs.OneLC()
+	for i := 1; i <= n; i++ {
+		v := b.Secret(fr(int64(i)))
+		out := b.Mul(cur, r1cs.VarLC(v))
+		cur = r1cs.VarLC(out)
+	}
+	return b.Finish()
+}
+
+func TestQAPIdentityAtRandomPoint(t *testing.T) {
+	// (Σ z_i·u_i(τ))(Σ z_i·v_i(τ)) − Σ z_i·w_i(τ) must equal h(τ)·Z(τ).
+	rng := mrand.New(mrand.NewSource(200))
+	sys, z := chainCircuit(9)
+	d, err := Domain(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tau ff.Fr
+	tau.SetPseudoRandom(rng)
+	u, v, w := EvalAtTau(sys, d, &tau)
+	var a, b, c, term ff.Fr
+	for i := range z {
+		term.Mul(&z[i], &u[i])
+		a.Add(&a, &term)
+		term.Mul(&z[i], &v[i])
+		b.Add(&b, &term)
+		term.Mul(&z[i], &w[i])
+		c.Add(&c, &term)
+	}
+	var lhs ff.Fr
+	lhs.Mul(&a, &b)
+	lhs.Sub(&lhs, &c)
+
+	h, err := HCoefficients(sys, z, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hTau := poly.EvalPoly(h, &tau)
+	zTau := d.VanishingAt(&tau)
+	var rhs ff.Fr
+	rhs.Mul(&hTau, &zTau)
+	if !lhs.Equal(&rhs) {
+		t.Fatal("QAP divisibility identity violated")
+	}
+}
+
+func TestHCoefficientsRejectsBadWitness(t *testing.T) {
+	sys, z := chainCircuit(9)
+	d, err := Domain(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z[2] = fr(999)
+	if _, err := HCoefficients(sys, z, d); err == nil {
+		t.Fatal("non-satisfying witness produced an exact quotient")
+	}
+}
+
+func TestABCEvalsPadding(t *testing.T) {
+	sys, z := chainCircuit(3) // 3 constraints → domain size 4
+	d, _ := Domain(sys)
+	a, b, c := ABCEvals(sys, z, d)
+	if len(a) != d.N || len(b) != d.N || len(c) != d.N {
+		t.Fatal("ABC evals not padded to domain")
+	}
+	if !a[3].IsZero() || !b[3].IsZero() || !c[3].IsZero() {
+		t.Fatal("padding rows must be zero")
+	}
+}
+
+func TestEvalAtTauIndicator(t *testing.T) {
+	// At τ = ω^q, u_i(τ) must equal the A-matrix entry A_{q,i}.
+	sys, z := chainCircuit(4)
+	d, _ := Domain(sys)
+	tau := d.Omega // q = 1
+	u, v, w := EvalAtTau(sys, d, &tau)
+	q := 1
+	cons := sys.Constraints[q]
+	za := r1cs.EvalLC(cons.A, z)
+	var got ff.Fr
+	for i := range z {
+		var t1 ff.Fr
+		t1.Mul(&z[i], &u[i])
+		got.Add(&got, &t1)
+	}
+	if !got.Equal(&za) {
+		t.Fatal("u_i(ω^q) does not reproduce A-row inner product")
+	}
+	_ = v
+	_ = w
+}
+
+// TestHNaiveMatchesNTT pins the O(N²) reference division to the NTT
+// fast path on a satisfied system.
+func TestHNaiveMatchesNTT(t *testing.T) {
+	sys, z := chainCircuit(9)
+	d, err := Domain(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := HCoefficients(sys, z, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := HCoefficientsNaive(sys, z, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(naive) {
+		t.Fatalf("length %d vs %d", len(fast), len(naive))
+	}
+	for i := range fast {
+		if !fast[i].Equal(&naive[i]) {
+			t.Fatalf("h[%d] differs: NTT %v vs naive %v", i, fast[i], naive[i])
+		}
+	}
+}
+
+// TestHNaiveRejectsBadAssignment mirrors the fast path's soundness check.
+func TestHNaiveRejectsBadAssignment(t *testing.T) {
+	sys, z := chainCircuit(9)
+	d, err := Domain(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]ff.Fr(nil), z...)
+	bad[len(bad)-1].Add(&bad[len(bad)-1], &bad[0]) // corrupt one wire
+	if _, err := HCoefficientsNaive(sys, bad, d); err == nil {
+		t.Fatal("naive division accepted an unsatisfied assignment")
+	}
+}
+
+// BenchmarkQAPDivision ablates the NTT coset division against the
+// schoolbook O(N²) path (DESIGN.md ablation 3).
+func BenchmarkQAPDivision(b *testing.B) {
+	sys, z := chainCircuit(512)
+	d, err := Domain(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ntt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := HCoefficients(sys, z, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := HCoefficientsNaive(sys, z, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

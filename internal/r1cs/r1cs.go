@@ -1,0 +1,276 @@
+// Package r1cs provides a rank-1 constraint system and a concrete-synthesis
+// circuit builder: variables are allocated with their witness values, so a
+// finished builder yields both the constraint system and a satisfying
+// assignment. Constraints have the form ⟨A,z⟩·⟨B,z⟩ = ⟨C,z⟩ where z is the
+// assignment vector and z[0] is the constant 1.
+package r1cs
+
+import (
+	"fmt"
+
+	"zkvc/internal/ff"
+)
+
+// Var identifies a wire. Var 0 is the constant-1 wire. Public-input wires
+// occupy indices 1..NumPublic−1; everything after is private.
+type Var int
+
+// Term is a coefficient–variable product inside a linear combination.
+type Term struct {
+	Coeff ff.Fr
+	V     Var
+}
+
+// LC is a linear combination Σ coeff_i·z[v_i].
+type LC []Term
+
+// Constraint asserts ⟨A,z⟩ · ⟨B,z⟩ = ⟨C,z⟩.
+type Constraint struct {
+	A, B, C LC
+}
+
+// System is an immutable R1CS instance.
+type System struct {
+	NumPublic   int // number of instance wires including the constant 1
+	NumVars     int // total wires
+	Constraints []Constraint
+}
+
+// EvalLC computes ⟨lc, z⟩.
+func EvalLC(lc LC, z []ff.Fr) ff.Fr {
+	var acc, t ff.Fr
+	for _, term := range lc {
+		t.Mul(&term.Coeff, &z[term.V])
+		acc.Add(&acc, &t)
+	}
+	return acc
+}
+
+// Satisfied checks every constraint against the assignment z and returns a
+// descriptive error for the first violated one.
+func (s *System) Satisfied(z []ff.Fr) error {
+	if len(z) != s.NumVars {
+		return fmt.Errorf("r1cs: assignment length %d != %d vars", len(z), s.NumVars)
+	}
+	for q := range s.Constraints {
+		c := &s.Constraints[q]
+		a := EvalLC(c.A, z)
+		b := EvalLC(c.B, z)
+		cc := EvalLC(c.C, z)
+		var ab ff.Fr
+		ab.Mul(&a, &b)
+		if !ab.Equal(&cc) {
+			return fmt.Errorf("r1cs: constraint %d violated: %v * %v != %v", q, &a, &b, &cc)
+		}
+	}
+	return nil
+}
+
+// NumConstraints returns the constraint count.
+func (s *System) NumConstraints() int { return len(s.Constraints) }
+
+// Stats summarizes circuit complexity: constraints, variables, and the
+// total number of LC terms on the A ("left wires"), B and C sides. The
+// A-side term count is the "left wire" metric that PSQ optimizes.
+type Stats struct {
+	Constraints int
+	Variables   int
+	Public      int
+	ATerms      int
+	BTerms      int
+	CTerms      int
+}
+
+// Stats computes complexity statistics for the system.
+func (s *System) Stats() Stats {
+	st := Stats{
+		Constraints: len(s.Constraints),
+		Variables:   s.NumVars,
+		Public:      s.NumPublic,
+	}
+	for q := range s.Constraints {
+		st.ATerms += len(s.Constraints[q].A)
+		st.BTerms += len(s.Constraints[q].B)
+		st.CTerms += len(s.Constraints[q].C)
+	}
+	return st
+}
+
+// Builder incrementally constructs a System together with a satisfying
+// assignment. All public inputs must be allocated before the first private
+// wire (a Groth16 requirement on variable ordering).
+type Builder struct {
+	numPublic   int
+	constraints []Constraint
+	assignment  []ff.Fr
+	sealed      bool // set once the first private wire is allocated
+}
+
+// NewBuilder returns a builder holding only the constant-1 wire.
+func NewBuilder() *Builder {
+	b := &Builder{numPublic: 1}
+	var one ff.Fr
+	one.SetOne()
+	b.assignment = append(b.assignment, one)
+	return b
+}
+
+// One returns the constant-1 wire.
+func (b *Builder) One() Var { return 0 }
+
+// PublicInput allocates an instance wire with the given value.
+func (b *Builder) PublicInput(v ff.Fr) Var {
+	if b.sealed {
+		panic("r1cs: public inputs must be allocated before private wires")
+	}
+	b.assignment = append(b.assignment, v)
+	b.numPublic++
+	return Var(len(b.assignment) - 1)
+}
+
+// Secret allocates a private (witness) wire with the given value.
+func (b *Builder) Secret(v ff.Fr) Var {
+	b.sealed = true
+	b.assignment = append(b.assignment, v)
+	return Var(len(b.assignment) - 1)
+}
+
+// Value returns the assigned value of a wire.
+func (b *Builder) Value(v Var) ff.Fr { return b.assignment[v] }
+
+// Eval computes the value of a linear combination under the current
+// assignment.
+func (b *Builder) Eval(lc LC) ff.Fr { return EvalLC(lc, b.assignment) }
+
+// AddConstraint appends a raw constraint; the caller is responsible for it
+// being satisfied (checked by Finish in tests via Satisfied).
+func (b *Builder) AddConstraint(a, bb, c LC) {
+	b.constraints = append(b.constraints, Constraint{A: a, B: bb, C: c})
+}
+
+// Mul allocates the product wire of two linear combinations and constrains
+// it: one multiplication constraint.
+func (b *Builder) Mul(x, y LC) Var {
+	vx := b.Eval(x)
+	vy := b.Eval(y)
+	var prod ff.Fr
+	prod.Mul(&vx, &vy)
+	out := b.Secret(prod)
+	b.AddConstraint(x, y, VarLC(out))
+	return out
+}
+
+// Div allocates q with q·y = x. Division by an assigned zero panics: that
+// is a malformed witness, a programmer error at synthesis time.
+func (b *Builder) Div(x, y LC) Var {
+	vx := b.Eval(x)
+	vy := b.Eval(y)
+	if vy.IsZero() {
+		panic("r1cs: division by zero during synthesis")
+	}
+	var inv, q ff.Fr
+	inv.Inverse(&vy)
+	q.Mul(&vx, &inv)
+	out := b.Secret(q)
+	b.AddConstraint(VarLC(out), y, x)
+	return out
+}
+
+// AssertMul adds x·y = z without allocating.
+func (b *Builder) AssertMul(x, y, z LC) { b.AddConstraint(x, y, z) }
+
+// AssertEqual adds x = y (as x·1 = y).
+func (b *Builder) AssertEqual(x, y LC) { b.AddConstraint(x, OneLC(), y) }
+
+// AssertZero adds x = 0.
+func (b *Builder) AssertZero(x LC) { b.AddConstraint(x, OneLC(), LC{}) }
+
+// AssertBool adds x·(x−1) = 0.
+func (b *Builder) AssertBool(x LC) {
+	var one ff.Fr
+	one.SetOne()
+	xm1 := SubLC(x, ConstLC(one))
+	b.AddConstraint(x, xm1, LC{})
+}
+
+// Finish freezes the builder into a System plus full assignment.
+func (b *Builder) Finish() (*System, []ff.Fr) {
+	sys := &System{
+		NumPublic:   b.numPublic,
+		NumVars:     len(b.assignment),
+		Constraints: b.constraints,
+	}
+	z := make([]ff.Fr, len(b.assignment))
+	copy(z, b.assignment)
+	return sys, z
+}
+
+// PublicWitness returns the instance part of the assignment (including the
+// leading constant 1).
+func (b *Builder) PublicWitness() []ff.Fr {
+	out := make([]ff.Fr, b.numPublic)
+	copy(out, b.assignment[:b.numPublic])
+	return out
+}
+
+// VarLC wraps a single wire as a linear combination.
+func VarLC(v Var) LC {
+	var one ff.Fr
+	one.SetOne()
+	return LC{{Coeff: one, V: v}}
+}
+
+// OneLC is the constant-1 linear combination.
+func OneLC() LC { return VarLC(0) }
+
+// ConstLC is the constant-c linear combination.
+func ConstLC(c ff.Fr) LC { return LC{{Coeff: c, V: 0}} }
+
+// ScaleLC returns c·lc as a fresh linear combination.
+func ScaleLC(lc LC, c *ff.Fr) LC {
+	out := make(LC, 0, len(lc))
+	for _, t := range lc {
+		var nc ff.Fr
+		nc.Mul(&t.Coeff, c)
+		if nc.IsZero() {
+			continue
+		}
+		out = append(out, Term{Coeff: nc, V: t.V})
+	}
+	return out
+}
+
+// AddLC returns a + b, merging duplicate variables.
+func AddLC(a, b LC) LC {
+	merged := make(map[Var]ff.Fr, len(a)+len(b))
+	order := make([]Var, 0, len(a)+len(b))
+	accum := func(lc LC) {
+		for _, t := range lc {
+			cur, ok := merged[t.V]
+			if !ok {
+				order = append(order, t.V)
+			}
+			cur.Add(&cur, &t.Coeff)
+			merged[t.V] = cur
+		}
+	}
+	accum(a)
+	accum(b)
+	out := make(LC, 0, len(order))
+	for _, v := range order {
+		c := merged[v]
+		if c.IsZero() {
+			continue
+		}
+		out = append(out, Term{Coeff: c, V: v})
+	}
+	return out
+}
+
+// SubLC returns a − b.
+func SubLC(a, b LC) LC {
+	var minusOne ff.Fr
+	minusOne.SetOne()
+	minusOne.Neg(&minusOne)
+	return AddLC(a, ScaleLC(b, &minusOne))
+}

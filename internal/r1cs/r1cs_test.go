@@ -1,0 +1,162 @@
+package r1cs
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"zkvc/internal/ff"
+)
+
+func fr(v int64) ff.Fr {
+	var x ff.Fr
+	x.SetInt64(v)
+	return x
+}
+
+// buildPaperCircuit builds y = (x1 + w)·(x2 + w) from the paper's Figure 2.
+func buildPaperCircuit(x1, x2, w int64) (*Builder, Var) {
+	b := NewBuilder()
+	vx1 := b.PublicInput(fr(x1))
+	vx2 := b.PublicInput(fr(x2))
+	vw := b.Secret(fr(w))
+	left := AddLC(VarLC(vx1), VarLC(vw))
+	right := AddLC(VarLC(vx2), VarLC(vw))
+	y := b.Mul(left, right)
+	return b, y
+}
+
+func TestPaperExampleCircuit(t *testing.T) {
+	b, y := buildPaperCircuit(3, 4, 5)
+	if got := b.Value(y); got.Big().Int64() != (3+5)*(4+5) {
+		t.Fatalf("y = %v, want 72", &got)
+	}
+	sys, z := b.Finish()
+	if err := sys.Satisfied(z); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the output wire: must be detected.
+	z[int(y)] = fr(73)
+	if err := sys.Satisfied(z); err == nil {
+		t.Fatal("tampered assignment accepted")
+	}
+}
+
+func TestPublicBeforeSecretOrdering(t *testing.T) {
+	b := NewBuilder()
+	b.Secret(fr(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for public-after-secret allocation")
+		}
+	}()
+	b.PublicInput(fr(2))
+}
+
+func TestDiv(t *testing.T) {
+	b := NewBuilder()
+	x := b.Secret(fr(84))
+	y := b.Secret(fr(12))
+	q := b.Div(VarLC(x), VarLC(y))
+	if got := b.Value(q); got.Big().Int64() != 7 {
+		t.Fatalf("84/12 = %v, want 7", &got)
+	}
+	sys, z := b.Finish()
+	if err := sys.Satisfied(z); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	b := NewBuilder()
+	x := b.Secret(fr(1))
+	y := b.Secret(fr(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on division by zero")
+		}
+	}()
+	b.Div(VarLC(x), VarLC(y))
+}
+
+func TestAssertBool(t *testing.T) {
+	b := NewBuilder()
+	good := b.Secret(fr(1))
+	b.AssertBool(VarLC(good))
+	sys, z := b.Finish()
+	if err := sys.Satisfied(z); err != nil {
+		t.Fatal(err)
+	}
+
+	b2 := NewBuilder()
+	bad := b2.Secret(fr(2))
+	b2.AssertBool(VarLC(bad))
+	sys2, z2 := b2.Finish()
+	if err := sys2.Satisfied(z2); err == nil {
+		t.Fatal("non-boolean accepted by AssertBool")
+	}
+}
+
+func TestLCAlgebra(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(70))
+	b := NewBuilder()
+	vals := make([]ff.Fr, 5)
+	vars := make([]Var, 5)
+	for i := range vals {
+		vals[i].SetPseudoRandom(rng)
+		vars[i] = b.Secret(vals[i])
+	}
+	lc1 := AddLC(VarLC(vars[0]), VarLC(vars[1]))
+	lc2 := AddLC(VarLC(vars[1]), VarLC(vars[2]))
+	sum := AddLC(lc1, lc2)
+	// duplicate var 1 must merge into one term
+	if len(sum) != 3 {
+		t.Fatalf("expected 3 merged terms, got %d", len(sum))
+	}
+	var want, two ff.Fr
+	two.SetUint64(2)
+	want.Add(&vals[0], &vals[2])
+	var t1 ff.Fr
+	t1.Mul(&two, &vals[1])
+	want.Add(&want, &t1)
+	got := b.Eval(sum)
+	if !got.Equal(&want) {
+		t.Fatal("AddLC evaluation mismatch")
+	}
+	// a − a = empty
+	diff := SubLC(lc1, lc1)
+	if len(diff) != 0 {
+		t.Fatal("SubLC(a,a) not empty")
+	}
+}
+
+func TestAssertEqualAndZero(t *testing.T) {
+	b := NewBuilder()
+	x := b.Secret(fr(9))
+	y := b.Secret(fr(9))
+	b.AssertEqual(VarLC(x), VarLC(y))
+	b.AssertZero(SubLC(VarLC(x), VarLC(y)))
+	sys, z := b.Finish()
+	if err := sys.Satisfied(z); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b, _ := buildPaperCircuit(1, 2, 3)
+	sys, _ := b.Finish()
+	st := sys.Stats()
+	if st.Constraints != 1 || st.Public != 3 || st.Variables != 5 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	if st.ATerms != 2 || st.BTerms != 2 || st.CTerms != 1 {
+		t.Fatalf("unexpected term counts %+v", st)
+	}
+}
+
+func TestSatisfiedLengthMismatch(t *testing.T) {
+	b, _ := buildPaperCircuit(1, 2, 3)
+	sys, z := b.Finish()
+	if err := sys.Satisfied(z[:len(z)-1]); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+}

@@ -1,0 +1,285 @@
+// Package spartan implements a transparent (no trusted setup) zk-SNARK for
+// R1CS in the style of Spartan (CRYPTO 2020): two sumchecks reduce R1CS
+// satisfiability to one evaluation of the witness multilinear extension,
+// which is proved against a hash-based polynomial commitment
+// (internal/pcs). This is the "zkVC-S" backend of the paper.
+//
+// Deviations from the reference system are deliberate and documented in
+// DESIGN.md: the verifier evaluates the sparse matrix MLEs directly
+// (O(nnz) field work instead of the Spark commitment), and the PCS is a
+// tensor-code commitment rather than a curve-based one, so column openings
+// are binding but not hiding.
+package spartan
+
+import (
+	"errors"
+	"fmt"
+
+	"zkvc/internal/ff"
+	"zkvc/internal/mle"
+	"zkvc/internal/pcs"
+	"zkvc/internal/r1cs"
+	"zkvc/internal/sumcheck"
+	"zkvc/internal/transcript"
+)
+
+// Proof is a Spartan proof.
+type Proof struct {
+	Comm       pcs.Commitment
+	Sum1       *sumcheck.Proof
+	VA, VB, VC ff.Fr
+	Sum2       *sumcheck.Proof
+	PrivEval   ff.Fr
+	Opening    *pcs.Opening
+}
+
+// SizeBytes estimates the wire size of the proof.
+func (p *Proof) SizeBytes() int {
+	n := 32 + 3*32 + 32 // root + va/vb/vc + privEval
+	for _, r := range p.Sum1.RoundPolys {
+		n += 32 * len(r)
+	}
+	for _, r := range p.Sum2.RoundPolys {
+		n += 32 * len(r)
+	}
+	n += p.Opening.SizeBytes()
+	return n
+}
+
+const protocolLabel = "zkvc.spartan.v1"
+
+// logDim returns ceil(log2(max(n,1))).
+func logDim(n int) int {
+	k := 0
+	for (1 << k) < n {
+		k++
+	}
+	return k
+}
+
+// matrices extracts the three sparse matrix MLEs of the system.
+func matrices(sys *r1cs.System) (a, b, c *mle.Sparse) {
+	nCons := sys.NumConstraints()
+	if nCons == 0 {
+		nCons = 1
+	}
+	var ea, eb, ec []mle.SparseEntry
+	for q := range sys.Constraints {
+		for _, t := range sys.Constraints[q].A {
+			ea = append(ea, mle.SparseEntry{Row: q, Col: int(t.V), Val: t.Coeff})
+		}
+		for _, t := range sys.Constraints[q].B {
+			eb = append(eb, mle.SparseEntry{Row: q, Col: int(t.V), Val: t.Coeff})
+		}
+		for _, t := range sys.Constraints[q].C {
+			ec = append(ec, mle.SparseEntry{Row: q, Col: int(t.V), Val: t.Coeff})
+		}
+	}
+	return mle.NewSparse(ea, nCons, sys.NumVars),
+		mle.NewSparse(eb, nCons, sys.NumVars),
+		mle.NewSparse(ec, nCons, sys.NumVars)
+}
+
+// Prove produces a Spartan proof for a satisfying assignment z.
+func Prove(sys *r1cs.System, z []ff.Fr, params pcs.Params) (*Proof, error) {
+	if len(z) != sys.NumVars {
+		return nil, fmt.Errorf("spartan: assignment length %d != %d", len(z), sys.NumVars)
+	}
+	if err := sys.Satisfied(z); err != nil {
+		return nil, fmt.Errorf("spartan: %w", err)
+	}
+	sx := logDim(sys.NumConstraints())
+	sy := logDim(sys.NumVars)
+
+	// Commit to the private slice (public slots zeroed).
+	priv := make([]ff.Fr, 1<<sy)
+	for i := sys.NumPublic; i < sys.NumVars; i++ {
+		priv[i] = z[i]
+	}
+	comm, st, err := pcs.Commit(priv, params)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := transcript.New(protocolLabel)
+	tr.Append("comm", comm.Root[:])
+	tr.AppendFrs("public", z[:sys.NumPublic])
+
+	// Sumcheck 1: 0 = Σ_x eq(τ,x)·(Az(x)·Bz(x) − Cz(x)).
+	tau := tr.ChallengeFrs("tau", sx)
+	az := make([]ff.Fr, 1<<sx)
+	bz := make([]ff.Fr, 1<<sx)
+	cz := make([]ff.Fr, 1<<sx)
+	for q := range sys.Constraints {
+		az[q] = r1cs.EvalLC(sys.Constraints[q].A, z)
+		bz[q] = r1cs.EvalLC(sys.Constraints[q].B, z)
+		cz[q] = r1cs.EvalLC(sys.Constraints[q].C, z)
+	}
+	eqTau := &mle.Dense{NumVars: sx, Evals: mle.EqTable(tau)}
+	azM := &mle.Dense{NumVars: sx, Evals: az}
+	bzM := &mle.Dense{NumVars: sx, Evals: bz}
+	czM := &mle.Dense{NumVars: sx, Evals: cz}
+	var one, minusOne ff.Fr
+	one.SetOne()
+	minusOne.Neg(&one)
+	ins1, err := sumcheck.NewInstance(sx, []sumcheck.Term{
+		{Coeff: one, Factors: []*mle.Dense{eqTau.Clone(), azM, bzM}},
+		{Coeff: minusOne, Factors: []*mle.Dense{eqTau, czM}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum1, rx, finals1 := sumcheck.Prove(ins1, tr)
+	va, vb, vc := finals1[0][1], finals1[0][2], finals1[1][1]
+	tr.AppendFr("va", &va)
+	tr.AppendFr("vb", &vb)
+	tr.AppendFr("vc", &vc)
+
+	// Sumcheck 2: rA·va + rB·vb + rC·vc = Σ_y M_rx(y)·z̃(y).
+	rA := tr.ChallengeFr("rA")
+	rB := tr.ChallengeFr("rB")
+	rC := tr.ChallengeFr("rC")
+	ma, mb, mc := matrices(sys)
+	mzA := ma.BindRows(rx)
+	mzB := mb.BindRows(rx)
+	mzC := mc.BindRows(rx)
+	mz := make([]ff.Fr, 1<<sy)
+	var t ff.Fr
+	for y := range mz {
+		t.Mul(&rA, &mzA.Evals[y])
+		mz[y].Add(&mz[y], &t)
+		t.Mul(&rB, &mzB.Evals[y])
+		mz[y].Add(&mz[y], &t)
+		t.Mul(&rC, &mzC.Evals[y])
+		mz[y].Add(&mz[y], &t)
+	}
+	zPad := make([]ff.Fr, 1<<sy)
+	copy(zPad, z)
+	ins2, err := sumcheck.NewInstance(sy, []sumcheck.Term{
+		{Coeff: one, Factors: []*mle.Dense{
+			{NumVars: sy, Evals: mz},
+			{NumVars: sy, Evals: zPad},
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum2, ry, _ := sumcheck.Prove(ins2, tr)
+
+	// Witness evaluation: z̃(ry) = pub̃(ry) + priṽ(ry).
+	privM := mle.NewDense(priv)
+	privEval := privM.Eval(ry)
+	tr.AppendFr("priv.eval", &privEval)
+	opening := st.Open(ry, tr)
+
+	return &Proof{
+		Comm: *comm, Sum1: sum1, VA: va, VB: vb, VC: vc,
+		Sum2: sum2, PrivEval: privEval, Opening: opening,
+	}, nil
+}
+
+// ErrInvalidProof is returned when verification fails.
+var ErrInvalidProof = errors.New("spartan: invalid proof")
+
+// Verify checks a Spartan proof against the circuit and public inputs
+// (public must start with the constant 1, as in the assignment).
+func Verify(sys *r1cs.System, proof *Proof, public []ff.Fr, params pcs.Params) error {
+	if len(public) != sys.NumPublic {
+		return fmt.Errorf("spartan: public witness length %d != %d", len(public), sys.NumPublic)
+	}
+	if sys.NumPublic == 0 || !public[0].IsOne() {
+		return errors.New("spartan: public witness must start with constant 1")
+	}
+	sx := logDim(sys.NumConstraints())
+	sy := logDim(sys.NumVars)
+
+	tr := transcript.New(protocolLabel)
+	tr.Append("comm", proof.Comm.Root[:])
+	tr.AppendFrs("public", public)
+
+	tau := tr.ChallengeFrs("tau", sx)
+	var zero ff.Fr
+	rx, final1, err := sumcheck.Verify(zero, sx, 3, proof.Sum1, tr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+	}
+	// final1 must equal eq(τ,rx)·(va·vb − vc).
+	eqv := mle.EqEval(tau, rx)
+	var want ff.Fr
+	want.Mul(&proof.VA, &proof.VB)
+	want.Sub(&want, &proof.VC)
+	want.Mul(&want, &eqv)
+	if !want.Equal(&final1) {
+		return fmt.Errorf("%w: inner R1CS identity fails at rx", ErrInvalidProof)
+	}
+	tr.AppendFr("va", &proof.VA)
+	tr.AppendFr("vb", &proof.VB)
+	tr.AppendFr("vc", &proof.VC)
+
+	rA := tr.ChallengeFr("rA")
+	rB := tr.ChallengeFr("rB")
+	rC := tr.ChallengeFr("rC")
+	var claim2, t ff.Fr
+	t.Mul(&rA, &proof.VA)
+	claim2.Add(&claim2, &t)
+	t.Mul(&rB, &proof.VB)
+	claim2.Add(&claim2, &t)
+	t.Mul(&rC, &proof.VC)
+	claim2.Add(&claim2, &t)
+
+	ry, final2, err := sumcheck.Verify(claim2, sy, 2, proof.Sum2, tr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+	}
+
+	// vM = rA·Ã(rx,ry) + rB·B̃(rx,ry) + rC·C̃(rx,ry), evaluated directly.
+	ma, mb, mc := matrices(sys)
+	var vm ff.Fr
+	ea := ma.Eval(rx, ry)
+	eb := mb.Eval(rx, ry)
+	ec := mc.Eval(rx, ry)
+	t.Mul(&rA, &ea)
+	vm.Add(&vm, &t)
+	t.Mul(&rB, &eb)
+	vm.Add(&vm, &t)
+	t.Mul(&rC, &ec)
+	vm.Add(&vm, &t)
+
+	// z̃(ry) = pub̃(ry) + priṽ(ry)
+	pubEval := evalPublicPart(public, ry)
+	var vz ff.Fr
+	vz.Add(&pubEval, &proof.PrivEval)
+	var prod ff.Fr
+	prod.Mul(&vm, &vz)
+	if !prod.Equal(&final2) {
+		return fmt.Errorf("%w: matrix–witness product fails at (rx,ry)", ErrInvalidProof)
+	}
+
+	tr.AppendFr("priv.eval", &proof.PrivEval)
+	if err := pcs.VerifyOpen(&proof.Comm, ry, &proof.PrivEval, proof.Opening, params, tr); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+	}
+	return nil
+}
+
+// evalPublicPart computes Σ_{i < len(public)} public[i]·eq(ry, bits(i)) in
+// O(|public|·|ry|).
+func evalPublicPart(public []ff.Fr, ry []ff.Fr) ff.Fr {
+	s := len(ry)
+	var acc, term, one, f ff.Fr
+	one.SetOne()
+	for i := range public {
+		term.Set(&public[i])
+		for j := 0; j < s; j++ {
+			bit := (i >> (s - 1 - j)) & 1
+			if bit == 1 {
+				f.Set(&ry[j])
+			} else {
+				f.Sub(&one, &ry[j])
+			}
+			term.Mul(&term, &f)
+		}
+		acc.Add(&acc, &term)
+	}
+	return acc
+}

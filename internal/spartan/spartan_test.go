@@ -1,0 +1,141 @@
+package spartan
+
+import (
+	"testing"
+
+	"zkvc/internal/ff"
+	"zkvc/internal/pcs"
+	"zkvc/internal/r1cs"
+)
+
+func fr(v int64) ff.Fr {
+	var x ff.Fr
+	x.SetInt64(v)
+	return x
+}
+
+// paperCircuit: y = (x1 + w)(x2 + w), publics x1, x2, y.
+func paperCircuit(x1, x2, w int64) (*r1cs.System, []ff.Fr, []ff.Fr) {
+	b := r1cs.NewBuilder()
+	vx1 := b.PublicInput(fr(x1))
+	vx2 := b.PublicInput(fr(x2))
+	vy := b.PublicInput(fr((x1 + w) * (x2 + w)))
+	vw := b.Secret(fr(w))
+	b.AssertMul(
+		r1cs.AddLC(r1cs.VarLC(vx1), r1cs.VarLC(vw)),
+		r1cs.AddLC(r1cs.VarLC(vx2), r1cs.VarLC(vw)),
+		r1cs.VarLC(vy),
+	)
+	sys, z := b.Finish()
+	return sys, z, b.PublicWitness()
+}
+
+func chainCircuit(n int) (*r1cs.System, []ff.Fr, []ff.Fr) {
+	b := r1cs.NewBuilder()
+	prod := int64(1)
+	for i := int64(1); i <= int64(n); i++ {
+		prod *= i
+	}
+	out := b.PublicInput(fr(prod))
+	cur := r1cs.OneLC()
+	for i := 1; i <= n; i++ {
+		v := b.Secret(fr(int64(i)))
+		p := b.Mul(cur, r1cs.VarLC(v))
+		cur = r1cs.VarLC(p)
+	}
+	b.AssertEqual(cur, r1cs.VarLC(out))
+	sys, z := b.Finish()
+	return sys, z, b.PublicWitness()
+}
+
+func TestSpartanPaperCircuit(t *testing.T) {
+	sys, z, pub := paperCircuit(3, 4, 5)
+	params := pcs.DefaultParams()
+	proof, err := Prove(sys, z, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(sys, proof, pub, params); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+}
+
+func TestSpartanChainCircuit(t *testing.T) {
+	sys, z, pub := chainCircuit(12)
+	params := pcs.DefaultParams()
+	proof, err := Prove(sys, z, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(sys, proof, pub, params); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+	if proof.SizeBytes() <= 0 {
+		t.Fatal("bad proof size")
+	}
+}
+
+func TestSpartanRejectsWrongPublic(t *testing.T) {
+	sys, z, pub := chainCircuit(8)
+	params := pcs.DefaultParams()
+	proof, err := Prove(sys, z, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]ff.Fr, len(pub))
+	copy(bad, pub)
+	bad[1] = fr(999)
+	if err := Verify(sys, proof, bad, params); err == nil {
+		t.Fatal("wrong public input accepted")
+	}
+}
+
+func TestSpartanRejectsBadWitness(t *testing.T) {
+	sys, z, _ := paperCircuit(3, 4, 5)
+	z[len(z)-1] = fr(6)
+	if _, err := Prove(sys, z, pcs.DefaultParams()); err == nil {
+		t.Fatal("Prove accepted unsatisfying witness")
+	}
+}
+
+func TestSpartanRejectsTamperedProof(t *testing.T) {
+	sys, z, pub := chainCircuit(8)
+	params := pcs.DefaultParams()
+	// Tamper with each component in turn; every mutation must be caught.
+	mutations := []func(p *Proof){
+		func(p *Proof) { p.VA.Add(&p.VA, func() *ff.Fr { o := ff.NewFr(1); return &o }()) },
+		func(p *Proof) { p.PrivEval.Add(&p.PrivEval, func() *ff.Fr { o := ff.NewFr(1); return &o }()) },
+		func(p *Proof) {
+			p.Sum1.RoundPolys[0][0].Add(&p.Sum1.RoundPolys[0][0], func() *ff.Fr { o := ff.NewFr(1); return &o }())
+		},
+		func(p *Proof) {
+			p.Sum2.RoundPolys[0][1].Add(&p.Sum2.RoundPolys[0][1], func() *ff.Fr { o := ff.NewFr(1); return &o }())
+		},
+		func(p *Proof) { p.Comm.Root[0] ^= 1 },
+	}
+	for i, mutate := range mutations {
+		fresh, err := Prove(sys, z, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(fresh)
+		if err := Verify(sys, fresh, pub, params); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSpartanPublicMustStartWithOne(t *testing.T) {
+	sys, z, pub := paperCircuit(3, 4, 5)
+	params := pcs.DefaultParams()
+	proof, err := Prove(sys, z, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]ff.Fr, len(pub))
+	copy(bad, pub)
+	bad[0] = fr(2)
+	if err := Verify(sys, proof, bad, params); err == nil {
+		t.Fatal("public witness without leading 1 accepted")
+	}
+}

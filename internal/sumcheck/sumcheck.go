@@ -1,0 +1,231 @@
+// Package sumcheck implements the classic sumcheck protocol for claims of
+// the form  claim = Σ_{x ∈ {0,1}^k} Σ_t coeff_t · Π_j f_{t,j}(x)  where
+// every factor is a dense multilinear extension. Round polynomials are sent
+// as evaluations at 0..deg; Fiat–Shamir challenges come from a transcript.
+package sumcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"zkvc/internal/ff"
+	"zkvc/internal/mle"
+	"zkvc/internal/transcript"
+)
+
+// Term is coeff · Π factors.
+type Term struct {
+	Coeff   ff.Fr
+	Factors []*mle.Dense
+}
+
+// Instance is a sum of terms over a shared hypercube.
+type Instance struct {
+	NumVars int
+	Terms   []Term
+}
+
+// NewInstance validates factor shapes and wraps them.
+func NewInstance(numVars int, terms []Term) (*Instance, error) {
+	for i, t := range terms {
+		if len(t.Factors) == 0 {
+			return nil, fmt.Errorf("sumcheck: term %d has no factors", i)
+		}
+		for _, f := range t.Factors {
+			if f.NumVars != numVars {
+				return nil, fmt.Errorf("sumcheck: factor has %d vars, want %d", f.NumVars, numVars)
+			}
+		}
+	}
+	return &Instance{NumVars: numVars, Terms: terms}, nil
+}
+
+// Degree is the maximum number of factors in any term: the degree of the
+// round polynomials.
+func (ins *Instance) Degree() int {
+	d := 0
+	for _, t := range ins.Terms {
+		if len(t.Factors) > d {
+			d = len(t.Factors)
+		}
+	}
+	return d
+}
+
+// Sum computes the full hypercube sum (the honest claim).
+func (ins *Instance) Sum() ff.Fr {
+	var acc ff.Fr
+	n := 1 << ins.NumVars
+	var prod, t ff.Fr
+	for x := 0; x < n; x++ {
+		for _, term := range ins.Terms {
+			prod.Set(&term.Coeff)
+			for _, f := range term.Factors {
+				prod.Mul(&prod, &f.Evals[x])
+			}
+			t.Set(&prod)
+			acc.Add(&acc, &t)
+		}
+	}
+	return acc
+}
+
+// Proof is the prover's messages: one round polynomial per variable, given
+// as evaluations at 0, 1, ..., Degree.
+type Proof struct {
+	RoundPolys [][]ff.Fr
+}
+
+// Prove runs the sumcheck prover, consuming (mutating) the instance's
+// factors. It returns the proof, the bound challenge point, and the final
+// evaluations of each term's factors at that point (in term order).
+func Prove(ins *Instance, tr *transcript.Transcript) (*Proof, []ff.Fr, [][]ff.Fr) {
+	deg := ins.Degree()
+	proof := &Proof{RoundPolys: make([][]ff.Fr, ins.NumVars)}
+	challenges := make([]ff.Fr, ins.NumVars)
+
+	for round := 0; round < ins.NumVars; round++ {
+		evals := roundPolynomial(ins, deg)
+		proof.RoundPolys[round] = evals
+		tr.AppendFrs("sumcheck.round", evals)
+		r := tr.ChallengeFr("sumcheck.challenge")
+		challenges[round] = r
+		for _, term := range ins.Terms {
+			for _, f := range term.Factors {
+				f.Fix(&r)
+			}
+		}
+	}
+	finals := make([][]ff.Fr, len(ins.Terms))
+	for ti, term := range ins.Terms {
+		fs := make([]ff.Fr, len(term.Factors))
+		for fi, f := range term.Factors {
+			fs[fi] = f.Evals[0]
+		}
+		finals[ti] = fs
+	}
+	return proof, challenges, finals
+}
+
+// roundPolynomial computes the current round's univariate polynomial
+// evaluated at t = 0..deg:  p(t) = Σ_{x'} Σ_terms coeff·Π_j f_j(t, x').
+func roundPolynomial(ins *Instance, deg int) []ff.Fr {
+	out := make([]ff.Fr, deg+1)
+	half := 1 << (factorVars(ins) - 1)
+	var prod, diff, ft ff.Fr
+	for _, term := range ins.Terms {
+		for x := 0; x < half; x++ {
+			// f(t,x') = f0 + t·(f1−f0) per factor; evaluate at each t.
+			for t := 0; t <= deg; t++ {
+				prod.Set(&term.Coeff)
+				for _, f := range term.Factors {
+					f0 := &f.Evals[x]
+					f1 := &f.Evals[half+x]
+					switch t {
+					case 0:
+						ft.Set(f0)
+					case 1:
+						ft.Set(f1)
+					default:
+						diff.Sub(f1, f0)
+						var tFr ff.Fr
+						tFr.SetUint64(uint64(t))
+						ft.Mul(&diff, &tFr)
+						ft.Add(&ft, f0)
+					}
+					prod.Mul(&prod, &ft)
+				}
+				out[t].Add(&out[t], &prod)
+			}
+		}
+	}
+	return out
+}
+
+func factorVars(ins *Instance) int {
+	return ins.Terms[0].Factors[0].NumVars
+}
+
+// ErrSumcheck is returned on any verification failure.
+var ErrSumcheck = errors.New("sumcheck: verification failed")
+
+// Verify replays the verifier side: it checks the claim against the round
+// polynomials and returns the challenge point plus the final claim
+// p_k(r_k), which the caller must check against an oracle evaluation of
+// the summed polynomial at the returned point.
+func Verify(claim ff.Fr, numVars, degree int, proof *Proof, tr *transcript.Transcript) ([]ff.Fr, ff.Fr, error) {
+	if len(proof.RoundPolys) != numVars {
+		return nil, ff.Fr{}, fmt.Errorf("%w: %d rounds, want %d", ErrSumcheck, len(proof.RoundPolys), numVars)
+	}
+	challenges := make([]ff.Fr, numVars)
+	cur := claim
+	for round := 0; round < numVars; round++ {
+		evals := proof.RoundPolys[round]
+		if len(evals) != degree+1 {
+			return nil, ff.Fr{}, fmt.Errorf("%w: round %d has %d evals, want %d", ErrSumcheck, round, len(evals), degree+1)
+		}
+		var sum01 ff.Fr
+		sum01.Add(&evals[0], &evals[1])
+		if !sum01.Equal(&cur) {
+			return nil, ff.Fr{}, fmt.Errorf("%w: round %d: p(0)+p(1) != claim", ErrSumcheck, round)
+		}
+		tr.AppendFrs("sumcheck.round", evals)
+		r := tr.ChallengeFr("sumcheck.challenge")
+		challenges[round] = r
+		cur = interpolateAt(evals, &r)
+	}
+	return challenges, cur, nil
+}
+
+// interpolateAt evaluates the degree-d polynomial given by its values at
+// 0..d at the point r (Lagrange on consecutive integer nodes).
+func interpolateAt(evals []ff.Fr, r *ff.Fr) ff.Fr {
+	d := len(evals) - 1
+	// prefix[i] = Π_{j<i} (r−j), suffix[i] = Π_{j>i} (r−j)
+	prefix := make([]ff.Fr, d+1)
+	suffix := make([]ff.Fr, d+1)
+	var t ff.Fr
+	prefix[0].SetOne()
+	for i := 1; i <= d; i++ {
+		var node ff.Fr
+		node.SetUint64(uint64(i - 1))
+		t.Sub(r, &node)
+		prefix[i].Mul(&prefix[i-1], &t)
+	}
+	suffix[d].SetOne()
+	for i := d - 1; i >= 0; i-- {
+		var node ff.Fr
+		node.SetUint64(uint64(i + 1))
+		t.Sub(r, &node)
+		suffix[i].Mul(&suffix[i+1], &t)
+	}
+	// denominators: i!·(d−i)!·(−1)^{d−i}
+	var acc ff.Fr
+	for i := 0; i <= d; i++ {
+		den := factorialFr(i)
+		var dmi ff.Fr
+		dmi.Set(factorialFr(d - i))
+		den.Mul(den, &dmi)
+		if (d-i)%2 == 1 {
+			den.Neg(den)
+		}
+		den.Inverse(den)
+		var term ff.Fr
+		term.Mul(&prefix[i], &suffix[i])
+		term.Mul(&term, den)
+		term.Mul(&term, &evals[i])
+		acc.Add(&acc, &term)
+	}
+	return acc
+}
+
+func factorialFr(n int) *ff.Fr {
+	var f ff.Fr
+	f.SetOne()
+	var t ff.Fr
+	for i := 2; i <= n; i++ {
+		t.SetUint64(uint64(i))
+		f.Mul(&f, &t)
+	}
+	return &f
+}

@@ -1,0 +1,108 @@
+// Package transcript implements a Fiat–Shamir transcript over SHA-256,
+// turning the interactive protocols in this repository (sumcheck, PCS
+// openings, CRPC challenge derivation) into non-interactive ones.
+package transcript
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+
+	"zkvc/internal/ff"
+)
+
+// Transcript accumulates protocol messages and derives challenges. The
+// state after each message is H(state ‖ len(label) ‖ label ‖ data), so the
+// challenge stream binds every prior message and label.
+type Transcript struct {
+	state   [32]byte
+	counter uint64
+}
+
+// New returns a transcript domain-separated by the protocol label.
+func New(label string) *Transcript {
+	t := &Transcript{}
+	t.Append("protocol", []byte(label))
+	return t
+}
+
+// Append absorbs labeled bytes.
+func (t *Transcript) Append(label string, data []byte) {
+	h := sha256.New()
+	h.Write(t.state[:])
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(label)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(label))
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(data)))
+	h.Write(lenBuf[:])
+	h.Write(data)
+	h.Sum(t.state[:0])
+}
+
+// AppendFr absorbs a field element.
+func (t *Transcript) AppendFr(label string, x *ff.Fr) {
+	b := x.Bytes()
+	t.Append(label, b[:])
+}
+
+// AppendFrs absorbs a field-element vector.
+func (t *Transcript) AppendFrs(label string, xs []ff.Fr) {
+	for i := range xs {
+		t.AppendFr(label, &xs[i])
+	}
+}
+
+// AppendUint64 absorbs an integer.
+func (t *Transcript) AppendUint64(label string, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	t.Append(label, b[:])
+}
+
+// ChallengeBytes squeezes n pseudorandom bytes bound to the current state.
+func (t *Transcript) ChallengeBytes(label string, n int) []byte {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		h := sha256.New()
+		h.Write(t.state[:])
+		h.Write([]byte(label))
+		var c [8]byte
+		binary.LittleEndian.PutUint64(c[:], t.counter)
+		t.counter++
+		h.Write(c[:])
+		out = h.Sum(out)
+	}
+	// Fold the squeeze back into the state so later challenges differ.
+	t.Append("squeeze", []byte(label))
+	return out[:n]
+}
+
+// ChallengeFr squeezes a field element. 48 bytes are reduced mod r, keeping
+// the modular bias below 2^{-128}.
+func (t *Transcript) ChallengeFr(label string) ff.Fr {
+	raw := t.ChallengeBytes(label, 48)
+	var x ff.Fr
+	x.SetBig(new(big.Int).SetBytes(raw))
+	return x
+}
+
+// ChallengeFrs squeezes a vector of field elements.
+func (t *Transcript) ChallengeFrs(label string, n int) []ff.Fr {
+	out := make([]ff.Fr, n)
+	for i := range out {
+		out[i] = t.ChallengeFr(label)
+	}
+	return out
+}
+
+// ChallengeIndices squeezes n indices in [0, bound), used for PCS column
+// spot checks.
+func (t *Transcript) ChallengeIndices(label string, n, bound int) []int {
+	out := make([]int, n)
+	for i := range out {
+		raw := t.ChallengeBytes(label, 8)
+		out[i] = int(binary.LittleEndian.Uint64(raw) % uint64(bound))
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+// Package zkml compiles quantized transformer inference (internal/nn)
+// into ZKP circuits and proves it with the zkVC backends — the
+// "zk-ML codesign" column of the paper's Table I and the machinery behind
+// the end-to-end Tables III and IV.
+//
+// A forward pass is captured as an nn.Trace; every traced operation
+// becomes its own circuit:
+//
+//   - matmuls go through the CRPC+PSQ builders (internal/crpc), with the
+//     activation side public and the weight side the committed witness —
+//     the same per-layer proof composition vCNN uses; a cross-layer
+//     CP-SNARK linkage of activation commitments is out of scope and
+//     orthogonal to the cost being measured;
+//   - softmaxes and GELUs go through the §III-C gadget circuits
+//     (internal/gadgets) with inputs secret and outputs public.
+//
+// ProveModel proves every operation exactly and verifies it (used by the
+// tests and the scaled-mode tables). MeasureModel (measure.go) proves a
+// capped sub-shape per operation and extrapolates, making the paper's
+// full ImageNet shapes reportable in pure Go.
+package zkml
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"zkvc/internal/crpc"
+	"zkvc/internal/ff"
+	"zkvc/internal/gadgets"
+	"zkvc/internal/groth16"
+	"zkvc/internal/matrix"
+	"zkvc/internal/nn"
+	"zkvc/internal/pcs"
+	"zkvc/internal/r1cs"
+	"zkvc/internal/spartan"
+	"zkvc/internal/tensor"
+)
+
+// Backend selects the proof system (mirrors the public zkvc.Backend).
+type Backend int
+
+const (
+	// Groth16 is the pairing backend ("zkVC-G").
+	Groth16 Backend = iota
+	// Spartan is the transparent backend ("zkVC-S").
+	Spartan
+)
+
+// String names the backend as in the paper.
+func (b Backend) String() string {
+	if b == Groth16 {
+		return "zkVC-G"
+	}
+	return "zkVC-S"
+}
+
+// Options configures compilation and proving.
+type Options struct {
+	Backend Backend
+	Circuit crpc.Options
+	PCS     pcs.Params
+	// ProveNonlinear includes the softmax/GELU gadget circuits; when
+	// false only matmuls are proven (the paper's microbenchmarks).
+	ProveNonlinear bool
+	// KeepProofs retains proof payloads in the report so VerifyReport
+	// can re-check them later; costs memory on big models.
+	KeepProofs bool
+	// Seed feeds the proving randomness (blinding factors).
+	Seed int64
+}
+
+// DefaultOptions proves everything with CRPC+PSQ on the Spartan backend
+// (no per-circuit setup, so end-to-end runs stay cheap).
+func DefaultOptions() Options {
+	return Options{
+		Backend:        Spartan,
+		Circuit:        crpc.Options{CRPC: true, PSQ: true},
+		PCS:            pcs.DefaultParams(),
+		ProveNonlinear: true,
+		KeepProofs:     true,
+		Seed:           1,
+	}
+}
+
+// OpProof is the per-operation result.
+type OpProof struct {
+	Tag   string
+	Layer int
+	Kind  nn.OpKind
+	Dims  [3]int // matmul a,n,b or rows,width,0
+
+	Stats      r1cs.Stats
+	Synthesis  time.Duration
+	Setup      time.Duration
+	Prove      time.Duration
+	Verify     time.Duration
+	ProofBytes int
+
+	// Payloads (only when Options.KeepProofs).
+	sys     *r1cs.System
+	public  []ff.Fr
+	g16     *groth16.Proof
+	g16vk   *groth16.VerifyingKey
+	spartan *spartan.Proof
+}
+
+// Report aggregates an end-to-end proved inference.
+type Report struct {
+	Model   string
+	Backend Backend
+	Circuit crpc.Options
+	Ops     []OpProof
+}
+
+// TotalProve sums proving time over all ops (the paper's P_G/P_S).
+func (r *Report) TotalProve() time.Duration {
+	var sum time.Duration
+	for _, op := range r.Ops {
+		sum += op.Prove + op.Synthesis
+	}
+	return sum
+}
+
+// TotalSetup sums Groth16 CRS generation (zero on Spartan).
+func (r *Report) TotalSetup() time.Duration {
+	var sum time.Duration
+	for _, op := range r.Ops {
+		sum += op.Setup
+	}
+	return sum
+}
+
+// TotalVerify sums verification time.
+func (r *Report) TotalVerify() time.Duration {
+	var sum time.Duration
+	for _, op := range r.Ops {
+		sum += op.Verify
+	}
+	return sum
+}
+
+// TotalProofBytes sums proof sizes.
+func (r *Report) TotalProofBytes() int {
+	sum := 0
+	for _, op := range r.Ops {
+		sum += op.ProofBytes
+	}
+	return sum
+}
+
+// TotalConstraints sums constraint counts.
+func (r *Report) TotalConstraints() int {
+	sum := 0
+	for _, op := range r.Ops {
+		sum += op.Stats.Constraints
+	}
+	return sum
+}
+
+// toMatrix lifts an int64 tensor into the scalar field.
+func toMatrix(m *tensor.Mat) *matrix.Matrix {
+	return matrix.FromInt64(m.Rows, m.Cols, m.Data)
+}
+
+// nonlinearConfig builds the gadget parameters matching a model config.
+func nonlinearConfig(cfg nn.Config) gadgets.NonlinearConfig {
+	return gadgets.NonlinearConfig{
+		Fixed:     cfg.Fixed,
+		ExpIters:  cfg.SquareIters,
+		ClipT:     cfg.ClipT,
+		RangeBits: 40,
+	}
+}
+
+// ProveModel runs the model on x with a capturing trace and proves every
+// traced operation, verifying each proof as it goes.
+func ProveModel(m *nn.Model, x *tensor.Mat, opts Options) (*Report, error) {
+	trace := nn.Trace{Capture: true}
+	m.Forward(x, &trace)
+	return ProveTrace(m.Cfg, &trace, opts)
+}
+
+// ProveTrace proves a captured trace.
+func ProveTrace(cfg nn.Config, trace *nn.Trace, opts Options) (*Report, error) {
+	rng := mrand.New(mrand.NewSource(opts.Seed))
+	rep := &Report{Model: cfg.Name, Backend: opts.Backend, Circuit: opts.Circuit}
+	ncfg := nonlinearConfig(cfg)
+	for _, op := range trace.Ops {
+		var (
+			proof OpProof
+			err   error
+		)
+		switch op.Kind {
+		case nn.OpMatMul:
+			proof, err = proveMatMul(op, opts, rng)
+		case nn.OpSoftmax:
+			if !opts.ProveNonlinear {
+				continue
+			}
+			proof, err = proveNonlinear(op, opts, ncfg, cfg, rng)
+		case nn.OpGELU:
+			if !opts.ProveNonlinear {
+				continue
+			}
+			proof, err = proveNonlinear(op, opts, ncfg, cfg, rng)
+		case nn.OpPool:
+			continue // additions only; free in R1CS
+		default:
+			return nil, fmt.Errorf("zkml: unknown op kind %v", op.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("zkml: op %q: %w", op.Tag, err)
+		}
+		rep.Ops = append(rep.Ops, proof)
+	}
+	return rep, nil
+}
+
+// proveMatMul compiles one matmul through CRPC+PSQ and proves it.
+func proveMatMul(op nn.Op, opts Options, rng *mrand.Rand) (OpProof, error) {
+	if op.X == nil || op.W == nil {
+		return OpProof{}, fmt.Errorf("trace was not captured (missing operands)")
+	}
+	out := OpProof{Tag: op.Tag, Layer: op.Layer, Kind: op.Kind, Dims: [3]int{op.A, op.N, op.B}}
+
+	start := time.Now()
+	stmt := crpc.NewStatement(toMatrix(op.X), toMatrix(op.W))
+	syn, err := crpc.Synthesize(stmt, opts.Circuit)
+	if err != nil {
+		return out, err
+	}
+	out.Synthesis = time.Since(start)
+	out.Stats = syn.Stats()
+
+	return finishProof(out, syn.Sys, syn.Assignment, syn.Public, opts, rng)
+}
+
+// proveNonlinear compiles a softmax or GELU grid through the gadget
+// circuits: secret inputs, public outputs asserted equal to the
+// fixed-point reference evaluation.
+func proveNonlinear(op nn.Op, opts Options, ncfg gadgets.NonlinearConfig, cfg nn.Config, rng *mrand.Rand) (OpProof, error) {
+	if op.In == nil {
+		return OpProof{}, fmt.Errorf("trace was not captured (missing input)")
+	}
+	out := OpProof{Tag: op.Tag, Layer: op.Layer, Kind: op.Kind, Dims: [3]int{op.Rows, op.Width, 0}}
+
+	start := time.Now()
+	sys, assignment, public, err := synthesizeNonlinear(op, ncfg, cfg)
+	if err != nil {
+		return out, err
+	}
+	out.Synthesis = time.Since(start)
+	out.Stats = sys.Stats()
+
+	return finishProof(out, sys, assignment, public, opts, rng)
+}
+
+// synthesizeNonlinear builds the gadget circuit for one traced nonlinear
+// op and returns the satisfied system.
+func synthesizeNonlinear(op nn.Op, ncfg gadgets.NonlinearConfig, cfg nn.Config) (*r1cs.System, []ff.Fr, []ff.Fr, error) {
+	b := r1cs.NewBuilder()
+	fx := cfg.Fixed
+
+	// Public outputs first (the builder orders publics before secrets).
+	expected := make([][]int64, op.In.Rows)
+	switch op.Kind {
+	case nn.OpSoftmax:
+		for i := 0; i < op.In.Rows; i++ {
+			expected[i] = fx.Softmax(op.In.Row(i), cfg.ClipT, cfg.SquareIters)
+		}
+	case nn.OpGELU:
+		for i := 0; i < op.In.Rows; i++ {
+			row := op.In.Row(i)
+			exp := make([]int64, len(row))
+			for j, v := range row {
+				exp[j] = fx.GELUQuad(v)
+			}
+			expected[i] = exp
+		}
+	default:
+		return nil, nil, nil, fmt.Errorf("not a nonlinear op: %v", op.Kind)
+	}
+	pubVars := make([][]r1cs.Var, op.In.Rows)
+	var v ff.Fr
+	for i := range expected {
+		pubVars[i] = make([]r1cs.Var, len(expected[i]))
+		for j, e := range expected[i] {
+			v.SetInt64(e)
+			pubVars[i][j] = b.PublicInput(v)
+		}
+	}
+
+	// Secret inputs, then the gadget circuit, then bind outputs.
+	for i := 0; i < op.In.Rows; i++ {
+		row := op.In.Row(i)
+		ins := make([]r1cs.LC, len(row))
+		for j, val := range row {
+			v.SetInt64(val)
+			ins[j] = r1cs.VarLC(b.Secret(v))
+		}
+		var outs []r1cs.LC
+		if op.Kind == nn.OpSoftmax {
+			outs = gadgets.Softmax(b, ins, ncfg)
+		} else {
+			outs = make([]r1cs.LC, len(ins))
+			for j := range ins {
+				outs[j] = gadgets.GELU(b, ins[j], ncfg)
+			}
+		}
+		for j := range outs {
+			b.AssertEqual(outs[j], r1cs.VarLC(pubVars[i][j]))
+		}
+	}
+
+	sys, assignment := b.Finish()
+	return sys, assignment, b.PublicWitness(), nil
+}
+
+// finishProof runs the selected backend over a synthesized system.
+func finishProof(out OpProof, sys *r1cs.System, assignment, public []ff.Fr, opts Options, rng *mrand.Rand) (OpProof, error) {
+	switch opts.Backend {
+	case Groth16:
+		start := time.Now()
+		pk, vk, err := groth16.Setup(sys, rng)
+		if err != nil {
+			return out, err
+		}
+		out.Setup = time.Since(start)
+		start = time.Now()
+		proof, err := groth16.Prove(sys, pk, assignment, rng)
+		if err != nil {
+			return out, err
+		}
+		out.Prove = time.Since(start)
+		out.ProofBytes = proof.SizeBytes()
+		start = time.Now()
+		if err := groth16.Verify(vk, proof, public); err != nil {
+			return out, fmt.Errorf("self-verify: %w", err)
+		}
+		out.Verify = time.Since(start)
+		if opts.KeepProofs {
+			out.g16, out.g16vk, out.public = proof, vk, public
+		}
+	case Spartan:
+		start := time.Now()
+		proof, err := spartan.Prove(sys, assignment, opts.PCS)
+		if err != nil {
+			return out, err
+		}
+		out.Prove = time.Since(start)
+		out.ProofBytes = proof.SizeBytes()
+		start = time.Now()
+		if err := spartan.Verify(sys, proof, public, opts.PCS); err != nil {
+			return out, fmt.Errorf("self-verify: %w", err)
+		}
+		out.Verify = time.Since(start)
+		if opts.KeepProofs {
+			out.sys, out.spartan, out.public = sys, proof, public
+		}
+	default:
+		return out, fmt.Errorf("unknown backend %d", opts.Backend)
+	}
+	return out, nil
+}
+
+// VerifyReport re-verifies every retained proof in the report. It
+// returns an error naming the first operation that fails.
+func VerifyReport(rep *Report, opts Options) error {
+	for i := range rep.Ops {
+		op := &rep.Ops[i]
+		switch rep.Backend {
+		case Groth16:
+			if op.g16 == nil {
+				return fmt.Errorf("zkml: op %q has no retained proof", op.Tag)
+			}
+			if err := groth16.Verify(op.g16vk, op.g16, op.public); err != nil {
+				return fmt.Errorf("zkml: op %q: %w", op.Tag, err)
+			}
+		case Spartan:
+			if op.spartan == nil {
+				return fmt.Errorf("zkml: op %q has no retained proof", op.Tag)
+			}
+			if err := spartan.Verify(op.sys, op.spartan, op.public, opts.PCS); err != nil {
+				return fmt.Errorf("zkml: op %q: %w", op.Tag, err)
+			}
+		}
+	}
+	return nil
+}
+
+// TamperPublic flips one public input of the i-th retained op — test
+// hook for soundness checks.
+func TamperPublic(rep *Report, i int) {
+	if len(rep.Ops[i].public) > 1 {
+		var one ff.Fr
+		one.SetOne()
+		rep.Ops[i].public[1].Add(&rep.Ops[i].public[1], &one)
+	}
+}

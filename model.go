@@ -1,0 +1,169 @@
+package zkvc
+
+// This file is the model-level public API: verifiable Transformer
+// inference (the paper's §IV-V). It re-exports the quantized model stack
+// (internal/nn), the hybrid token-mixer planner (internal/planner) and
+// the circuit compiler (internal/zkml) behind stable names, so downstream
+// users never import internal packages.
+
+import (
+	mrand "math/rand"
+
+	"zkvc/internal/nn"
+	"zkvc/internal/planner"
+	"zkvc/internal/tensor"
+	"zkvc/internal/zkml"
+)
+
+// Mixer selects a token mixer for a transformer block.
+type Mixer = nn.MixerKind
+
+// The paper's four token mixers (Tables III/IV).
+const (
+	MixerSoftmax = nn.MixerSoftmax // "SoftApprox.": full attention, approximated SoftMax
+	MixerScaling = nn.MixerScaling // "SoftFree-S": scaling (linear-complexity) attention
+	MixerPooling = nn.MixerPooling // "SoftFree-P": average pooling
+	MixerLinear  = nn.MixerLinear  // "SoftFree-L": linear (FNet-style) token mixing
+)
+
+// ModelConfig describes a transformer architecture.
+type ModelConfig = nn.Config
+
+// Model is a quantized transformer with synthesized weights.
+type Model = nn.Model
+
+// IntMatrix is the quantized (int64 fixed-point) tensor type models
+// consume and produce.
+type IntMatrix = tensor.Mat
+
+// The paper's §IV architectures.
+var (
+	// ViTCIFAR10 is the CIFAR-10 ViT: 7 layers, 4 heads, hidden 256, patch 4.
+	ViTCIFAR10 = nn.ViTCIFAR10
+	// ViTTinyImageNet is the Tiny-ImageNet ViT: 9 layers, 12 heads, hidden 192.
+	ViTTinyImageNet = nn.ViTTinyImageNet
+	// ViTImageNetHier is the hierarchical ImageNet model: 12 layers,
+	// 4 stages, dims 64/128/320/512.
+	ViTImageNetHier = nn.ViTImageNetHier
+	// BERTGLUE is the NLP model: 4 layers, 4 heads, embedding 256.
+	BERTGLUE = nn.BERTGLUE
+)
+
+// NewModel synthesizes a model with deterministic (seeded) weights at the
+// config's shapes. Training is out of scope (DESIGN.md substitution 5);
+// proving cost depends only on shapes.
+func NewModel(cfg ModelConfig, seed int64) (*Model, error) { return nn.NewModel(cfg, seed) }
+
+// UniformMixers assigns the same mixer to every block.
+func UniformMixers(blocks int, kind Mixer) []Mixer { return nn.UniformMixers(blocks, kind) }
+
+// PlanHybrid runs the paper's planner: it assigns each block a mixer so
+// that estimated proving cost lands at the paper's hybrid operating point
+// while maximizing an accuracy proxy (SoftMax attention is kept in the
+// later, shorter-sequence layers).
+func PlanHybrid(cfg ModelConfig) []Mixer { return planner.PaperHybrid(cfg) }
+
+// PlanWithBudget is PlanHybrid with an explicit budget: the planned
+// model's estimated proving cost stays below budgetFrac × the all-SoftMax
+// cost.
+func PlanWithBudget(cfg ModelConfig, budgetFrac float64) []Mixer {
+	return planner.Search(cfg, planner.DefaultCostModel(), budgetFrac).Mixers
+}
+
+// RandomInput synthesizes a quantized input for the model (tokens ×
+// patch features).
+func RandomInput(m *Model, rng *mrand.Rand) *IntMatrix { return m.RandomInput(rng) }
+
+// InferenceOptions configures end-to-end inference proving.
+type InferenceOptions struct {
+	Backend Backend
+	// Optimized applies CRPC+PSQ to every matmul circuit (on by
+	// default through DefaultInferenceOptions; turning it off gives the
+	// paper's baseline columns).
+	Optimized bool
+	// ProveNonlinear includes the SoftMax/GELU gadget circuits.
+	ProveNonlinear bool
+	Seed           int64
+}
+
+// DefaultInferenceOptions proves everything, optimized, on Spartan.
+func DefaultInferenceOptions() InferenceOptions {
+	return InferenceOptions{Backend: Spartan, Optimized: true, ProveNonlinear: true, Seed: 1}
+}
+
+func (o InferenceOptions) internal() zkml.Options {
+	opts := zkml.DefaultOptions()
+	opts.Backend = zkml.Backend(o.Backend)
+	opts.Circuit.CRPC = o.Optimized
+	opts.Circuit.PSQ = o.Optimized
+	opts.ProveNonlinear = o.ProveNonlinear
+	opts.Seed = o.Seed
+	return opts
+}
+
+// InferenceProof is an end-to-end proved inference: one proof per traced
+// operation, verified together by VerifyInference.
+type InferenceProof struct {
+	Logits *IntMatrix
+	report *zkml.Report
+	opts   zkml.Options
+}
+
+// ProveTime is the total proving time across all operations (the paper's
+// P_G / P_S columns).
+func (p *InferenceProof) ProveTime() float64 { return p.report.TotalProve().Seconds() }
+
+// VerifyTime is the total verification time.
+func (p *InferenceProof) VerifyTime() float64 { return p.report.TotalVerify().Seconds() }
+
+// SizeBytes is the total proof size.
+func (p *InferenceProof) SizeBytes() int { return p.report.TotalProofBytes() }
+
+// Constraints is the total constraint count across all circuits.
+func (p *InferenceProof) Constraints() int { return p.report.TotalConstraints() }
+
+// Operations is the number of proved circuits.
+func (p *InferenceProof) Operations() int { return len(p.report.Ops) }
+
+// ProveInference runs the model on x and proves every operation of the
+// forward pass (matmuls through CRPC+PSQ, nonlinears through the §III-C
+// gadgets).
+func ProveInference(m *Model, x *IntMatrix, opts InferenceOptions) (*InferenceProof, error) {
+	iopts := opts.internal()
+	logits := m.Forward(x, nil)
+	rep, err := zkml.ProveModel(m, x, iopts)
+	if err != nil {
+		return nil, err
+	}
+	return &InferenceProof{Logits: logits, report: rep, opts: iopts}, nil
+}
+
+// VerifyInference re-verifies every operation proof.
+func VerifyInference(p *InferenceProof) error {
+	return zkml.VerifyReport(p.report, p.opts)
+}
+
+// InferenceEstimate is a measured-and-extrapolated end-to-end cost at
+// full architectural shapes (see internal/zkml's MeasureModel).
+type InferenceEstimate struct {
+	ProveSeconds  float64
+	VerifySeconds float64
+	ProofBytes    float64
+	Wires         float64
+}
+
+// EstimateInference measures capped sub-circuits of every distinct
+// operation shape in cfg and extrapolates the full-model proving cost —
+// how the paper-scale Tables III/IV rows are produced.
+func EstimateInference(cfg ModelConfig, opts InferenceOptions) (InferenceEstimate, error) {
+	est, err := zkml.MeasureModel(cfg, opts.internal(), zkml.DefaultCaps())
+	if err != nil {
+		return InferenceEstimate{}, err
+	}
+	return InferenceEstimate{
+		ProveSeconds:  est.TotalProve().Seconds(),
+		VerifySeconds: est.TotalVerify().Seconds(),
+		ProofBytes:    est.TotalProofBytes(),
+		Wires:         est.TotalWires(),
+	}, nil
+}

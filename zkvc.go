@@ -1,0 +1,257 @@
+// Package zkvc is the public API of the zkVC reproduction: fast
+// zero-knowledge proofs for matrix multiplication (DAC 2025). It wraps the
+// CRPC + PSQ optimized circuits (internal/crpc) and two zk-SNARK backends
+// built from scratch in this module — Groth16 over a from-scratch BN254
+// pairing ("zkVC-G") and a transparent Spartan-style SNARK ("zkVC-S").
+//
+// Typical use (see examples/quickstart):
+//
+//	x := zkvc.RandomMatrix(rng, 49, 64, 128)   // public input
+//	w := zkvc.RandomMatrix(rng, 64, 128, 128)  // private model
+//	prover := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
+//	proof, err := prover.Prove(x, w)
+//	err = zkvc.VerifyMatMul(x, proof)
+package zkvc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"zkvc/internal/crpc"
+	"zkvc/internal/ff"
+	"zkvc/internal/gadgets"
+	"zkvc/internal/groth16"
+	"zkvc/internal/matrix"
+	"zkvc/internal/pcs"
+	"zkvc/internal/spartan"
+)
+
+// Backend selects the proof system.
+type Backend int
+
+const (
+	// Groth16 is the pairing-based backend: constant 192-byte proofs,
+	// millisecond verification, circuit-specific trusted setup ("zkVC-G").
+	Groth16 Backend = iota
+	// Spartan is the transparent backend: no trusted setup, larger proofs,
+	// sumcheck + hash-based polynomial commitment ("zkVC-S").
+	Spartan
+)
+
+// String names the backend as in the paper.
+func (b Backend) String() string {
+	switch b {
+	case Groth16:
+		return "zkVC-G"
+	case Spartan:
+		return "zkVC-S"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Matrix re-exports the dense field matrix used throughout the API.
+type Matrix = matrix.Matrix
+
+// Options selects the paper's circuit optimizations. DefaultOptions turns
+// both on; the zero value is the unoptimized baseline circuit.
+type Options = crpc.Options
+
+// DefaultOptions enables CRPC and PSQ (the full zkVC configuration).
+func DefaultOptions() Options { return Options{CRPC: true, PSQ: true} }
+
+// NewMatrix returns a zero matrix.
+func NewMatrix(rows, cols int) *Matrix { return matrix.New(rows, cols) }
+
+// RandomMatrix fills a matrix with signed integers in [−bound, bound],
+// the shape of quantized neural-network tensors.
+func RandomMatrix(rng *mrand.Rand, rows, cols int, bound int64) *Matrix {
+	return matrix.Random(rng, rows, cols, bound)
+}
+
+// MatMul returns x·w over the scalar field.
+func MatMul(x, w *Matrix) *Matrix { return matrix.Mul(x, w) }
+
+// Timings breaks an end-to-end proof into its phases. Setup is the
+// Groth16 CRS generation (zero for Spartan); the paper's proving-time
+// numbers correspond to Synthesis + Prove.
+type Timings struct {
+	Synthesis time.Duration
+	Setup     time.Duration
+	Prove     time.Duration
+}
+
+// MatMulProof is a verifiable statement "Y = X·W for the W committed in
+// WCommit", carrying everything the verifier needs beyond the public X.
+type MatMulProof struct {
+	Backend Backend
+	Opts    Options
+	Y       *Matrix
+	WCommit []byte
+
+	G16Proof *groth16.Proof
+	G16VK    *groth16.VerifyingKey
+
+	SpartanProof *spartan.Proof
+
+	Timings Timings
+}
+
+// SizeBytes reports the wire size of the backend proof object (excluding
+// the public Y, which the server sends anyway as the inference result).
+func (p *MatMulProof) SizeBytes() int {
+	switch p.Backend {
+	case Groth16:
+		return p.G16Proof.SizeBytes()
+	case Spartan:
+		return p.SpartanProof.SizeBytes()
+	}
+	return 0
+}
+
+// MatMulProver proves matrix products against a chosen backend.
+//
+// For the Groth16 backend each distinct (shape, Z) pair needs a CRS; this
+// implementation regenerates it inside Prove and reports the cost
+// separately in Timings.Setup (in a deployment the CRS is produced once
+// per shape epoch by a trusted party; the Spartan backend has no setup at
+// all).
+type MatMulProver struct {
+	backend Backend
+	opts    Options
+	pcs     pcs.Params
+	rng     *mrand.Rand
+}
+
+// NewMatMulProver returns a prover. The deterministic seed keeps
+// benchmarks reproducible; call Reseed for fresh randomness.
+func NewMatMulProver(backend Backend, opts Options) *MatMulProver {
+	return &MatMulProver{
+		backend: backend,
+		opts:    opts,
+		pcs:     pcs.DefaultParams(),
+		rng:     mrand.New(mrand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Reseed replaces the prover's randomness source.
+func (p *MatMulProver) Reseed(seed int64) { p.rng = mrand.New(mrand.NewSource(seed)) }
+
+// PCSParams returns the polynomial-commitment parameters of the Spartan
+// backend.
+func (p *MatMulProver) PCSParams() pcs.Params { return p.pcs }
+
+// Prove computes Y = X·W and produces a proof of correctness that hides W.
+func (p *MatMulProver) Prove(x, w *Matrix) (*MatMulProof, error) {
+	stmt := crpc.NewStatement(x, w)
+	proof := &MatMulProof{
+		Backend: p.backend,
+		Opts:    p.opts,
+		Y:       stmt.Y,
+		WCommit: crpc.WCommit(w),
+	}
+
+	start := time.Now()
+	syn, err := crpc.Synthesize(stmt, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	proof.Timings.Synthesis = time.Since(start)
+
+	switch p.backend {
+	case Groth16:
+		start = time.Now()
+		pk, vk, err := groth16.Setup(syn.Sys, p.rng)
+		if err != nil {
+			return nil, err
+		}
+		proof.Timings.Setup = time.Since(start)
+		start = time.Now()
+		g16, err := groth16.Prove(syn.Sys, pk, syn.Assignment, p.rng)
+		if err != nil {
+			return nil, err
+		}
+		proof.Timings.Prove = time.Since(start)
+		proof.G16Proof = g16
+		proof.G16VK = vk
+	case Spartan:
+		start = time.Now()
+		sp, err := spartan.Prove(syn.Sys, syn.Assignment, p.pcs)
+		if err != nil {
+			return nil, err
+		}
+		proof.Timings.Prove = time.Since(start)
+		proof.SpartanProof = sp
+	default:
+		return nil, fmt.Errorf("zkvc: unknown backend %d", p.backend)
+	}
+	return proof, nil
+}
+
+// ErrVerification is returned when a proof does not verify.
+var ErrVerification = errors.New("zkvc: verification failed")
+
+// VerifyMatMul checks a proof against the public input X and the claimed
+// output proof.Y. The verifier reconstructs the circuit from public data
+// only: dimensions, the claimed Y, and the prover's commitment to W.
+func VerifyMatMul(x *Matrix, proof *MatMulProof) error {
+	if proof.Y.Rows != x.Rows {
+		return fmt.Errorf("zkvc: output has %d rows, input has %d", proof.Y.Rows, x.Rows)
+	}
+	var z ff.Fr
+	if proof.Opts.CRPC {
+		z = crpc.DeriveZFromCommit(x, proof.Y, proof.WCommit)
+	}
+	n := x.Cols
+	b := proof.Y.Cols
+	sys := crpc.SynthesizeShape(x.Rows, n, b, z, proof.Opts)
+
+	// Public witness = [1, X entries, Y entries].
+	public := make([]ff.Fr, 1, 1+len(x.Data)+len(proof.Y.Data))
+	public[0].SetOne()
+	public = append(public, x.Data...)
+	public = append(public, proof.Y.Data...)
+
+	switch proof.Backend {
+	case Groth16:
+		if proof.G16Proof == nil || proof.G16VK == nil {
+			return fmt.Errorf("%w: missing Groth16 payload", ErrVerification)
+		}
+		if err := groth16.Verify(proof.G16VK, proof.G16Proof, public); err != nil {
+			return fmt.Errorf("%w: %v", ErrVerification, err)
+		}
+	case Spartan:
+		if proof.SpartanProof == nil {
+			return fmt.Errorf("%w: missing Spartan payload", ErrVerification)
+		}
+		if err := spartan.Verify(sys, proof.SpartanProof, public, pcs.DefaultParams()); err != nil {
+			return fmt.Errorf("%w: %v", ErrVerification, err)
+		}
+	default:
+		return fmt.Errorf("zkvc: unknown backend %d", proof.Backend)
+	}
+	return nil
+}
+
+// SameCommitment reports whether two proofs bind the same private model.
+func SameCommitment(a, b *MatMulProof) bool { return bytes.Equal(a.WCommit, b.WCommit) }
+
+// MatrixFromInt64 builds a field matrix from row-major signed integers
+// (quantized tensor values).
+func MatrixFromInt64(rows, cols int, vals []int64) *Matrix {
+	return matrix.FromInt64(rows, cols, vals)
+}
+
+// MatrixToInt64 reads a field matrix back as row-major signed integers.
+// It panics if an entry does not fit in an int64 (proof matrices always
+// do: they hold quantized tensors and their products).
+func MatrixToInt64(m *Matrix) []int64 {
+	out := make([]int64, len(m.Data))
+	for i := range m.Data {
+		out[i] = gadgets.SignedInt64(m.Data[i])
+	}
+	return out
+}
