@@ -1,20 +1,24 @@
-// Command zkvc proves and verifies matrix multiplications on disk — the
-// paper's client/server workflow (Figure 1) as a CLI.
+// Command zkvc proves and verifies matrix multiplications — the paper's
+// client/server workflow (Figure 1) as a CLI, either on disk or against
+// the concurrent proving service.
 //
-// The server holds a private weight matrix w.json and receives a public
-// input x.json; it proves Y = X·W without revealing W:
+// On-disk workflow:
 //
 //	zkvc gen -rows 49 -cols 64 -bound 256 -out x.json
 //	zkvc gen -rows 64 -cols 128 -bound 256 -out w.json
 //	zkvc prove -x x.json -w w.json -backend spartan -out proof.bin
 //	zkvc verify -x x.json -proof proof.bin
 //
-// Matrices are JSON ({"rows":R,"cols":C,"data":[...int64]}); proofs are
-// gob-encoded zkvc.MatMulProof blobs.
+// Service workflow:
+//
+//	zkvc serve -addr :8799 -backend spartan -window 10ms
+//	zkvc client -server http://localhost:8799 -x x.json -w w.json
+//
+// Matrices are JSON ({"rows":R,"cols":C,"data":[...int64]}); proofs use
+// the canonical versioned binary format of internal/wire.
 package main
 
 import (
-	"encoding/gob"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +26,7 @@ import (
 	"os"
 
 	"zkvc"
+	"zkvc/internal/wire"
 )
 
 // matrixFile is the on-disk matrix format.
@@ -62,7 +67,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	if len(os.Args) < 2 {
-		fatalf("usage: zkvc <gen|prove|verify> [flags]")
+		fatalf("usage: zkvc <gen|prove|verify|serve|client> [flags]")
 	}
 	switch os.Args[1] {
 	case "gen":
@@ -71,8 +76,12 @@ func main() {
 		cmdProve(os.Args[2:])
 	case "verify":
 		cmdVerify(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "client":
+		cmdClient(os.Args[2:])
 	default:
-		fatalf("unknown subcommand %q (want gen, prove or verify)", os.Args[1])
+		fatalf("unknown subcommand %q (want gen, prove, verify, serve or client)", os.Args[1])
 	}
 }
 
@@ -115,14 +124,9 @@ func cmdProve(args []string) {
 		fatalf("prove: %v", err)
 	}
 
-	var backend zkvc.Backend
-	switch *backendName {
-	case "groth16":
-		backend = zkvc.Groth16
-	case "spartan":
-		backend = zkvc.Spartan
-	default:
-		fatalf("prove: unknown backend %q", *backendName)
+	backend, err := parseBackend(*backendName)
+	if err != nil {
+		fatalf("prove: %v", err)
 	}
 	opts := zkvc.DefaultOptions()
 	if *vanilla {
@@ -135,13 +139,8 @@ func cmdProve(args []string) {
 		fatalf("prove: %v", err)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fatalf("prove: %v", err)
-	}
-	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(proof); err != nil {
-		fatalf("prove: encoding proof: %v", err)
+	if err := os.WriteFile(*out, wire.EncodeMatMulProof(proof), 0o644); err != nil {
+		fatalf("prove: writing proof: %v", err)
 	}
 	fmt.Printf("proved [%d,%d]x[%d,%d] on %s: synthesis %v, setup %v, prove %v, proof %d bytes → %s\n",
 		x.Rows, x.Cols, w.Rows, w.Cols, backend,
@@ -158,6 +157,7 @@ func cmdVerify(args []string) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	xPath := fs.String("x", "", "public input matrix (required)")
 	proofPath := fs.String("proof", "proof.bin", "proof path")
+	epoch := fs.String("epoch", "", "expected epoch label (required for epoch proofs)")
 	fs.Parse(args)
 	if *xPath == "" {
 		fatalf("verify: -x is required")
@@ -166,16 +166,20 @@ func cmdVerify(args []string) {
 	if err != nil {
 		fatalf("verify: %v", err)
 	}
-	f, err := os.Open(*proofPath)
+	raw, err := os.ReadFile(*proofPath)
 	if err != nil {
 		fatalf("verify: %v", err)
 	}
-	defer f.Close()
-	var proof zkvc.MatMulProof
-	if err := gob.NewDecoder(f).Decode(&proof); err != nil {
+	proof, err := wire.DecodeMatMulProof(raw)
+	if err != nil {
 		fatalf("verify: decoding proof: %v", err)
 	}
-	if err := zkvc.VerifyMatMul(x, &proof); err != nil {
+	if *epoch != "" {
+		err = zkvc.VerifyMatMulInEpoch(x, proof, []byte(*epoch))
+	} else {
+		err = zkvc.VerifyMatMul(x, proof)
+	}
+	if err != nil {
 		fatalf("verification FAILED: %v", err)
 	}
 	fmt.Printf("verification OK: Y is %dx%d, backend %s, circuit %s, proof %d bytes\n",

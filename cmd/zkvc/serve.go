@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+)
+
+func parseBackend(name string) (zkvc.Backend, error) {
+	switch name {
+	case "groth16":
+		return zkvc.Groth16, nil
+	case "spartan":
+		return zkvc.Spartan, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (want groth16 or spartan)", name)
+	}
+}
+
+// cmdServe runs the coalescing proving service.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8799", "listen address")
+	backendName := fs.String("backend", "spartan", "proof system: groth16 or spartan")
+	window := fs.Duration("window", 10*time.Millisecond, "coalescing window")
+	maxBatch := fs.Int("max-batch", 16, "flush a batch early at this many pending jobs")
+	workers := fs.Int("workers", 0, "proving workers (0 = NumCPU)")
+	epoch := fs.String("epoch", "zkvc-epoch-0", "shape-epoch label for the single-proof CRS cache")
+	fs.Parse(args)
+
+	backend, err := parseBackend(*backendName)
+	if err != nil {
+		fatalf("serve: %v", err)
+	}
+	cfg := server.DefaultConfig()
+	cfg.Backend = backend
+	cfg.Window = *window
+	cfg.MaxBatch = *maxBatch
+	cfg.Workers = *workers
+	cfg.Epoch = []byte(*epoch)
+
+	s, err := server.New(cfg)
+	if err != nil {
+		fatalf("serve: %v", err)
+	}
+	defer s.Close()
+	fmt.Printf("zkvc proving service on %s: backend %s, window %v, max batch %d\n",
+		*addr, backend, *window, *maxBatch)
+	if err := s.ListenAndServe(*addr); err != nil {
+		fatalf("serve: %v", err)
+	}
+}
+
+// cmdClient submits a proving job to a running service, verifies the
+// coalesced batch locally, and stores the response in the wire format.
+func cmdClient(args []string) {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8799", "proving service base URL")
+	xPath := fs.String("x", "", "public input matrix (required)")
+	wPath := fs.String("w", "", "private weight matrix (required)")
+	out := fs.String("out", "proof.bin", "write the wire-encoded prove response here")
+	single := fs.Bool("single", false, "use the uncoalesced single-proof endpoint")
+	epoch := fs.String("epoch", "zkvc-epoch-0", "epoch label this client trusts for single proofs")
+	fs.Parse(args)
+	if *xPath == "" || *wPath == "" {
+		fatalf("client: -x and -w are required")
+	}
+	x, err := readMatrix(*xPath)
+	if err != nil {
+		fatalf("client: %v", err)
+	}
+	w, err := readMatrix(*wPath)
+	if err != nil {
+		fatalf("client: %v", err)
+	}
+
+	body := wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w})
+	endpoint := *serverURL + "/v1/prove"
+	if *single {
+		endpoint += "/single"
+	}
+	resp, err := http.Post(endpoint, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		fatalf("client: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("client: reading response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("client: server returned %d: %s", resp.StatusCode, raw)
+	}
+
+	if *single {
+		proof, err := wire.DecodeMatMulProof(raw)
+		if err != nil {
+			fatalf("client: decoding proof: %v", err)
+		}
+		// The trusted epoch comes from our flag, not from the proof.
+		if err := zkvc.VerifyMatMulInEpoch(x, proof, []byte(*epoch)); err != nil {
+			fatalf("client: proof does not verify: %v", err)
+		}
+		fmt.Printf("single proof OK: backend %s, %d bytes, epoch %q\n",
+			proof.Backend, proof.SizeBytes(), proof.Epoch)
+	} else {
+		pr, err := wire.DecodeProveResponse(raw)
+		if err != nil {
+			fatalf("client: decoding response: %v", err)
+		}
+		if err := zkvc.VerifyMatMulBatch(pr.Xs, pr.Batch); err != nil {
+			fatalf("client: batch does not verify: %v", err)
+		}
+		fmt.Printf("batch proof OK: %d statements coalesced, ours is #%d, backend %s, %d bytes\n",
+			len(pr.Xs), pr.Index, pr.Batch.Backend, pr.Batch.SizeBytes())
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatalf("client: %v", err)
+	}
+	fmt.Printf("wrote response to %s\n", *out)
+}

@@ -1,0 +1,3 @@
+module zkvc
+
+go 1.24

@@ -104,6 +104,38 @@ func DeriveZFromCommit(x, y *matrix.Matrix, wCommit []byte) ff.Fr {
 	return tr.ChallengeFr("z")
 }
 
+// DeriveEpochZ derives a CRPC challenge bound to an epoch label and a
+// circuit shape instead of an individual statement. All proofs of one
+// (shape, opts) family within the epoch share this Z, so the Groth16 CRS
+// for the family can be generated once and cached — the deployment the
+// MatMulProver doc comment envisions, where a trusted party samples the
+// epoch after provers have fixed their models. Soundness then rests on the
+// epoch being unpredictable at commitment time rather than on per-statement
+// Fiat–Shamir; rotate epochs to bound exposure.
+func DeriveEpochZ(epoch []byte, a, n, b int, opts Options) ff.Fr {
+	tr := transcript.New("zkvc.crpc.epoch.z")
+	tr.Append("epoch", epoch)
+	tr.AppendUint64("a", uint64(a))
+	tr.AppendUint64("n", uint64(n))
+	tr.AppendUint64("b", uint64(b))
+	var bits byte
+	if opts.CRPC {
+		bits |= 1
+	}
+	if opts.PSQ {
+		bits |= 2
+	}
+	tr.Append("opts", []byte{bits})
+	return tr.ChallengeFr("z")
+}
+
+// SynthesizeAt builds the circuit at a caller-supplied challenge. The
+// epoch-keyed proving path uses it with DeriveEpochZ so the circuit (and
+// hence the Groth16 CRS) matches a cached per-shape setup.
+func SynthesizeAt(stmt *Statement, z ff.Fr, opts Options) (*Synthesis, error) {
+	return synthesizeWithZ(stmt, z, opts)
+}
+
 // SynthesizeShape rebuilds just the constraint system for given dimensions
 // and challenge, without any witness values: the circuit structure depends
 // only on (a, n, b, Z, opts), so a verifier can reconstruct it from public

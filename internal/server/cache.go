@@ -1,0 +1,63 @@
+package server
+
+import (
+	"sync"
+
+	"zkvc"
+)
+
+// crsCache memoizes per-(backend, shape, options) epoch CRSs with
+// singleflight semantics: when many requests for a new shape race, exactly
+// one runs the (expensive, for Groth16) trusted setup and the rest block
+// on its result. The standard library has no singleflight and the module
+// is dependency-free, so this is hand-rolled on a ready channel.
+type crsCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*crsEntry
+}
+
+type cacheKey struct {
+	backend zkvc.Backend
+	shape   zkvc.ShapeKey
+}
+
+type crsEntry struct {
+	ready chan struct{} // closed once crs/err are final
+	crs   *zkvc.CRS
+	err   error
+}
+
+func newCRSCache() *crsCache {
+	return &crsCache{entries: make(map[cacheKey]*crsEntry)}
+}
+
+// get returns the cached CRS for key, running create exactly once per key
+// (failed creations are evicted so a later request can retry). hit reports
+// whether this caller found the entry already present.
+func (c *crsCache) get(key cacheKey, create func() (*zkvc.CRS, error)) (crs *zkvc.CRS, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.crs, true, e.err
+	}
+	e := &crsEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.crs, e.err = create()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.crs, false, e.err
+}
+
+// Len reports how many shapes have a cached CRS.
+func (c *crsCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+
+	"zkvc"
+)
+
+// metrics are the service counters, all lock-free. The coalesce ratio
+// (requests per backend proof) is the service's headline number: it is the
+// amortization factor of the paper's batching argument, measured live.
+type metrics struct {
+	queueDepth     atomic.Int64
+	requestsProved atomic.Int64
+	batchesProved  atomic.Int64
+	singlesProved  atomic.Int64
+	verifyRequests atomic.Int64
+	proveErrors    atomic.Int64
+	crsHits        atomic.Int64
+	crsMisses      atomic.Int64
+
+	synthesisNanos atomic.Int64
+	setupNanos     atomic.Int64
+	proveNanos     atomic.Int64
+}
+
+func (m *metrics) recordTimings(t zkvc.Timings) {
+	m.synthesisNanos.Add(int64(t.Synthesis))
+	m.setupNanos.Add(int64(t.Setup))
+	m.proveNanos.Add(int64(t.Prove))
+}
+
+// Snapshot is the JSON shape of GET /metrics.
+type Snapshot struct {
+	QueueDepth     int64 `json:"queue_depth"`
+	Requests       int64 `json:"requests"`
+	BatchesProved  int64 `json:"batches_proved"`
+	SinglesProved  int64 `json:"singles_proved"`
+	VerifyRequests int64 `json:"verify_requests"`
+	ProveErrors    int64 `json:"prove_errors"`
+
+	// CoalesceRatio is batch-path requests per backend proof (≥ 1 once
+	// any batch has been proved; higher means better amortization).
+	CoalesceRatio float64 `json:"coalesce_ratio"`
+
+	CRSCacheHits   int64 `json:"crs_cache_hits"`
+	CRSCacheMisses int64 `json:"crs_cache_misses"`
+
+	PhaseNanos struct {
+		Synthesis int64 `json:"synthesis"`
+		Setup     int64 `json:"setup"`
+		Prove     int64 `json:"prove"`
+	} `json:"phase_nanos"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	var s Snapshot
+	s.QueueDepth = m.queueDepth.Load()
+	s.Requests = m.requestsProved.Load()
+	s.BatchesProved = m.batchesProved.Load()
+	s.SinglesProved = m.singlesProved.Load()
+	s.VerifyRequests = m.verifyRequests.Load()
+	s.ProveErrors = m.proveErrors.Load()
+	if s.BatchesProved > 0 {
+		s.CoalesceRatio = float64(s.Requests) / float64(s.BatchesProved)
+	}
+	s.CRSCacheHits = m.crsHits.Load()
+	s.CRSCacheMisses = m.crsMisses.Load()
+	s.PhaseNanos.Synthesis = m.synthesisNanos.Load()
+	s.PhaseNanos.Setup = m.setupNanos.Load()
+	s.PhaseNanos.Prove = m.proveNanos.Load()
+	return s
+}
+
+func (m *metrics) writeJSON(w io.Writer) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(m.snapshot())
+}
+
+// Metrics returns a point-in-time snapshot of the service counters.
+func (s *Server) Metrics() Snapshot { return s.metrics.snapshot() }

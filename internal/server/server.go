@@ -1,0 +1,415 @@
+// Package server exposes zkVC proving and verification as a concurrent
+// HTTP service. It is the system the paper's batching argument calls for:
+// per-proof overhead (Groth16 CRS generation, Spartan commitments)
+// dominates small matmuls, so the service folds requests arriving close
+// together into a single ProveBatch call — one circuit, one setup, one
+// proof for the whole window — and a bounded worker pool keeps proving off
+// the request goroutines.
+//
+// Endpoints (all proof bodies use the canonical internal/wire encoding):
+//
+//	POST /v1/prove        coalescing batch proving (wire.ProveRequest → wire.ProveResponse)
+//	POST /v1/prove/single one proof per request, Groth16 CRS cached per shape (→ wire MatMulProof)
+//	POST /v1/verify       check a single proof (wire.VerifyRequest → JSON)
+//	POST /v1/verify/batch check a coalesced batch (wire.ProveResponse → JSON)
+//	GET  /metrics         queue depth, coalesce ratio, per-phase timings (JSON)
+//	GET  /healthz         liveness
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/wire"
+)
+
+// Config tunes the proving service. The zero value is not valid; use
+// DefaultConfig as a base.
+type Config struct {
+	Backend zkvc.Backend
+	Opts    zkvc.Options
+
+	// Window is how long the coalescer holds the first job of a batch
+	// waiting for more work before flushing.
+	Window time.Duration
+	// MaxBatch flushes a batch early once this many jobs are pending.
+	MaxBatch int
+	// Workers bounds the proving pool; 0 means runtime.NumCPU().
+	Workers int
+	// QueueCap bounds jobs waiting for the coalescer before the service
+	// sheds load with 503s.
+	QueueCap int
+	// Epoch labels the shape epoch for the single-proof CRS cache.
+	Epoch []byte
+	// Seed makes proving deterministic for tests; 0 draws from the clock.
+	Seed int64
+}
+
+// DefaultConfig returns a production-shaped configuration: the full zkVC
+// circuit, a short coalescing window, and one worker per CPU.
+func DefaultConfig() Config {
+	return Config{
+		Backend:  zkvc.Spartan,
+		Opts:     zkvc.DefaultOptions(),
+		Window:   10 * time.Millisecond,
+		MaxBatch: 16,
+		Workers:  runtime.NumCPU(),
+		QueueCap: 1024,
+		Epoch:    []byte("zkvc-epoch-0"),
+	}
+}
+
+// maxBodyBytes bounds request bodies (a 256×256 matrix pair is ~4 MiB).
+const maxBodyBytes = 64 << 20
+
+// ErrClosed is returned for jobs submitted after Close.
+var ErrClosed = errors.New("server: shutting down")
+
+// errQueueFull sheds load when the submission queue is saturated.
+var errQueueFull = errors.New("server: queue full")
+
+type job struct {
+	x, w *zkvc.Matrix
+	resp chan jobResult
+}
+
+type jobResult struct {
+	resp *wire.ProveResponse
+	err  error
+}
+
+// Server is the proving service. Create it with New, serve s.Handler(),
+// and Close it to drain the pool.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	cache   *crsCache
+
+	submit  chan *job
+	batches chan []*job
+
+	mu     sync.RWMutex // guards closed / submit channel close
+	closed bool
+	wg     sync.WaitGroup
+
+	seedCtr atomic.Int64
+}
+
+// New validates the configuration and starts the coalescer and worker
+// pool. The service accepts work immediately.
+func New(cfg Config) (*Server, error) {
+	if !cfg.Opts.CRPC {
+		return nil, fmt.Errorf("server: coalesced proving requires the CRPC identity (got %v)", cfg.Opts)
+	}
+	if cfg.Backend != zkvc.Groth16 && cfg.Backend != zkvc.Spartan {
+		return nil, fmt.Errorf("server: unknown backend %d", cfg.Backend)
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("server: coalescing window must be positive")
+	}
+	if cfg.MaxBatch <= 0 {
+		return nil, fmt.Errorf("server: max batch must be positive")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if len(cfg.Epoch) == 0 {
+		return nil, fmt.Errorf("server: epoch label must be non-empty")
+	}
+	if len(cfg.Epoch) > wire.MaxEpochLen {
+		return nil, fmt.Errorf("server: epoch label is %d bytes, wire format allows %d",
+			len(cfg.Epoch), wire.MaxEpochLen)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: &metrics{},
+		cache:   newCRSCache(),
+		submit:  make(chan *job, cfg.QueueCap),
+		batches: make(chan []*job),
+	}
+	s.wg.Add(1 + cfg.Workers)
+	go s.coalesce()
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops accepting work, flushes pending jobs through the pool, and
+// waits for in-flight proofs to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.submit)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// newProver returns a fresh prover with a unique deterministic seed.
+// MatMulProver is not safe for concurrent use, so every worker and every
+// single-proof request gets its own.
+func (s *Server) newProver() *zkvc.MatMulProver {
+	p := zkvc.NewMatMulProver(s.cfg.Backend, s.cfg.Opts)
+	p.Reseed(s.cfg.Seed + s.seedCtr.Add(1))
+	return p
+}
+
+// submitJob hands a job to the coalescer and waits for its batch to prove.
+func (s *Server) submitJob(x, w *zkvc.Matrix) (*wire.ProveResponse, error) {
+	j := &job{x: x, w: w, resp: make(chan jobResult, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.submit <- j:
+		s.metrics.queueDepth.Add(1)
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		return nil, errQueueFull
+	}
+	r := <-j.resp
+	return r.resp, r.err
+}
+
+// coalesce folds jobs arriving within Window (or up to MaxBatch) into one
+// unit of work for the pool.
+func (s *Server) coalesce() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	var pending []*job
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		s.batches <- pending
+		pending = nil
+	}
+	for {
+		select {
+		case j, ok := <-s.submit:
+			if !ok {
+				if timer != nil {
+					timer.Stop()
+				}
+				flush()
+				return
+			}
+			pending = append(pending, j)
+			if len(pending) == 1 {
+				timer = time.NewTimer(s.cfg.Window)
+				timerC = timer.C
+			}
+			if len(pending) >= s.cfg.MaxBatch {
+				timer.Stop()
+				timerC = nil
+				flush()
+			}
+		case <-timerC:
+			timerC = nil
+			flush()
+		}
+	}
+}
+
+// worker proves coalesced batches until the service closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	prover := s.newProver()
+	for batch := range s.batches {
+		s.proveBatch(prover, batch)
+	}
+}
+
+func (s *Server) proveBatch(prover *zkvc.MatMulProver, jobs []*job) {
+	defer s.metrics.queueDepth.Add(-int64(len(jobs)))
+	pairs := make([][2]*zkvc.Matrix, len(jobs))
+	xs := make([]*zkvc.Matrix, len(jobs))
+	for i, j := range jobs {
+		pairs[i] = [2]*zkvc.Matrix{j.x, j.w}
+		xs[i] = j.x
+	}
+	proof, err := prover.ProveBatch(pairs...)
+	if err != nil {
+		s.metrics.proveErrors.Add(1)
+		for _, j := range jobs {
+			j.resp <- jobResult{err: err}
+		}
+		return
+	}
+	s.metrics.batchesProved.Add(1)
+	s.metrics.requestsProved.Add(int64(len(jobs)))
+	s.metrics.recordTimings(proof.Timings)
+	for i, j := range jobs {
+		j.resp <- jobResult{resp: &wire.ProveResponse{Index: i, Xs: xs, Batch: proof}}
+	}
+}
+
+// proveSingle serves the uncoalesced path: one proof per request against
+// the per-shape epoch CRS, generated at most once thanks to singleflight.
+func (s *Server) proveSingle(x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
+	key := cacheKey{backend: s.cfg.Backend, shape: zkvc.Shape(x, w, s.cfg.Opts)}
+	crs, hit, err := s.cache.get(key, func() (*zkvc.CRS, error) {
+		return s.newProver().Setup(x.Rows, x.Cols, w.Cols, s.cfg.Epoch)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		s.metrics.crsHits.Add(1)
+	} else {
+		s.metrics.crsMisses.Add(1)
+		// Epoch proofs carry Timings.Setup == 0; the CRS paid it. Charge
+		// it to the setup phase here so /metrics reflects real work.
+		s.metrics.setupNanos.Add(int64(crs.SetupTime))
+	}
+	proof, err := s.newProver().ProveWithCRS(crs, x, w)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.singlesProved.Add(1)
+	s.metrics.recordTimings(proof.Timings)
+	return proof, nil
+}
+
+// Handler returns the HTTP surface of the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/prove", s.handleProve)
+	mux.HandleFunc("POST /v1/prove/single", s.handleProveSingle)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// ListenAndServe serves the handler on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	return hs.ListenAndServe()
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
+		return nil, false
+	}
+	return raw, true
+}
+
+func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeProveRequest(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.submitJob(req.X, req.W)
+	switch {
+	case errors.Is(err, errQueueFull) || errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wire.EncodeProveResponse(resp))
+}
+
+func (s *Server) handleProveSingle(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeProveRequest(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	proof, err := s.proveSingle(req.X, req.W)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wire.EncodeMatMulProof(proof))
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeVerifyRequest(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.metrics.verifyRequests.Add(1)
+	// Epoch proofs are only accepted for this service's own epoch; the
+	// label inside the proof proves nothing by itself.
+	if len(req.Proof.Epoch) > 0 {
+		writeVerdict(w, zkvc.VerifyMatMulInEpoch(req.X, req.Proof, s.cfg.Epoch))
+		return
+	}
+	writeVerdict(w, zkvc.VerifyMatMul(req.X, req.Proof))
+}
+
+func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	resp, err := wire.DecodeProveResponse(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.metrics.verifyRequests.Add(1)
+	writeVerdict(w, zkvc.VerifyMatMulBatch(resp.Xs, resp.Batch))
+}
+
+func writeVerdict(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprintf(w, "{\"ok\":false,\"error\":%q}\n", err.Error())
+		return
+	}
+	io.WriteString(w, "{\"ok\":true}\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.metrics.writeJSON(w)
+}

@@ -1,0 +1,278 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+)
+
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func getMetrics(t *testing.T, base string) server.Snapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap server.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestServerCoalescingE2E drives the real HTTP stack end to end: N
+// concurrent clients submit overlapping matmul shapes, every response
+// decodes through the canonical wire format and verifies, and the
+// coalescer must have folded the N requests into strictly fewer backend
+// proofs.
+func TestServerCoalescingE2E(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Backend = zkvc.Spartan
+	cfg.Window = 300 * time.Millisecond
+	cfg.MaxBatch = 8
+	cfg.Workers = 2
+	cfg.Seed = 1
+
+	_, ts := newTestServer(t, cfg)
+
+	const n = 10
+	shapes := [][3]int{{3, 4, 2}, {2, 5, 3}} // overlapping shapes across clients
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := mrand.New(mrand.NewSource(int64(100 + i)))
+			sh := shapes[i%len(shapes)]
+			x := zkvc.RandomMatrix(rng, sh[0], sh[1], 32)
+			w := zkvc.RandomMatrix(rng, sh[1], sh[2], 32)
+
+			status, raw := post(t, ts.URL+"/v1/prove", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d: %s", i, status, raw)
+				return
+			}
+			resp, err := wire.DecodeProveResponse(raw)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: decode: %v", i, err)
+				return
+			}
+			if err := zkvc.VerifyMatMulBatch(resp.Xs, resp.Batch); err != nil {
+				errs <- fmt.Errorf("client %d: batch does not verify: %v", i, err)
+				return
+			}
+			if !resp.Xs[resp.Index].Equal(x) {
+				errs <- fmt.Errorf("client %d: response index points at someone else's input", i)
+				return
+			}
+			if want := zkvc.MatMul(x, w); !resp.Batch.Ys[resp.Index].Equal(want) {
+				errs <- fmt.Errorf("client %d: Y[%d] is not X·W", i, resp.Index)
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := getMetrics(t, ts.URL)
+	if snap.Requests != n {
+		t.Errorf("metrics report %d requests, want %d", snap.Requests, n)
+	}
+	if snap.BatchesProved == 0 || snap.BatchesProved >= n {
+		t.Errorf("coalescing produced %d backend proofs for %d requests, want fewer", snap.BatchesProved, n)
+	}
+	if snap.CoalesceRatio <= 1 {
+		t.Errorf("coalesce ratio %.2f, want > 1", snap.CoalesceRatio)
+	}
+	if snap.QueueDepth != 0 {
+		t.Errorf("queue depth %d after drain, want 0", snap.QueueDepth)
+	}
+	if snap.PhaseNanos.Prove == 0 {
+		t.Error("per-phase prove timing not recorded")
+	}
+}
+
+// TestSingleProveCRSCache exercises the uncoalesced Groth16 path:
+// concurrent same-shape requests must trigger exactly one trusted setup
+// (singleflight), every proof must verify, and proofs after the first must
+// not pay setup.
+func TestSingleProveCRSCache(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Backend = zkvc.Groth16
+	cfg.Seed = 2
+
+	_, ts := newTestServer(t, cfg)
+
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := mrand.New(mrand.NewSource(int64(200 + i)))
+			x := zkvc.RandomMatrix(rng, 3, 4, 32)
+			w := zkvc.RandomMatrix(rng, 4, 2, 32)
+			status, raw := post(t, ts.URL+"/v1/prove/single", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d: %s", i, status, raw)
+				return
+			}
+			proof, err := wire.DecodeMatMulProof(raw)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: decode: %v", i, err)
+				return
+			}
+			if err := zkvc.VerifyMatMulInEpoch(x, proof, cfg.Epoch); err != nil {
+				errs <- fmt.Errorf("client %d: proof does not verify: %v", i, err)
+				return
+			}
+			if proof.Timings.Setup != 0 {
+				errs <- fmt.Errorf("client %d: epoch proof paid setup (%v)", i, proof.Timings.Setup)
+			}
+			if len(proof.Epoch) == 0 {
+				errs <- fmt.Errorf("client %d: proof does not record its epoch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := getMetrics(t, ts.URL)
+	if snap.CRSCacheMisses != 1 {
+		t.Errorf("CRS cache misses %d, want exactly 1 (singleflight)", snap.CRSCacheMisses)
+	}
+	if snap.CRSCacheHits != n-1 {
+		t.Errorf("CRS cache hits %d, want %d", snap.CRSCacheHits, n-1)
+	}
+	if snap.SinglesProved != n {
+		t.Errorf("singles proved %d, want %d", snap.SinglesProved, n)
+	}
+}
+
+// TestVerifyEndpoints round-trips proofs through the service's verifier,
+// including a tampered proof that must be rejected with ok=false.
+func TestVerifyEndpoints(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Backend = zkvc.Spartan
+	cfg.Window = 5 * time.Millisecond
+	cfg.Seed = 3
+
+	_, ts := newTestServer(t, cfg)
+
+	rng := mrand.New(mrand.NewSource(300))
+	x := zkvc.RandomMatrix(rng, 3, 4, 32)
+	w := zkvc.RandomMatrix(rng, 4, 2, 32)
+
+	// Batch path proof → /v1/verify/batch.
+	status, raw := post(t, ts.URL+"/v1/prove", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
+	if status != http.StatusOK {
+		t.Fatalf("prove status %d: %s", status, raw)
+	}
+	status, verdict := post(t, ts.URL+"/v1/verify/batch", raw)
+	if status != http.StatusOK || !bytes.Contains(verdict, []byte(`"ok":true`)) {
+		t.Fatalf("batch verify: status %d body %s", status, verdict)
+	}
+
+	// Single proof → /v1/verify, honest then tampered.
+	prover := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
+	prover.Reseed(4)
+	proof, err := prover.Prove(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, verdict = post(t, ts.URL+"/v1/verify", wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: proof}))
+	if status != http.StatusOK || !bytes.Contains(verdict, []byte(`"ok":true`)) {
+		t.Fatalf("verify: status %d body %s", status, verdict)
+	}
+	proof.Y.At(0, 0).SetInt64(777)
+	status, verdict = post(t, ts.URL+"/v1/verify", wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: proof}))
+	if status != http.StatusUnprocessableEntity || !bytes.Contains(verdict, []byte(`"ok":false`)) {
+		t.Fatalf("tampered verify: status %d body %s", status, verdict)
+	}
+
+	// Garbage bodies are rejected up front.
+	if status, _ := post(t, ts.URL+"/v1/prove", []byte("not a wire message")); status != http.StatusBadRequest {
+		t.Errorf("garbage prove request: status %d, want 400", status)
+	}
+}
+
+// TestServerCloseDrains: jobs accepted before Close must complete, and
+// submissions after Close must be refused rather than hang or panic.
+func TestServerCloseDrains(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Backend = zkvc.Spartan
+	cfg.Window = 20 * time.Millisecond
+	cfg.Workers = 1
+	cfg.Seed = 5
+
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rng := mrand.New(mrand.NewSource(400))
+	x := zkvc.RandomMatrix(rng, 2, 3, 16)
+	w := zkvc.RandomMatrix(rng, 3, 2, 16)
+	body := wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w})
+
+	status, raw := post(t, ts.URL+"/v1/prove", body)
+	if status != http.StatusOK {
+		t.Fatalf("pre-close prove: status %d: %s", status, raw)
+	}
+	s.Close()
+	s.Close() // idempotent
+
+	status, _ = post(t, ts.URL+"/v1/prove", body)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("post-close prove: status %d, want 503", status)
+	}
+}

@@ -1,0 +1,89 @@
+package wire_test
+
+import (
+	"bytes"
+	mrand "math/rand"
+	"testing"
+
+	"zkvc"
+	"zkvc/internal/wire"
+)
+
+// fuzzSeeds builds the in-code seed corpus: valid encodings of every
+// message type plus characteristic corruptions. testdata/fuzz holds
+// additional checked-in inputs.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	rng := mrand.New(mrand.NewSource(42))
+	x := zkvc.RandomMatrix(rng, 3, 4, 32)
+	w := zkvc.RandomMatrix(rng, 4, 2, 32)
+
+	var seeds [][]byte
+	for _, backend := range []zkvc.Backend{zkvc.Spartan, zkvc.Groth16} {
+		prover := zkvc.NewMatMulProver(backend, zkvc.DefaultOptions())
+		prover.Reseed(42)
+		proof, err := prover.Prove(x, w)
+		if err != nil {
+			f.Fatal(err)
+		}
+		raw := wire.EncodeMatMulProof(proof)
+		seeds = append(seeds, raw, raw[:len(raw)/2], raw[:7])
+
+		batch, err := prover.ProveBatch([2]*zkvc.Matrix{x, w}, [2]*zkvc.Matrix{x, w})
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, wire.EncodeBatchProof(batch))
+	}
+	seeds = append(seeds,
+		wire.EncodeMatrix(x),
+		wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}),
+		[]byte("ZKVC"),
+		[]byte{},
+		bytes.Repeat([]byte{0xff}, 64),
+	)
+	return seeds
+}
+
+// FuzzWireDecodeProof feeds arbitrary bytes to every decoder. Corrupted or
+// truncated input must produce an error, never a panic — and anything a
+// decoder accepts must re-encode to the identical bytes (the format is
+// canonical), so two distinct byte strings can never decode to the same
+// message.
+func FuzzWireDecodeProof(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := wire.DecodeMatMulProof(data); err == nil {
+			if again := wire.EncodeMatMulProof(p); !bytes.Equal(data, again) {
+				t.Fatalf("accepted MatMulProof is not canonical")
+			}
+		}
+		if p, err := wire.DecodeBatchProof(data); err == nil {
+			if again := wire.EncodeBatchProof(p); !bytes.Equal(data, again) {
+				t.Fatalf("accepted BatchProof is not canonical")
+			}
+		}
+		if m, err := wire.DecodeMatrix(data); err == nil {
+			if again := wire.EncodeMatrix(m); !bytes.Equal(data, again) {
+				t.Fatalf("accepted Matrix is not canonical")
+			}
+		}
+		if r, err := wire.DecodeProveRequest(data); err == nil {
+			if again := wire.EncodeProveRequest(r); !bytes.Equal(data, again) {
+				t.Fatalf("accepted ProveRequest is not canonical")
+			}
+		}
+		if r, err := wire.DecodeProveResponse(data); err == nil {
+			if again := wire.EncodeProveResponse(r); !bytes.Equal(data, again) {
+				t.Fatalf("accepted ProveResponse is not canonical")
+			}
+		}
+		if r, err := wire.DecodeVerifyRequest(data); err == nil {
+			if again := wire.EncodeVerifyRequest(r); !bytes.Equal(data, again) {
+				t.Fatalf("accepted VerifyRequest is not canonical")
+			}
+		}
+	})
+}

@@ -1,0 +1,677 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/curve"
+	"zkvc/internal/ff"
+	"zkvc/internal/groth16"
+	"zkvc/internal/pcs"
+	"zkvc/internal/spartan"
+	"zkvc/internal/sumcheck"
+)
+
+// ProveRequest asks the proving service for a proof of X·W.
+type ProveRequest struct {
+	X, W *zkvc.Matrix
+}
+
+// ProveResponse answers a coalesced proving request: the request's position
+// in the batch, every public input of the batch (in batch order), and the
+// single proof covering all of them. VerifyMatMulBatch(Xs, Batch) checks
+// the whole batch; Batch.Ys[Index] is this request's product.
+type ProveResponse struct {
+	Index int
+	Xs    []*zkvc.Matrix
+	Batch *zkvc.BatchProof
+}
+
+// VerifyRequest asks the service to check a single proof against X.
+type VerifyRequest struct {
+	X     *zkvc.Matrix
+	Proof *zkvc.MatMulProof
+}
+
+// ---- Matrix ----
+
+// EncodeMatrix serializes a matrix as a top-level message.
+func EncodeMatrix(m *zkvc.Matrix) []byte {
+	e := newEnc(TagMatrix)
+	encodeMatrixBody(e, m)
+	return e.buf
+}
+
+// DecodeMatrix parses a top-level matrix message.
+func DecodeMatrix(b []byte) (*zkvc.Matrix, error) {
+	d, err := newDec(b, TagMatrix)
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeMatrixBody(d)
+	if err != nil {
+		return nil, err
+	}
+	return m, d.finish()
+}
+
+func encodeMatrixBody(e *enc, m *zkvc.Matrix) {
+	e.u32(uint32(m.Rows))
+	e.u32(uint32(m.Cols))
+	for i := range m.Data {
+		e.fr(&m.Data[i])
+	}
+}
+
+func decodeMatrixBody(d *dec) (*zkvc.Matrix, error) {
+	rows, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if rows == 0 || cols == 0 || rows > maxDim || cols > maxDim {
+		return nil, fmt.Errorf("%w: matrix dimensions %dx%d out of range", ErrDecode, rows, cols)
+	}
+	n := int(rows) * int(cols)
+	if n > d.remaining()/32 {
+		return nil, fmt.Errorf("%w: %dx%d matrix does not fit in %d remaining bytes", ErrDecode, rows, cols, d.remaining())
+	}
+	m := zkvc.NewMatrix(int(rows), int(cols))
+	for i := range m.Data {
+		if err := d.fr(&m.Data[i]); err != nil {
+			return nil, fmt.Errorf("matrix entry %d: %w", i, err)
+		}
+	}
+	return m, nil
+}
+
+// ---- backend payloads ----
+
+func encodeBackend(e *enc, b zkvc.Backend) { e.u8(byte(b)) }
+
+func decodeBackend(d *dec) (zkvc.Backend, error) {
+	v, err := d.u8()
+	if err != nil {
+		return 0, err
+	}
+	b := zkvc.Backend(v)
+	if b != zkvc.Groth16 && b != zkvc.Spartan {
+		return 0, fmt.Errorf("%w: unknown backend %d", ErrDecode, v)
+	}
+	return b, nil
+}
+
+func encodeOptions(e *enc, o zkvc.Options) {
+	var bits byte
+	if o.CRPC {
+		bits |= 1
+	}
+	if o.PSQ {
+		bits |= 2
+	}
+	e.u8(bits)
+}
+
+func decodeOptions(d *dec) (zkvc.Options, error) {
+	bits, err := d.u8()
+	if err != nil {
+		return zkvc.Options{}, err
+	}
+	if bits > 3 {
+		return zkvc.Options{}, fmt.Errorf("%w: unknown option bits %#x", ErrDecode, bits)
+	}
+	return zkvc.Options{CRPC: bits&1 != 0, PSQ: bits&2 != 0}, nil
+}
+
+func encodeG16Proof(e *enc, p *groth16.Proof) {
+	e.g1(&p.A)
+	e.g2(&p.B)
+	e.g1(&p.C)
+}
+
+func decodeG16Proof(d *dec) (*groth16.Proof, error) {
+	p := &groth16.Proof{}
+	if err := d.g1(&p.A); err != nil {
+		return nil, fmt.Errorf("proof A: %w", err)
+	}
+	if err := d.g2(&p.B); err != nil {
+		return nil, fmt.Errorf("proof B: %w", err)
+	}
+	if err := d.g1(&p.C); err != nil {
+		return nil, fmt.Errorf("proof C: %w", err)
+	}
+	return p, nil
+}
+
+func encodeG16VK(e *enc, vk *groth16.VerifyingKey) {
+	e.g1(&vk.AlphaG1)
+	e.g2(&vk.BetaG2)
+	e.g2(&vk.GammaG2)
+	e.g2(&vk.DeltaG2)
+	e.u32(uint32(len(vk.IC)))
+	for i := range vk.IC {
+		e.g1(&vk.IC[i])
+	}
+}
+
+func decodeG16VK(d *dec) (*groth16.VerifyingKey, error) {
+	vk := &groth16.VerifyingKey{}
+	if err := d.g1(&vk.AlphaG1); err != nil {
+		return nil, fmt.Errorf("vk alpha: %w", err)
+	}
+	if err := d.g2(&vk.BetaG2); err != nil {
+		return nil, fmt.Errorf("vk beta: %w", err)
+	}
+	if err := d.g2(&vk.GammaG2); err != nil {
+		return nil, fmt.Errorf("vk gamma: %w", err)
+	}
+	if err := d.g2(&vk.DeltaG2); err != nil {
+		return nil, fmt.Errorf("vk delta: %w", err)
+	}
+	n, err := d.count("vk IC", maxICLen, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Grow the slice as points actually decode (with a modest starting
+	// capacity) and tolerate only a handful of 1-byte infinity entries,
+	// so the allocation is proportional to the input, not to the header.
+	vk.IC = make([]curve.G1Affine, 0, min(n, 1024))
+	infinities := 0
+	for i := 0; i < n; i++ {
+		var p curve.G1Affine
+		if err := d.g1Any(&p); err != nil {
+			return nil, fmt.Errorf("vk IC[%d]: %w", i, err)
+		}
+		if p.Infinity {
+			if infinities++; infinities > maxICInf {
+				return nil, fmt.Errorf("%w: vk IC has more than %d points at infinity", ErrDecode, maxICInf)
+			}
+		}
+		vk.IC = append(vk.IC, p)
+	}
+	return vk, nil
+}
+
+func encodeSumcheck(e *enc, p *sumcheck.Proof) {
+	e.u32(uint32(len(p.RoundPolys)))
+	for _, poly := range p.RoundPolys {
+		e.u8(byte(len(poly)))
+		for i := range poly {
+			e.fr(&poly[i])
+		}
+	}
+}
+
+func decodeSumcheck(d *dec) (*sumcheck.Proof, error) {
+	rounds, err := d.count("sumcheck rounds", maxRounds, 1)
+	if err != nil {
+		return nil, err
+	}
+	p := &sumcheck.Proof{RoundPolys: make([][]ff.Fr, rounds)}
+	for r := range p.RoundPolys {
+		n, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || int(n) > maxPolyLen {
+			return nil, fmt.Errorf("%w: round polynomial with %d evaluations", ErrDecode, n)
+		}
+		poly, err := d.frs("round poly", int(n))
+		if err != nil {
+			return nil, err
+		}
+		p.RoundPolys[r] = poly
+	}
+	return p, nil
+}
+
+func encodeSpartanProof(e *enc, p *spartan.Proof) {
+	e.buf = append(e.buf, p.Comm.Root[:]...)
+	e.u32(uint32(p.Comm.NumVars))
+	e.u32(uint32(p.Comm.Rows))
+	e.u32(uint32(p.Comm.Cols))
+	encodeSumcheck(e, p.Sum1)
+	e.fr(&p.VA)
+	e.fr(&p.VB)
+	e.fr(&p.VC)
+	encodeSumcheck(e, p.Sum2)
+	e.fr(&p.PrivEval)
+	e.u32(uint32(len(p.Opening.URand)))
+	for i := range p.Opening.URand {
+		e.fr(&p.Opening.URand[i])
+	}
+	e.u32(uint32(len(p.Opening.UEq)))
+	for i := range p.Opening.UEq {
+		e.fr(&p.Opening.UEq[i])
+	}
+	e.u32(uint32(len(p.Opening.Columns)))
+	for _, c := range p.Opening.Columns {
+		e.u32(uint32(c.Index))
+		e.u32(uint32(len(c.Values)))
+		for i := range c.Values {
+			e.fr(&c.Values[i])
+		}
+		e.u32(uint32(len(c.Path)))
+		for _, h := range c.Path {
+			e.buf = append(e.buf, h[:]...)
+		}
+	}
+}
+
+func decodeSpartanProof(d *dec) (*spartan.Proof, error) {
+	p := &spartan.Proof{Opening: &pcs.Opening{}}
+	root, err := d.take(32)
+	if err != nil {
+		return nil, err
+	}
+	copy(p.Comm.Root[:], root)
+	nv, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nv > maxNumVars {
+		return nil, fmt.Errorf("%w: commitment has %d variables", ErrDecode, nv)
+	}
+	rows, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	// pcs.Commit always splits 2^nv into 2^(nv/2) rows; anything else
+	// cannot have come from an honest commitment.
+	wantRows := uint32(1) << (nv / 2)
+	wantCols := uint32(1) << (nv - nv/2)
+	if rows != wantRows || cols != wantCols {
+		return nil, fmt.Errorf("%w: commitment layout %dx%d does not match %d variables", ErrDecode, rows, cols, nv)
+	}
+	p.Comm.NumVars = int(nv)
+	p.Comm.Rows = int(rows)
+	p.Comm.Cols = int(cols)
+
+	if p.Sum1, err = decodeSumcheck(d); err != nil {
+		return nil, fmt.Errorf("sumcheck 1: %w", err)
+	}
+	if err := d.fr(&p.VA); err != nil {
+		return nil, err
+	}
+	if err := d.fr(&p.VB); err != nil {
+		return nil, err
+	}
+	if err := d.fr(&p.VC); err != nil {
+		return nil, err
+	}
+	if p.Sum2, err = decodeSumcheck(d); err != nil {
+		return nil, fmt.Errorf("sumcheck 2: %w", err)
+	}
+	if err := d.fr(&p.PrivEval); err != nil {
+		return nil, err
+	}
+
+	nURand, err := d.count("opening uRand", maxDim, 32)
+	if err != nil {
+		return nil, err
+	}
+	if p.Opening.URand, err = d.frs("uRand", nURand); err != nil {
+		return nil, err
+	}
+	nUEq, err := d.count("opening uEq", maxDim, 32)
+	if err != nil {
+		return nil, err
+	}
+	if p.Opening.UEq, err = d.frs("uEq", nUEq); err != nil {
+		return nil, err
+	}
+	nCols, err := d.count("opened columns", maxDim, 12)
+	if err != nil {
+		return nil, err
+	}
+	p.Opening.Columns = make([]pcs.ColumnOpening, nCols)
+	for i := range p.Opening.Columns {
+		c := &p.Opening.Columns[i]
+		idx, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		c.Index = int(idx)
+		nVals, err := d.count("column values", maxDim, 32)
+		if err != nil {
+			return nil, err
+		}
+		if c.Values, err = d.frs("column", nVals); err != nil {
+			return nil, err
+		}
+		nPath, err := d.count("Merkle path", maxPathLen, 32)
+		if err != nil {
+			return nil, err
+		}
+		c.Path = make([][32]byte, nPath)
+		for j := range c.Path {
+			h, err := d.take(32)
+			if err != nil {
+				return nil, err
+			}
+			copy(c.Path[j][:], h)
+		}
+	}
+	return p, nil
+}
+
+func encodeTimings(e *enc, t zkvc.Timings) {
+	e.u64(uint64(t.Synthesis))
+	e.u64(uint64(t.Setup))
+	e.u64(uint64(t.Prove))
+}
+
+func decodeTimings(d *dec) (zkvc.Timings, error) {
+	var t zkvc.Timings
+	for _, dst := range []*time.Duration{&t.Synthesis, &t.Setup, &t.Prove} {
+		v, err := d.u64()
+		if err != nil {
+			return t, err
+		}
+		if v > uint64(maxDuration) {
+			return t, fmt.Errorf("%w: timing overflows", ErrDecode)
+		}
+		*dst = time.Duration(v)
+	}
+	return t, nil
+}
+
+// ---- MatMulProof ----
+
+// EncodeMatMulProof serializes a single-product proof.
+func EncodeMatMulProof(p *zkvc.MatMulProof) []byte {
+	e := newEnc(TagMatMulProof)
+	encodeMatMulProofBody(e, p)
+	return e.buf
+}
+
+// DecodeMatMulProof parses a single-product proof, enforcing that the
+// declared backend carries exactly its own payload.
+func DecodeMatMulProof(b []byte) (*zkvc.MatMulProof, error) {
+	d, err := newDec(b, TagMatMulProof)
+	if err != nil {
+		return nil, err
+	}
+	p, err := decodeMatMulProofBody(d)
+	if err != nil {
+		return nil, err
+	}
+	return p, d.finish()
+}
+
+func encodeMatMulProofBody(e *enc, p *zkvc.MatMulProof) {
+	encodeBackend(e, p.Backend)
+	encodeOptions(e, p.Opts)
+	encodeMatrixBody(e, p.Y)
+	e.bytes(p.WCommit)
+	e.bytes(p.Epoch)
+	encodeTimings(e, p.Timings)
+	switch p.Backend {
+	case zkvc.Groth16:
+		encodeG16Proof(e, p.G16Proof)
+		encodeG16VK(e, p.G16VK)
+	case zkvc.Spartan:
+		encodeSpartanProof(e, p.SpartanProof)
+	}
+}
+
+func decodeMatMulProofBody(d *dec) (*zkvc.MatMulProof, error) {
+	p := &zkvc.MatMulProof{}
+	var err error
+	if p.Backend, err = decodeBackend(d); err != nil {
+		return nil, err
+	}
+	if p.Opts, err = decodeOptions(d); err != nil {
+		return nil, err
+	}
+	if p.Y, err = decodeMatrixBody(d); err != nil {
+		return nil, fmt.Errorf("Y: %w", err)
+	}
+	if p.WCommit, err = d.blob("W commitment"); err != nil {
+		return nil, err
+	}
+	if p.Epoch, err = d.blob("epoch"); err != nil {
+		return nil, err
+	}
+	if p.Timings, err = decodeTimings(d); err != nil {
+		return nil, err
+	}
+	switch p.Backend {
+	case zkvc.Groth16:
+		if p.G16Proof, err = decodeG16Proof(d); err != nil {
+			return nil, err
+		}
+		if p.G16VK, err = decodeG16VK(d); err != nil {
+			return nil, err
+		}
+	case zkvc.Spartan:
+		if p.SpartanProof, err = decodeSpartanProof(d); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ---- BatchProof ----
+
+// EncodeBatchProof serializes a batch proof.
+func EncodeBatchProof(p *zkvc.BatchProof) []byte {
+	e := newEnc(TagBatchProof)
+	encodeBatchProofBody(e, p)
+	return e.buf
+}
+
+// DecodeBatchProof parses a batch proof, cross-checking every claimed
+// output against its declared shape.
+func DecodeBatchProof(b []byte) (*zkvc.BatchProof, error) {
+	d, err := newDec(b, TagBatchProof)
+	if err != nil {
+		return nil, err
+	}
+	p, err := decodeBatchProofBody(d)
+	if err != nil {
+		return nil, err
+	}
+	return p, d.finish()
+}
+
+func encodeBatchProofBody(e *enc, p *zkvc.BatchProof) {
+	encodeBackend(e, p.Backend)
+	encodeOptions(e, p.Opts)
+	e.u32(uint32(len(p.Shapes)))
+	for _, sh := range p.Shapes {
+		e.u32(uint32(sh[0]))
+		e.u32(uint32(sh[1]))
+		e.u32(uint32(sh[2]))
+	}
+	for _, y := range p.Ys {
+		encodeMatrixBody(e, y)
+	}
+	e.bytes(p.Commit)
+	encodeTimings(e, p.Timings)
+	switch p.Backend {
+	case zkvc.Groth16:
+		encodeG16Proof(e, p.G16Proof)
+		encodeG16VK(e, p.G16VK)
+	case zkvc.Spartan:
+		encodeSpartanProof(e, p.SpartanProof)
+	}
+}
+
+func decodeBatchProofBody(d *dec) (*zkvc.BatchProof, error) {
+	p := &zkvc.BatchProof{}
+	var err error
+	if p.Backend, err = decodeBackend(d); err != nil {
+		return nil, err
+	}
+	if p.Opts, err = decodeOptions(d); err != nil {
+		return nil, err
+	}
+	n, err := d.count("batch", maxDim, 12)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrDecode)
+	}
+	p.Shapes = make([][3]int, n)
+	for i := range p.Shapes {
+		for j := 0; j < 3; j++ {
+			v, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			if v == 0 || v > maxDim {
+				return nil, fmt.Errorf("%w: batch shape dimension %d out of range", ErrDecode, v)
+			}
+			p.Shapes[i][j] = int(v)
+		}
+	}
+	p.Ys = make([]*zkvc.Matrix, n)
+	for i := range p.Ys {
+		y, err := decodeMatrixBody(d)
+		if err != nil {
+			return nil, fmt.Errorf("Y[%d]: %w", i, err)
+		}
+		if y.Rows != p.Shapes[i][0] || y.Cols != p.Shapes[i][2] {
+			return nil, fmt.Errorf("%w: Y[%d] is %dx%d, shape says %dx%d",
+				ErrDecode, i, y.Rows, y.Cols, p.Shapes[i][0], p.Shapes[i][2])
+		}
+		p.Ys[i] = y
+	}
+	if p.Commit, err = d.blob("batch commitment"); err != nil {
+		return nil, err
+	}
+	if p.Timings, err = decodeTimings(d); err != nil {
+		return nil, err
+	}
+	switch p.Backend {
+	case zkvc.Groth16:
+		if p.G16Proof, err = decodeG16Proof(d); err != nil {
+			return nil, err
+		}
+		if p.G16VK, err = decodeG16VK(d); err != nil {
+			return nil, err
+		}
+	case zkvc.Spartan:
+		if p.SpartanProof, err = decodeSpartanProof(d); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ---- service messages ----
+
+// EncodeProveRequest serializes a proving job.
+func EncodeProveRequest(r *ProveRequest) []byte {
+	e := newEnc(TagProveRequest)
+	encodeMatrixBody(e, r.X)
+	encodeMatrixBody(e, r.W)
+	return e.buf
+}
+
+// DecodeProveRequest parses a proving job and checks the product is
+// well-formed (inner dimensions agree).
+func DecodeProveRequest(b []byte) (*ProveRequest, error) {
+	d, err := newDec(b, TagProveRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &ProveRequest{}
+	if r.X, err = decodeMatrixBody(d); err != nil {
+		return nil, fmt.Errorf("X: %w", err)
+	}
+	if r.W, err = decodeMatrixBody(d); err != nil {
+		return nil, fmt.Errorf("W: %w", err)
+	}
+	if r.X.Cols != r.W.Rows {
+		return nil, fmt.Errorf("%w: inner dimensions %d and %d disagree", ErrDecode, r.X.Cols, r.W.Rows)
+	}
+	return r, d.finish()
+}
+
+// EncodeProveResponse serializes a coalesced proving result.
+func EncodeProveResponse(r *ProveResponse) []byte {
+	e := newEnc(TagProveResponse)
+	e.u32(uint32(r.Index))
+	e.u32(uint32(len(r.Xs)))
+	for _, x := range r.Xs {
+		encodeMatrixBody(e, x)
+	}
+	encodeBatchProofBody(e, r.Batch)
+	return e.buf
+}
+
+// DecodeProveResponse parses a coalesced proving result, checking the
+// index and the inputs against the embedded batch proof.
+func DecodeProveResponse(b []byte) (*ProveResponse, error) {
+	d, err := newDec(b, TagProveResponse)
+	if err != nil {
+		return nil, err
+	}
+	r := &ProveResponse{}
+	idx, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.count("batch inputs", maxDim, 72)
+	if err != nil {
+		return nil, err
+	}
+	r.Index = int(idx)
+	r.Xs = make([]*zkvc.Matrix, n)
+	for i := range r.Xs {
+		if r.Xs[i], err = decodeMatrixBody(d); err != nil {
+			return nil, fmt.Errorf("X[%d]: %w", i, err)
+		}
+	}
+	if r.Batch, err = decodeBatchProofBody(d); err != nil {
+		return nil, err
+	}
+	if len(r.Xs) != len(r.Batch.Shapes) {
+		return nil, fmt.Errorf("%w: %d inputs for a %d-element batch", ErrDecode, len(r.Xs), len(r.Batch.Shapes))
+	}
+	if r.Index < 0 || r.Index >= len(r.Xs) {
+		return nil, fmt.Errorf("%w: batch index %d out of range", ErrDecode, r.Index)
+	}
+	for i, x := range r.Xs {
+		if x.Rows != r.Batch.Shapes[i][0] || x.Cols != r.Batch.Shapes[i][1] {
+			return nil, fmt.Errorf("%w: X[%d] is %dx%d, shape says %dx%d",
+				ErrDecode, i, x.Rows, x.Cols, r.Batch.Shapes[i][0], r.Batch.Shapes[i][1])
+		}
+	}
+	return r, d.finish()
+}
+
+// EncodeVerifyRequest serializes a single-proof verification job.
+func EncodeVerifyRequest(r *VerifyRequest) []byte {
+	e := newEnc(TagVerifyRequest)
+	encodeMatrixBody(e, r.X)
+	encodeMatMulProofBody(e, r.Proof)
+	return e.buf
+}
+
+// DecodeVerifyRequest parses a single-proof verification job.
+func DecodeVerifyRequest(b []byte) (*VerifyRequest, error) {
+	d, err := newDec(b, TagVerifyRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &VerifyRequest{}
+	if r.X, err = decodeMatrixBody(d); err != nil {
+		return nil, fmt.Errorf("X: %w", err)
+	}
+	if r.Proof, err = decodeMatMulProofBody(d); err != nil {
+		return nil, err
+	}
+	return r, d.finish()
+}

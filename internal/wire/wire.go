@@ -1,0 +1,346 @@
+// Package wire defines the canonical, versioned binary encoding for zkVC
+// proofs, matrices and service messages. It replaces the ad-hoc gob
+// round-trip the repository started with: every message begins with a
+// 6-byte header (magic "ZKVC", format version, type tag) and decoding is
+// strict — lengths are bounded by the remaining input, field elements must
+// be canonical (< modulus), curve points must lie on the curve (G2 points
+// additionally in the order-r subgroup), and trailing bytes are rejected.
+// Malformed input of any kind returns an error wrapping ErrDecode and
+// never panics (see FuzzWireDecodeProof).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"zkvc/internal/curve"
+	"zkvc/internal/ff"
+)
+
+// Magic opens every wire message.
+const Magic = "ZKVC"
+
+// Version is the current format version. Decoders reject other versions.
+const Version = 1
+
+// Type tags distinguish top-level messages.
+const (
+	TagMatrix        byte = 0x01
+	TagMatMulProof   byte = 0x02
+	TagBatchProof    byte = 0x03
+	TagProveRequest  byte = 0x04
+	TagProveResponse byte = 0x05
+	TagVerifyRequest byte = 0x06
+)
+
+// ErrDecode is wrapped by every decoding failure.
+var ErrDecode = errors.New("wire: malformed message")
+
+// MaxEpochLen is the longest epoch label (or other blob) the format can
+// carry; producers must stay under it or their messages will not decode.
+const MaxEpochLen = maxBlobLen
+
+// Size limits enforced during decoding. They bound a single dimension;
+// element counts are additionally bounded by the remaining input length,
+// so a short message can never trigger a large allocation.
+const (
+	maxDim      = 1 << 16 // matrix rows/cols, batch length
+	maxICLen    = 1 << 22 // Groth16 VK public-input points
+	maxICInf    = 64      // infinity entries tolerated in one VK's IC
+	maxBlobLen  = 1 << 10 // WCommit / epoch labels
+	maxNumVars  = 48      // PCS commitment variables
+	maxRounds   = 64      // sumcheck rounds
+	maxPolyLen  = 16      // sumcheck round-poly evaluations
+	maxPathLen  = 64      // Merkle path depth
+	maxDuration = int64(1) << 62
+)
+
+var (
+	frModulus = ff.RModulus()
+	fpModulus = ff.PModulus()
+)
+
+// enc is an append-only message writer.
+type enc struct {
+	buf []byte
+}
+
+func newEnc(tag byte) *enc {
+	e := &enc{buf: make([]byte, 0, 256)}
+	e.buf = append(e.buf, Magic...)
+	e.buf = append(e.buf, Version, tag)
+	return e
+}
+
+func (e *enc) u8(v byte)    { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *enc) fr(x *ff.Fr) {
+	b := x.Bytes()
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *enc) fp(x *ff.Fp) {
+	b := x.Bytes()
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *enc) g1(p *curve.G1Affine) {
+	if p.Infinity {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.fp(&p.X)
+	e.fp(&p.Y)
+}
+
+func (e *enc) g2(p *curve.G2Affine) {
+	if p.Infinity {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.fp(&p.X.A0)
+	e.fp(&p.X.A1)
+	e.fp(&p.Y.A0)
+	e.fp(&p.Y.A1)
+}
+
+// dec is a strict message reader.
+type dec struct {
+	b   []byte
+	off int
+}
+
+func newDec(b []byte, tag byte) (*dec, error) {
+	if len(b) < len(Magic)+2 {
+		return nil, fmt.Errorf("%w: %d-byte message is shorter than the header", ErrDecode, len(b))
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrDecode)
+	}
+	if b[len(Magic)] != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrDecode, b[len(Magic)])
+	}
+	if b[len(Magic)+1] != tag {
+		return nil, fmt.Errorf("%w: type tag %#x, want %#x", ErrDecode, b[len(Magic)+1], tag)
+	}
+	return &dec{b: b, off: len(Magic) + 2}, nil
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+// finish rejects trailing bytes after a complete top-level message.
+func (d *dec) finish() error {
+	if d.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrDecode, d.remaining())
+	}
+	return nil
+}
+
+func (d *dec) take(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, fmt.Errorf("%w: truncated (need %d bytes, have %d)", ErrDecode, n, d.remaining())
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out, nil
+}
+
+func (d *dec) u8() (byte, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *dec) u32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (d *dec) u64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// count reads an element count and checks it against both a hard cap and
+// the bytes actually remaining (minSize per element), so corrupt headers
+// cannot demand huge allocations.
+func (d *dec) count(what string, cap, minSize int) (int, error) {
+	v, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n > cap {
+		return 0, fmt.Errorf("%w: %s count %d exceeds limit %d", ErrDecode, what, n, cap)
+	}
+	if minSize > 0 && n > d.remaining()/minSize {
+		return 0, fmt.Errorf("%w: %s count %d does not fit in %d remaining bytes", ErrDecode, what, n, d.remaining())
+	}
+	return n, nil
+}
+
+func (d *dec) blob(what string) ([]byte, error) {
+	n, err := d.count(what, maxBlobLen, 1)
+	if err != nil {
+		return nil, err
+	}
+	b, err := d.take(n)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// fr reads a canonical scalar-field element, rejecting values ≥ r.
+func (d *dec) fr(x *ff.Fr) error {
+	b, err := d.take(32)
+	if err != nil {
+		return err
+	}
+	v := new(big.Int).SetBytes(b)
+	if v.Cmp(frModulus) >= 0 {
+		return fmt.Errorf("%w: non-canonical Fr element", ErrDecode)
+	}
+	x.SetBig(v)
+	return nil
+}
+
+func (d *dec) frs(what string, n int) ([]ff.Fr, error) {
+	out := make([]ff.Fr, n)
+	for i := range out {
+		if err := d.fr(&out[i]); err != nil {
+			return nil, fmt.Errorf("%s[%d]: %w", what, i, err)
+		}
+	}
+	return out, nil
+}
+
+// fp reads a canonical base-field element, rejecting values ≥ p.
+func (d *dec) fp(x *ff.Fp) error {
+	b, err := d.take(32)
+	if err != nil {
+		return err
+	}
+	v := new(big.Int).SetBytes(b)
+	if v.Cmp(fpModulus) >= 0 {
+		return fmt.Errorf("%w: non-canonical Fp element", ErrDecode)
+	}
+	x.SetBig(v)
+	return nil
+}
+
+// g1 reads a finite G1 point. Infinity (flag 0) is rejected here: proof
+// elements and key anchors come from nonzero scalars, so an infinity
+// encoding is always forged. IC points go through g1Any instead.
+func (d *dec) g1(p *curve.G1Affine) error {
+	flag, err := d.u8()
+	if err != nil {
+		return err
+	}
+	if flag == 0 {
+		return fmt.Errorf("%w: G1 point at infinity not allowed here", ErrDecode)
+	}
+	return d.g1Tail(p, flag)
+}
+
+// g1Any reads a G1 point that may legitimately be infinity — a verifying
+// key's IC entry is [(β·u_i+α·v_i+w_i)/γ]₁, which is zero for a public
+// wire absent from every constraint (the constant wire under CRPC).
+func (d *dec) g1Any(p *curve.G1Affine) error {
+	flag, err := d.u8()
+	if err != nil {
+		return err
+	}
+	if flag == 0 {
+		*p = curve.G1Affine{Infinity: true}
+		return nil
+	}
+	return d.g1Tail(p, flag)
+}
+
+func (d *dec) g1Tail(p *curve.G1Affine, flag byte) error {
+	if flag != 1 {
+		return fmt.Errorf("%w: bad G1 point flag %d", ErrDecode, flag)
+	}
+	*p = curve.G1Affine{}
+	if err := d.fp(&p.X); err != nil {
+		return err
+	}
+	if err := d.fp(&p.Y); err != nil {
+		return err
+	}
+	if !p.IsOnCurve() {
+		return fmt.Errorf("%w: G1 point not on curve", ErrDecode)
+	}
+	// BN254's G1 has cofactor 1, so on-curve implies in-subgroup.
+	return nil
+}
+
+func (d *dec) g2(p *curve.G2Affine) error {
+	flag, err := d.u8()
+	if err != nil {
+		return err
+	}
+	switch flag {
+	case 0:
+		return fmt.Errorf("%w: G2 point at infinity not allowed", ErrDecode)
+	case 1:
+		*p = curve.G2Affine{}
+		if err := d.fp(&p.X.A0); err != nil {
+			return err
+		}
+		if err := d.fp(&p.X.A1); err != nil {
+			return err
+		}
+		if err := d.fp(&p.Y.A0); err != nil {
+			return err
+		}
+		if err := d.fp(&p.Y.A1); err != nil {
+			return err
+		}
+		if !p.IsOnCurve() {
+			return fmt.Errorf("%w: G2 point not on curve", ErrDecode)
+		}
+		if !g2InSubgroup(p) {
+			return fmt.Errorf("%w: G2 point not in the order-r subgroup", ErrDecode)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: bad G2 point flag %d", ErrDecode, flag)
+	}
+}
+
+// g2InSubgroup checks [r]P = O. The twist has cofactor > 1, so an on-curve
+// G2 point is not automatically in the pairing subgroup; accepting one
+// would let proof B carry a small-order component.
+func g2InSubgroup(p *curve.G2Affine) bool {
+	var acc, base curve.G2Jac
+	acc.SetInfinity()
+	base.FromAffine(p)
+	for i := frModulus.BitLen() - 1; i >= 0; i-- {
+		acc.Double(&acc)
+		if frModulus.Bit(i) == 1 {
+			acc.AddAssign(&base)
+		}
+	}
+	return acc.IsInfinity()
+}

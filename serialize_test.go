@@ -10,8 +10,10 @@ import (
 	"zkvc"
 )
 
-// TestProofGobRoundTrip pins the on-disk format cmd/zkvc and the HTTP
-// example rely on: a gob round trip must preserve verifiability.
+// TestProofGobRoundTrip keeps the proof structs gob-compatible for users
+// who serialize them ad hoc. The canonical on-disk/over-the-wire format —
+// the one cmd/zkvc and the proving service use — is internal/wire, pinned
+// by that package's round-trip and fuzz tests.
 func TestProofGobRoundTrip(t *testing.T) {
 	rng := mrand.New(mrand.NewSource(3))
 	x := zkvc.RandomMatrix(rng, 6, 8, 64)

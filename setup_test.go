@@ -1,0 +1,83 @@
+package zkvc_test
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+
+	"zkvc"
+)
+
+// TestProveWithCRSEpoch pins the separable-setup path: one Setup per
+// shape, many proofs against it, all verifying, with Timings.Setup zero on
+// the proofs themselves (the CRS paid it once).
+func TestProveWithCRSEpoch(t *testing.T) {
+	for _, backend := range []zkvc.Backend{zkvc.Spartan, zkvc.Groth16} {
+		prover := zkvc.NewMatMulProver(backend, zkvc.DefaultOptions())
+		prover.Reseed(21)
+		crs, err := prover.Setup(4, 6, 5, []byte("epoch-2026-07"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := mrand.New(mrand.NewSource(22))
+		for i := 0; i < 3; i++ {
+			x := zkvc.RandomMatrix(rng, 4, 6, 64)
+			w := zkvc.RandomMatrix(rng, 6, 5, 64)
+			proof, err := prover.ProveWithCRS(crs, x, w)
+			if err != nil {
+				t.Fatalf("%v: prove %d: %v", backend, i, err)
+			}
+			if proof.Timings.Setup != 0 {
+				t.Errorf("%v: epoch proof %d paid setup", backend, i)
+			}
+			if err := zkvc.VerifyMatMulInEpoch(x, proof, []byte("epoch-2026-07")); err != nil {
+				t.Fatalf("%v: epoch proof %d rejected: %v", backend, i, err)
+			}
+			if err := crs.Verify(x, proof); err != nil {
+				t.Fatalf("%v: CRS verifier rejected honest proof %d: %v", backend, i, err)
+			}
+			// Plain VerifyMatMul must refuse epoch proofs outright: the
+			// label inside the proof is attacker-chosen, so deriving the
+			// challenge from it would be Fiat–Shamir with a fixed point.
+			if err := zkvc.VerifyMatMul(x, proof); !errors.Is(err, zkvc.ErrVerification) {
+				t.Fatalf("%v: epoch proof passed VerifyMatMul: %v", backend, err)
+			}
+			// Verifiers naming a different epoch must reject, whether
+			// they hold the CRS or just the label.
+			if err := zkvc.VerifyMatMulInEpoch(x, proof, []byte("epoch-2026-08")); !errors.Is(err, zkvc.ErrVerification) {
+				t.Fatalf("%v: proof verified under the wrong epoch: %v", backend, err)
+			}
+			proof.Epoch = []byte("epoch-2026-08")
+			if err := crs.Verify(x, proof); !errors.Is(err, zkvc.ErrVerification) {
+				t.Fatalf("%v: CRS accepted a foreign-epoch proof: %v", backend, err)
+			}
+		}
+	}
+}
+
+func TestProveWithCRSRejectsMismatch(t *testing.T) {
+	prover := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
+	prover.Reseed(23)
+	crs, err := prover.Setup(4, 6, 5, []byte("epoch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(24))
+	x := zkvc.RandomMatrix(rng, 3, 6, 64) // wrong row count
+	w := zkvc.RandomMatrix(rng, 6, 5, 64)
+	if _, err := prover.ProveWithCRS(crs, x, w); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := prover.ProveWithCRS(nil, x, w); err == nil {
+		t.Fatal("nil CRS accepted")
+	}
+	other := zkvc.NewMatMulProver(zkvc.Groth16, zkvc.DefaultOptions())
+	other.Reseed(25)
+	x2 := zkvc.RandomMatrix(rng, 4, 6, 64)
+	if _, err := other.ProveWithCRS(crs, x2, w); err == nil {
+		t.Fatal("cross-backend CRS accepted")
+	}
+	if _, err := prover.Setup(4, 6, 5, nil); err == nil {
+		t.Fatal("empty epoch accepted")
+	}
+}

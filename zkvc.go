@@ -86,11 +86,17 @@ type Timings struct {
 
 // MatMulProof is a verifiable statement "Y = X·W for the W committed in
 // WCommit", carrying everything the verifier needs beyond the public X.
+//
+// Epoch is empty for proofs whose CRPC challenge was derived per-statement
+// (Prove). Proofs produced against a cached per-shape CRS (ProveWithCRS)
+// record the epoch label instead, and the verifier re-derives the shared
+// challenge from it.
 type MatMulProof struct {
 	Backend Backend
 	Opts    Options
 	Y       *Matrix
 	WCommit []byte
+	Epoch   []byte
 
 	G16Proof *groth16.Proof
 	G16VK    *groth16.VerifyingKey
@@ -145,6 +151,9 @@ func (p *MatMulProver) Reseed(seed int64) { p.rng = mrand.New(mrand.NewSource(se
 func (p *MatMulProver) PCSParams() pcs.Params { return p.pcs }
 
 // Prove computes Y = X·W and produces a proof of correctness that hides W.
+// The CRPC challenge is derived per-statement, so the Groth16 backend pays
+// a fresh CRS here; use Setup + ProveWithCRS to amortize it across a shape
+// epoch.
 func (p *MatMulProver) Prove(x, w *Matrix) (*MatMulProof, error) {
 	stmt := crpc.NewStatement(x, w)
 	proof := &MatMulProof{
@@ -161,49 +170,109 @@ func (p *MatMulProver) Prove(x, w *Matrix) (*MatMulProof, error) {
 	}
 	proof.Timings.Synthesis = time.Since(start)
 
+	if err := p.attachBackendProof(proof, syn, nil); err != nil {
+		return nil, err
+	}
+	return proof, nil
+}
+
+// attachBackendProof runs the selected backend over a synthesized circuit.
+// With a non-nil crs the Groth16 keys are reused (epoch path, Timings.Setup
+// stays zero); otherwise a fresh CRS is generated and timed.
+func (p *MatMulProver) attachBackendProof(proof *MatMulProof, syn *crpc.Synthesis, crs *CRS) error {
 	switch p.backend {
 	case Groth16:
-		start = time.Now()
-		pk, vk, err := groth16.Setup(syn.Sys, p.rng)
-		if err != nil {
-			return nil, err
+		pk, vk := (*groth16.ProvingKey)(nil), (*groth16.VerifyingKey)(nil)
+		if crs != nil {
+			pk, vk = crs.G16PK, crs.G16VK
+		} else {
+			start := time.Now()
+			var err error
+			pk, vk, err = groth16.Setup(syn.Sys, p.rng)
+			if err != nil {
+				return err
+			}
+			proof.Timings.Setup = time.Since(start)
 		}
-		proof.Timings.Setup = time.Since(start)
-		start = time.Now()
+		start := time.Now()
 		g16, err := groth16.Prove(syn.Sys, pk, syn.Assignment, p.rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		proof.Timings.Prove = time.Since(start)
 		proof.G16Proof = g16
 		proof.G16VK = vk
 	case Spartan:
-		start = time.Now()
+		start := time.Now()
 		sp, err := spartan.Prove(syn.Sys, syn.Assignment, p.pcs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		proof.Timings.Prove = time.Since(start)
 		proof.SpartanProof = sp
 	default:
-		return nil, fmt.Errorf("zkvc: unknown backend %d", p.backend)
+		return fmt.Errorf("zkvc: unknown backend %d", p.backend)
 	}
-	return proof, nil
+	return nil
 }
 
 // ErrVerification is returned when a proof does not verify.
 var ErrVerification = errors.New("zkvc: verification failed")
 
+// wCommitLen is the SHA-256 commitment size every proof must carry.
+const wCommitLen = 32
+
 // VerifyMatMul checks a proof against the public input X and the claimed
 // output proof.Y. The verifier reconstructs the circuit from public data
 // only: dimensions, the claimed Y, and the prover's commitment to W.
+//
+// Proofs carrying an epoch label are rejected here: deriving the CRPC
+// challenge from a prover-supplied label would let a forger fix the
+// challenge in advance, exactly what Fiat–Shamir exists to prevent. Epoch
+// proofs must go through VerifyMatMulInEpoch (the verifier names the
+// epoch it trusts) or CRS.Verify (the verifier holds the epoch CRS).
 func VerifyMatMul(x *Matrix, proof *MatMulProof) error {
+	if proof != nil && len(proof.Epoch) > 0 {
+		return fmt.Errorf("%w: epoch proof requires VerifyMatMulInEpoch with the expected epoch", ErrVerification)
+	}
+	return verifyMatMulAt(x, proof, nil)
+}
+
+// VerifyMatMulInEpoch checks a proof produced under a shape epoch
+// (ProveWithCRS). The expected epoch comes from the verifier — the CRS
+// publication, deployment config — never from the proof itself; soundness
+// rests on that label having been unpredictable when the prover committed
+// to its model (see crpc.DeriveEpochZ).
+func VerifyMatMulInEpoch(x *Matrix, proof *MatMulProof, epoch []byte) error {
+	if len(epoch) == 0 {
+		return fmt.Errorf("%w: expected epoch must be non-empty", ErrVerification)
+	}
+	if proof == nil || !bytes.Equal(proof.Epoch, epoch) {
+		return fmt.Errorf("%w: proof epoch does not match the expected epoch", ErrVerification)
+	}
+	return verifyMatMulAt(x, proof, epoch)
+}
+
+// verifyMatMulAt is the shared verification core; epoch is the
+// verifier-trusted label (nil for per-statement challenges).
+func verifyMatMulAt(x *Matrix, proof *MatMulProof, epoch []byte) error {
+	if x == nil || proof == nil || proof.Y == nil {
+		return fmt.Errorf("%w: missing statement data", ErrVerification)
+	}
 	if proof.Y.Rows != x.Rows {
 		return fmt.Errorf("zkvc: output has %d rows, input has %d", proof.Y.Rows, x.Rows)
 	}
+	if len(proof.WCommit) != wCommitLen {
+		return fmt.Errorf("%w: malformed W commitment (%d bytes, want %d)",
+			ErrVerification, len(proof.WCommit), wCommitLen)
+	}
 	var z ff.Fr
 	if proof.Opts.CRPC {
-		z = crpc.DeriveZFromCommit(x, proof.Y, proof.WCommit)
+		if len(epoch) > 0 {
+			z = crpc.DeriveEpochZ(epoch, x.Rows, x.Cols, proof.Y.Cols, proof.Opts)
+		} else {
+			z = crpc.DeriveZFromCommit(x, proof.Y, proof.WCommit)
+		}
 	}
 	n := x.Cols
 	b := proof.Y.Cols
