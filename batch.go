@@ -104,12 +104,22 @@ func (p *MatMulProver) ProveBatch(pairs ...[2]*Matrix) (*BatchProof, error) {
 // batch commitment, rebuilds the circuit from shapes alone, and checks
 // the single backend proof.
 func VerifyMatMulBatch(xs []*Matrix, proof *BatchProof) error {
+	if proof == nil {
+		return fmt.Errorf("%w: missing batch proof", ErrVerification)
+	}
+	if len(proof.Commit) != wCommitLen {
+		return fmt.Errorf("%w: malformed batch commitment (%d bytes, want %d)",
+			ErrVerification, len(proof.Commit), wCommitLen)
+	}
 	if len(xs) != len(proof.Shapes) || len(proof.Ys) != len(proof.Shapes) {
 		return fmt.Errorf("zkvc: batch has %d inputs, %d outputs, %d shapes",
 			len(xs), len(proof.Ys), len(proof.Shapes))
 	}
 	stmts := make([]*crpc.Statement, len(xs))
 	for i := range xs {
+		if xs[i] == nil || proof.Ys[i] == nil {
+			return fmt.Errorf("%w: missing statement data", ErrVerification)
+		}
 		sh := proof.Shapes[i]
 		if xs[i].Rows != sh[0] || xs[i].Cols != sh[1] {
 			return fmt.Errorf("zkvc: input %d is %dx%d, want %dx%d", i, xs[i].Rows, xs[i].Cols, sh[0], sh[1])
@@ -119,9 +129,6 @@ func VerifyMatMulBatch(xs []*Matrix, proof *BatchProof) error {
 		}
 		stmts[i] = &crpc.Statement{X: xs[i], Y: proof.Ys[i]}
 	}
-	z, gamma := crpc.DeriveBatchChallenges(stmts, proof.Commit)
-	sys := crpc.SynthesizeBatchShape(proof.Shapes, z, gamma, proof.Opts)
-
 	// Public witness: [1, all X entries, all Y entries] in batch order.
 	total := 1
 	for i := range xs {
@@ -148,6 +155,10 @@ func VerifyMatMulBatch(xs []*Matrix, proof *BatchProof) error {
 		if proof.SpartanProof == nil {
 			return fmt.Errorf("%w: missing Spartan payload", ErrVerification)
 		}
+		// Only Spartan consumes the rebuilt system; Groth16's circuit
+		// binding lives entirely in the verifying key (see verifyMatMulAt).
+		z, gamma := crpc.DeriveBatchChallenges(stmts, proof.Commit)
+		sys := crpc.SynthesizeBatchShape(proof.Shapes, z, gamma, proof.Opts)
 		if err := spartan.Verify(sys, proof.SpartanProof, public, pcs.DefaultParams()); err != nil {
 			return fmt.Errorf("%w: %v", ErrVerification, err)
 		}

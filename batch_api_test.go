@@ -1,6 +1,7 @@
 package zkvc_test
 
 import (
+	"errors"
 	mrand "math/rand"
 	"testing"
 
@@ -93,6 +94,42 @@ func TestBatchRejectsShapeMismatch(t *testing.T) {
 	}
 	if err := zkvc.VerifyMatMulBatch(xs[:2], proof); err == nil {
 		t.Fatal("truncated input list verified")
+	}
+}
+
+// TestBatchRejectsMissingData: nil proofs, nil inputs and nil outputs
+// must return ErrVerification like the single-proof verifier, not panic.
+func TestBatchRejectsMissingData(t *testing.T) {
+	pairs, xs := batchPairs(t, 37)
+	prover := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
+	prover.Reseed(1)
+	proof, err := prover.ProveBatch(pairs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := zkvc.VerifyMatMulBatch(xs, nil); !errors.Is(err, zkvc.ErrVerification) {
+		t.Errorf("nil proof: got %v, want ErrVerification", err)
+	}
+	badXs := append([]*zkvc.Matrix(nil), xs...)
+	badXs[1] = nil
+	if err := zkvc.VerifyMatMulBatch(badXs, proof); !errors.Is(err, zkvc.ErrVerification) {
+		t.Errorf("nil input: got %v, want ErrVerification", err)
+	}
+	savedY := proof.Ys[2]
+	proof.Ys[2] = nil
+	if err := zkvc.VerifyMatMulBatch(xs, proof); !errors.Is(err, zkvc.ErrVerification) {
+		t.Errorf("nil output: got %v, want ErrVerification", err)
+	}
+	proof.Ys[2] = savedY
+	savedCommit := proof.Commit
+	proof.Commit = proof.Commit[:16]
+	if err := zkvc.VerifyMatMulBatch(xs, proof); !errors.Is(err, zkvc.ErrVerification) {
+		t.Errorf("truncated commitment: got %v, want ErrVerification", err)
+	}
+	proof.Commit = savedCommit
+	if err := zkvc.VerifyMatMulBatch(xs, proof); err != nil {
+		t.Errorf("restored proof no longer verifies: %v", err)
 	}
 }
 

@@ -69,6 +69,7 @@ func cmdClient(args []string) {
 	out := fs.String("out", "proof.bin", "write the wire-encoded prove response here")
 	single := fs.Bool("single", false, "use the uncoalesced single-proof endpoint")
 	epoch := fs.String("epoch", "zkvc-epoch-0", "epoch label this client trusts for single proofs")
+	tenant := fs.String("tenant", "", "tenant key: jobs only coalesce with jobs of the same tenant")
 	fs.Parse(args)
 	if *xPath == "" || *wPath == "" {
 		fatalf("client: -x and -w are required")
@@ -87,7 +88,15 @@ func cmdClient(args []string) {
 	if *single {
 		endpoint += "/single"
 	}
-	resp, err := http.Post(endpoint, "application/octet-stream", bytes.NewReader(body))
+	httpReq, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
+	if err != nil {
+		fatalf("client: %v", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/octet-stream")
+	if *tenant != "" {
+		httpReq.Header.Set(server.TenantHeader, *tenant)
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
 	if err != nil {
 		fatalf("client: %v", err)
 	}
@@ -105,9 +114,15 @@ func cmdClient(args []string) {
 		if err != nil {
 			fatalf("client: decoding proof: %v", err)
 		}
-		// The trusted epoch comes from our flag, not from the proof.
+		// The trusted epoch comes from our flag, not from the proof. And
+		// since this client knows W, it checks the product directly too —
+		// that holds the server honest even though the epoch label is
+		// public (see internal/server on epoch-proof soundness).
 		if err := zkvc.VerifyMatMulInEpoch(x, proof, []byte(*epoch)); err != nil {
 			fatalf("client: proof does not verify: %v", err)
+		}
+		if !proof.Y.Equal(zkvc.MatMul(x, w)) {
+			fatalf("client: server's Y is not X·W")
 		}
 		fmt.Printf("single proof OK: backend %s, %d bytes, epoch %q\n",
 			proof.Backend, proof.SizeBytes(), proof.Epoch)
@@ -118,6 +133,9 @@ func cmdClient(args []string) {
 		}
 		if err := zkvc.VerifyMatMulBatch(pr.Xs, pr.Batch); err != nil {
 			fatalf("client: batch does not verify: %v", err)
+		}
+		if !pr.Xs[pr.Index].Equal(x) || !pr.Batch.Ys[pr.Index].Equal(zkvc.MatMul(x, w)) {
+			fatalf("client: batch index %d does not hold our statement", pr.Index)
 		}
 		fmt.Printf("batch proof OK: %d statements coalesced, ours is #%d, backend %s, %d bytes\n",
 			len(pr.Xs), pr.Index, pr.Batch.Backend, pr.Batch.SizeBytes())

@@ -11,9 +11,19 @@ import (
 // one runs the (expensive, for Groth16) trusted setup and the rest block
 // on its result. The standard library has no singleflight and the module
 // is dependency-free, so this is hand-rolled on a ready channel.
+//
+// The cache is bounded: /v1/prove/single is unauthenticated and every
+// distinct shape costs a full Groth16 setup plus permanently resident
+// keys, so an attacker cycling tiny requests through many shapes would
+// otherwise grow it without limit. At the cap the least-recently-used
+// completed entry is evicted; proofs issued under an evicted CRS can no
+// longer be re-verified through /v1/verify (same bounded-attestation
+// tradeoff as the issued-proof log).
 type crsCache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*crsEntry
+	cap     int
+	clock   uint64
 }
 
 type cacheKey struct {
@@ -25,23 +35,30 @@ type crsEntry struct {
 	ready chan struct{} // closed once crs/err are final
 	crs   *zkvc.CRS
 	err   error
+	tag   uint64 // unique per CRS instance; issued digests bind to it
+	used  uint64 // LRU stamp, guarded by crsCache.mu
 }
 
-func newCRSCache() *crsCache {
-	return &crsCache{entries: make(map[cacheKey]*crsEntry)}
+func newCRSCache(cap int) *crsCache {
+	return &crsCache{entries: make(map[cacheKey]*crsEntry), cap: cap}
 }
 
 // get returns the cached CRS for key, running create exactly once per key
 // (failed creations are evicted so a later request can retry). hit reports
-// whether this caller found the entry already present.
-func (c *crsCache) get(key cacheKey, create func() (*zkvc.CRS, error)) (crs *zkvc.CRS, hit bool, err error) {
+// whether this caller found the entry already present; tag identifies the
+// CRS instance, so a later setup for the same shape (after eviction) gets
+// a different tag and attestations bound to the old instance expire.
+func (c *crsCache) get(key cacheKey, create func() (*zkvc.CRS, error)) (crs *zkvc.CRS, tag uint64, hit bool, err error) {
 	c.mu.Lock()
+	c.clock++
 	if e, ok := c.entries[key]; ok {
+		e.used = c.clock
 		c.mu.Unlock()
 		<-e.ready
-		return e.crs, true, e.err
+		return e.crs, e.tag, true, e.err
 	}
-	e := &crsEntry{ready: make(chan struct{})}
+	e := &crsEntry{ready: make(chan struct{}), tag: c.clock, used: c.clock}
+	c.evictLocked()
 	c.entries[key] = e
 	c.mu.Unlock()
 
@@ -52,7 +69,60 @@ func (c *crsCache) get(key cacheKey, create func() (*zkvc.CRS, error)) (crs *zkv
 		c.mu.Unlock()
 	}
 	close(e.ready)
-	return e.crs, false, e.err
+	return e.crs, e.tag, false, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cache is below capacity. Entries whose setup is still in flight are
+// never evicted (their waiters hold the map slot), so a burst of
+// concurrent distinct shapes can overshoot the cap — the loop drains the
+// overshoot back down on later inserts, once those setups complete.
+func (c *crsCache) evictLocked() {
+	for len(c.entries) >= c.cap {
+		var victim cacheKey
+		var found bool
+		var oldest uint64
+		for k, e := range c.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue
+			}
+			if !found || e.used < oldest {
+				victim, oldest, found = k, e.used, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(c.entries, victim)
+	}
+}
+
+// peek returns the cached CRS for key only if its setup already completed
+// successfully. It never creates or waits on an entry: the verify path
+// uses it, and a proof for a shape the service never set up cannot have
+// been issued here anyway.
+func (c *crsCache) peek(key cacheKey) (*zkvc.CRS, uint64, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.clock++
+		e.used = c.clock
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return nil, 0, false
+	}
+	if e.err != nil {
+		return nil, 0, false
+	}
+	return e.crs, e.tag, true
 }
 
 // Len reports how many shapes have a cached CRS.

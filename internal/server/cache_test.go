@@ -1,0 +1,77 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"zkvc"
+)
+
+func shapeKey(rows int) cacheKey {
+	return cacheKey{backend: zkvc.Spartan, shape: zkvc.ShapeKey{Rows: rows, Inner: 1, Cols: 1}}
+}
+
+// TestCRSCacheEvictsLRU: the cache must stay bounded under a stream of
+// distinct shapes, dropping the least-recently-used entry first.
+func TestCRSCacheEvictsLRU(t *testing.T) {
+	c := newCRSCache(2)
+	mk := func() (*zkvc.CRS, error) { return &zkvc.CRS{}, nil }
+
+	if _, _, hit, _ := c.get(shapeKey(1), mk); hit {
+		t.Fatal("fresh entry reported as hit")
+	}
+	c.get(shapeKey(2), mk)
+	c.get(shapeKey(1), mk) // touch 1 so 2 becomes LRU
+	c.get(shapeKey(3), mk) // at cap: evicts 2
+
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, cap is 2", c.Len())
+	}
+	if _, _, ok := c.peek(shapeKey(2)); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, _, ok := c.peek(shapeKey(1)); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, _, ok := c.peek(shapeKey(3)); !ok {
+		t.Error("newest entry was evicted")
+	}
+}
+
+// TestCRSCacheDrainsAfterBurst: pending entries cannot be evicted, so a
+// concurrent burst of distinct shapes overshoots the cap — but the next
+// insert must drain the overshoot back below capacity, not leave the
+// high-water mark resident forever.
+func TestCRSCacheDrainsAfterBurst(t *testing.T) {
+	c := newCRSCache(2)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.get(shapeKey(10+i), func() (*zkvc.CRS, error) {
+				<-release
+				return &zkvc.CRS{}, nil
+			})
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Len() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("burst never filled the cache: %d entries", c.Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	c.get(shapeKey(99), func() (*zkvc.CRS, error) { return &zkvc.CRS{}, nil })
+	if got := c.Len(); got > 2 {
+		t.Errorf("cache holds %d entries after burst drained, cap is 2", got)
+	}
+	if _, _, ok := c.peek(shapeKey(99)); !ok {
+		t.Error("newest entry missing after drain")
+	}
+}

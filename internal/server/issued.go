@@ -1,0 +1,102 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"zkvc"
+	"zkvc/internal/wire"
+)
+
+// issuedLogCap bounds the issued-proof log: 64k digests of 32 bytes is
+// ~2 MiB in the FIFO plus comparable map overhead — a few MiB for a
+// server, cheap next to one cached Groth16 CRS. Once it fills, the oldest
+// attestations expire first, so /v1/verify stops vouching for the
+// service's oldest proofs rather than growing without bound.
+const issuedLogCap = 1 << 16
+
+// issuedDigest fingerprints an issued (statement, proof) pair by its
+// canonical wire encoding. The wire format is injective (strict decoding,
+// re-encode yields identical bytes), so a client posting back the exact
+// proof it was handed — and nothing else — reproduces the digest.
+//
+// crsTag binds a Groth16 digest to the CRS instance that issued it: if
+// the shape's CRS is LRU-evicted and later regenerated, the new instance
+// has a new tag, the old attestation stops matching, and /v1/verify
+// reports an honest policy rejection instead of an inscrutable pairing
+// failure against the wrong verifying key. Spartan proofs pass tag 0 —
+// their (keyless) epoch CRS is deterministic in (epoch, shape), so a
+// regenerated instance verifies the old proofs identically.
+func issuedDigest(x *zkvc.Matrix, proof *zkvc.MatMulProof, crsTag uint64) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: proof}))
+	var t [8]byte
+	binary.BigEndian.PutUint64(t[:], crsTag)
+	h.Write(t[:])
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// issuedBatchDigest is the batch-response analogue: the digest of the
+// exact coalesced response a /v1/prove client was handed, which
+// /v1/verify/batch requires for Groth16 batches (their verifying key is
+// only meaningful when this service ran the setup).
+func issuedBatchDigest(resp *wire.ProveResponse) [sha256.Size]byte {
+	return sha256.Sum256(wire.EncodeProveResponse(resp))
+}
+
+// issuedBatchDigests computes issuedBatchDigest for every recipient index
+// 0..n-1 of one coalesced batch. The n encodings differ only in the Index
+// u32 right after the wire header, so the batch — which can be megabytes
+// across the Xs and proof — is encoded once and the four index bytes are
+// patched per recipient instead of re-encoding n times.
+func issuedBatchDigests(xs []*zkvc.Matrix, batch *zkvc.BatchProof, n int) [][sha256.Size]byte {
+	encoded := wire.EncodeProveResponse(&wire.ProveResponse{Xs: xs, Batch: batch})
+	out := make([][sha256.Size]byte, n)
+	for i := range out {
+		binary.BigEndian.PutUint32(encoded[wire.HeaderLen:], uint32(i))
+		out[i] = sha256.Sum256(encoded)
+	}
+	return out
+}
+
+// issuedLog is a bounded FIFO set of digests of the epoch proofs this
+// service issued. It is the attestation /v1/verify needs before accepting
+// an epoch proof: the service computed those statements itself, so they
+// are true regardless of the epoch challenge being public.
+type issuedLog struct {
+	mu   sync.Mutex
+	set  map[[sha256.Size]byte]struct{}
+	fifo [][sha256.Size]byte
+	next int // next fifo slot to overwrite once full
+	cap  int
+}
+
+func newIssuedLog(cap int) *issuedLog {
+	return &issuedLog{set: make(map[[sha256.Size]byte]struct{}), cap: cap}
+}
+
+func (l *issuedLog) add(d [sha256.Size]byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.set[d]; ok {
+		return
+	}
+	if len(l.fifo) < l.cap {
+		l.fifo = append(l.fifo, d)
+	} else {
+		delete(l.set, l.fifo[l.next])
+		l.fifo[l.next] = d
+		l.next = (l.next + 1) % l.cap
+	}
+	l.set[d] = struct{}{}
+}
+
+func (l *issuedLog) has(d [sha256.Size]byte) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.set[d]
+	return ok
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"zkvc"
+	"zkvc/internal/wire"
+)
+
+// TestIssuedLogEviction checks the FIFO bound: once the log is full, the
+// oldest attestation expires first and duplicates do not consume slots.
+func TestIssuedLogEviction(t *testing.T) {
+	l := newIssuedLog(3)
+	d := func(b byte) [32]byte { return [32]byte{b} }
+
+	l.add(d(1))
+	l.add(d(2))
+	l.add(d(1)) // duplicate, must not evict anything
+	l.add(d(3))
+	for _, b := range []byte{1, 2, 3} {
+		if !l.has(d(b)) {
+			t.Fatalf("digest %d missing before eviction", b)
+		}
+	}
+
+	l.add(d(4)) // evicts 1
+	if l.has(d(1)) {
+		t.Error("oldest digest survived eviction")
+	}
+	l.add(d(5)) // evicts 2
+	if l.has(d(2)) {
+		t.Error("second digest survived eviction")
+	}
+	for _, b := range []byte{3, 4, 5} {
+		if !l.has(d(b)) {
+			t.Errorf("digest %d missing after eviction", b)
+		}
+	}
+}
+
+// TestIssuedBatchDigestsMatchPerResponse pins the encode-once-patch-index
+// optimization to the definition: the digest of index i must equal the
+// digest of the fully re-encoded ProveResponse with Index = i.
+func TestIssuedBatchDigestsMatchPerResponse(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(700))
+	var pairs [][2]*zkvc.Matrix
+	var xs []*zkvc.Matrix
+	for i := 0; i < 3; i++ {
+		x := zkvc.RandomMatrix(rng, 2, 3, 16)
+		w := zkvc.RandomMatrix(rng, 3, 2, 16)
+		pairs = append(pairs, [2]*zkvc.Matrix{x, w})
+		xs = append(xs, x)
+	}
+	prover := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
+	prover.Reseed(1)
+	batch, err := prover.ProveBatch(pairs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := issuedBatchDigests(xs, batch, len(xs))
+	for i := range xs {
+		want := issuedBatchDigest(&wire.ProveResponse{Index: i, Xs: xs, Batch: batch})
+		if got[i] != want {
+			t.Errorf("digest %d: patched-index digest differs from re-encoded digest", i)
+		}
+	}
+}

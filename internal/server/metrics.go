@@ -17,6 +17,8 @@ type metrics struct {
 	batchesProved  atomic.Int64
 	singlesProved  atomic.Int64
 	verifyRequests atomic.Int64
+	epochRejects   atomic.Int64
+	vkRejects      atomic.Int64
 	proveErrors    atomic.Int64
 	crsHits        atomic.Int64
 	crsMisses      atomic.Int64
@@ -39,7 +41,13 @@ type Snapshot struct {
 	BatchesProved  int64 `json:"batches_proved"`
 	SinglesProved  int64 `json:"singles_proved"`
 	VerifyRequests int64 `json:"verify_requests"`
-	ProveErrors    int64 `json:"prove_errors"`
+	// EpochRejects counts epoch proofs turned away by /v1/verify's
+	// issued-only policy (wrong epoch, not issued here, or no trusted CRS).
+	EpochRejects int64 `json:"epoch_rejects"`
+	// VKRejects counts Groth16 proofs turned away because they carry a
+	// prover-supplied verifying key the service cannot trust.
+	VKRejects   int64 `json:"vk_rejects"`
+	ProveErrors int64 `json:"prove_errors"`
 
 	// CoalesceRatio is batch-path requests per backend proof (≥ 1 once
 	// any batch has been proved; higher means better amortization).
@@ -62,6 +70,8 @@ func (m *metrics) snapshot() Snapshot {
 	s.BatchesProved = m.batchesProved.Load()
 	s.SinglesProved = m.singlesProved.Load()
 	s.VerifyRequests = m.verifyRequests.Load()
+	s.EpochRejects = m.epochRejects.Load()
+	s.VKRejects = m.vkRejects.Load()
 	s.ProveErrors = m.proveErrors.Load()
 	if s.BatchesProved > 0 {
 		s.CoalesceRatio = float64(s.Requests) / float64(s.BatchesProved)

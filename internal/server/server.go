@@ -14,9 +14,43 @@
 //	POST /v1/verify/batch check a coalesced batch (wire.ProveResponse → JSON)
 //	GET  /metrics         queue depth, coalesce ratio, per-phase timings (JSON)
 //	GET  /healthz         liveness
+//
+// # Tenancy
+//
+// A coalesced response carries the whole batch: every X in the window and
+// every Y inside the batch proof. That is inherent to the paper's batching
+// identity (one proof covers all statements, and verifying it needs all
+// public inputs) — so everyone in a batch sees everyone else's inputs and
+// outputs, and enough (X, Y) pairs reconstruct another client's private W.
+// Batches are therefore partitioned by the Zkvc-Tenant request header:
+// jobs only ever coalesce with jobs carrying the same tenant value.
+// The service does not authenticate that header — a client can claim any
+// tenant — so the isolation is only real when a fronting proxy that
+// terminates authentication sets (and overwrites) Zkvc-Tenant from the
+// verified principal. Without such a proxy, treat the whole deployment
+// as one trust domain, exactly as for requests without the header, which
+// share the default pool.
+//
+// # Epoch proofs on /v1/verify
+//
+// The service's epoch label is public, so the epoch CRPC challenge is
+// predictable and an arbitrary prover could forge an epoch "proof" of a
+// false product (pick D ≠ 0 with Σ Z^{ib+j}·d_ij = 0 and claim Y = X·W +
+// D; the circuit identity still holds). VerifyMatMulInEpoch is only sound
+// when the label was unpredictable at W-commitment time, which cannot be
+// attested for proofs walking in off the street. /v1/verify therefore
+// accepts an epoch proof only if this service issued it (it keeps a
+// bounded log of issued-proof digests), substituting its own trusted CRS
+// for the Groth16 verifying key; all other provers must submit
+// per-statement Fiat–Shamir proofs. Spartan per-statement proofs verify
+// unconditionally — the backend is transparent — while Groth16
+// per-statement proofs are rejected outright, since they carry their own
+// verifying key and a key from a setup this service did not witness
+// proves nothing.
 package server
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -43,26 +77,43 @@ type Config struct {
 	MaxBatch int
 	// Workers bounds the proving pool; 0 means runtime.NumCPU().
 	Workers int
-	// QueueCap bounds jobs waiting for the coalescer before the service
-	// sheds load with 503s.
+	// QueueCap bounds accepted-but-unproved jobs (queued, parked in a
+	// coalescing window, or proving) before the service sheds load with
+	// 503s.
 	QueueCap int
+	// MaxShapes bounds the per-shape CRS cache (LRU eviction): each
+	// distinct shape costs a Groth16 trusted setup and keeps its keys
+	// resident, and /v1/prove/single lets clients pick shapes freely.
+	// 0 means 64.
+	MaxShapes int
 	// Epoch labels the shape epoch for the single-proof CRS cache.
 	Epoch []byte
-	// Seed makes proving deterministic for tests; 0 draws from the clock.
+	// Seed makes proving deterministic for tests. 0 (the default) keeps
+	// the provers on crypto/rand, which production deployments must: a
+	// guessable seed lets anyone reconstruct the Groth16 CRS toxic waste
+	// and forge proofs for every shape this service caches.
 	Seed int64
 }
+
+// TenantHeader names the request header that keys batch coalescing. The
+// service takes the value on faith: a fronting proxy that terminates
+// authentication must set — and overwrite, never forward — this header
+// from the verified principal, or the partitioning keeps honest clients
+// apart but stops nobody (see the package comment on tenancy).
+const TenantHeader = "Zkvc-Tenant"
 
 // DefaultConfig returns a production-shaped configuration: the full zkVC
 // circuit, a short coalescing window, and one worker per CPU.
 func DefaultConfig() Config {
 	return Config{
-		Backend:  zkvc.Spartan,
-		Opts:     zkvc.DefaultOptions(),
-		Window:   10 * time.Millisecond,
-		MaxBatch: 16,
-		Workers:  runtime.NumCPU(),
-		QueueCap: 1024,
-		Epoch:    []byte("zkvc-epoch-0"),
+		Backend:   zkvc.Spartan,
+		Opts:      zkvc.DefaultOptions(),
+		Window:    10 * time.Millisecond,
+		MaxBatch:  16,
+		Workers:   runtime.NumCPU(),
+		QueueCap:  1024,
+		MaxShapes: 64,
+		Epoch:     []byte("zkvc-epoch-0"),
 	}
 }
 
@@ -76,8 +127,9 @@ var ErrClosed = errors.New("server: shutting down")
 var errQueueFull = errors.New("server: queue full")
 
 type job struct {
-	x, w *zkvc.Matrix
-	resp chan jobResult
+	tenant string
+	x, w   *zkvc.Matrix
+	resp   chan jobResult
 }
 
 type jobResult struct {
@@ -91,6 +143,7 @@ type Server struct {
 	cfg     Config
 	metrics *metrics
 	cache   *crsCache
+	issued  *issuedLog
 
 	submit  chan *job
 	batches chan []*job
@@ -123,6 +176,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 1024
 	}
+	if cfg.MaxShapes <= 0 {
+		cfg.MaxShapes = 64
+	}
 	if len(cfg.Epoch) == 0 {
 		return nil, fmt.Errorf("server: epoch label must be non-empty")
 	}
@@ -130,13 +186,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: epoch label is %d bytes, wire format allows %d",
 			len(cfg.Epoch), wire.MaxEpochLen)
 	}
-	if cfg.Seed == 0 {
-		cfg.Seed = time.Now().UnixNano()
-	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: &metrics{},
-		cache:   newCRSCache(),
+		cache:   newCRSCache(cfg.MaxShapes),
+		issued:  newIssuedLog(issuedLogCap),
 		submit:  make(chan *job, cfg.QueueCap),
 		batches: make(chan []*job),
 	}
@@ -162,28 +216,45 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// newProver returns a fresh prover with a unique deterministic seed.
-// MatMulProver is not safe for concurrent use, so every worker and every
-// single-proof request gets its own.
+// newProver returns a fresh prover. MatMulProver is not safe for
+// concurrent use, so every worker and every single-proof request gets its
+// own. Provers stay on their crypto/rand default unless the configuration
+// asks for test determinism, in which case each gets a unique derived
+// seed so concurrent proofs still differ.
 func (s *Server) newProver() *zkvc.MatMulProver {
 	p := zkvc.NewMatMulProver(s.cfg.Backend, s.cfg.Opts)
-	p.Reseed(s.cfg.Seed + s.seedCtr.Add(1))
+	if s.cfg.Seed != 0 {
+		p.Reseed(s.cfg.Seed + s.seedCtr.Add(1))
+	}
 	return p
 }
 
 // submitJob hands a job to the coalescer and waits for its batch to prove.
-func (s *Server) submitJob(x, w *zkvc.Matrix) (*wire.ProveResponse, error) {
-	j := &job{x: x, w: w, resp: make(chan jobResult, 1)}
+// Jobs only coalesce with other jobs of the same tenant.
+func (s *Server) submitJob(tenant string, x, w *zkvc.Matrix) (*wire.ProveResponse, error) {
+	j := &job{tenant: tenant, x: x, w: w, resp: make(chan jobResult, 1)}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return nil, ErrClosed
 	}
+	// QueueCap bounds every accepted-but-unproved job — waiting in the
+	// channel, parked in the coalescer's per-tenant pending map, or mid
+	// proof — not just the channel buffer. The coalescer drains the
+	// channel eagerly into the pending map, so the buffer alone sheds no
+	// load; without this bound a burst of distinct tenants could park
+	// unbounded decoded matrices. queueDepth is decremented when a
+	// batch's proving finishes.
+	if s.metrics.queueDepth.Add(1) > int64(s.cfg.QueueCap) {
+		s.metrics.queueDepth.Add(-1)
+		s.mu.RUnlock()
+		return nil, errQueueFull
+	}
 	select {
 	case s.submit <- j:
-		s.metrics.queueDepth.Add(1)
 		s.mu.RUnlock()
 	default:
+		s.metrics.queueDepth.Add(-1)
 		s.mu.RUnlock()
 		return nil, errQueueFull
 	}
@@ -191,44 +262,109 @@ func (s *Server) submitJob(x, w *zkvc.Matrix) (*wire.ProveResponse, error) {
 	return r.resp, r.err
 }
 
+// pendingBatch is one tenant's open coalescing window. The id ties the
+// batch to its entry in the flush queue so a batch flushed early (MaxBatch)
+// does not get flushed again by its stale deadline.
+type pendingBatch struct {
+	id   uint64
+	jobs []*job
+}
+
+// flushEntry schedules a pending batch's deadline. The window length is
+// the same for every tenant, so entries are appended in deadline order and
+// the queue head is always the next batch due.
+type flushEntry struct {
+	tenant   string
+	id       uint64
+	deadline time.Time
+}
+
 // coalesce folds jobs arriving within Window (or up to MaxBatch) into one
-// unit of work for the pool.
+// unit of work for the pool. Batches are keyed by tenant: requests from
+// different tenants never share a batch, because a coalesced response
+// necessarily exposes every statement in it (see the package comment).
 func (s *Server) coalesce() {
 	defer s.wg.Done()
 	defer close(s.batches)
-	var pending []*job
-	var timer *time.Timer
+	pending := make(map[string]*pendingBatch)
+	var queue []flushEntry
+	var seq uint64
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
 	var timerC <-chan time.Time
-	flush := func() {
-		if len(pending) == 0 {
+
+	flush := func(tenant string) {
+		pb := pending[tenant]
+		if pb == nil {
 			return
 		}
-		s.batches <- pending
-		pending = nil
+		delete(pending, tenant)
+		s.batches <- pb.jobs
 	}
+	// rearm points the single timer at the earliest live deadline,
+	// discarding queue entries whose batch already flushed. Go 1.23+
+	// timer semantics (go.mod requires 1.24): after Stop, no stale value
+	// is ever delivered, so Reset is safe without draining timer.C —
+	// draining here could in fact block forever on the now-unbuffered
+	// channel.
+	rearm := func() {
+		timer.Stop()
+		timerC = nil
+		for len(queue) > 0 {
+			h := queue[0]
+			if pb := pending[h.tenant]; pb == nil || pb.id != h.id {
+				queue = queue[1:]
+				continue
+			}
+			timer.Reset(time.Until(h.deadline))
+			timerC = timer.C
+			return
+		}
+	}
+
 	for {
 		select {
 		case j, ok := <-s.submit:
 			if !ok {
-				if timer != nil {
+				if timerC != nil {
 					timer.Stop()
 				}
-				flush()
+				for tenant := range pending {
+					flush(tenant)
+				}
 				return
 			}
-			pending = append(pending, j)
-			if len(pending) == 1 {
-				timer = time.NewTimer(s.cfg.Window)
-				timerC = timer.C
+			pb := pending[j.tenant]
+			if pb == nil {
+				seq++
+				pb = &pendingBatch{id: seq}
+				pending[j.tenant] = pb
+				queue = append(queue, flushEntry{j.tenant, seq, time.Now().Add(s.cfg.Window)})
+				if timerC == nil {
+					rearm()
+				}
 			}
-			if len(pending) >= s.cfg.MaxBatch {
-				timer.Stop()
-				timerC = nil
-				flush()
+			pb.jobs = append(pb.jobs, j)
+			if len(pb.jobs) >= s.cfg.MaxBatch {
+				flush(j.tenant)
+				rearm()
 			}
 		case <-timerC:
 			timerC = nil
-			flush()
+			now := time.Now()
+			for len(queue) > 0 {
+				h := queue[0]
+				if pb := pending[h.tenant]; pb == nil || pb.id != h.id {
+					queue = queue[1:]
+					continue
+				}
+				if h.deadline.After(now) {
+					break
+				}
+				queue = queue[1:]
+				flush(h.tenant)
+			}
+			rearm()
 		}
 	}
 }
@@ -261,6 +397,13 @@ func (s *Server) proveBatch(prover *zkvc.MatMulProver, jobs []*job) {
 	s.metrics.batchesProved.Add(1)
 	s.metrics.requestsProved.Add(int64(len(jobs)))
 	s.metrics.recordTimings(proof.Timings)
+	if s.cfg.Backend == zkvc.Groth16 {
+		// Attest Groth16 batches so /v1/verify/batch can tell this
+		// service's responses from foreign-setup forgeries.
+		for _, d := range issuedBatchDigests(xs, proof, len(jobs)) {
+			s.issued.add(d)
+		}
+	}
 	for i, j := range jobs {
 		j.resp <- jobResult{resp: &wire.ProveResponse{Index: i, Xs: xs, Batch: proof}}
 	}
@@ -270,7 +413,7 @@ func (s *Server) proveBatch(prover *zkvc.MatMulProver, jobs []*job) {
 // the per-shape epoch CRS, generated at most once thanks to singleflight.
 func (s *Server) proveSingle(x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
 	key := cacheKey{backend: s.cfg.Backend, shape: zkvc.Shape(x, w, s.cfg.Opts)}
-	crs, hit, err := s.cache.get(key, func() (*zkvc.CRS, error) {
+	crs, tag, hit, err := s.cache.get(key, func() (*zkvc.CRS, error) {
 		return s.newProver().Setup(x.Rows, x.Cols, w.Cols, s.cfg.Epoch)
 	})
 	if err != nil {
@@ -288,6 +431,14 @@ func (s *Server) proveSingle(x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Attest the proof: /v1/verify only accepts epoch proofs this service
+	// issued, and it recognizes them by this digest (see handleVerify).
+	// Groth16 attestations bind to the CRS instance; Spartan ones don't
+	// need to (see issuedDigest).
+	if s.cfg.Backend != zkvc.Groth16 {
+		tag = 0
+	}
+	s.issued.add(issuedDigest(x, proof, tag))
 	s.metrics.singlesProved.Add(1)
 	s.metrics.recordTimings(proof.Timings)
 	return proof, nil
@@ -333,7 +484,7 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, err := s.submitJob(req.X, req.W)
+	resp, err := s.submitJob(r.Header.Get(TenantHeader), req.X, req.W)
 	switch {
 	case errors.Is(err, errQueueFull) || errors.Is(err, ErrClosed):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -376,13 +527,57 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.verifyRequests.Add(1)
-	// Epoch proofs are only accepted for this service's own epoch; the
-	// label inside the proof proves nothing by itself.
 	if len(req.Proof.Epoch) > 0 {
-		writeVerdict(w, zkvc.VerifyMatMulInEpoch(req.X, req.Proof, s.cfg.Epoch))
+		writeVerdict(w, s.verifyEpochProof(req))
+		return
+	}
+	// A per-statement Groth16 proof carries its own verifying key, and a
+	// key from a setup this service did not witness proves nothing — its
+	// creator holds the toxic waste and can simulate proofs of false
+	// statements. Only the transparent Spartan backend verifies without
+	// trusting prover-supplied material.
+	if req.Proof.Backend == zkvc.Groth16 {
+		s.metrics.vkRejects.Add(1)
+		writeVerdict(w, fmt.Errorf("%w: per-statement Groth16 proofs carry a prover-supplied verifying key this service has no reason to trust; use the Spartan backend, or an epoch proof issued by this service", zkvc.ErrVerification))
 		return
 	}
 	writeVerdict(w, zkvc.VerifyMatMul(req.X, req.Proof))
+}
+
+// verifyEpochProof checks an epoch proof submitted to /v1/verify. The
+// epoch label is public, so the shared CRPC challenge is predictable and
+// VerifyMatMulInEpoch's soundness precondition — label unpredictable when
+// the prover committed to W — cannot hold for an arbitrary submitter.
+// Only proofs this service itself issued are accepted: their statements
+// were computed honestly here, which is exactly the attestation the
+// issued-proof log records. Groth16 proofs are additionally checked
+// against the service's own cached CRS rather than the verifying key the
+// proof carries, so a forged key from a foreign setup is never trusted.
+func (s *Server) verifyEpochProof(req *wire.VerifyRequest) error {
+	if !bytes.Equal(req.Proof.Epoch, s.cfg.Epoch) {
+		s.metrics.epochRejects.Add(1)
+		return fmt.Errorf("%w: proof epoch is not this service's epoch", zkvc.ErrVerification)
+	}
+	if req.Proof.Backend == zkvc.Groth16 {
+		key := cacheKey{backend: zkvc.Groth16, shape: zkvc.ShapeKey{
+			Rows: req.X.Rows, Inner: req.X.Cols, Cols: req.Proof.Y.Cols, Opts: s.cfg.Opts,
+		}}
+		crs, tag, ok := s.cache.peek(key)
+		if !ok {
+			s.metrics.epochRejects.Add(1)
+			return fmt.Errorf("%w: no trusted CRS for this shape (it may have been evicted)", zkvc.ErrVerification)
+		}
+		if !s.issued.has(issuedDigest(req.X, req.Proof, tag)) {
+			s.metrics.epochRejects.Add(1)
+			return fmt.Errorf("%w: epoch proof was not issued by this service under its current CRS (the epoch label is public, so third-party epoch proofs are forgeable, and attestations expire when a shape's CRS rotates); submit a per-statement Spartan proof instead", zkvc.ErrVerification)
+		}
+		return crs.Verify(req.X, req.Proof)
+	}
+	if !s.issued.has(issuedDigest(req.X, req.Proof, 0)) {
+		s.metrics.epochRejects.Add(1)
+		return fmt.Errorf("%w: epoch proof was not issued by this service (the epoch label is public, so third-party epoch proofs are forgeable); submit a per-statement Spartan proof instead", zkvc.ErrVerification)
+	}
+	return zkvc.VerifyMatMulInEpoch(req.X, req.Proof, s.cfg.Epoch)
 }
 
 func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
@@ -396,6 +591,15 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.verifyRequests.Add(1)
+	// Spartan batches verify unconditionally (transparent backend,
+	// per-statement Fiat–Shamir challenges). A Groth16 batch proof is
+	// only checked against its own embedded verifying key, so it proves
+	// nothing unless this service ran the setup — i.e. issued the batch.
+	if resp.Batch.Backend == zkvc.Groth16 && !s.issued.has(issuedBatchDigest(resp)) {
+		s.metrics.vkRejects.Add(1)
+		writeVerdict(w, fmt.Errorf("%w: Groth16 batch proofs carry a prover-supplied verifying key; only batches this service issued are accepted", zkvc.ErrVerification))
+		return
+	}
 	writeVerdict(w, zkvc.VerifyMatMulBatch(resp.Xs, resp.Batch))
 }
 

@@ -176,12 +176,32 @@ func TestSingleProveCRSCache(t *testing.T) {
 			if len(proof.Epoch) == 0 {
 				errs <- fmt.Errorf("client %d: proof does not record its epoch", i)
 			}
+			// The service attests proofs it issued, so /v1/verify accepts
+			// this one (and checks it against its own trusted CRS).
+			status, verdict := post(t, ts.URL+"/v1/verify", wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: proof}))
+			if status != http.StatusOK || !bytes.Contains(verdict, []byte(`"ok":true`)) {
+				errs <- fmt.Errorf("client %d: issued epoch proof rejected: status %d body %s", i, status, verdict)
+			}
 		}(i)
 	}
 	wg.Wait()
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+
+	// A Groth16 batch this service issued round-trips /v1/verify/batch
+	// (foreign Groth16 batches are rejected; see TestVerifyEndpoints).
+	rng := mrand.New(mrand.NewSource(250))
+	x := zkvc.RandomMatrix(rng, 3, 4, 32)
+	w := zkvc.RandomMatrix(rng, 4, 2, 32)
+	status, raw := post(t, ts.URL+"/v1/prove", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
+	if status != http.StatusOK {
+		t.Fatalf("batch prove: status %d: %s", status, raw)
+	}
+	status, verdict := post(t, ts.URL+"/v1/verify/batch", raw)
+	if status != http.StatusOK || !bytes.Contains(verdict, []byte(`"ok":true`)) {
+		t.Fatalf("issued Groth16 batch rejected: status %d body %s", status, verdict)
 	}
 
 	snap := getMetrics(t, ts.URL)
@@ -237,9 +257,297 @@ func TestVerifyEndpoints(t *testing.T) {
 		t.Fatalf("tampered verify: status %d body %s", status, verdict)
 	}
 
+	// Per-statement Groth16 proofs carry their own verifying key, which
+	// the service cannot trust — whoever ran that setup can forge.
+	g16 := zkvc.NewMatMulProver(zkvc.Groth16, zkvc.DefaultOptions())
+	g16.Reseed(9)
+	g16Proof, err := g16.Prove(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, verdict = post(t, ts.URL+"/v1/verify", wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: g16Proof}))
+	if status != http.StatusUnprocessableEntity || !bytes.Contains(verdict, []byte("verifying key")) {
+		t.Fatalf("per-statement Groth16 proof accepted: status %d body %s", status, verdict)
+	}
+
+	// Same for a Groth16 batch from a foreign setup: /v1/verify/batch
+	// only accepts Groth16 batches this service issued.
+	g16Batch, err := g16.ProveBatch([2]*zkvc.Matrix{x, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreignResp := wire.EncodeProveResponse(&wire.ProveResponse{Index: 0, Xs: []*zkvc.Matrix{x}, Batch: g16Batch})
+	status, verdict = post(t, ts.URL+"/v1/verify/batch", foreignResp)
+	if status != http.StatusUnprocessableEntity || !bytes.Contains(verdict, []byte("verifying key")) {
+		t.Fatalf("foreign Groth16 batch accepted: status %d body %s", status, verdict)
+	}
+
 	// Garbage bodies are rejected up front.
 	if status, _ := post(t, ts.URL+"/v1/prove", []byte("not a wire message")); status != http.StatusBadRequest {
 		t.Errorf("garbage prove request: status %d, want 400", status)
+	}
+}
+
+// TestVerifyRejectsForeignEpochProofs covers the epoch soundness policy:
+// the service's epoch label is public, so an epoch proof from anyone but
+// the service itself proves nothing (the prover saw the challenge before
+// choosing its statement). /v1/verify must reject such proofs even when
+// they are honestly generated and would pass VerifyMatMulInEpoch.
+func TestVerifyRejectsForeignEpochProofs(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Backend = zkvc.Spartan
+	cfg.Seed = 6
+
+	_, ts := newTestServer(t, cfg)
+
+	rng := mrand.New(mrand.NewSource(500))
+	x := zkvc.RandomMatrix(rng, 3, 4, 32)
+	w := zkvc.RandomMatrix(rng, 4, 2, 32)
+
+	// A third party generates its own CRS for the service's (public!)
+	// epoch label and proves an honest statement under it.
+	prover := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
+	prover.Reseed(7)
+	crs, err := prover.Setup(3, 4, 2, cfg.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := prover.ProveWithCRS(crs, x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zkvc.VerifyMatMulInEpoch(x, proof, cfg.Epoch); err != nil {
+		t.Fatalf("foreign epoch proof should be cryptographically valid: %v", err)
+	}
+	status, verdict := post(t, ts.URL+"/v1/verify", wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: proof}))
+	if status != http.StatusUnprocessableEntity || !bytes.Contains(verdict, []byte(`"ok":false`)) {
+		t.Errorf("foreign epoch proof accepted: status %d body %s", status, verdict)
+	}
+	if !bytes.Contains(verdict, []byte("not issued by this service")) {
+		t.Errorf("rejection does not explain the issued-only policy: %s", verdict)
+	}
+
+	// A proof for some other epoch label is rejected up front.
+	otherCRS, err := prover.Setup(3, 4, 2, []byte("someone-elses-epoch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherProof, err := prover.ProveWithCRS(otherCRS, x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, verdict = post(t, ts.URL+"/v1/verify", wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: otherProof}))
+	if status != http.StatusUnprocessableEntity || !bytes.Contains(verdict, []byte(`"ok":false`)) {
+		t.Errorf("wrong-epoch proof accepted: status %d body %s", status, verdict)
+	}
+
+	if snap := getMetrics(t, ts.URL); snap.EpochRejects != 2 {
+		t.Errorf("epoch rejects %d, want 2", snap.EpochRejects)
+	}
+}
+
+// TestTenantPartitioning submits concurrent jobs under two tenant keys
+// with a window long enough that an unpartitioned coalescer would fold
+// them all into one batch. Every response must contain only the
+// submitting tenant's statements, while jobs still coalesce within each
+// tenant.
+func TestTenantPartitioning(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Backend = zkvc.Spartan
+	cfg.Window = 300 * time.Millisecond
+	cfg.MaxBatch = 8
+	cfg.Workers = 2
+	cfg.Seed = 8
+
+	_, ts := newTestServer(t, cfg)
+
+	// Tenants are told apart by their X dimensions.
+	dims := map[string][3]int{"alice": {2, 3, 2}, "bob": {3, 4, 2}}
+	const perTenant = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*perTenant)
+	for tenant, sh := range dims {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(tenant string, sh [3]int, i int) {
+				defer wg.Done()
+				rng := mrand.New(mrand.NewSource(int64(600 + i)))
+				x := zkvc.RandomMatrix(rng, sh[0], sh[1], 16)
+				w := zkvc.RandomMatrix(rng, sh[1], sh[2], 16)
+				body := wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w})
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/prove", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				req.Header.Set(server.TenantHeader, tenant)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				raw, err := io.ReadAll(resp.Body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s/%d: status %d: %s", tenant, i, resp.StatusCode, raw)
+					return
+				}
+				pr, err := wire.DecodeProveResponse(raw)
+				if err != nil {
+					errs <- fmt.Errorf("%s/%d: decode: %v", tenant, i, err)
+					return
+				}
+				for _, other := range pr.Xs {
+					if other.Rows != sh[0] || other.Cols != sh[1] {
+						errs <- fmt.Errorf("%s/%d: batch leaked a foreign %dx%d statement", tenant, i, other.Rows, other.Cols)
+						return
+					}
+				}
+				if err := zkvc.VerifyMatMulBatch(pr.Xs, pr.Batch); err != nil {
+					errs <- fmt.Errorf("%s/%d: batch does not verify: %v", tenant, i, err)
+				}
+			}(tenant, sh, i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := getMetrics(t, ts.URL)
+	if snap.BatchesProved < 2 {
+		t.Errorf("batches proved %d, want at least one per tenant", snap.BatchesProved)
+	}
+	if snap.BatchesProved >= 2*perTenant {
+		t.Errorf("coalescing produced %d backend proofs for %d requests, want fewer", snap.BatchesProved, 2*perTenant)
+	}
+}
+
+// TestVerifyAfterCRSRotation: issued-proof attestations are bound to the
+// CRS instance. Once a shape's Groth16 CRS is LRU-evicted, re-verifying a
+// proof issued under it must fail with an honest policy error — first "no
+// trusted CRS", and after the shape is set up again (new keys, same
+// epoch label), "not issued under its current CRS" — never a bare pairing
+// failure against the wrong verifying key.
+func TestVerifyAfterCRSRotation(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Backend = zkvc.Groth16
+	cfg.MaxShapes = 1
+	cfg.Seed = 10
+
+	_, ts := newTestServer(t, cfg)
+
+	rng := mrand.New(mrand.NewSource(800))
+	x := zkvc.RandomMatrix(rng, 3, 4, 32)
+	w := zkvc.RandomMatrix(rng, 4, 2, 32)
+	proveSingle := func(x, w *zkvc.Matrix) []byte {
+		t.Helper()
+		status, raw := post(t, ts.URL+"/v1/prove/single", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
+		if status != http.StatusOK {
+			t.Fatalf("prove/single: status %d: %s", status, raw)
+		}
+		return raw
+	}
+
+	raw := proveSingle(x, w)
+	proof, err := wire.DecodeMatMulProof(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: proof})
+	if status, verdict := post(t, ts.URL+"/v1/verify", body); status != http.StatusOK {
+		t.Fatalf("fresh issued proof rejected: status %d body %s", status, verdict)
+	}
+
+	// A different shape evicts the first CRS (MaxShapes = 1).
+	proveSingle(zkvc.RandomMatrix(rng, 2, 3, 32), zkvc.RandomMatrix(rng, 3, 2, 32))
+	status, verdict := post(t, ts.URL+"/v1/verify", body)
+	if status != http.StatusUnprocessableEntity || !bytes.Contains(verdict, []byte("no trusted CRS")) {
+		t.Fatalf("post-eviction verify: status %d body %s, want 'no trusted CRS'", status, verdict)
+	}
+
+	// Re-setting up the shape installs new keys under the same epoch
+	// label; the old proof's attestation must not transfer to them.
+	proveSingle(x, w)
+	status, verdict = post(t, ts.URL+"/v1/verify", body)
+	if status != http.StatusUnprocessableEntity || !bytes.Contains(verdict, []byte("current CRS")) {
+		t.Fatalf("post-rotation verify: status %d body %s, want 'current CRS' rejection", status, verdict)
+	}
+}
+
+// TestQueueCapBoundsParkedJobs: QueueCap must bound jobs parked in open
+// coalescing windows, not just the submit channel buffer — otherwise a
+// burst of distinct tenants (each opening its own window) would accept
+// unbounded work.
+func TestQueueCapBoundsParkedJobs(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Backend = zkvc.Spartan
+	cfg.Window = 10 * time.Second // park jobs until Close flushes
+	cfg.QueueCap = 2
+	cfg.Workers = 1
+	cfg.Seed = 11
+
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rng := mrand.New(mrand.NewSource(900))
+	x := zkvc.RandomMatrix(rng, 2, 3, 16)
+	w := zkvc.RandomMatrix(rng, 3, 2, 16)
+	body := wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w})
+
+	submit := func(tenant string) (int, []byte) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/prove", bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return 0, nil
+		}
+		req.Header.Set(server.TenantHeader, tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return 0, nil
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+
+	// Two distinct tenants park two singleton windows.
+	statuses := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			status, _ := submit(fmt.Sprintf("tenant-%d", i))
+			statuses <- status
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().QueueDepth < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked jobs never reached queue depth 2 (depth %d)", s.Metrics().QueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The cap counts the parked jobs: a third tenant is shed.
+	if status, raw := submit("tenant-2"); status != http.StatusServiceUnavailable {
+		t.Errorf("third parked job: status %d body %s, want 503", status, raw)
+	}
+
+	// Close flushes the parked windows; both accepted jobs complete.
+	s.Close()
+	for i := 0; i < 2; i++ {
+		if status := <-statuses; status != http.StatusOK {
+			t.Errorf("parked job finished with status %d, want 200", status)
+		}
 	}
 }
 

@@ -22,6 +22,11 @@ type ProveRequest struct {
 // in the batch, every public input of the batch (in batch order), and the
 // single proof covering all of them. VerifyMatMulBatch(Xs, Batch) checks
 // the whole batch; Batch.Ys[Index] is this request's product.
+//
+// Note the whole batch is visible to every recipient — Xs and Batch.Ys
+// include the other coalesced requests' inputs and outputs, which the
+// batch identity needs as public values. The server therefore only
+// coalesces requests of the same tenant (server.TenantHeader).
 type ProveResponse struct {
 	Index int
 	Xs    []*zkvc.Matrix

@@ -25,6 +25,13 @@ const Magic = "ZKVC"
 // Version is the current format version. Decoders reject other versions.
 const Version = 1
 
+// HeaderLen is the size of the header (magic, version, type tag) every
+// top-level message starts with. ProveResponse encodes its Index as a
+// big-endian u32 immediately after the header; the proving service relies
+// on that fixed offset to stamp per-recipient digests of a batch without
+// re-encoding it (see internal/server's issuedBatchDigests).
+const HeaderLen = len(Magic) + 2
+
 // Type tags distinguish top-level messages.
 const (
 	TagMatrix        byte = 0x01

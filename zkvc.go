@@ -15,6 +15,8 @@ package zkvc
 
 import (
 	"bytes"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	mrand "math/rand"
@@ -132,18 +134,41 @@ type MatMulProver struct {
 	rng     *mrand.Rand
 }
 
-// NewMatMulProver returns a prover. The deterministic seed keeps
-// benchmarks reproducible; call Reseed for fresh randomness.
+// NewMatMulProver returns a prover drawing from crypto/rand. Groth16 CRS
+// generation and proof blinding both need unpredictable randomness —
+// whoever can reconstruct the Setup stream holds the toxic waste and can
+// forge proofs for that CRS — so a guessable (e.g. clock-derived) seed is
+// never the default. Call Reseed for reproducible tests and benchmarks.
 func NewMatMulProver(backend Backend, opts Options) *MatMulProver {
 	return &MatMulProver{
 		backend: backend,
 		opts:    opts,
 		pcs:     pcs.DefaultParams(),
-		rng:     mrand.New(mrand.NewSource(time.Now().UnixNano())),
+		rng:     mrand.New(cryptoSource{}),
 	}
 }
 
-// Reseed replaces the prover's randomness source.
+// cryptoSource adapts crypto/rand to math/rand's Source64, so the backends
+// can keep their *rand.Rand plumbing while the default prover draws
+// operating-system entropy.
+type cryptoSource struct{}
+
+func (cryptoSource) Seed(int64) {}
+
+func (s cryptoSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (cryptoSource) Uint64() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic("zkvc: crypto/rand failed: " + err.Error())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Reseed switches the prover to a deterministic math/rand stream. This is
+// the explicit test-and-benchmark path: a deterministic stream makes every
+// Groth16 CRS it generates forgeable by anyone who knows the seed, so
+// production provers should stay on the crypto/rand default.
 func (p *MatMulProver) Reseed(seed int64) { p.rng = mrand.New(mrand.NewSource(seed)) }
 
 // PCSParams returns the polynomial-commitment parameters of the Spartan
@@ -226,6 +251,13 @@ const wCommitLen = 32
 // output proof.Y. The verifier reconstructs the circuit from public data
 // only: dimensions, the claimed Y, and the prover's commitment to W.
 //
+// For the Spartan backend the check is unconditional — the backend is
+// transparent. For Groth16 it is relative to proof.G16VK: soundness
+// additionally requires that key to come from a setup the verifier
+// trusts, since whoever ran the setup can simulate proofs of false
+// statements. Verifiers holding an epoch CRS should use CRS.Verify,
+// which substitutes their own key.
+//
 // Proofs carrying an epoch label are rejected here: deriving the CRPC
 // challenge from a prover-supplied label would let a forger fix the
 // challenge in advance, exactly what Fiat–Shamir exists to prevent. Epoch
@@ -266,18 +298,6 @@ func verifyMatMulAt(x *Matrix, proof *MatMulProof, epoch []byte) error {
 		return fmt.Errorf("%w: malformed W commitment (%d bytes, want %d)",
 			ErrVerification, len(proof.WCommit), wCommitLen)
 	}
-	var z ff.Fr
-	if proof.Opts.CRPC {
-		if len(epoch) > 0 {
-			z = crpc.DeriveEpochZ(epoch, x.Rows, x.Cols, proof.Y.Cols, proof.Opts)
-		} else {
-			z = crpc.DeriveZFromCommit(x, proof.Y, proof.WCommit)
-		}
-	}
-	n := x.Cols
-	b := proof.Y.Cols
-	sys := crpc.SynthesizeShape(x.Rows, n, b, z, proof.Opts)
-
 	// Public witness = [1, X entries, Y entries].
 	public := make([]ff.Fr, 1, 1+len(x.Data)+len(proof.Y.Data))
 	public[0].SetOne()
@@ -296,6 +316,18 @@ func verifyMatMulAt(x *Matrix, proof *MatMulProof, epoch []byte) error {
 		if proof.SpartanProof == nil {
 			return fmt.Errorf("%w: missing Spartan payload", ErrVerification)
 		}
+		// Only Spartan consumes the synthesized system (and hence the
+		// CRPC challenge): Groth16's circuit binding lives entirely in
+		// the verifying key, so synthesizing there would be wasted work.
+		var z ff.Fr
+		if proof.Opts.CRPC {
+			if len(epoch) > 0 {
+				z = crpc.DeriveEpochZ(epoch, x.Rows, x.Cols, proof.Y.Cols, proof.Opts)
+			} else {
+				z = crpc.DeriveZFromCommit(x, proof.Y, proof.WCommit)
+			}
+		}
+		sys := crpc.SynthesizeShape(x.Rows, x.Cols, proof.Y.Cols, z, proof.Opts)
 		if err := spartan.Verify(sys, proof.SpartanProof, public, pcs.DefaultParams()); err != nil {
 			return fmt.Errorf("%w: %v", ErrVerification, err)
 		}
