@@ -1,0 +1,241 @@
+package main
+
+// JSON mode: the machine-readable side of zkvc-bench, feeding the CI
+// bench gate and the checked-in BENCH_PR<N>.json trajectory.
+//
+//	zkvc-bench -parallel -json BENCH_PR2.json
+//	    run the parallelism harness (internal/bench.RunParallelReport)
+//	    and write the report
+//
+//	go test -bench 'BenchmarkPublicAPI|BenchmarkBatchProve' -benchtime 1x -run '^$' . \
+//	  | zkvc-bench -parse-bench - -json BENCH_CI.json \
+//	      -baseline BENCH_PR2.json -max-regress 0.25
+//	    parse `go test -bench` output (names normalized by stripping the
+//	    -GOMAXPROCS suffix and prefixed "gotest/"), write the report,
+//	    and exit 1 if any benchmark shared with the baseline regressed
+//	    by more than -max-regress.
+//
+// Regression comparison is by name over the intersection of the two
+// reports; rows only one side has are listed but never fail the gate
+// (new benchmarks and renamed shapes must not break CI retroactively).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"zkvc/internal/bench"
+)
+
+// benchEnv captures the measuring machine for parsed-only reports.
+func benchEnv() bench.ParallelEnv {
+	return bench.ParallelEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// parseGoBench converts `go test -bench` output lines into report rows.
+// A line looks like:
+//
+//	BenchmarkPublicAPI/zkVC-S-8   1   123456789 ns/op   456 B/op   7 allocs/op
+//
+// The trailing -N on the name is GOMAXPROCS, which varies by machine;
+// it is stripped so baselines compare across runners. Repeated names
+// (`go test -count=N`) keep the fastest run — min-of-N is the standard
+// way to tame scheduler noise in single-iteration benchmarks.
+func parseGoBench(r io.Reader) ([]bench.ParallelRow, error) {
+	var rows []bench.ParallelRow
+	seen := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		row := bench.ParallelRow{Name: "gotest/" + name}
+		ok := false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				row.Seconds = v / 1e9
+				ok = true
+			case "B/op":
+				row.AllocBytes = uint64(v)
+			case "allocs/op":
+				row.Allocs = uint64(v)
+			}
+		}
+		if !ok {
+			continue
+		}
+		if i, dup := seen[row.Name]; dup {
+			if row.Seconds < rows[i].Seconds {
+				rows[i] = row
+			}
+			continue
+		}
+		seen[row.Name] = len(rows)
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found (is the input `go test -bench` output?)")
+	}
+	return rows, nil
+}
+
+// checkRegressions compares rows shared by name and returns the names
+// whose time regressed beyond maxRegress (0.25 = fail above +25%).
+// Only `gotest/` rows participate: their names are machine-portable,
+// whereas harness rows embed par=<budget> and the budget differs per
+// machine, so harness rows are recorded for reading but never gate.
+func checkRegressions(baseline, current *bench.ParallelReport, maxRegress float64) (regressed []string, compared int) {
+	base := make(map[string]float64, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		if r.Seconds > 0 {
+			base[r.Name] = r.Seconds
+		}
+	}
+	for _, r := range current.Rows {
+		if !strings.HasPrefix(r.Name, "gotest/") {
+			continue
+		}
+		b, ok := base[r.Name]
+		if !ok || r.Seconds <= 0 {
+			continue
+		}
+		compared++
+		if r.Seconds > b*(1+maxRegress) {
+			regressed = append(regressed,
+				fmt.Sprintf("%s: %.3fs vs baseline %.3fs (%+.1f%%)", r.Name, r.Seconds, b, 100*(r.Seconds/b-1)))
+		}
+	}
+	return regressed, compared
+}
+
+func readReport(path string) (*bench.ParallelReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.ParallelReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runJSONMode executes the -parallel / -parse-bench / -baseline flags.
+// It returns false when none of them were given (table/figure mode).
+func runJSONMode(parallelRun bool, parseBench, jsonOut, baseline string, maxRegress float64, seed int64) bool {
+	if !parallelRun && parseBench == "" {
+		return false
+	}
+	rep := &bench.ParallelReport{Schema: "zkvc-bench/parallel/v1", Deterministic: true}
+
+	if parallelRun {
+		r, err := bench.RunParallelReport(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zkvc-bench: parallel harness: %v\n", err)
+			os.Exit(1)
+		}
+		rep = r
+		if !rep.Deterministic {
+			fmt.Fprintln(os.Stderr, "zkvc-bench: FATAL: proofs differ across parallelism levels")
+			os.Exit(1)
+		}
+		parN := rep.Levels[len(rep.Levels)-1]
+		for name, s := range rep.Speedups {
+			fmt.Printf("%-40s %5.2fx (par=1 → par=%d)\n", name, s, parN)
+		}
+	}
+
+	if parseBench != "" {
+		in := os.Stdin
+		if parseBench != "-" {
+			f, err := os.Open(parseBench)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "zkvc-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			in = f
+		}
+		rows, err := parseGoBench(in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zkvc-bench: parsing bench output: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Rows = append(rep.Rows, rows...)
+		if !parallelRun {
+			rep.Env = benchEnv()
+		}
+	}
+
+	if jsonOut != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zkvc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(jsonOut, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "zkvc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(rep.Rows), jsonOut)
+	}
+
+	if baseline != "" {
+		base, err := readReport(baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zkvc-bench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		cur := benchEnv()
+		if base.Env.NumCPU != 0 && base.Env.NumCPU != cur.NumCPU {
+			// Wall-clock gates only mean something on comparable machines.
+			// A slower-than-baseline machine makes the gate flaky; a
+			// faster one (e.g. multi-core runner vs a single-core
+			// recording box) makes it fail open until the baseline is
+			// regenerated from this machine's report.
+			fmt.Fprintf(os.Stderr,
+				"zkvc-bench: WARNING: baseline %s was recorded with %d CPU(s), this machine has %d — the %.0f%% gate is unreliable until the baseline is regenerated from a comparable runner's bench-report artifact\n",
+				baseline, base.Env.NumCPU, cur.NumCPU, 100*maxRegress)
+		}
+		regressed, compared := checkRegressions(base, rep, maxRegress)
+		fmt.Printf("compared %d benchmarks against %s (max regression %+.0f%%)\n",
+			compared, baseline, 100*maxRegress)
+		if len(regressed) > 0 {
+			fmt.Fprintln(os.Stderr, "zkvc-bench: PERFORMANCE REGRESSION:")
+			for _, r := range regressed {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("no regressions")
+	}
+	return true
+}

@@ -34,8 +34,18 @@ func main() {
 		all   = flag.Bool("all", false, "regenerate every table and figure")
 		full  = flag.Bool("full", false, "no extrapolation: run the paper's exact shapes (slow)")
 		seed  = flag.Int64("seed", 1, "deterministic seed for synthesized workloads")
+
+		parallelRun = flag.Bool("parallel", false, "run the parallelism harness (BENCH_PR<N>.json) instead of tables/figures")
+		parseBench  = flag.String("parse-bench", "", "parse `go test -bench` output from this file ('-' = stdin) into the JSON report")
+		jsonOut     = flag.String("json", "", "write the machine-readable report to this path")
+		baseline    = flag.String("baseline", "", "compare the report against this checked-in BENCH_*.json and fail on regression")
+		maxRegress  = flag.Float64("max-regress", 0.25, "relative slowdown vs -baseline that fails the gate")
 	)
 	flag.Parse()
+
+	if runJSONMode(*parallelRun, *parseBench, *jsonOut, *baseline, *maxRegress, *seed) {
+		return
+	}
 
 	cfg := bench.RunConfig{Full: *full, Seed: *seed}
 	mode := "default (anchored extrapolation for heavy rows)"

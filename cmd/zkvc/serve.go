@@ -33,6 +33,8 @@ func cmdServe(args []string) {
 	window := fs.Duration("window", 10*time.Millisecond, "coalescing window")
 	maxBatch := fs.Int("max-batch", 16, "flush a batch early at this many pending jobs")
 	workers := fs.Int("workers", 0, "proving workers (0 = NumCPU)")
+	parallelism := fs.Int("parallelism", 0,
+		"process-wide worker budget shared by job concurrency and per-proof hot loops (0 = ZKVC_PARALLELISM env or GOMAXPROCS)")
 	epoch := fs.String("epoch", "zkvc-epoch-0", "shape-epoch label for the single-proof CRS cache")
 	fs.Parse(args)
 
@@ -45,6 +47,7 @@ func cmdServe(args []string) {
 	cfg.Window = *window
 	cfg.MaxBatch = *maxBatch
 	cfg.Workers = *workers
+	cfg.Parallelism = *parallelism
 	cfg.Epoch = []byte(*epoch)
 
 	s, err := server.New(cfg)
@@ -52,8 +55,8 @@ func cmdServe(args []string) {
 		fatalf("serve: %v", err)
 	}
 	defer s.Close()
-	fmt.Printf("zkvc proving service on %s: backend %s, window %v, max batch %d\n",
-		*addr, backend, *window, *maxBatch)
+	fmt.Printf("zkvc proving service on %s: backend %s, window %v, max batch %d, parallelism %d\n",
+		*addr, backend, *window, *maxBatch, zkvc.Parallelism())
 	if err := s.ListenAndServe(*addr); err != nil {
 		fatalf("serve: %v", err)
 	}

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	mrand "math/rand"
+	"runtime"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/matrix"
+	"zkvc/internal/wire"
+)
+
+// This file is the PR2 bench harness: it measures the proving stack at
+// parallelism 1 (the sequential reference schedule) and at the full
+// worker budget, on the paper's matmul shapes, for both backends and
+// for the folded batch path, and cross-checks that the proofs are
+// byte-identical across the two schedules. cmd/zkvc-bench -parallel
+// serializes the report as BENCH_PR<N>.json; the CI bench job uploads a
+// fresh report from a multi-core runner on every push.
+
+// ParallelEnv records where a report was measured — speedups are only
+// meaningful relative to the core count.
+type ParallelEnv struct {
+	GoVersion  string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// ParallelRow is one measured configuration.
+type ParallelRow struct {
+	// Name is "single/<backend>/<a>x<n>x<b>/par=<p>" or
+	// "batch/<backend>/m=<m>/<a>x<n>x<b>/par=<p>".
+	Name        string  `json:"name"`
+	Parallelism int     `json:"parallelism"`
+	Seconds     float64 `json:"seconds"`       // synthesis + prove wall clock
+	SetupSecs   float64 `json:"setup_seconds"` // Groth16 CRS generation
+	Allocs      uint64  `json:"allocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	ProofBytes  int     `json:"proof_bytes"`
+}
+
+// ParallelReport is the JSON payload of BENCH_PR<N>.json.
+type ParallelReport struct {
+	Schema string      `json:"schema"`
+	Note   string      `json:"note,omitempty"`
+	Env    ParallelEnv `json:"env"`
+	// Levels are the parallelism settings swept (always 1, the
+	// sequential reference, plus the machine's full budget).
+	Levels []int `json:"levels,omitempty"`
+	// Deterministic is the cross-check result: proofs at parallelism 1
+	// and N compared byte-for-byte on their canonical wire encodings.
+	Deterministic bool          `json:"deterministic"`
+	Rows          []ParallelRow `json:"results"`
+	// Speedups maps each configuration to seconds(par=1)/seconds(par=N).
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+// parallelShapes are the single-proof shapes the harness sweeps: the
+// paper's quickstart [49,64]×[64,128] plus the next Fig 6 point. The
+// Groth16 backend is anchored at the smaller shapes (its fresh CRS per
+// proof dominates above d=128, exactly as in Fig 6's heavy rows).
+var parallelShapes = map[zkvc.Backend][][3]int{
+	zkvc.Spartan: {{49, 64, 128}, {49, 128, 256}},
+	zkvc.Groth16: {{49, 32, 64}, {49, 64, 128}},
+}
+
+func backendName(b zkvc.Backend) string {
+	if b == zkvc.Groth16 {
+		return "zkVC-G"
+	}
+	return "zkVC-S"
+}
+
+// measure runs f once and returns its wall clock plus the allocation
+// delta across the run (all goroutines; the borrowed workers allocate
+// on behalf of the measured proof).
+func measure(f func() error) (time.Duration, uint64, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := f()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
+}
+
+// runSingle proves one shape at one parallelism level and returns the
+// row plus the canonical proof bytes (timings zeroed) for the
+// determinism cross-check.
+func runSingle(backend zkvc.Backend, shape [3]int, par int, seed int64) (ParallelRow, []byte, error) {
+	zkvc.SetParallelism(par)
+	defer zkvc.SetParallelism(0)
+	rng := mrand.New(mrand.NewSource(seed))
+	x := matrix.Random(rng, shape[0], shape[1], 256)
+	w := matrix.Random(rng, shape[1], shape[2], 256)
+	prover := zkvc.NewMatMulProver(backend, zkvc.DefaultOptions())
+	prover.Reseed(seed)
+	var proof *zkvc.MatMulProof
+	_, allocs, allocBytes, err := measure(func() error {
+		var e error
+		proof, e = prover.Prove(x, w)
+		return e
+	})
+	if err != nil {
+		return ParallelRow{}, nil, err
+	}
+	if err := zkvc.VerifyMatMul(x, proof); err != nil {
+		return ParallelRow{}, nil, fmt.Errorf("proof does not verify: %w", err)
+	}
+	row := ParallelRow{
+		Name: fmt.Sprintf("single/%s/%dx%dx%d/par=%d",
+			backendName(backend), shape[0], shape[1], shape[2], par),
+		Parallelism: par,
+		Seconds:     (proof.Timings.Synthesis + proof.Timings.Prove).Seconds(),
+		SetupSecs:   proof.Timings.Setup.Seconds(),
+		Allocs:      allocs,
+		AllocBytes:  allocBytes,
+		ProofBytes:  proof.SizeBytes(),
+	}
+	proof.Timings = zkvc.Timings{}
+	return row, wire.EncodeMatMulProof(proof), nil
+}
+
+// runBatch proves the folded m-product batch at one parallelism level.
+func runBatch(par int, m int, shape [3]int, seed int64) (ParallelRow, []byte, error) {
+	zkvc.SetParallelism(par)
+	defer zkvc.SetParallelism(0)
+	rng := mrand.New(mrand.NewSource(seed))
+	var pairs [][2]*zkvc.Matrix
+	var xs []*zkvc.Matrix
+	for i := 0; i < m; i++ {
+		x := matrix.Random(rng, shape[0], shape[1], 256)
+		w := matrix.Random(rng, shape[1], shape[2], 256)
+		pairs = append(pairs, [2]*zkvc.Matrix{x, w})
+		xs = append(xs, x)
+	}
+	prover := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
+	prover.Reseed(seed)
+	var proof *zkvc.BatchProof
+	_, allocs, allocBytes, err := measure(func() error {
+		var e error
+		proof, e = prover.ProveBatch(pairs...)
+		return e
+	})
+	if err != nil {
+		return ParallelRow{}, nil, err
+	}
+	if err := zkvc.VerifyMatMulBatch(xs, proof); err != nil {
+		return ParallelRow{}, nil, fmt.Errorf("batch does not verify: %w", err)
+	}
+	row := ParallelRow{
+		Name: fmt.Sprintf("batch/%s/m=%d/%dx%dx%d/par=%d",
+			backendName(zkvc.Spartan), m, shape[0], shape[1], shape[2], par),
+		Parallelism: par,
+		Seconds:     (proof.Timings.Synthesis + proof.Timings.Prove).Seconds(),
+		Allocs:      allocs,
+		AllocBytes:  allocBytes,
+		ProofBytes:  proof.SizeBytes(),
+	}
+	proof.Timings = zkvc.Timings{}
+	return row, wire.EncodeBatchProof(proof), nil
+}
+
+// RunParallelReport measures every configuration at parallelism 1 and
+// at the machine's full budget, cross-checking proof bytes between the
+// two schedules.
+func RunParallelReport(seed int64) (*ParallelReport, error) {
+	rep := &ParallelReport{
+		Schema: "zkvc-bench/parallel/v1",
+		Env: ParallelEnv{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Deterministic: true,
+		Speedups:      map[string]float64{},
+	}
+	full := runtime.GOMAXPROCS(0)
+	levels := []int{1}
+	if full > 1 {
+		levels = append(levels, full)
+	} else {
+		// Single-core machine: still exercise the parallel schedule (it
+		// must degrade gracefully), but note that speedups ≈ 1 here.
+		levels = append(levels, 4)
+		rep.Note = "measured on a single-core machine: par>1 exercises the parallel schedule without real concurrency; see the CI bench artifact for multi-core speedups"
+	}
+	rep.Levels = levels
+
+	// Warm up once at the smallest shape so one-time initialization
+	// (curve tables, page faults) is not billed to the first level.
+	if _, _, err := runSingle(zkvc.Groth16, [3]int{8, 8, 8}, 1, seed); err != nil {
+		return nil, err
+	}
+
+	addPair := func(base string, rows []ParallelRow, proofs [][]byte) {
+		rep.Rows = append(rep.Rows, rows...)
+		if !bytes.Equal(proofs[0], proofs[1]) {
+			rep.Deterministic = false
+		}
+		if rows[1].Seconds > 0 {
+			rep.Speedups[base] = rows[0].Seconds / rows[1].Seconds
+		}
+	}
+
+	for _, backend := range []zkvc.Backend{zkvc.Spartan, zkvc.Groth16} {
+		for _, shape := range parallelShapes[backend] {
+			var rows []ParallelRow
+			var proofs [][]byte
+			for _, par := range levels {
+				row, proof, err := runSingle(backend, shape, par, seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s %v par=%d: %w", backendName(backend), shape, par, err)
+				}
+				rows = append(rows, row)
+				proofs = append(proofs, proof)
+			}
+			addPair(fmt.Sprintf("single/%s/%dx%dx%d",
+				backendName(backend), shape[0], shape[1], shape[2]), rows, proofs)
+		}
+	}
+
+	batchShape := [3]int{16, 32, 16}
+	const batchM = 8
+	var rows []ParallelRow
+	var proofs [][]byte
+	for _, par := range levels {
+		row, proof, err := runBatch(par, batchM, batchShape, seed)
+		if err != nil {
+			return nil, fmt.Errorf("batch par=%d: %w", par, err)
+		}
+		rows = append(rows, row)
+		proofs = append(proofs, proof)
+	}
+	addPair(fmt.Sprintf("batch/%s/m=%d/%dx%dx%d",
+		backendName(zkvc.Spartan), batchM, batchShape[0], batchShape[1], batchShape[2]), rows, proofs)
+
+	return rep, nil
+}

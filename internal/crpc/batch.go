@@ -5,6 +5,7 @@ import (
 
 	"zkvc/internal/ff"
 	"zkvc/internal/matrix"
+	"zkvc/internal/parallel"
 	"zkvc/internal/r1cs"
 	"zkvc/internal/transcript"
 )
@@ -34,11 +35,16 @@ type BatchStatement struct {
 }
 
 // NewBatchStatement computes Y_m = X_m·W_m honestly for every pair.
+// Statements are independent, so they are built in parallel on the
+// shared worker budget (each product may itself borrow more workers);
+// the batch keeps pair order.
 func NewBatchStatement(pairs ...[2]*matrix.Matrix) *BatchStatement {
-	bs := &BatchStatement{}
-	for _, p := range pairs {
-		bs.Stmts = append(bs.Stmts, NewStatement(p[0], p[1]))
-	}
+	bs := &BatchStatement{Stmts: make([]*Statement, len(pairs))}
+	parallel.For(len(pairs), 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			bs.Stmts[i] = NewStatement(pairs[i][0], pairs[i][1])
+		}
+	})
 	return bs
 }
 

@@ -1,10 +1,8 @@
 package curve
 
 import (
-	"runtime"
-	"sync"
-
 	"zkvc/internal/ff"
+	"zkvc/internal/parallel"
 )
 
 // msmWindow picks a Pippenger window size for n points.
@@ -23,9 +21,23 @@ func msmWindow(n int) uint {
 	}
 }
 
-// MSMG1 computes Σ scalars[i]·points[i] with the Pippenger bucket method,
-// parallelized across windows. The window size is auto-tuned; use
-// MSMG1WithWindow to ablate it (BenchmarkMSMWindow).
+// msmChunk picks the point-chunk size for a parallel MSM: one chunk per
+// budgeted worker, but never so small that the per-chunk bucket sweep
+// (nWindows·2^c point ops) dominates the useful additions.
+func msmChunk(n, workers int) int {
+	chunk := (n + workers - 1) / workers
+	if chunk < 256 {
+		chunk = 256
+	}
+	return chunk
+}
+
+// MSMG1 computes Σ scalars[i]·points[i] with the Pippenger bucket
+// method, chunked across the shared worker budget: each chunk runs a
+// full windowed MSM over its slice of points and the partial sums are
+// folded in chunk order. Group arithmetic is exact, so the result is
+// identical at every parallelism level. The window size is auto-tuned;
+// use MSMG1WithWindow to ablate it (BenchmarkMSMWindow).
 func MSMG1(points []G1Affine, scalars []ff.Fr) G1Jac {
 	return MSMG1WithWindow(points, scalars, 0)
 }
@@ -53,36 +65,46 @@ func MSMG1WithWindow(points []G1Affine, scalars []ff.Fr, c uint) G1Jac {
 		return total
 	}
 
+	pool := parallel.Default()
+	chunk := msmChunk(n, pool.Size())
 	if c == 0 {
-		c = msmWindow(n)
+		if chunk < n {
+			c = msmWindow(chunk)
+		} else {
+			c = msmWindow(n)
+		}
 	}
-	nWindows := (256 + int(c) - 1) / int(c)
 	limbs := make([][4]uint64, n)
-	for i := range scalars {
-		limbs[i] = scalars[i].Canonical()
-	}
+	parallel.For(n, 4096, func(start, end int) {
+		for i := start; i < end; i++ {
+			limbs[i] = scalars[i].Canonical()
+		}
+	})
 
-	windowSums := make([]G1Jac, nWindows)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for w := 0; w < nWindows; w++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(w int) {
-			defer func() { <-sem; wg.Done() }()
-			windowSums[w] = msmWindowSumG1(points, limbs, w, c)
-		}(w)
-	}
-	wg.Wait()
+	return parallel.MapReduce(pool, n, chunk,
+		func(start, end int) G1Jac {
+			return msmSerialG1(points[start:end], limbs[start:end], c)
+		},
+		func(acc, next G1Jac) G1Jac {
+			acc.AddAssign(&next)
+			return acc
+		})
+}
 
-	// total = Σ_w windowSums[w] · 2^{cw}, combined MSB-first.
+// msmSerialG1 is a single-threaded windowed MSM over one point chunk.
+func msmSerialG1(points []G1Affine, limbs [][4]uint64, c uint) G1Jac {
+	nWindows := (256 + int(c) - 1) / int(c)
+	var total G1Jac
+	total.SetInfinity()
+	// MSB-first: double the accumulator c times between windows.
 	for w := nWindows - 1; w >= 0; w-- {
 		if w != nWindows-1 {
 			for k := uint(0); k < c; k++ {
 				total.Double(&total)
 			}
 		}
-		total.AddAssign(&windowSums[w])
+		sum := msmWindowSumG1(points, limbs, w, c)
+		total.AddAssign(&sum)
 	}
 	return total
 }
@@ -167,32 +189,12 @@ func FixedBaseMulG1(base G1Jac, scalars []ff.Fr) []G1Jac {
 	return out
 }
 
-// parallelFor splits [0,n) across GOMAXPROCS workers.
+// parallelFor splits [0,n) across the shared worker budget (one chunk
+// per budgeted worker, floor 16 so tiny inputs stay inline).
 func parallelFor(n int, body func(start, end int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	grain := (n + parallel.DefaultSize() - 1) / parallel.DefaultSize()
+	if grain < 16 {
+		grain = 16
 	}
-	if workers <= 1 {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		if start >= end {
-			break
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			body(s, e)
-		}(start, end)
-	}
-	wg.Wait()
+	parallel.For(n, grain, body)
 }

@@ -1,14 +1,12 @@
 package curve
 
 import (
-	"runtime"
-	"sync"
-
 	"zkvc/internal/ff"
+	"zkvc/internal/parallel"
 )
 
-// MSMG2 computes Σ scalars[i]·points[i] with the Pippenger bucket method,
-// parallelized across windows.
+// MSMG2 computes Σ scalars[i]·points[i] with the Pippenger bucket
+// method, chunked across the shared worker budget exactly like MSMG1.
 func MSMG2(points []G2Affine, scalars []ff.Fr) G2Jac {
 	n := len(points)
 	if n != len(scalars) {
@@ -30,34 +28,42 @@ func MSMG2(points []G2Affine, scalars []ff.Fr) G2Jac {
 		return total
 	}
 
+	pool := parallel.Default()
+	chunk := msmChunk(n, pool.Size())
 	c := msmWindow(n)
-	nWindows := (256 + int(c) - 1) / int(c)
+	if chunk < n {
+		c = msmWindow(chunk)
+	}
 	limbs := make([][4]uint64, n)
-	for i := range scalars {
-		limbs[i] = scalars[i].Canonical()
-	}
+	parallel.For(n, 4096, func(start, end int) {
+		for i := start; i < end; i++ {
+			limbs[i] = scalars[i].Canonical()
+		}
+	})
 
-	windowSums := make([]G2Jac, nWindows)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for w := 0; w < nWindows; w++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(w int) {
-			defer func() { <-sem; wg.Done() }()
-			windowSums[w] = msmWindowSumG2(points, limbs, w, c)
-		}(w)
-	}
-	wg.Wait()
+	return parallel.MapReduce(pool, n, chunk,
+		func(start, end int) G2Jac {
+			return msmSerialG2(points[start:end], limbs[start:end], c)
+		},
+		func(acc, next G2Jac) G2Jac {
+			acc.AddAssign(&next)
+			return acc
+		})
+}
 
-	// total = Σ_w windowSums[w] · 2^{cw}, combined MSB-first.
+// msmSerialG2 is a single-threaded windowed MSM over one point chunk.
+func msmSerialG2(points []G2Affine, limbs [][4]uint64, c uint) G2Jac {
+	nWindows := (256 + int(c) - 1) / int(c)
+	var total G2Jac
+	total.SetInfinity()
 	for w := nWindows - 1; w >= 0; w-- {
 		if w != nWindows-1 {
 			for k := uint(0); k < c; k++ {
 				total.Double(&total)
 			}
 		}
-		total.AddAssign(&windowSums[w])
+		sum := msmWindowSumG2(points, limbs, w, c)
+		total.AddAssign(&sum)
 	}
 	return total
 }

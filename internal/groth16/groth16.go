@@ -10,6 +10,7 @@ import (
 
 	"zkvc/internal/curve"
 	"zkvc/internal/ff"
+	"zkvc/internal/parallel"
 	"zkvc/internal/qap"
 	"zkvc/internal/r1cs"
 )
@@ -81,21 +82,24 @@ func Setup(sys *r1cs.System, rng *mrand.Rand) (*ProvingKey, *VerifyingKey, error
 	gammaInv.Inverse(&gamma)
 	deltaInv.Inverse(&delta)
 
-	// k_i = β·u_i + α·v_i + w_i, split by visibility.
+	// k_i = β·u_i + α·v_i + w_i, split by visibility. Every index writes
+	// its own slot, so the loop fans out over the shared worker budget.
 	ic := make([]ff.Fr, nPub)
 	kPriv := make([]ff.Fr, nVars-nPub)
-	var t1, t2 ff.Fr
-	for i := 0; i < nVars; i++ {
-		t1.Mul(&beta, &u[i])
-		t2.Mul(&alpha, &v[i])
-		t1.Add(&t1, &t2)
-		t1.Add(&t1, &w[i])
-		if i < nPub {
-			ic[i].Mul(&t1, &gammaInv)
-		} else {
-			kPriv[i-nPub].Mul(&t1, &deltaInv)
+	parallel.For(nVars, 2048, func(start, end int) {
+		var t1, t2 ff.Fr
+		for i := start; i < end; i++ {
+			t1.Mul(&beta, &u[i])
+			t2.Mul(&alpha, &v[i])
+			t1.Add(&t1, &t2)
+			t1.Add(&t1, &w[i])
+			if i < nPub {
+				ic[i].Mul(&t1, &gammaInv)
+			} else {
+				kPriv[i-nPub].Mul(&t1, &deltaInv)
+			}
 		}
-	}
+	})
 
 	// H query scalars: τ^q·Z(τ)/δ.
 	zTau := d.VanishingAt(&tau)

@@ -7,6 +7,7 @@ import (
 	mrand "math/rand"
 
 	"zkvc/internal/ff"
+	"zkvc/internal/parallel"
 )
 
 // Matrix is a row-major dense matrix over the scalar field.
@@ -58,25 +59,39 @@ func (m *Matrix) Equal(o *Matrix) bool {
 	return true
 }
 
-// Mul returns m·o.
+// Mul returns m·o. Output rows are split into blocks across the shared
+// worker budget (zkvc.SetParallelism); each block is an independent
+// i-k-j walk over disjoint output rows, so the product is identical at
+// every parallelism level.
 func Mul(m, o *Matrix) *Matrix {
 	if m.Cols != o.Rows {
 		panic(fmt.Sprintf("matrix: %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	out := New(m.Rows, o.Cols)
-	var t ff.Fr
-	for i := 0; i < m.Rows; i++ {
-		for k := 0; k < m.Cols; k++ {
-			xik := m.At(i, k)
-			if xik.IsZero() {
-				continue
-			}
-			for j := 0; j < o.Cols; j++ {
-				t.Mul(xik, o.At(k, j))
-				out.At(i, j).Add(out.At(i, j), &t)
+	// A row block should be worth a few thousand field mults before it
+	// is worth a borrowed worker.
+	rowWork := m.Cols * o.Cols
+	grain := 1
+	if rowWork > 0 && rowWork < 4096 {
+		grain = (4096 + rowWork - 1) / rowWork
+	}
+	parallel.For(m.Rows, grain, func(rStart, rEnd int) {
+		var t ff.Fr
+		for i := rStart; i < rEnd; i++ {
+			outRow := out.Data[i*o.Cols : (i+1)*o.Cols]
+			for k := 0; k < m.Cols; k++ {
+				xik := m.At(i, k)
+				if xik.IsZero() {
+					continue
+				}
+				oRow := o.Data[k*o.Cols : (k+1)*o.Cols]
+				for j := range outRow {
+					t.Mul(xik, &oRow[j])
+					outRow[j].Add(&outRow[j], &t)
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -11,7 +11,12 @@ import (
 	"fmt"
 
 	"zkvc/internal/ff"
+	"zkvc/internal/parallel"
 )
+
+// parGrain is the minimum number of field operations worth handing to a
+// borrowed worker; below 2·parGrain the loops run inline.
+const parGrain = 2048
 
 // Dense is a multilinear polynomial given by its hypercube evaluations.
 type Dense struct {
@@ -45,12 +50,14 @@ func (m *Dense) Fix(r *ff.Fr) {
 		panic("mle: Fix on 0-variable polynomial")
 	}
 	half := len(m.Evals) / 2
-	for i := 0; i < half; i++ {
+	parallel.For(half, parGrain, func(start, end int) {
 		var diff ff.Fr
-		diff.Sub(&m.Evals[half+i], &m.Evals[i])
-		diff.Mul(&diff, r)
-		m.Evals[i].Add(&m.Evals[i], &diff)
-	}
+		for i := start; i < end; i++ {
+			diff.Sub(&m.Evals[half+i], &m.Evals[i])
+			diff.Mul(&diff, r)
+			m.Evals[i].Add(&m.Evals[i], &diff)
+		}
+	})
 	m.Evals = m.Evals[:half]
 	m.NumVars--
 }
@@ -70,11 +77,18 @@ func (m *Dense) Eval(point []ff.Fr) ff.Fr {
 
 // Sum returns the sum of all hypercube evaluations.
 func (m *Dense) Sum() ff.Fr {
-	var acc ff.Fr
-	for i := range m.Evals {
-		acc.Add(&acc, &m.Evals[i])
-	}
-	return acc
+	return parallel.MapReduce(parallel.Default(), len(m.Evals), parGrain,
+		func(start, end int) ff.Fr {
+			var acc ff.Fr
+			for i := start; i < end; i++ {
+				acc.Add(&acc, &m.Evals[i])
+			}
+			return acc
+		},
+		func(a, b ff.Fr) ff.Fr {
+			a.Add(&a, &b)
+			return a
+		})
 }
 
 // EqTable returns the vector eq(r, x) for all x ∈ {0,1}^k, where
@@ -89,11 +103,14 @@ func EqTable(r []ff.Fr) []ff.Fr {
 		next := make([]ff.Fr, 2*len(out))
 		var om ff.Fr
 		om.Sub(&one, &r[i])
-		for j := range out {
-			// Variable i becomes the next-lower bit: index = 2j + bit.
-			next[2*j].Mul(&out[j], &om)
-			next[2*j+1].Mul(&out[j], &r[i])
-		}
+		ri := r[i]
+		parallel.For(len(out), parGrain, func(start, end int) {
+			for j := start; j < end; j++ {
+				// Variable i becomes the next-lower bit: index = 2j + bit.
+				next[2*j].Mul(&out[j], &om)
+				next[2*j+1].Mul(&out[j], &ri)
+			}
+		})
 		out = next
 	}
 	return out

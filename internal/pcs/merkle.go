@@ -11,7 +11,13 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+
+	"zkvc/internal/parallel"
 )
+
+// hashGrain is the number of SHA-256 invocations a borrowed worker is
+// handed per chunk when building the tree.
+const hashGrain = 64
 
 // merkleTree is a binary SHA-256 tree over an arbitrary number of leaves
 // (padded to a power of two with the empty hash).
@@ -43,10 +49,15 @@ func newMerkleTree(leaves [][]byte) *merkleTree {
 	for n < len(leaves) {
 		n <<= 1
 	}
+	// Leaf hashing and each internal layer fan out across the shared
+	// worker budget: every slot is written by exactly one chunk, so the
+	// tree is identical at any parallelism level.
 	layer := make([][32]byte, n)
-	for i := range leaves {
-		layer[i] = hashLeaf(leaves[i])
-	}
+	parallel.For(len(leaves), hashGrain, func(start, end int) {
+		for i := start; i < end; i++ {
+			layer[i] = hashLeaf(leaves[i])
+		}
+	})
 	empty := hashLeaf(nil)
 	for i := len(leaves); i < n; i++ {
 		layer[i] = empty
@@ -54,9 +65,11 @@ func newMerkleTree(leaves [][]byte) *merkleTree {
 	t := &merkleTree{layers: [][][32]byte{layer}}
 	for len(layer) > 1 {
 		next := make([][32]byte, len(layer)/2)
-		for i := range next {
-			next[i] = hashNode(layer[2*i], layer[2*i+1])
-		}
+		parallel.For(len(next), hashGrain, func(start, end int) {
+			for i := start; i < end; i++ {
+				next[i] = hashNode(layer[2*i], layer[2*i+1])
+			}
+		})
 		t.layers = append(t.layers, next)
 		layer = next
 	}

@@ -6,6 +6,7 @@ import (
 
 	"zkvc/internal/ff"
 	"zkvc/internal/mle"
+	"zkvc/internal/parallel"
 	"zkvc/internal/poly"
 	"zkvc/internal/transcript"
 )
@@ -89,22 +90,29 @@ func Commit(values []ff.Fr, p Params) (*Commitment, *ProverState, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	for i := 0; i < rows; i++ {
-		st.message[i] = padded[i*cols : (i+1)*cols]
-		cw := make([]ff.Fr, d.N)
-		copy(cw, st.message[i])
-		d.NTT(cw)
-		st.codeword[i] = cw
-	}
-	// Column leaves.
-	leaves := make([][]byte, d.N)
-	colBuf := make([][32]byte, rows)
-	for j := 0; j < d.N; j++ {
-		for i := 0; i < rows; i++ {
-			colBuf[i] = st.codeword[i][j].Bytes()
+	// Rows are Reed–Solomon encoded independently; fan the per-row NTTs
+	// out across the shared worker budget (each NTT may itself borrow
+	// further workers when the pool is otherwise idle).
+	parallel.For(rows, 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			st.message[i] = padded[i*cols : (i+1)*cols]
+			cw := make([]ff.Fr, d.N)
+			copy(cw, st.message[i])
+			d.NTT(cw)
+			st.codeword[i] = cw
 		}
-		leaves[j] = leafBytes(colBuf)
-	}
+	})
+	// Column leaves, one chunk of columns per worker.
+	leaves := make([][]byte, d.N)
+	parallel.For(d.N, hashGrain, func(start, end int) {
+		colBuf := make([][32]byte, rows)
+		for j := start; j < end; j++ {
+			for i := 0; i < rows; i++ {
+				colBuf[i] = st.codeword[i][j].Bytes()
+			}
+			leaves[j] = leafBytes(colBuf)
+		}
+	})
 	st.tree = newMerkleTree(leaves)
 	st.comm = Commitment{Root: st.tree.root(), NumVars: k, Rows: rows, Cols: cols}
 	return &st.comm, st, nil
@@ -132,15 +140,21 @@ func (st *ProverState) Open(point []ff.Fr, tr *transcript.Transcript) *Opening {
 	rho := tr.ChallengeFrs("pcs.rho", st.rows)
 	eqR, _ := splitEq(point, st.rows, st.cols)
 
+	// Column-major combination: each worker owns a disjoint range of
+	// output columns and walks all rows for it, so the accumulation
+	// order per column is fixed regardless of parallelism.
 	combine := func(w []ff.Fr) []ff.Fr {
 		u := make([]ff.Fr, st.cols)
-		var t ff.Fr
-		for i := 0; i < st.rows; i++ {
-			for j := 0; j < st.cols; j++ {
-				t.Mul(&w[i], &st.message[i][j])
-				u[j].Add(&u[j], &t)
+		parallel.For(st.cols, 512, func(start, end int) {
+			var t ff.Fr
+			for i := 0; i < st.rows; i++ {
+				row := st.message[i]
+				for j := start; j < end; j++ {
+					t.Mul(&w[i], &row[j])
+					u[j].Add(&u[j], &t)
+				}
 			}
-		}
+		})
 		return u
 	}
 	op := &Opening{URand: combine(rho), UEq: combine(eqR)}

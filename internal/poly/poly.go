@@ -9,7 +9,13 @@ import (
 	"math/bits"
 
 	"zkvc/internal/ff"
+	"zkvc/internal/parallel"
 )
+
+// parThreshold is the smallest transform worth fanning out across the
+// shared worker budget; smaller NTTs stay inline (the QAP and RS domains
+// in the paper's shapes routinely exceed it).
+const parThreshold = 1 << 13
 
 // MaxTwoAdicity is the 2-adicity of r−1 for BN254 (r−1 = 2^28·odd).
 const MaxTwoAdicity = 28
@@ -105,18 +111,49 @@ func (d *Domain) transform(a []ff.Fr, roots [][]ff.Fr) {
 	if len(a) != n {
 		panic(fmt.Sprintf("poly: NTT input length %d != domain size %d", len(a), n))
 	}
-	// Bit-reversal permutation.
+	// Bit-reversal permutation. The reversal is an involution, so each
+	// unordered pair {i, j} is swapped exactly once (by its smaller
+	// index) and pairs never share elements — chunks write disjoint
+	// pairs and the parallel permutation is race-free.
 	shift := 64 - uint(d.Log2N)
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if i < j {
-			a[i], a[j] = a[j], a[i]
+	bitrev := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j := int(bits.Reverse64(uint64(i)) >> shift)
+			if i < j {
+				a[i], a[j] = a[j], a[i]
+			}
 		}
+	}
+	par := n >= parThreshold
+	if par {
+		parallel.For(n, parThreshold/2, bitrev)
+	} else {
+		bitrev(0, n)
 	}
 	for s := 1; s <= d.Log2N; s++ {
 		size := 1 << s
 		half := size >> 1
 		tw := roots[s]
+		if par {
+			// Flat butterfly index k ∈ [0, n/2): block k/half, lane
+			// k%half. Every butterfly touches two slots no other
+			// butterfly of this stage touches, so chunks are disjoint.
+			parallel.For(n/2, parThreshold/4, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					// half is a power of two: k = block·half + j, and
+					// start = block·size = (k−j)·2 — bit ops, no divide.
+					j := k & (half - 1)
+					start := (k - j) << 1
+					var t, u ff.Fr
+					t.Mul(&tw[j], &a[start+half+j])
+					u.Set(&a[start+j])
+					a[start+j].Add(&u, &t)
+					a[start+half+j].Sub(&u, &t)
+				}
+			})
+			continue
+		}
+		// Sequential path: the increment-only nested walk (no div/mod).
 		for start := 0; start < n; start += size {
 			for j := 0; j < half; j++ {
 				var t, u ff.Fr
@@ -141,14 +178,27 @@ func (d *Domain) CosetINTT(a []ff.Fr) {
 	mulByPowers(a, &d.CosetInv)
 }
 
-// mulByPowers scales a[i] by s^i.
+// mulByPowers scales a[i] by s^i. Chunks restart the power ladder at
+// s^start (one Exp per chunk), so the schedule parallelizes without a
+// sequential prefix product.
 func mulByPowers(a []ff.Fr, s *ff.Fr) {
-	var acc ff.Fr
-	acc.SetOne()
-	for i := range a {
-		a[i].Mul(&a[i], &acc)
-		acc.Mul(&acc, s)
+	if len(a) < parThreshold {
+		var acc ff.Fr
+		acc.SetOne()
+		for i := range a {
+			a[i].Mul(&a[i], &acc)
+			acc.Mul(&acc, s)
+		}
+		return
 	}
+	parallel.For(len(a), parThreshold/2, func(start, end int) {
+		var acc ff.Fr
+		acc.Exp(s, big.NewInt(int64(start)))
+		for i := start; i < end; i++ {
+			a[i].Mul(&a[i], &acc)
+			acc.Mul(&acc, s)
+		}
+	})
 }
 
 // VanishingAtCoset returns Z_H(g·x) for x ∈ H, which is the constant

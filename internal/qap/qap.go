@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"zkvc/internal/ff"
+	"zkvc/internal/parallel"
 	"zkvc/internal/poly"
 	"zkvc/internal/r1cs"
 )
@@ -53,11 +54,13 @@ func ABCEvals(sys *r1cs.System, z []ff.Fr, d *poly.Domain) (a, b, c []ff.Fr) {
 	a = make([]ff.Fr, d.N)
 	b = make([]ff.Fr, d.N)
 	c = make([]ff.Fr, d.N)
-	for q := range sys.Constraints {
-		a[q] = r1cs.EvalLC(sys.Constraints[q].A, z)
-		b[q] = r1cs.EvalLC(sys.Constraints[q].B, z)
-		c[q] = r1cs.EvalLC(sys.Constraints[q].C, z)
-	}
+	parallel.For(len(sys.Constraints), 512, func(start, end int) {
+		for q := start; q < end; q++ {
+			a[q] = r1cs.EvalLC(sys.Constraints[q].A, z)
+			b[q] = r1cs.EvalLC(sys.Constraints[q].B, z)
+			c[q] = r1cs.EvalLC(sys.Constraints[q].C, z)
+		}
+	})
 	return a, b, c
 }
 
@@ -79,12 +82,14 @@ func HCoefficients(sys *r1cs.System, z []ff.Fr, d *poly.Domain) ([]ff.Fr, error)
 	zInv := d.VanishingAtCoset()
 	zInv.Inverse(&zInv)
 	h := make([]ff.Fr, d.N)
-	for i := range h {
+	parallel.For(d.N, 4096, func(start, end int) {
 		var t ff.Fr
-		t.Mul(&a[i], &b[i])
-		t.Sub(&t, &c[i])
-		h[i].Mul(&t, &zInv)
-	}
+		for i := start; i < end; i++ {
+			t.Mul(&a[i], &b[i])
+			t.Sub(&t, &c[i])
+			h[i].Mul(&t, &zInv)
+		}
+	})
 	d.CosetINTT(h)
 	// Exact division means h has degree ≤ N−2.
 	if !h[d.N-1].IsZero() {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"zkvc"
+	"zkvc/internal/parallel"
 )
 
 // metrics are the service counters, all lock-free. The coalesce ratio
@@ -56,6 +57,14 @@ type Snapshot struct {
 	CRSCacheHits   int64 `json:"crs_cache_hits"`
 	CRSCacheMisses int64 `json:"crs_cache_misses"`
 
+	// Parallelism is the process-wide worker budget proofs draw from
+	// (Config.Parallelism / ZKVC_PARALLELISM / GOMAXPROCS), and
+	// ParallelInUse is how many of those tokens are held right now by
+	// proving jobs and the loop workers they borrowed — the service's
+	// effective parallelism at snapshot time.
+	Parallelism   int `json:"parallelism"`
+	ParallelInUse int `json:"parallel_in_use"`
+
 	PhaseNanos struct {
 		Synthesis int64 `json:"synthesis"`
 		Setup     int64 `json:"setup"`
@@ -63,7 +72,7 @@ type Snapshot struct {
 	} `json:"phase_nanos"`
 }
 
-func (m *metrics) snapshot() Snapshot {
+func (m *metrics) snapshot(pool *parallel.Pool) Snapshot {
 	var s Snapshot
 	s.QueueDepth = m.queueDepth.Load()
 	s.Requests = m.requestsProved.Load()
@@ -78,17 +87,21 @@ func (m *metrics) snapshot() Snapshot {
 	}
 	s.CRSCacheHits = m.crsHits.Load()
 	s.CRSCacheMisses = m.crsMisses.Load()
+	if pool != nil {
+		s.Parallelism = pool.Size()
+		s.ParallelInUse = pool.InUse()
+	}
 	s.PhaseNanos.Synthesis = m.synthesisNanos.Load()
 	s.PhaseNanos.Setup = m.setupNanos.Load()
 	s.PhaseNanos.Prove = m.proveNanos.Load()
 	return s
 }
 
-func (m *metrics) writeJSON(w io.Writer) {
+func (m *metrics) writeJSON(w io.Writer, pool *parallel.Pool) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	enc.Encode(m.snapshot())
+	enc.Encode(m.snapshot(pool))
 }
 
 // Metrics returns a point-in-time snapshot of the service counters.
-func (s *Server) Metrics() Snapshot { return s.metrics.snapshot() }
+func (s *Server) Metrics() Snapshot { return s.metrics.snapshot(parallel.Default()) }

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"zkvc"
+	"zkvc/internal/parallel"
 	"zkvc/internal/wire"
 )
 
@@ -77,6 +78,16 @@ type Config struct {
 	MaxBatch int
 	// Workers bounds the proving pool; 0 means runtime.NumCPU().
 	Workers int
+	// Parallelism resizes the PROCESS-WIDE worker budget every proof's
+	// hot loops draw from (zkvc.SetParallelism) — by design, because
+	// budget sharing is the point: each proving job holds a token while
+	// it runs and its inner loops borrow only the tokens left over, so
+	// N concurrent proofs on an N-token budget run sequentially while a
+	// lone proof fans out across every token. Setting it therefore also
+	// affects library-level proving in the same process; Close restores
+	// the budget that was in effect when New resized it. 0 leaves the
+	// current budget (ZKVC_PARALLELISM env or GOMAXPROCS) untouched.
+	Parallelism int
 	// QueueCap bounds accepted-but-unproved jobs (queued, parked in a
 	// coalescing window, or proving) before the service sheds load with
 	// 503s.
@@ -152,6 +163,14 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// prevParallelism is the budget New replaced when Config.Parallelism
+	// was set (0 = New left the budget alone); Close restores it, but
+	// only while installedPool is still the process default — if anyone
+	// resized the budget after New, their setting wins and Close leaves
+	// it alone.
+	prevParallelism int
+	installedPool   *parallel.Pool
+
 	seedCtr atomic.Int64
 }
 
@@ -186,6 +205,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: epoch label is %d bytes, wire format allows %d",
 			len(cfg.Epoch), wire.MaxEpochLen)
 	}
+	prevParallelism := 0
+	var installedPool *parallel.Pool
+	if cfg.Parallelism > 0 {
+		prevParallelism = parallel.DefaultSize()
+		parallel.SetDefaultSize(cfg.Parallelism)
+		installedPool = parallel.Default()
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: &metrics{},
@@ -193,6 +219,9 @@ func New(cfg Config) (*Server, error) {
 		issued:  newIssuedLog(issuedLogCap),
 		submit:  make(chan *job, cfg.QueueCap),
 		batches: make(chan []*job),
+
+		prevParallelism: prevParallelism,
+		installedPool:   installedPool,
 	}
 	s.wg.Add(1 + cfg.Workers)
 	go s.coalesce()
@@ -214,6 +243,9 @@ func (s *Server) Close() {
 	close(s.submit)
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.prevParallelism > 0 && parallel.Default() == s.installedPool {
+		parallel.SetDefaultSize(s.prevParallelism)
+	}
 }
 
 // newProver returns a fresh prover. MatMulProver is not safe for
@@ -369,12 +401,22 @@ func (s *Server) coalesce() {
 	}
 }
 
-// worker proves coalesced batches until the service closes.
+// worker proves coalesced batches until the service closes. Each batch
+// holds one budget token while proving: with every token taken by
+// concurrent batches the per-proof loops run sequentially, and a lone
+// batch borrows the idle tokens for its own hot loops. The pool is
+// resolved per batch — not captured at construction — so if the
+// embedder resizes the budget (zkvc.SetParallelism) new jobs move to
+// the new pool together with the loops inside them, and each job's
+// Acquire/Release pair always lands on the same pool object.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	prover := s.newProver()
 	for batch := range s.batches {
+		pool := parallel.Default()
+		pool.Acquire()
 		s.proveBatch(prover, batch)
+		pool.Release()
 	}
 }
 
@@ -411,7 +453,12 @@ func (s *Server) proveBatch(prover *zkvc.MatMulProver, jobs []*job) {
 
 // proveSingle serves the uncoalesced path: one proof per request against
 // the per-shape epoch CRS, generated at most once thanks to singleflight.
+// Like batch workers it holds one budget token for the duration, which
+// doubles as backpressure on the unpooled handler goroutines.
 func (s *Server) proveSingle(x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
+	pool := parallel.Default()
+	pool.Acquire()
+	defer pool.Release()
 	key := cacheKey{backend: s.cfg.Backend, shape: zkvc.Shape(x, w, s.cfg.Opts)}
 	crs, tag, hit, err := s.cache.get(key, func() (*zkvc.CRS, error) {
 		return s.newProver().Setup(x.Rows, x.Cols, w.Cols, s.cfg.Epoch)
@@ -615,5 +662,5 @@ func writeVerdict(w http.ResponseWriter, err error) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	s.metrics.writeJSON(w)
+	s.metrics.writeJSON(w, parallel.Default())
 }

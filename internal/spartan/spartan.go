@@ -17,6 +17,7 @@ import (
 
 	"zkvc/internal/ff"
 	"zkvc/internal/mle"
+	"zkvc/internal/parallel"
 	"zkvc/internal/pcs"
 	"zkvc/internal/r1cs"
 	"zkvc/internal/sumcheck"
@@ -110,11 +111,13 @@ func Prove(sys *r1cs.System, z []ff.Fr, params pcs.Params) (*Proof, error) {
 	az := make([]ff.Fr, 1<<sx)
 	bz := make([]ff.Fr, 1<<sx)
 	cz := make([]ff.Fr, 1<<sx)
-	for q := range sys.Constraints {
-		az[q] = r1cs.EvalLC(sys.Constraints[q].A, z)
-		bz[q] = r1cs.EvalLC(sys.Constraints[q].B, z)
-		cz[q] = r1cs.EvalLC(sys.Constraints[q].C, z)
-	}
+	parallel.For(len(sys.Constraints), 512, func(start, end int) {
+		for q := start; q < end; q++ {
+			az[q] = r1cs.EvalLC(sys.Constraints[q].A, z)
+			bz[q] = r1cs.EvalLC(sys.Constraints[q].B, z)
+			cz[q] = r1cs.EvalLC(sys.Constraints[q].C, z)
+		}
+	})
 	eqTau := &mle.Dense{NumVars: sx, Evals: mle.EqTable(tau)}
 	azM := &mle.Dense{NumVars: sx, Evals: az}
 	bzM := &mle.Dense{NumVars: sx, Evals: bz}
@@ -144,15 +147,17 @@ func Prove(sys *r1cs.System, z []ff.Fr, params pcs.Params) (*Proof, error) {
 	mzB := mb.BindRows(rx)
 	mzC := mc.BindRows(rx)
 	mz := make([]ff.Fr, 1<<sy)
-	var t ff.Fr
-	for y := range mz {
-		t.Mul(&rA, &mzA.Evals[y])
-		mz[y].Add(&mz[y], &t)
-		t.Mul(&rB, &mzB.Evals[y])
-		mz[y].Add(&mz[y], &t)
-		t.Mul(&rC, &mzC.Evals[y])
-		mz[y].Add(&mz[y], &t)
-	}
+	parallel.For(len(mz), 2048, func(start, end int) {
+		var t ff.Fr
+		for y := start; y < end; y++ {
+			t.Mul(&rA, &mzA.Evals[y])
+			mz[y].Add(&mz[y], &t)
+			t.Mul(&rB, &mzB.Evals[y])
+			mz[y].Add(&mz[y], &t)
+			t.Mul(&rC, &mzC.Evals[y])
+			mz[y].Add(&mz[y], &t)
+		}
+	})
 	zPad := make([]ff.Fr, 1<<sy)
 	copy(zPad, z)
 	ins2, err := sumcheck.NewInstance(sy, []sumcheck.Term{

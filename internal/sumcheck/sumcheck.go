@@ -10,6 +10,7 @@ import (
 
 	"zkvc/internal/ff"
 	"zkvc/internal/mle"
+	"zkvc/internal/parallel"
 	"zkvc/internal/transcript"
 )
 
@@ -107,39 +108,55 @@ func Prove(ins *Instance, tr *transcript.Transcript) (*Proof, []ff.Fr, [][]ff.Fr
 	return proof, challenges, finals
 }
 
+// roundGrain is the number of hypercube points a borrowed worker chews
+// per chunk; each point costs (deg+1)·Σ|factors| field multiplications.
+const roundGrain = 256
+
 // roundPolynomial computes the current round's univariate polynomial
 // evaluated at t = 0..deg:  p(t) = Σ_{x'} Σ_terms coeff·Π_j f_j(t, x').
+// The hypercube is split across the shared worker budget; per-chunk
+// partial sums are folded in chunk order (field addition is exact, so
+// the result is identical at every parallelism level).
 func roundPolynomial(ins *Instance, deg int) []ff.Fr {
-	out := make([]ff.Fr, deg+1)
 	half := 1 << (factorVars(ins) - 1)
-	var prod, diff, ft ff.Fr
-	for _, term := range ins.Terms {
-		for x := 0; x < half; x++ {
-			// f(t,x') = f0 + t·(f1−f0) per factor; evaluate at each t.
-			for t := 0; t <= deg; t++ {
-				prod.Set(&term.Coeff)
-				for _, f := range term.Factors {
-					f0 := &f.Evals[x]
-					f1 := &f.Evals[half+x]
-					switch t {
-					case 0:
-						ft.Set(f0)
-					case 1:
-						ft.Set(f1)
-					default:
-						diff.Sub(f1, f0)
-						var tFr ff.Fr
-						tFr.SetUint64(uint64(t))
-						ft.Mul(&diff, &tFr)
-						ft.Add(&ft, f0)
+	return parallel.MapReduce(parallel.Default(), half, roundGrain,
+		func(start, end int) []ff.Fr {
+			out := make([]ff.Fr, deg+1)
+			var prod, diff, ft ff.Fr
+			for _, term := range ins.Terms {
+				for x := start; x < end; x++ {
+					// f(t,x') = f0 + t·(f1−f0) per factor; evaluate at each t.
+					for t := 0; t <= deg; t++ {
+						prod.Set(&term.Coeff)
+						for _, f := range term.Factors {
+							f0 := &f.Evals[x]
+							f1 := &f.Evals[half+x]
+							switch t {
+							case 0:
+								ft.Set(f0)
+							case 1:
+								ft.Set(f1)
+							default:
+								diff.Sub(f1, f0)
+								var tFr ff.Fr
+								tFr.SetUint64(uint64(t))
+								ft.Mul(&diff, &tFr)
+								ft.Add(&ft, f0)
+							}
+							prod.Mul(&prod, &ft)
+						}
+						out[t].Add(&out[t], &prod)
 					}
-					prod.Mul(&prod, &ft)
 				}
-				out[t].Add(&out[t], &prod)
 			}
-		}
-	}
-	return out
+			return out
+		},
+		func(acc, next []ff.Fr) []ff.Fr {
+			for t := range acc {
+				acc[t].Add(&acc[t], &next[t])
+			}
+			return acc
+		})
 }
 
 func factorVars(ins *Instance) int {

@@ -27,9 +27,23 @@ import (
 	"zkvc/internal/gadgets"
 	"zkvc/internal/groth16"
 	"zkvc/internal/matrix"
+	"zkvc/internal/parallel"
 	"zkvc/internal/pcs"
 	"zkvc/internal/spartan"
 )
+
+// SetParallelism bounds the process-wide worker budget every hot loop in
+// the prover stack draws from (MLE folding, sumcheck rounds, Merkle
+// hashing, MSMs, NTTs, matmul). n <= 0 restores the default: the
+// ZKVC_PARALLELISM environment variable when set, else GOMAXPROCS. The
+// budget is shared with the proving service's job pool, so per-proof
+// parallelism and cross-request concurrency never oversubscribe the
+// machine. Proofs are byte-identical at every parallelism level; 1 is
+// the fully sequential reference schedule.
+func SetParallelism(n int) { parallel.SetDefaultSize(n) }
+
+// Parallelism reports the current process-wide worker budget.
+func Parallelism() int { return parallel.DefaultSize() }
 
 // Backend selects the proof system.
 type Backend int
