@@ -7,9 +7,10 @@ package main
 //	    run the parallelism harness (internal/bench.RunParallelReport)
 //	    and write the report
 //
-//	go test -bench 'BenchmarkPublicAPI|BenchmarkBatchProve' -benchtime 1x -run '^$' . \
+//	ZKVC_PARALLELISM=1 go test -bench 'BenchmarkPublicAPI|BenchmarkBatchProve' \
+//	    -benchtime 1x -benchmem -run '^$' . \
 //	  | zkvc-bench -parse-bench - -json BENCH_CI.json \
-//	      -baseline BENCH_PR2.json -max-regress 0.25
+//	      -baseline BENCH_BASELINE.json -max-regress 0.25
 //	    parse `go test -bench` output (names normalized by stripping the
 //	    -GOMAXPROCS suffix and prefixed "gotest/"), write the report,
 //	    and exit 1 if any benchmark shared with the baseline regressed
@@ -18,6 +19,10 @@ package main
 // Regression comparison is by name over the intersection of the two
 // reports; rows only one side has are listed but never fail the gate
 // (new benchmarks and renamed shapes must not break CI retroactively).
+// Two dimensions gate: allocated bytes per op always (machine-portable,
+// which is what makes the gate binding), wall-clock seconds only when
+// the baseline was recorded on a machine with the same CPU count
+// (-require-comparable turns that mismatch into a hard failure).
 
 import (
 	"bufio"
@@ -106,30 +111,58 @@ func parseGoBench(r io.Reader) ([]bench.ParallelRow, error) {
 	return rows, nil
 }
 
-// checkRegressions compares rows shared by name and returns the names
-// whose time regressed beyond maxRegress (0.25 = fail above +25%).
+// minGatedAllocBytes is the absolute floor below which allocation rows
+// do not gate: tiny benchmarks allocate little enough that runtime noise
+// (map growth, pool warmup) can exceed 25% without meaning anything.
+const minGatedAllocBytes = 1 << 20
+
+// checkRegressions compares rows shared by name and returns the ones
+// that regressed beyond maxRegress (0.25 = fail above +25%) in either
+// gated dimension:
+//
+//   - allocated bytes per op, which are machine-portable (the CI bench
+//     job pins ZKVC_PARALLELISM=1 so the allocation schedule does not
+//     depend on the runner's core count) and therefore gate
+//     unconditionally — this is what makes the gate binding;
+//   - wall-clock seconds, which only mean something on a machine
+//     comparable to the baseline's, and therefore gate only when
+//     wallComparable (same CPU count as the baseline's recorded env).
+//
 // Only `gotest/` rows participate: their names are machine-portable,
 // whereas harness rows embed par=<budget> and the budget differs per
 // machine, so harness rows are recorded for reading but never gate.
-func checkRegressions(baseline, current *bench.ParallelReport, maxRegress float64) (regressed []string, compared int) {
-	base := make(map[string]float64, len(baseline.Rows))
+func checkRegressions(baseline, current *bench.ParallelReport, maxRegress float64, wallComparable bool) (regressed []string, compared int) {
+	base := make(map[string]bench.ParallelRow, len(baseline.Rows))
 	for _, r := range baseline.Rows {
-		if r.Seconds > 0 {
-			base[r.Name] = r.Seconds
-		}
+		base[r.Name] = r
 	}
 	for _, r := range current.Rows {
 		if !strings.HasPrefix(r.Name, "gotest/") {
 			continue
 		}
 		b, ok := base[r.Name]
-		if !ok || r.Seconds <= 0 {
+		if !ok {
 			continue
 		}
-		compared++
-		if r.Seconds > b*(1+maxRegress) {
-			regressed = append(regressed,
-				fmt.Sprintf("%s: %.3fs vs baseline %.3fs (%+.1f%%)", r.Name, r.Seconds, b, 100*(r.Seconds/b-1)))
+		counted := false
+		if b.AllocBytes >= minGatedAllocBytes && r.AllocBytes > 0 {
+			counted = true
+			if float64(r.AllocBytes) > float64(b.AllocBytes)*(1+maxRegress) {
+				regressed = append(regressed,
+					fmt.Sprintf("%s: %d B/op vs baseline %d B/op (%+.1f%%)",
+						r.Name, r.AllocBytes, b.AllocBytes, 100*(float64(r.AllocBytes)/float64(b.AllocBytes)-1)))
+			}
+		}
+		if wallComparable && b.Seconds > 0 && r.Seconds > 0 {
+			counted = true
+			if r.Seconds > b.Seconds*(1+maxRegress) {
+				regressed = append(regressed,
+					fmt.Sprintf("%s: %.3fs vs baseline %.3fs (%+.1f%%)",
+						r.Name, r.Seconds, b.Seconds, 100*(r.Seconds/b.Seconds-1)))
+			}
+		}
+		if counted {
+			compared++
 		}
 	}
 	return regressed, compared
@@ -149,7 +182,7 @@ func readReport(path string) (*bench.ParallelReport, error) {
 
 // runJSONMode executes the -parallel / -parse-bench / -baseline flags.
 // It returns false when none of them were given (table/figure mode).
-func runJSONMode(parallelRun bool, parseBench, jsonOut, baseline string, maxRegress float64, seed int64) bool {
+func runJSONMode(parallelRun bool, parseBench, jsonOut, baseline string, maxRegress float64, requireComparable bool, seed int64) bool {
 	if !parallelRun && parseBench == "" {
 		return false
 	}
@@ -215,19 +248,39 @@ func runJSONMode(parallelRun bool, parseBench, jsonOut, baseline string, maxRegr
 			os.Exit(1)
 		}
 		cur := benchEnv()
-		if base.Env.NumCPU != 0 && base.Env.NumCPU != cur.NumCPU {
+		wallComparable := base.Env.NumCPU == 0 || base.Env.NumCPU == cur.NumCPU
+		if !wallComparable {
 			// Wall-clock gates only mean something on comparable machines.
 			// A slower-than-baseline machine makes the gate flaky; a
 			// faster one (e.g. multi-core runner vs a single-core
-			// recording box) makes it fail open until the baseline is
-			// regenerated from this machine's report.
+			// recording box) makes it fail open. On a mismatch only the
+			// machine-portable allocation rows gate (CI relies on that);
+			// the opt-in -require-comparable flag turns the mismatch into
+			// a hard failure for setups that want the wall-clock gate
+			// armed unconditionally. Either way the fix is to check in
+			// the runner's own bench-report artifact as the new baseline.
+			if requireComparable {
+				fmt.Fprintf(os.Stderr,
+					"zkvc-bench: FATAL: baseline %s was recorded with %d CPU(s), this machine has %d — a wall-clock gate across different machines is meaningless; regenerate the baseline from this runner's bench-report artifact (download BENCH_CI.json from the latest main-branch CI run and check it in)\n",
+					baseline, base.Env.NumCPU, cur.NumCPU)
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr,
-				"zkvc-bench: WARNING: baseline %s was recorded with %d CPU(s), this machine has %d — the %.0f%% gate is unreliable until the baseline is regenerated from a comparable runner's bench-report artifact\n",
-				baseline, base.Env.NumCPU, cur.NumCPU, 100*maxRegress)
+				"zkvc-bench: WARNING: baseline %s was recorded with %d CPU(s), this machine has %d — wall-clock rows will not gate (the machine-portable allocation rows still do); regenerate the baseline from this runner's bench-report artifact to re-arm the wall-clock gate\n",
+				baseline, base.Env.NumCPU, cur.NumCPU)
 		}
-		regressed, compared := checkRegressions(base, rep, maxRegress)
-		fmt.Printf("compared %d benchmarks against %s (max regression %+.0f%%)\n",
-			compared, baseline, 100*maxRegress)
+		regressed, compared := checkRegressions(base, rep, maxRegress, wallComparable)
+		fmt.Printf("compared %d benchmarks against %s (max regression %+.0f%%, wall-clock gating: %v)\n",
+			compared, baseline, 100*maxRegress, wallComparable)
+		if compared == 0 {
+			// A gate that checked nothing must not pass: this happens when
+			// the bench run lacked -benchmem (no allocation rows) on a
+			// machine where wall-clock doesn't gate, or when no row names
+			// overlap the baseline at all.
+			fmt.Fprintln(os.Stderr,
+				"zkvc-bench: FATAL: zero benchmarks gated — run the benchmarks with -benchmem and check that row names overlap the baseline")
+			os.Exit(1)
+		}
 		if len(regressed) > 0 {
 			fmt.Fprintln(os.Stderr, "zkvc-bench: PERFORMANCE REGRESSION:")
 			for _, r := range regressed {

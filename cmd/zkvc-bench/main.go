@@ -40,10 +40,12 @@ func main() {
 		jsonOut     = flag.String("json", "", "write the machine-readable report to this path")
 		baseline    = flag.String("baseline", "", "compare the report against this checked-in BENCH_*.json and fail on regression")
 		maxRegress  = flag.Float64("max-regress", 0.25, "relative slowdown vs -baseline that fails the gate")
+		requireComp = flag.Bool("require-comparable", false,
+			"fail (instead of warn) when the baseline was recorded on a machine with a different CPU count — makes the gate binding rather than fail-open")
 	)
 	flag.Parse()
 
-	if runJSONMode(*parallelRun, *parseBench, *jsonOut, *baseline, *maxRegress, *seed) {
+	if runJSONMode(*parallelRun, *parseBench, *jsonOut, *baseline, *maxRegress, *requireComp, *seed) {
 		return
 	}
 

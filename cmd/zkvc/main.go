@@ -14,8 +14,16 @@
 //	zkvc serve -addr :8799 -backend spartan -window 10ms
 //	zkvc client -server http://localhost:8799 -x x.json -w w.json
 //
-// Matrices are JSON ({"rows":R,"cols":C,"data":[...int64]}); proofs use
-// the canonical versioned binary format of internal/wire.
+// End-to-end model workflow (every operation of a transformer forward
+// pass proven by the service, per-op proofs streamed back as they
+// finish):
+//
+//	zkvc prove-model -server http://localhost:8799 -model vit-cifar10 -scale 8 -out report.bin
+//	zkvc verify-model -server http://localhost:8799 -report report.bin
+//
+// Matrices are JSON ({"rows":R,"cols":C,"data":[...int64]}); proofs and
+// model reports use the canonical versioned binary format of
+// internal/wire.
 package main
 
 import (
@@ -67,7 +75,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	if len(os.Args) < 2 {
-		fatalf("usage: zkvc <gen|prove|verify|serve|client> [flags]")
+		fatalf("usage: zkvc <gen|prove|verify|serve|client|prove-model|verify-model> [flags]")
 	}
 	switch os.Args[1] {
 	case "gen":
@@ -80,8 +88,12 @@ func main() {
 		cmdServe(os.Args[2:])
 	case "client":
 		cmdClient(os.Args[2:])
+	case "prove-model":
+		cmdProveModel(os.Args[2:])
+	case "verify-model":
+		cmdVerifyModel(os.Args[2:])
 	default:
-		fatalf("unknown subcommand %q (want gen, prove, verify, serve or client)", os.Args[1])
+		fatalf("unknown subcommand %q (want gen, prove, verify, serve, client, prove-model or verify-model)", os.Args[1])
 	}
 }
 

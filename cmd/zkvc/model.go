@@ -1,0 +1,201 @@
+package main
+
+// prove-model / verify-model: the end-to-end model workflow against the
+// proving service. prove-model runs a quantized transformer locally (the
+// weights are seed-synthesized, so "shipping the model" is shipping its
+// captured trace), sends the trace to /v1/prove/model, reassembles the
+// streamed per-op proofs into a report, spot-verifies it locally and
+// stores it in the canonical wire format. verify-model submits a stored
+// report to /v1/verify/model — which only vouches for reports it issued
+// — or, with -local, re-runs cryptographic verification in-process
+// (trusting the report's own verifying material, exactly what the
+// service's issued-proof policy exists to avoid for third parties).
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"os"
+	"strings"
+
+	"zkvc"
+	"zkvc/internal/nn"
+	"zkvc/internal/pcs"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
+)
+
+// modelByName maps CLI model names to the paper's architectures plus a
+// deliberately tiny synthetic config for demos and smoke tests.
+func modelByName(name string, scale int) (nn.Config, error) {
+	var cfg nn.Config
+	switch name {
+	case "vit-cifar10":
+		cfg = zkvc.ViTCIFAR10()
+	case "vit-tiny-imagenet":
+		cfg = zkvc.ViTTinyImageNet()
+	case "vit-imagenet-hier":
+		cfg = zkvc.ViTImageNetHier()
+	case "bert-glue":
+		cfg = zkvc.BERTGLUE()
+	case "tiny":
+		cfg = nn.TinyConfig("tiny", zkvc.MixerSoftmax)
+	default:
+		return cfg, fmt.Errorf("unknown model %q (want vit-cifar10, vit-tiny-imagenet, vit-imagenet-hier, bert-glue or tiny)", name)
+	}
+	if scale > 1 {
+		cfg = cfg.Scaled(scale)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// cmdProveModel drives /v1/prove/model: capture a forward pass, stream
+// per-op proofs back, reassemble and store the report.
+func cmdProveModel(args []string) {
+	fs := flag.NewFlagSet("prove-model", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8799", "proving service base URL")
+	modelName := fs.String("model", "tiny", "architecture: vit-cifar10, vit-tiny-imagenet, vit-imagenet-hier, bert-glue or tiny")
+	scale := fs.Int("scale", 1, "divide model dims/tokens by this factor (1 = full paper shape)")
+	backendName := fs.String("backend", "spartan", "proof system: groth16 or spartan")
+	weightSeed := fs.Int64("seed", 42, "model weight synthesis seed")
+	inputSeed := fs.Int64("input-seed", 9, "input synthesis seed")
+	nonlinear := fs.Bool("nonlinear", true, "prove the SoftMax/GELU gadget circuits too")
+	hybrid := fs.Bool("hybrid", false, "use the planner's hybrid token-mixer assignment")
+	tenant := fs.String("tenant", "", "tenant header; verify-model must present the same value")
+	out := fs.String("out", "report.bin", "write the wire-encoded report here")
+	fs.Parse(args)
+
+	backend, err := parseBackend(*backendName)
+	if err != nil {
+		fatalf("prove-model: %v", err)
+	}
+	cfg, err := modelByName(*modelName, *scale)
+	if err != nil {
+		fatalf("prove-model: %v", err)
+	}
+	if *hybrid {
+		cfg.Mixers = zkvc.PlanHybrid(cfg)
+	}
+	model, err := zkvc.NewModel(cfg, *weightSeed)
+	if err != nil {
+		fatalf("prove-model: %v", err)
+	}
+	x := model.RandomInput(mrand.New(mrand.NewSource(*inputSeed)))
+	trace := nn.Trace{Capture: true}
+	logits := model.Forward(x, &trace)
+	fmt.Printf("model %s: %d traced ops, logits %v\n", cfg.Name, len(trace.Ops), logits.Data)
+
+	body := wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+		Backend:        backend,
+		ProveNonlinear: *nonlinear,
+		Cfg:            cfg,
+		Trace:          &trace,
+	})
+	req, err := http.NewRequest(http.MethodPost, *serverURL+"/v1/prove/model", bytes.NewReader(body))
+	if err != nil {
+		fatalf("prove-model: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if *tenant != "" {
+		req.Header.Set(server.TenantHeader, *tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("prove-model: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		fatalf("prove-model: server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+
+	done := 0
+	rep, err := wire.DecodeModelStream(resp.Body, func(op *zkml.OpProof) {
+		done++
+		fmt.Printf("  op %3d %-18s %-7s %6d constraints, prove %v\n",
+			op.Seq, op.Tag, op.Kind, op.Stats.Constraints, op.Prove.Round(1e6))
+	})
+	if err != nil {
+		fatalf("prove-model: %v", err)
+	}
+	// The service already self-verified each op; re-check locally so the
+	// stored report is known-good under our own verifier too.
+	if err := zkml.VerifyReport(rep, zkml.Options{PCS: pcs.DefaultParams()}); err != nil {
+		fatalf("prove-model: streamed report does not verify locally: %v", err)
+	}
+	raw := wire.EncodeReport(rep)
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatalf("prove-model: %v", err)
+	}
+	fmt.Printf("report OK: %d ops on %s, %d constraints, proofs %d bytes, prove %v → %s (%d bytes)\n",
+		len(rep.Ops), rep.Backend, rep.TotalConstraints(), rep.TotalProofBytes(),
+		rep.TotalProve().Round(1e6), *out, len(raw))
+}
+
+// cmdVerifyModel checks a stored report, by default against the service
+// that issued it.
+func cmdVerifyModel(args []string) {
+	fs := flag.NewFlagSet("verify-model", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8799", "proving service base URL")
+	reportPath := fs.String("report", "report.bin", "wire-encoded report path")
+	tenant := fs.String("tenant", "", "tenant header the report was issued under")
+	local := fs.Bool("local", false,
+		"verify in-process instead of asking the service (trusts the report's own verifying material)")
+	fs.Parse(args)
+
+	raw, err := os.ReadFile(*reportPath)
+	if err != nil {
+		fatalf("verify-model: %v", err)
+	}
+	rep, err := wire.DecodeReport(raw)
+	if err != nil {
+		fatalf("verify-model: decoding report: %v", err)
+	}
+
+	if *local {
+		if err := zkml.VerifyReport(rep, zkml.Options{PCS: pcs.DefaultParams()}); err != nil {
+			fatalf("verification FAILED: %v", err)
+		}
+		fmt.Printf("local verification OK: %s, %d ops on %s (note: Groth16 ops are checked against their embedded keys — trust them only if you trust where this report came from)\n",
+			rep.Model, len(rep.Ops), rep.Backend)
+		return
+	}
+
+	req, err := http.NewRequest(http.MethodPost, *serverURL+"/v1/verify/model", bytes.NewReader(raw))
+	if err != nil {
+		fatalf("verify-model: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if *tenant != "" {
+		req.Header.Set(server.TenantHeader, *tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("verify-model: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("verify-model: reading verdict: %v", err)
+	}
+	var verdict struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &verdict); err != nil {
+		fatalf("verify-model: server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if !verdict.OK {
+		fatalf("verification FAILED: %s", verdict.Error)
+	}
+	fmt.Printf("verification OK: service vouches for %s (%d ops on %s)\n",
+		rep.Model, len(rep.Ops), rep.Backend)
+}

@@ -1,7 +1,11 @@
-// Verifiable ViT inference: run a (scaled-down) CIFAR-10 vision
-// transformer and prove every operation of the forward pass — matmuls
-// through CRPC+PSQ, SoftMax and GELU through the §III-C gadget circuits —
-// then verify all of it, exactly as the paper's Table III measures.
+// Verifiable ViT inference as a service workload: run a (scaled-down)
+// CIFAR-10 vision transformer, capture its forward pass, and have the
+// concurrent proving service prove every operation — matmuls through
+// CRPC+PSQ, SoftMax and GELU through the §III-C gadget circuits —
+// streaming each proof back the moment it finishes. The reassembled
+// report is then checked two ways: by the service (/v1/verify/model,
+// which vouches only for reports it issued) and locally, exactly as the
+// paper's Table III measures end to end.
 //
 // The full paper shapes are estimated at the end via the same
 // measure-and-extrapolate path the benchmark harness uses.
@@ -10,18 +14,26 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	mrand "math/rand"
+	"net/http"
+	"net/http/httptest"
 
 	"zkvc"
+	"zkvc/internal/nn"
+	"zkvc/internal/pcs"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
 )
 
 func main() {
 	// The paper's CIFAR-10 architecture (7 layers / 4 heads / dim 256 /
-	// 64 tokens), scaled 8× down so exact end-to-end proving finishes in
+	// 64 tokens), scaled 16× down so exact end-to-end proving finishes in
 	// seconds on a laptop.
-	cfg := zkvc.ViTCIFAR10().Scaled(8)
+	cfg := zkvc.ViTCIFAR10().Scaled(16)
 
 	// The paper's hybrid: the planner keeps SoftMax attention only where
 	// it pays (later, shorter-sequence layers).
@@ -33,19 +45,61 @@ func main() {
 		log.Fatal(err)
 	}
 	x := zkvc.RandomInput(model, mrand.New(mrand.NewSource(9)))
+	trace := nn.Trace{Capture: true}
+	logits := model.Forward(x, &trace)
+	fmt.Printf("forward pass traced %d operations, logits: %v\n", len(trace.Ops), logits.Data)
 
-	proof, err := zkvc.ProveInference(model, x, zkvc.DefaultInferenceOptions())
+	// An in-process proving service — the same one `zkvc serve` runs.
+	svc, err := server.New(server.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("proved %d operations (%d constraints total) in %.2fs; proofs total %d bytes\n",
-		proof.Operations(), proof.Constraints(), proof.ProveTime(), proof.SizeBytes())
-	fmt.Printf("logits: %v\n", proof.Logits.Data)
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
 
-	if err := zkvc.VerifyInference(proof); err != nil {
+	// POST the captured trace; per-op proofs stream back as frames in
+	// completion order (independent ops prove concurrently server-side).
+	body := wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+		Backend:        zkvc.Spartan,
+		ProveNonlinear: true,
+		Cfg:            cfg,
+		Trace:          &trace,
+	})
+	resp, err := http.Post(ts.URL+"/v1/prove/model", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("verified every operation in %.3fs\n", proof.VerifyTime())
+	defer resp.Body.Close()
+	streamed := 0
+	report, err := wire.DecodeModelStream(resp.Body, func(op *zkml.OpProof) {
+		streamed++
+		if streamed <= 3 {
+			fmt.Printf("  streamed op %d (%s, %v): %d constraints\n",
+				op.Seq, op.Tag, op.Kind, op.Stats.Constraints)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service streamed %d op proofs (%d constraints total, %d proof bytes, prove %.2fs)\n",
+		streamed, report.TotalConstraints(), report.TotalProofBytes(), report.TotalProve().Seconds())
+
+	// Ask the service for its verdict, then re-verify every proof locally.
+	verdict, err := http.Post(ts.URL+"/v1/verify/model", "application/octet-stream",
+		bytes.NewReader(wire.EncodeReport(report)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict.Body.Close()
+	if verdict.StatusCode != http.StatusOK {
+		log.Fatalf("/v1/verify/model rejected the report (status %d)", verdict.StatusCode)
+	}
+	if err := zkml.VerifyReport(report, zkml.Options{PCS: pcs.DefaultParams()}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report verified by the service and locally (verify %.3fs)\n",
+		report.TotalVerify().Seconds())
 
 	// Estimate the full (unscaled) paper shape on this machine.
 	full := zkvc.ViTCIFAR10()

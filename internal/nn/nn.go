@@ -330,6 +330,25 @@ func BERTGLUE() Config {
 	return c
 }
 
+// TinyConfig is a deliberately small synthetic architecture — one
+// block, four tokens, dim 4 — for demos, fuzz corpora and end-to-end
+// tests where full proving (including Groth16 per-circuit setup) must
+// stay in budget. It is the single source of truth for "the smallest
+// valid transformer"; keep CLI demos and test fixtures on it instead of
+// hand-building near-copies.
+func TinyConfig(name string, mixer MixerKind) Config {
+	c := Config{
+		Name:       name,
+		Stages:     []Stage{{Blocks: 1, Dim: 4, Tokens: 4}},
+		Heads:      2,
+		PatchDim:   4,
+		NumClasses: 2,
+	}.defaults()
+	c.MLPRatio = 1
+	c.Mixers = UniformMixers(1, mixer)
+	return c
+}
+
 // Scaled returns a copy with every stage's tokens and dim divided by f
 // (floored to legal values) — the harness's tractable "scaled mode".
 // Head count is reduced to keep dim divisible.

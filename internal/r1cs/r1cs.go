@@ -6,6 +6,8 @@
 package r1cs
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"zkvc/internal/ff"
@@ -68,6 +70,41 @@ func (s *System) Satisfied(z []ff.Fr) error {
 
 // NumConstraints returns the constraint count.
 func (s *System) NumConstraints() int { return len(s.Constraints) }
+
+// StructureDigest fingerprints the circuit structure: wire layout and
+// every constraint's sparse coefficients, independent of any assignment.
+// Two systems share a digest exactly when a proving key generated for one
+// is valid for the other, which is what lets a CRS cache key on "gadget
+// circuit shape" instead of special-casing matmul dimensions — identical
+// transformer blocks hash identically, a different clip threshold or
+// range width hashes differently.
+func (s *System) StructureDigest() [sha256.Size]byte {
+	h := sha256.New()
+	var u [8]byte
+	word := func(v int) {
+		binary.BigEndian.PutUint64(u[:], uint64(v))
+		h.Write(u[:])
+	}
+	word(s.NumPublic)
+	word(s.NumVars)
+	word(len(s.Constraints))
+	lc := func(terms LC) {
+		word(len(terms))
+		for i := range terms {
+			word(int(terms[i].V))
+			b := terms[i].Coeff.Bytes()
+			h.Write(b[:])
+		}
+	}
+	for q := range s.Constraints {
+		lc(s.Constraints[q].A)
+		lc(s.Constraints[q].B)
+		lc(s.Constraints[q].C)
+	}
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
 
 // Stats summarizes circuit complexity: constraints, variables, and the
 // total number of LC terms on the A ("left wires"), B and C sides. The

@@ -1,0 +1,71 @@
+// Package randutil centralizes the prover stack's randomness plumbing.
+// Every backend keeps math/rand's *rand.Rand interface for its blinding
+// and setup draws, but where the stream comes from is a security
+// decision made in exactly two ways:
+//
+//   - CryptoSource adapts crypto/rand, the production default — whoever
+//     can reconstruct a Groth16 setup stream holds the toxic waste;
+//   - Derived builds a deterministic stream from a caller seed plus a
+//     domain-separation salt, the test/benchmark path. The salt keys
+//     independent streams off one seed, which is what lets a model
+//     trace prove its operations in any parallel order and still emit
+//     byte-identical proofs: op i always draws from Derived(seed,
+//     "op", i) no matter which worker got there first.
+package randutil
+
+import (
+	crand "crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	mrand "math/rand"
+)
+
+// CryptoSource adapts crypto/rand to math/rand's Source64.
+type CryptoSource struct{}
+
+// Seed is a no-op: the operating system owns the entropy.
+func (CryptoSource) Seed(int64) {}
+
+// Int63 returns a non-negative random int64.
+func (s CryptoSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Uint64 reads eight bytes of OS entropy.
+func (CryptoSource) Uint64() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic("randutil: crypto/rand failed: " + err.Error())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Crypto returns a *rand.Rand drawing OS entropy.
+func Crypto() *mrand.Rand { return mrand.New(CryptoSource{}) }
+
+// Derived returns a deterministic stream keyed by (seed, salt): the
+// SHA-256 of both is folded into a math/rand source seed. Distinct
+// salts give independent streams; the same (seed, salt) always gives
+// the same stream regardless of goroutine scheduling. A zero seed means
+// "no determinism requested" and falls back to Crypto.
+func Derived(seed int64, salt ...[]byte) *mrand.Rand {
+	if seed == 0 {
+		return Crypto()
+	}
+	h := sha256.New()
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], uint64(seed))
+	h.Write(s[:])
+	for _, b := range salt {
+		binary.BigEndian.PutUint64(s[:], uint64(len(b)))
+		h.Write(s[:])
+		h.Write(b)
+	}
+	d := h.Sum(nil)
+	return mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(d[:8]))))
+}
+
+// U32 renders an integer as a salt component.
+func U32(v int) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
+	return b[:]
+}

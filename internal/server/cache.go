@@ -4,16 +4,25 @@ import (
 	"sync"
 
 	"zkvc"
+	"zkvc/internal/groth16"
 )
 
-// crsCache memoizes per-(backend, shape, options) epoch CRSs with
-// singleflight semantics: when many requests for a new shape race, exactly
-// one runs the (expensive, for Groth16) trusted setup and the rest block
-// on its result. The standard library has no singleflight and the module
-// is dependency-free, so this is hand-rolled on a ready channel.
+// crsCache memoizes proving material with singleflight semantics: when
+// many requests for a new entry race, exactly one runs the (expensive,
+// for Groth16) trusted setup and the rest block on its result. The
+// standard library has no singleflight and the module is dependency-free,
+// so this is hand-rolled on a ready channel.
 //
-// The cache is bounded: /v1/prove/single is unauthenticated and every
-// distinct shape costs a full Groth16 setup plus permanently resident
+// Entries come in two kinds, reflecting the two job kinds the service
+// proves. Matmul epoch CRSs are keyed by product shape (known before any
+// synthesis, so a cache hit skips synthesis entirely) and hold a
+// *zkvc.CRS. Model-op CRSs are keyed by the R1CS structure digest of the
+// gadget circuit — whatever its shape family — and hold a *circuitCRS;
+// identical transformer blocks across requests and tenants share one
+// setup. Both kinds share the LRU budget.
+//
+// The cache is bounded: proving endpoints are unauthenticated and every
+// distinct entry costs a full Groth16 setup plus permanently resident
 // keys, so an attacker cycling tiny requests through many shapes would
 // otherwise grow it without limit. At the cap the least-recently-used
 // completed entry is evicted; proofs issued under an evicted CRS can no
@@ -26,14 +35,23 @@ type crsCache struct {
 	clock   uint64
 }
 
+// cacheKey identifies a cached CRS: exactly one of shape (matmul epoch
+// entries) or circuit (gadget-circuit digest entries) is set.
 type cacheKey struct {
 	backend zkvc.Backend
 	shape   zkvc.ShapeKey
+	circuit [32]byte
+}
+
+// circuitCRS is the cached proving material for one gadget circuit.
+type circuitCRS struct {
+	pk *groth16.ProvingKey
+	vk *groth16.VerifyingKey
 }
 
 type crsEntry struct {
-	ready chan struct{} // closed once crs/err are final
-	crs   *zkvc.CRS
+	ready chan struct{} // closed once val/err are final
+	val   any           // *zkvc.CRS or *circuitCRS
 	err   error
 	tag   uint64 // unique per CRS instance; issued digests bind to it
 	used  uint64 // LRU stamp, guarded by crsCache.mu
@@ -43,33 +61,43 @@ func newCRSCache(cap int) *crsCache {
 	return &crsCache{entries: make(map[cacheKey]*crsEntry), cap: cap}
 }
 
-// get returns the cached CRS for key, running create exactly once per key
-// (failed creations are evicted so a later request can retry). hit reports
-// whether this caller found the entry already present; tag identifies the
-// CRS instance, so a later setup for the same shape (after eviction) gets
-// a different tag and attestations bound to the old instance expire.
-func (c *crsCache) get(key cacheKey, create func() (*zkvc.CRS, error)) (crs *zkvc.CRS, tag uint64, hit bool, err error) {
+// get returns the cached value for key, running create exactly once per
+// key (failed creations are evicted so a later request can retry). hit
+// reports whether this caller found the entry already present; tag
+// identifies the CRS instance, so a later setup for the same key (after
+// eviction) gets a different tag and attestations bound to the old
+// instance expire.
+func (c *crsCache) get(key cacheKey, create func() (any, error)) (val any, tag uint64, hit bool, err error) {
 	c.mu.Lock()
 	c.clock++
 	if e, ok := c.entries[key]; ok {
 		e.used = c.clock
 		c.mu.Unlock()
 		<-e.ready
-		return e.crs, e.tag, true, e.err
+		return e.val, e.tag, true, e.err
 	}
 	e := &crsEntry{ready: make(chan struct{}), tag: c.clock, used: c.clock}
 	c.evictLocked()
 	c.entries[key] = e
 	c.mu.Unlock()
 
-	e.crs, e.err = create()
+	e.val, e.err = create()
 	if e.err != nil {
 		c.mu.Lock()
 		delete(c.entries, key)
 		c.mu.Unlock()
 	}
 	close(e.ready)
-	return e.crs, e.tag, false, e.err
+	return e.val, e.tag, false, e.err
+}
+
+// getCRS is the matmul-epoch typed wrapper around get.
+func (c *crsCache) getCRS(key cacheKey, create func() (*zkvc.CRS, error)) (*zkvc.CRS, uint64, bool, error) {
+	v, tag, hit, err := c.get(key, func() (any, error) { return create() })
+	if err != nil {
+		return nil, tag, hit, err
+	}
+	return v.(*zkvc.CRS), tag, hit, nil
 }
 
 // evictLocked drops least-recently-used completed entries until the
@@ -99,10 +127,10 @@ func (c *crsCache) evictLocked() {
 	}
 }
 
-// peek returns the cached CRS for key only if its setup already completed
-// successfully. It never creates or waits on an entry: the verify path
-// uses it, and a proof for a shape the service never set up cannot have
-// been issued here anyway.
+// peek returns the cached epoch CRS for key only if its setup already
+// completed successfully. It never creates or waits on an entry: the
+// verify path uses it, and a proof for a shape the service never set up
+// cannot have been issued here anyway.
 func (c *crsCache) peek(key cacheKey) (*zkvc.CRS, uint64, bool) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -122,10 +150,14 @@ func (c *crsCache) peek(key cacheKey) (*zkvc.CRS, uint64, bool) {
 	if e.err != nil {
 		return nil, 0, false
 	}
-	return e.crs, e.tag, true
+	crs, ok := e.val.(*zkvc.CRS)
+	if !ok {
+		return nil, 0, false
+	}
+	return crs, e.tag, true
 }
 
-// Len reports how many shapes have a cached CRS.
+// Len reports how many entries have a cached CRS.
 func (c *crsCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -18,12 +18,12 @@ func TestCRSCacheEvictsLRU(t *testing.T) {
 	c := newCRSCache(2)
 	mk := func() (*zkvc.CRS, error) { return &zkvc.CRS{}, nil }
 
-	if _, _, hit, _ := c.get(shapeKey(1), mk); hit {
+	if _, _, hit, _ := c.getCRS(shapeKey(1), mk); hit {
 		t.Fatal("fresh entry reported as hit")
 	}
-	c.get(shapeKey(2), mk)
-	c.get(shapeKey(1), mk) // touch 1 so 2 becomes LRU
-	c.get(shapeKey(3), mk) // at cap: evicts 2
+	c.getCRS(shapeKey(2), mk)
+	c.getCRS(shapeKey(1), mk) // touch 1 so 2 becomes LRU
+	c.getCRS(shapeKey(3), mk) // at cap: evicts 2
 
 	if c.Len() != 2 {
 		t.Errorf("cache holds %d entries, cap is 2", c.Len())
@@ -51,7 +51,7 @@ func TestCRSCacheDrainsAfterBurst(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c.get(shapeKey(10+i), func() (*zkvc.CRS, error) {
+			c.getCRS(shapeKey(10+i), func() (*zkvc.CRS, error) {
 				<-release
 				return &zkvc.CRS{}, nil
 			})
@@ -67,7 +67,7 @@ func TestCRSCacheDrainsAfterBurst(t *testing.T) {
 	close(release)
 	wg.Wait()
 
-	c.get(shapeKey(99), func() (*zkvc.CRS, error) { return &zkvc.CRS{}, nil })
+	c.getCRS(shapeKey(99), func() (*zkvc.CRS, error) { return &zkvc.CRS{}, nil })
 	if got := c.Len(); got > 2 {
 		t.Errorf("cache holds %d entries after burst drained, cap is 2", got)
 	}

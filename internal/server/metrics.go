@@ -7,12 +7,20 @@ import (
 
 	"zkvc"
 	"zkvc/internal/parallel"
+	"zkvc/internal/zkml"
 )
 
 // metrics are the service counters, all lock-free. The coalesce ratio
 // (requests per backend proof) is the service's headline number: it is the
 // amortization factor of the paper's batching argument, measured live.
 type metrics struct {
+	// queueUnits is the single capacity ledger QueueCap bounds: one unit
+	// per matmul job, one per model op. Admission checks increment it
+	// atomically (the per-kind gauges below are display-only), so
+	// concurrent submissions of different kinds cannot jointly overshoot
+	// the cap.
+	queueUnits atomic.Int64
+
 	queueDepth     atomic.Int64
 	requestsProved atomic.Int64
 	batchesProved  atomic.Int64
@@ -24,9 +32,23 @@ type metrics struct {
 	crsHits        atomic.Int64
 	crsMisses      atomic.Int64
 
+	// Model-job counters: accepted jobs, jobs fully proved, per-op
+	// progress, queued-but-unproved ops (the model share of QueueCap),
+	// issued-policy rejections on /v1/verify/model, and stream
+	// backpressure (how often — and for how long — proving blocked on a
+	// slow response reader).
+	modelJobs        atomic.Int64
+	modelJobsProved  atomic.Int64
+	modelOpsProved   atomic.Int64
+	modelOpsQueued   atomic.Int64
+	modelRejects     atomic.Int64
+	streamStalls     atomic.Int64
+	streamStallNanos atomic.Int64
+
 	synthesisNanos atomic.Int64
 	setupNanos     atomic.Int64
 	proveNanos     atomic.Int64
+	verifyNanos    atomic.Int64
 }
 
 func (m *metrics) recordTimings(t zkvc.Timings) {
@@ -35,12 +57,37 @@ func (m *metrics) recordTimings(t zkvc.Timings) {
 	m.proveNanos.Add(int64(t.Prove))
 }
 
+// recordOpTimings charges one model op's phases, including the per-op
+// self-verification the compiler performs.
+func (m *metrics) recordOpTimings(op *zkml.OpProof) {
+	m.synthesisNanos.Add(int64(op.Synthesis))
+	m.setupNanos.Add(int64(op.Setup))
+	m.proveNanos.Add(int64(op.Prove))
+	m.verifyNanos.Add(int64(op.Verify))
+}
+
 // Snapshot is the JSON shape of GET /metrics.
 type Snapshot struct {
+	// QueueDepth is the matmul share of the queue; ModelOpsQueued the
+	// model share (in ops — a parked model is parked work proportional
+	// to its trace). Their sum is what Config.QueueCap bounds.
 	QueueDepth     int64 `json:"queue_depth"`
+	ModelOpsQueued int64 `json:"model_ops_queued"`
 	Requests       int64 `json:"requests"`
 	BatchesProved  int64 `json:"batches_proved"`
 	SinglesProved  int64 `json:"singles_proved"`
+
+	// Model-job counters: accepted jobs, fully proved jobs, streamed op
+	// proofs, issued-policy rejections on /v1/verify/model, and stream
+	// backpressure (count and total nanoseconds proving spent blocked on
+	// slow response readers).
+	ModelJobs        int64 `json:"model_jobs"`
+	ModelJobsProved  int64 `json:"model_jobs_proved"`
+	ModelOpsProved   int64 `json:"model_ops_proved"`
+	ModelRejects     int64 `json:"model_rejects"`
+	StreamStalls     int64 `json:"stream_stalls"`
+	StreamStallNanos int64 `json:"stream_stall_nanos"`
+
 	VerifyRequests int64 `json:"verify_requests"`
 	// EpochRejects counts epoch proofs turned away by /v1/verify's
 	// issued-only policy (wrong epoch, not issued here, or no trusted CRS).
@@ -69,15 +116,24 @@ type Snapshot struct {
 		Synthesis int64 `json:"synthesis"`
 		Setup     int64 `json:"setup"`
 		Prove     int64 `json:"prove"`
+		// Verify is the per-op self-verification model jobs perform.
+		Verify int64 `json:"verify"`
 	} `json:"phase_nanos"`
 }
 
 func (m *metrics) snapshot(pool *parallel.Pool) Snapshot {
 	var s Snapshot
 	s.QueueDepth = m.queueDepth.Load()
+	s.ModelOpsQueued = m.modelOpsQueued.Load()
 	s.Requests = m.requestsProved.Load()
 	s.BatchesProved = m.batchesProved.Load()
 	s.SinglesProved = m.singlesProved.Load()
+	s.ModelJobs = m.modelJobs.Load()
+	s.ModelJobsProved = m.modelJobsProved.Load()
+	s.ModelOpsProved = m.modelOpsProved.Load()
+	s.ModelRejects = m.modelRejects.Load()
+	s.StreamStalls = m.streamStalls.Load()
+	s.StreamStallNanos = m.streamStallNanos.Load()
 	s.VerifyRequests = m.verifyRequests.Load()
 	s.EpochRejects = m.epochRejects.Load()
 	s.VKRejects = m.vkRejects.Load()
@@ -94,6 +150,7 @@ func (m *metrics) snapshot(pool *parallel.Pool) Snapshot {
 	s.PhaseNanos.Synthesis = m.synthesisNanos.Load()
 	s.PhaseNanos.Setup = m.setupNanos.Load()
 	s.PhaseNanos.Prove = m.proveNanos.Load()
+	s.PhaseNanos.Verify = m.verifyNanos.Load()
 	return s
 }
 

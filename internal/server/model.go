@@ -1,0 +1,376 @@
+package server
+
+// Model proving as a service workload: a modelJob is the second job kind
+// of the dispatcher — "prove every circuit of this captured forward
+// pass". It reuses the whole matmul-era machinery: the submission queue
+// and its capacity bound (a model job counts as its op count, since that
+// is the work it parks), the worker pool and its one-token-per-job
+// budget discipline, the CRS cache (keyed by circuit structure digest,
+// so the twelve identical blocks of a ViT pay one Groth16 setup across
+// all requests and tenants) and the issued-proof log (one whole-report,
+// tenant-scoped digest per completed job, so /v1/verify/model only
+// vouches for reports this service streamed to that tenant, unmodified
+// and complete).
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/groth16"
+	"zkvc/internal/nn"
+	"zkvc/internal/parallel"
+	"zkvc/internal/pcs"
+	"zkvc/internal/r1cs"
+	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
+)
+
+// modelJob is one end-to-end model proving request flowing through the
+// dispatcher to the worker pool.
+type modelJob struct {
+	tenant         string
+	backend        zkml.Backend
+	proveNonlinear bool
+	cfg            nn.Config
+	trace          *nn.Trace
+
+	plan      int // ops that will be proved (queue-capacity units)
+	completed atomic.Int64
+
+	// header is the wire-encoded stream header the handler sends first;
+	// it is folded into the issued-report digest, binding the model
+	// name, backend, circuit options and op count the proofs were
+	// streamed under.
+	header []byte
+	// opHashes collects each op frame's digest at its sequence slot
+	// (concurrent writers touch disjoint indices); on success they are
+	// combined, in order, into the single issued-report attestation.
+	opHashes [][32]byte
+	// clientGone is set by the handler when the response writer fails;
+	// the proving pipeline polls it and cancels instead of finishing
+	// work nobody will receive.
+	clientGone atomic.Bool
+
+	// events carries pre-encoded OpProof frames to the HTTP handler. The
+	// buffer is deliberately small: a slow reader backpressures proving
+	// after a few ops instead of letting finished proofs (and their
+	// payloads) pile up in memory — that bound is the reason the endpoint
+	// streams at all.
+	events chan modelEvent
+}
+
+type modelEvent struct {
+	frame []byte
+	err   error
+}
+
+func (*modelJob) submissionKind() string { return "model" }
+
+// modelEventBuffer is the per-job frame buffer (see modelJob.events).
+const modelEventBuffer = 4
+
+// run proves the trace on the worker's goroutine. Independent ops fan
+// out over whatever budget tokens are free, each drawing its randomness
+// from its sequence number, so the streamed proofs are byte-identical to
+// a local ProveTrace at any parallelism level.
+func (j *modelJob) run(s *Server, _ *zkvc.MatMulProver) {
+	defer close(j.events)
+	defer func() {
+		// Ops skipped by an error (or never streamed) leave the queue here.
+		delta := j.completed.Load() - int64(j.plan)
+		s.metrics.modelOpsQueued.Add(delta)
+		s.metrics.queueUnits.Add(delta)
+	}()
+	_, err := zkml.ProveTrace(j.cfg, j.trace, s.modelOpts(j))
+	if err != nil {
+		s.metrics.proveErrors.Add(1)
+		j.events <- modelEvent{err: err}
+		return
+	}
+	// Attest the whole report at once: header, every op frame digest in
+	// sequence order, and the tenant. A report relabeled, spliced from
+	// other issued reports, or reordered no longer matches. Canceled or
+	// failed jobs attest nothing.
+	s.issued.add(modelReportDigest(j.header, j.opHashes, j.tenant))
+	s.metrics.modelJobsProved.Add(1)
+}
+
+// modelOpts assembles the compiler options for one model job: the
+// service's circuit options and seed, the client's backend and nonlinear
+// choice, payloads kept but ops discarded (each exists only long enough
+// to be framed and streamed), and Groth16 setups routed through the
+// shared digest-keyed CRS cache.
+func (s *Server) modelOpts(j *modelJob) zkml.Options {
+	opts := zkml.DefaultOptions()
+	opts.Backend = j.backend
+	opts.Circuit = s.cfg.Opts
+	opts.ProveNonlinear = j.proveNonlinear
+	opts.Seed = s.cfg.Seed
+	opts.KeepProofs = true
+	opts.DiscardOps = true
+	if j.backend == zkml.Groth16 {
+		opts.Setup = s.circuitSetup
+	}
+	opts.Stop = j.clientGone.Load
+	opts.OnOp = func(op *zkml.OpProof) {
+		frame := wire.EncodeOpProof(op)
+		j.opHashes[op.Seq] = sha256.Sum256(frame)
+		s.metrics.modelOpsProved.Add(1)
+		s.metrics.modelOpsQueued.Add(-1)
+		s.metrics.queueUnits.Add(-1)
+		j.completed.Add(1)
+		s.metrics.recordOpTimings(op)
+		select {
+		case j.events <- modelEvent{frame: frame}:
+		default:
+			// The handler (or its client) is behind; block, and account
+			// the stall so /metrics shows stream backpressure.
+			s.metrics.streamStalls.Add(1)
+			start := time.Now()
+			j.events <- modelEvent{frame: frame}
+			s.metrics.streamStallNanos.Add(time.Since(start).Nanoseconds())
+		}
+	}
+	return opts
+}
+
+// circuitSetup is the SetupFunc model jobs use: Groth16 proving material
+// memoized in the shared CRS cache under the circuit's structure digest.
+// The derivation inside zkml.SetupCircuit is seed-deterministic, so a
+// service configured with a test seed regenerates identical material
+// after an eviction (and matches local proving with the same seed); with
+// the production crypto/rand posture a regenerated CRS simply issues
+// fresh attestations.
+func (s *Server) circuitSetup(digest [32]byte, sys *r1cs.System) (*groth16.ProvingKey, *groth16.VerifyingKey, error) {
+	key := cacheKey{backend: zkvc.Groth16, circuit: digest}
+	v, _, hit, err := s.cache.get(key, func() (any, error) {
+		pk, vk, err := zkml.SetupCircuit(sys, s.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &circuitCRS{pk: pk, vk: vk}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if hit {
+		s.metrics.crsHits.Add(1)
+	} else {
+		s.metrics.crsMisses.Add(1)
+	}
+	c := v.(*circuitCRS)
+	return c.pk, c.vk, nil
+}
+
+// modelReportDigest fingerprints one issued report: the stream header
+// (model name, backend, circuit options, op count), every op frame's
+// digest in sequence order, and the tenant the stream was issued to —
+// verifying through /v1/verify/model requires presenting the same
+// tenant header, extending the per-tenant partitioning of the coalescer
+// to model reports. (As with coalescing, the header is taken on faith —
+// the isolation is real only behind an authenticating proxy; see the
+// package comment on tenancy.)
+func modelReportDigest(header []byte, opHashes [][32]byte, tenant string) [sha256.Size]byte {
+	h := sha256.New()
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(header)))
+	h.Write(n[:])
+	h.Write(header)
+	for i := range opHashes {
+		h.Write(opHashes[i][:])
+	}
+	binary.BigEndian.PutUint32(n[:], uint32(len(tenant)))
+	h.Write(n[:])
+	h.Write([]byte(tenant))
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// submitModel admits a model job into the dispatcher. The job charges
+// its op count against the shared queue capacity: a parked model is
+// parked work proportional to its trace, not one slot.
+func (s *Server) submitModel(j *modelJob) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.metrics.queueUnits.Add(int64(j.plan)) > int64(s.cfg.QueueCap) {
+		s.metrics.queueUnits.Add(-int64(j.plan))
+		return errQueueFull
+	}
+	s.metrics.modelOpsQueued.Add(int64(j.plan))
+	select {
+	case s.submit <- j:
+		return nil
+	default:
+		s.metrics.modelOpsQueued.Add(-int64(j.plan))
+		s.metrics.queueUnits.Add(-int64(j.plan))
+		return errQueueFull
+	}
+}
+
+// handleProveModel proves a captured trace and streams each operation's
+// proof as a length-prefixed frame the moment it finishes: header frame
+// (total op count), then OpProof frames in completion order (op.Seq
+// positions each in the report), then end of body. A mid-stream failure
+// is a ModelStreamError frame. wire.DecodeModelStream reassembles the
+// report client-side.
+func (s *Server) handleProveModel(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.acquireModelSlot(w)
+	if !ok {
+		return
+	}
+	raw, ok := readBodyN(w, r, maxModelBodyBytes)
+	if !ok {
+		release()
+		return
+	}
+	req, err := wire.DecodeProveModelRequest(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	raw = nil
+	planOpts := zkml.Options{ProveNonlinear: req.ProveNonlinear}
+	plan, err := zkml.PlanTrace(req.Trace, planOpts)
+	if err != nil {
+		release()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(plan) == 0 {
+		release()
+		http.Error(w, "trace has no provable operations", http.StatusBadRequest)
+		return
+	}
+	// A trace bigger than the whole queue capacity could never be
+	// admitted; say so honestly instead of returning 503 forever.
+	if len(plan) > s.cfg.QueueCap {
+		release()
+		http.Error(w, fmt.Sprintf("trace has %d provable operations, above this service's queue capacity %d; split the model or raise QueueCap",
+			len(plan), s.cfg.QueueCap), http.StatusBadRequest)
+		return
+	}
+	j := &modelJob{
+		tenant:         r.Header.Get(TenantHeader),
+		backend:        req.Backend,
+		proveNonlinear: req.ProveNonlinear,
+		cfg:            req.Cfg,
+		trace:          req.Trace,
+		plan:           len(plan),
+		opHashes:       make([][32]byte, len(plan)),
+		events:         make(chan modelEvent, modelEventBuffer),
+	}
+	j.header = wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
+		Model:    req.Cfg.Name,
+		Backend:  req.Backend,
+		Circuit:  s.cfg.Opts,
+		TotalOps: len(plan),
+	})
+	if err := s.submitModel(j); err != nil {
+		release()
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.metrics.modelJobs.Add(1)
+	// The job is admitted and its memory is accounted by the queue
+	// ledger; the body-buffering slot can go back before streaming.
+	release()
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	flusher, _ := w.(http.Flusher)
+	write := func(msg []byte) {
+		if j.clientGone.Load() {
+			return
+		}
+		if err := wire.WriteFrame(w, msg); err != nil {
+			// The client hung up; keep draining events (so the proving job
+			// never blocks on a reader that is gone) and tell the pipeline
+			// to cancel the ops it has not started.
+			j.clientGone.Store(true)
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	write(j.header)
+	for ev := range j.events {
+		if ev.err != nil {
+			write(wire.EncodeModelStreamError(ev.err.Error()))
+			return
+		}
+		write(ev.frame)
+	}
+}
+
+// acquireModelSlot bounds how many model-endpoint requests may buffer
+// their (up to maxModelBodyBytes) bodies concurrently; beyond that the
+// service sheds load instead of holding gigabytes of unadmitted input.
+func (s *Server) acquireModelSlot(w http.ResponseWriter) (func(), bool) {
+	select {
+	case s.modelSlots <- struct{}{}:
+		var once sync.Once
+		return func() { once.Do(func() { <-s.modelSlots }) }, true
+	default:
+		http.Error(w, "too many concurrent model requests", http.StatusServiceUnavailable)
+		return nil, false
+	}
+}
+
+// handleVerifyModel checks a model report. Every payload in a report is
+// prover-supplied — the Groth16 ops carry their verifying keys, the
+// Spartan ops carry the very R1CS they claim to satisfy — so, like epoch
+// proofs, a report proves nothing unless this service produced it. The
+// handler therefore requires the whole-report issued-log attestation
+// (header, ops in order, requesting tenant) before re-running
+// cryptographic verification; reports from elsewhere — or issued ones
+// relabeled, reordered or spliced — are rejected with a policy error,
+// not a bogus pass. Verification holds one parallel-budget token, like
+// every other unit of proving-stack work on this service.
+func (s *Server) handleVerifyModel(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.acquireModelSlot(w)
+	if !ok {
+		return
+	}
+	defer release()
+	raw, ok := readBodyN(w, r, maxModelBodyBytes)
+	if !ok {
+		return
+	}
+	rep, err := wire.DecodeReport(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.metrics.verifyRequests.Add(1)
+	tenant := r.Header.Get(TenantHeader)
+	header := wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
+		Model:    rep.Model,
+		Backend:  rep.Backend,
+		Circuit:  rep.Circuit,
+		TotalOps: len(rep.Ops),
+	})
+	opHashes := make([][32]byte, len(rep.Ops))
+	for i := range rep.Ops {
+		opHashes[i] = sha256.Sum256(wire.EncodeOpProof(&rep.Ops[i]))
+	}
+	if !s.issued.has(modelReportDigest(header, opHashes, tenant)) {
+		s.metrics.modelRejects.Add(1)
+		writeVerdict(w, fmt.Errorf("%w: report was not issued by this service under this tenant (model reports carry prover-supplied verifying material, so only reports this service streamed — resubmitted unmodified and complete, with the same Zkvc-Tenant header — are accepted; attestations also expire from the bounded issued log)",
+			zkvc.ErrVerification))
+		return
+	}
+	pool := parallel.Default()
+	pool.Acquire()
+	defer pool.Release()
+	writeVerdict(w, zkml.VerifyReport(rep, zkml.Options{PCS: pcs.DefaultParams()}))
+}

@@ -6,13 +6,28 @@
 // proof for the whole window — and a bounded worker pool keeps proving off
 // the request goroutines.
 //
+// Work flows through a kind-dispatched job system: a job is "prove these
+// circuits". Matmul jobs coalesce into batches; model jobs — a captured
+// transformer forward pass (nn.Trace), the paper's end-to-end Tables
+// III/IV workload — arrive pre-batched and stream one proof per traced
+// operation back as it finishes, so a 12-block model never buffers its
+// whole report server-side. Both kinds share the queue capacity, the
+// worker pool, the process-wide parallel budget (one token per running
+// job; independent ops of a model borrow the idle rest, exactly like
+// batch statements), the Groth16 CRS cache (keyed by gadget circuit
+// structure digest, not just matmul dimensions, so identical transformer
+// blocks pay one setup) and the issued-proof policy. A new workload is a
+// new job kind, not a new service.
+//
 // Endpoints (all proof bodies use the canonical internal/wire encoding):
 //
 //	POST /v1/prove        coalescing batch proving (wire.ProveRequest → wire.ProveResponse)
 //	POST /v1/prove/single one proof per request, Groth16 CRS cached per shape (→ wire MatMulProof)
+//	POST /v1/prove/model  prove a captured model trace (wire.ProveModelRequest → framed stream of wire.OpProof)
 //	POST /v1/verify       check a single proof (wire.VerifyRequest → JSON)
 //	POST /v1/verify/batch check a coalesced batch (wire.ProveResponse → JSON)
-//	GET  /metrics         queue depth, coalesce ratio, per-phase timings (JSON)
+//	POST /v1/verify/model check a model report this service issued (wire.Report → JSON)
+//	GET  /metrics         per-kind queue depth, coalesce ratio, per-phase timings, stream backpressure (JSON)
 //	GET  /healthz         liveness
 //
 // # Tenancy
@@ -131,11 +146,40 @@ func DefaultConfig() Config {
 // maxBodyBytes bounds request bodies (a 256×256 matrix pair is ~4 MiB).
 const maxBodyBytes = 64 << 20
 
+// maxModelBodyBytes bounds model-endpoint bodies, which are legitimately
+// much larger: a prove request carries every captured operand tensor of a
+// trace, and a report being verified carries per-op proof payloads —
+// including, for Spartan ops, the R1CS instance the verifier checks
+// against, so report size scales with circuit size.
+const maxModelBodyBytes = 1 << 30
+
+// modelBodySlots bounds how many model-endpoint requests may hold a
+// buffered body at once (maxModelBodyBytes each, worst case) — past it
+// the endpoints shed load with 503 rather than let unadmitted input
+// grow resident memory without bound.
+const modelBodySlots = 4
+
 // ErrClosed is returned for jobs submitted after Close.
 var ErrClosed = errors.New("server: shutting down")
 
 // errQueueFull sheds load when the submission queue is saturated.
 var errQueueFull = errors.New("server: queue full")
+
+// submission is anything a request handler can hand the dispatcher: a
+// matmul job (which coalesces with same-tenant jobs into a batch) or a
+// model job (which is already a batch — the ops of one trace — and is
+// forwarded to the worker pool as-is). New workloads plug in as new
+// submission kinds; the queue, worker pool, budget accounting and
+// shutdown path are shared.
+type submission interface {
+	submissionKind() string
+}
+
+// workItem is one unit of work for the worker pool. Each item holds one
+// parallel-budget token while it runs; its inner loops borrow the rest.
+type workItem interface {
+	run(s *Server, prover *zkvc.MatMulProver)
+}
 
 type job struct {
 	tenant string
@@ -143,10 +187,17 @@ type job struct {
 	resp   chan jobResult
 }
 
+func (*job) submissionKind() string { return "matmul" }
+
 type jobResult struct {
 	resp *wire.ProveResponse
 	err  error
 }
+
+// batchWork is a flushed coalescing window headed for the pool.
+type batchWork []*job
+
+func (b batchWork) run(s *Server, prover *zkvc.MatMulProver) { s.proveBatch(prover, b) }
 
 // Server is the proving service. Create it with New, serve s.Handler(),
 // and Close it to drain the pool.
@@ -156,8 +207,12 @@ type Server struct {
 	cache   *crsCache
 	issued  *issuedLog
 
-	submit  chan *job
-	batches chan []*job
+	submit chan submission
+	work   chan workItem
+
+	// modelSlots bounds concurrent model-endpoint requests while they
+	// buffer and decode their (large) bodies; see acquireModelSlot.
+	modelSlots chan struct{}
 
 	mu     sync.RWMutex // guards closed / submit channel close
 	closed bool
@@ -217,8 +272,10 @@ func New(cfg Config) (*Server, error) {
 		metrics: &metrics{},
 		cache:   newCRSCache(cfg.MaxShapes),
 		issued:  newIssuedLog(issuedLogCap),
-		submit:  make(chan *job, cfg.QueueCap),
-		batches: make(chan []*job),
+		submit:  make(chan submission, cfg.QueueCap),
+		work:    make(chan workItem),
+
+		modelSlots: make(chan struct{}, modelBodySlots),
 
 		prevParallelism: prevParallelism,
 		installedPool:   installedPool,
@@ -270,23 +327,28 @@ func (s *Server) submitJob(tenant string, x, w *zkvc.Matrix) (*wire.ProveRespons
 		s.mu.RUnlock()
 		return nil, ErrClosed
 	}
-	// QueueCap bounds every accepted-but-unproved job — waiting in the
-	// channel, parked in the coalescer's per-tenant pending map, or mid
-	// proof — not just the channel buffer. The coalescer drains the
-	// channel eagerly into the pending map, so the buffer alone sheds no
-	// load; without this bound a burst of distinct tenants could park
-	// unbounded decoded matrices. queueDepth is decremented when a
-	// batch's proving finishes.
-	if s.metrics.queueDepth.Add(1) > int64(s.cfg.QueueCap) {
-		s.metrics.queueDepth.Add(-1)
+	// QueueCap bounds every accepted-but-unproved unit of work — waiting
+	// in the channel, parked in the coalescer's per-tenant pending map,
+	// or mid proof — not just the channel buffer. The coalescer drains
+	// the channel eagerly into the pending map, so the buffer alone
+	// sheds no load; without this bound a burst of distinct tenants
+	// could park unbounded decoded matrices. The ledger (queueUnits) is
+	// shared with model jobs, which charge their per-op counts
+	// (submitModel); the single atomic add is what keeps concurrent
+	// submissions of both kinds from jointly overshooting the cap.
+	// Units are released when a batch's proving finishes.
+	if s.metrics.queueUnits.Add(1) > int64(s.cfg.QueueCap) {
+		s.metrics.queueUnits.Add(-1)
 		s.mu.RUnlock()
 		return nil, errQueueFull
 	}
+	s.metrics.queueDepth.Add(1)
 	select {
 	case s.submit <- j:
 		s.mu.RUnlock()
 	default:
 		s.metrics.queueDepth.Add(-1)
+		s.metrics.queueUnits.Add(-1)
 		s.mu.RUnlock()
 		return nil, errQueueFull
 	}
@@ -311,13 +373,18 @@ type flushEntry struct {
 	deadline time.Time
 }
 
-// coalesce folds jobs arriving within Window (or up to MaxBatch) into one
-// unit of work for the pool. Batches are keyed by tenant: requests from
-// different tenants never share a batch, because a coalesced response
-// necessarily exposes every statement in it (see the package comment).
+// coalesce is the dispatcher: it folds matmul jobs arriving within
+// Window (or up to MaxBatch) into one unit of work for the pool, and
+// forwards model jobs straight through — a model trace is already a
+// batch of circuits, so it gains nothing from the window. Batches are
+// keyed by tenant: requests from different tenants never share a batch,
+// because a coalesced response necessarily exposes every statement in it
+// (see the package comment). Being the sole writer of s.work, the
+// dispatcher also owns closing it on shutdown, after every accepted
+// submission of either kind has been forwarded.
 func (s *Server) coalesce() {
 	defer s.wg.Done()
-	defer close(s.batches)
+	defer close(s.work)
 	pending := make(map[string]*pendingBatch)
 	var queue []flushEntry
 	var seq uint64
@@ -331,7 +398,7 @@ func (s *Server) coalesce() {
 			return
 		}
 		delete(pending, tenant)
-		s.batches <- pb.jobs
+		s.work <- batchWork(pb.jobs)
 	}
 	// rearm points the single timer at the earliest live deadline,
 	// discarding queue entries whose batch already flushed. Go 1.23+
@@ -356,7 +423,7 @@ func (s *Server) coalesce() {
 
 	for {
 		select {
-		case j, ok := <-s.submit:
+		case sub, ok := <-s.submit:
 			if !ok {
 				if timerC != nil {
 					timer.Stop()
@@ -365,6 +432,11 @@ func (s *Server) coalesce() {
 					flush(tenant)
 				}
 				return
+			}
+			j, isMatMul := sub.(*job)
+			if !isMatMul {
+				s.work <- sub.(workItem)
+				continue
 			}
 			pb := pending[j.tenant]
 			if pb == nil {
@@ -401,27 +473,30 @@ func (s *Server) coalesce() {
 	}
 }
 
-// worker proves coalesced batches until the service closes. Each batch
-// holds one budget token while proving: with every token taken by
-// concurrent batches the per-proof loops run sequentially, and a lone
-// batch borrows the idle tokens for its own hot loops. The pool is
-// resolved per batch — not captured at construction — so if the
-// embedder resizes the budget (zkvc.SetParallelism) new jobs move to
-// the new pool together with the loops inside them, and each job's
-// Acquire/Release pair always lands on the same pool object.
+// worker runs queued work items — matmul batches and model jobs alike —
+// until the service closes. Each item holds one budget token while
+// proving: with every token taken by concurrent items the per-proof
+// loops run sequentially, and a lone item borrows the idle tokens for
+// its own hot loops (a model job's independent ops fan out exactly like
+// a batch's statements). The pool is resolved per item — not captured at
+// construction — so if the embedder resizes the budget
+// (zkvc.SetParallelism) new jobs move to the new pool together with the
+// loops inside them, and each job's Acquire/Release pair always lands on
+// the same pool object.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	prover := s.newProver()
-	for batch := range s.batches {
+	for item := range s.work {
 		pool := parallel.Default()
 		pool.Acquire()
-		s.proveBatch(prover, batch)
+		item.run(s, prover)
 		pool.Release()
 	}
 }
 
 func (s *Server) proveBatch(prover *zkvc.MatMulProver, jobs []*job) {
 	defer s.metrics.queueDepth.Add(-int64(len(jobs)))
+	defer s.metrics.queueUnits.Add(-int64(len(jobs)))
 	pairs := make([][2]*zkvc.Matrix, len(jobs))
 	xs := make([]*zkvc.Matrix, len(jobs))
 	for i, j := range jobs {
@@ -460,7 +535,7 @@ func (s *Server) proveSingle(x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
 	pool.Acquire()
 	defer pool.Release()
 	key := cacheKey{backend: s.cfg.Backend, shape: zkvc.Shape(x, w, s.cfg.Opts)}
-	crs, tag, hit, err := s.cache.get(key, func() (*zkvc.CRS, error) {
+	crs, tag, hit, err := s.cache.getCRS(key, func() (*zkvc.CRS, error) {
 		return s.newProver().Setup(x.Rows, x.Cols, w.Cols, s.cfg.Epoch)
 	})
 	if err != nil {
@@ -496,8 +571,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/prove", s.handleProve)
 	mux.HandleFunc("POST /v1/prove/single", s.handleProveSingle)
+	mux.HandleFunc("POST /v1/prove/model", s.handleProveModel)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
+	mux.HandleFunc("POST /v1/verify/model", s.handleVerifyModel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -513,7 +590,11 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	return readBodyN(w, r, maxBodyBytes)
+}
+
+func readBodyN(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
 		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
 		return nil, false

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"zkvc"
+	"zkvc/internal/nn"
 	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
 )
 
 // fuzzSeeds builds the in-code seed corpus: valid encodings of every
@@ -42,7 +44,53 @@ func fuzzSeeds(f *testing.F) [][]byte {
 		[]byte{},
 		bytes.Repeat([]byte{0xff}, 64),
 	)
+	seeds = append(seeds, modelSeeds(f)...)
 	return seeds
+}
+
+// modelSeeds covers the model-proving message family: a prove-model
+// request (config + captured trace), a streamed OpProof with a Spartan
+// payload (the one that embeds a whole R1CS system), a full report, the
+// stream header/error frames, and characteristic corruptions.
+func modelSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	cfg := tinyFuzzConfig()
+	model, err := nn.NewModel(cfg, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	trace := nn.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(4))), &trace)
+
+	req := wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+		Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: cfg, Trace: &trace,
+	})
+	opts := zkml.DefaultOptions()
+	opts.Seed = 5
+	rep, err := zkml.ProveTrace(cfg, &trace, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	encodedRep := wire.EncodeReport(rep)
+	opFrame := wire.EncodeOpProof(&rep.Ops[len(rep.Ops)-1])
+
+	corrupted := append([]byte(nil), opFrame...)
+	corrupted[len(corrupted)/2] ^= 0xff
+
+	return [][]byte{
+		req, req[:len(req)/2],
+		opFrame, corrupted,
+		encodedRep, encodedRep[:len(encodedRep)/3],
+		wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
+			Model: cfg.Name, Backend: zkvc.Spartan, Circuit: zkvc.DefaultOptions(), TotalOps: len(rep.Ops),
+		}),
+		wire.EncodeModelStreamError("prove failed"),
+	}
+}
+
+// tinyFuzzConfig is the smallest valid transformer the decoders accept.
+func tinyFuzzConfig() nn.Config {
+	return nn.TinyConfig("fuzz-tiny", nn.MixerPooling)
 }
 
 // FuzzWireDecodeProof feeds arbitrary bytes to every decoder. Corrupted or
@@ -83,6 +131,31 @@ func FuzzWireDecodeProof(f *testing.F) {
 		if r, err := wire.DecodeVerifyRequest(data); err == nil {
 			if again := wire.EncodeVerifyRequest(r); !bytes.Equal(data, again) {
 				t.Fatalf("accepted VerifyRequest is not canonical")
+			}
+		}
+		if r, err := wire.DecodeProveModelRequest(data); err == nil {
+			if again := wire.EncodeProveModelRequest(r); !bytes.Equal(data, again) {
+				t.Fatalf("accepted ProveModelRequest is not canonical")
+			}
+		}
+		if op, err := wire.DecodeOpProof(data); err == nil {
+			if again := wire.EncodeOpProof(op); !bytes.Equal(data, again) {
+				t.Fatalf("accepted OpProof is not canonical")
+			}
+		}
+		if rep, err := wire.DecodeReport(data); err == nil {
+			if again := wire.EncodeReport(rep); !bytes.Equal(data, again) {
+				t.Fatalf("accepted Report is not canonical")
+			}
+		}
+		if h, err := wire.DecodeModelStreamHeader(data); err == nil {
+			if again := wire.EncodeModelStreamHeader(h); !bytes.Equal(data, again) {
+				t.Fatalf("accepted ModelStreamHeader is not canonical")
+			}
+		}
+		if msg, err := wire.DecodeModelStreamError(data); err == nil {
+			if again := wire.EncodeModelStreamError(msg); !bytes.Equal(data, again) {
+				t.Fatalf("accepted ModelStreamError is not canonical")
 			}
 		}
 	})

@@ -1,0 +1,848 @@
+package wire
+
+// Model proving on the wire: canonical encodings for quantized tensors,
+// model configurations, captured forward-pass traces (the body of a
+// /v1/prove/model request) and per-operation proofs / reports (its
+// streamed response). The same strict-decode discipline as the matmul
+// messages applies — bounded lengths, canonical field elements, no
+// trailing bytes — plus model-level validation: a decoded config must
+// Validate, a decoded trace's captured operands must match their
+// declared dimensions, and a decoded R1CS payload may only reference
+// wires it declares. Before these types existed, an end-to-end model
+// proof simply could not leave the process.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/ff"
+	"zkvc/internal/nn"
+	"zkvc/internal/r1cs"
+	"zkvc/internal/tensor"
+	"zkvc/internal/zkml"
+)
+
+// ProveModelRequest asks the proving service to prove a captured
+// forward-pass trace. The service chooses the circuit options (CRPC/PSQ)
+// and the proving seed; the client chooses backend and whether the
+// nonlinear gadget circuits are included.
+type ProveModelRequest struct {
+	Backend        zkml.Backend
+	ProveNonlinear bool
+	Cfg            nn.Config
+	Trace          *nn.Trace
+}
+
+// ModelStreamHeader opens a /v1/prove/model response stream: it names
+// the report being built and how many operation proofs will follow.
+type ModelStreamHeader struct {
+	Model    string
+	Backend  zkml.Backend
+	Circuit  zkvc.Options
+	TotalOps int
+}
+
+// ---- tensors ----
+
+func encodeTensorBody(e *enc, m *tensor.Mat) {
+	e.u32(uint32(m.Rows))
+	e.u32(uint32(m.Cols))
+	for _, v := range m.Data {
+		e.u64(uint64(v))
+	}
+}
+
+func decodeTensorBody(d *dec) (*tensor.Mat, error) {
+	rows, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if rows == 0 || cols == 0 || rows > maxDim || cols > maxDim {
+		return nil, fmt.Errorf("%w: tensor dimensions %dx%d out of range", ErrDecode, rows, cols)
+	}
+	n := int(rows) * int(cols)
+	if n > d.remaining()/8 {
+		return nil, fmt.Errorf("%w: %dx%d tensor does not fit in %d remaining bytes", ErrDecode, rows, cols, d.remaining())
+	}
+	m := tensor.New(int(rows), int(cols))
+	for i := range m.Data {
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.Data[i] = int64(v)
+	}
+	return m, nil
+}
+
+// ---- small scalar helpers ----
+
+// i64 encodes a signed integer as its two's-complement u64 (injective,
+// hence canonical).
+func (e *enc) i64(v int64) { e.u64(uint64(v)) }
+
+func (d *dec) i64() (int64, error) {
+	v, err := d.u64()
+	return int64(v), err
+}
+
+// posU32 reads a u32 that must be in [1, max].
+func (d *dec) posU32(what string, max int) (int, error) {
+	v, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if v == 0 || int(v) > max {
+		return 0, fmt.Errorf("%w: %s %d out of range [1, %d]", ErrDecode, what, v, max)
+	}
+	return int(v), nil
+}
+
+// boundedU32 reads a u32 that must be in [0, max].
+func (d *dec) boundedU32(what string, max int) (int, error) {
+	v, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int(v) > max {
+		return 0, fmt.Errorf("%w: %s %d exceeds %d", ErrDecode, what, v, max)
+	}
+	return int(v), nil
+}
+
+// ---- nn.Config ----
+
+func encodeConfigBody(e *enc, cfg *nn.Config) {
+	e.bytes([]byte(cfg.Name))
+	e.u32(uint32(len(cfg.Stages)))
+	for _, s := range cfg.Stages {
+		e.u32(uint32(s.Blocks))
+		e.u32(uint32(s.Dim))
+		e.u32(uint32(s.Tokens))
+	}
+	e.u32(uint32(cfg.Heads))
+	e.u32(uint32(cfg.MLPRatio))
+	e.u32(uint32(cfg.PatchDim))
+	e.u32(uint32(cfg.NumClasses))
+	e.u32(uint32(len(cfg.Mixers)))
+	for _, m := range cfg.Mixers {
+		e.u8(byte(m))
+	}
+	e.u32(uint32(cfg.Fixed.FracBits))
+	e.i64(cfg.ClipT)
+	e.u32(uint32(cfg.SquareIters))
+	e.u32(uint32(cfg.PoolWindow))
+}
+
+func decodeConfigBody(d *dec) (nn.Config, error) {
+	var cfg nn.Config
+	name, err := d.blob("model name")
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Name = string(name)
+	nStages, err := d.count("stages", maxStages, 12)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Stages = make([]nn.Stage, nStages)
+	for i := range cfg.Stages {
+		if cfg.Stages[i].Blocks, err = d.posU32("stage blocks", maxTraceOps); err != nil {
+			return cfg, err
+		}
+		if cfg.Stages[i].Dim, err = d.posU32("stage dim", maxDim); err != nil {
+			return cfg, err
+		}
+		if cfg.Stages[i].Tokens, err = d.posU32("stage tokens", maxDim); err != nil {
+			return cfg, err
+		}
+	}
+	if cfg.Heads, err = d.posU32("heads", maxDim); err != nil {
+		return cfg, err
+	}
+	if cfg.MLPRatio, err = d.posU32("MLP ratio", maxDim); err != nil {
+		return cfg, err
+	}
+	if cfg.PatchDim, err = d.posU32("patch dim", maxDim); err != nil {
+		return cfg, err
+	}
+	if cfg.NumClasses, err = d.posU32("class count", maxDim); err != nil {
+		return cfg, err
+	}
+	nMixers, err := d.count("mixers", maxTraceOps, 1)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Mixers = make([]nn.MixerKind, nMixers)
+	for i := range cfg.Mixers {
+		v, err := d.u8()
+		if err != nil {
+			return cfg, err
+		}
+		if v > byte(nn.MixerLinear) {
+			return cfg, fmt.Errorf("%w: unknown mixer kind %d", ErrDecode, v)
+		}
+		cfg.Mixers[i] = nn.MixerKind(v)
+	}
+	frac, err := d.boundedU32("fixed-point fraction bits", 32)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Fixed.FracBits = uint(frac)
+	if cfg.ClipT, err = d.i64(); err != nil {
+		return cfg, err
+	}
+	iters, err := d.boundedU32("square iterations", 64)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.SquareIters = uint(iters)
+	if cfg.PoolWindow, err = d.boundedU32("pool window", maxDim); err != nil {
+		return cfg, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("%w: invalid model config: %v", ErrDecode, err)
+	}
+	return cfg, nil
+}
+
+// ---- nn.Trace ----
+
+func encodeTraceBody(e *enc, t *nn.Trace) {
+	if t.Capture {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u32(uint32(len(t.Ops)))
+	for i := range t.Ops {
+		encodeOpBody(e, &t.Ops[i])
+	}
+}
+
+func encodeOpBody(e *enc, op *nn.Op) {
+	e.u8(byte(op.Kind))
+	e.i64(int64(op.Layer))
+	e.bytes([]byte(op.Tag))
+	e.u32(uint32(op.A))
+	e.u32(uint32(op.N))
+	e.u32(uint32(op.B))
+	e.u32(uint32(op.Rows))
+	e.u32(uint32(op.Width))
+	var flags byte
+	if op.X != nil {
+		flags |= 1
+	}
+	if op.W != nil {
+		flags |= 2
+	}
+	if op.In != nil {
+		flags |= 4
+	}
+	e.u8(flags)
+	if op.X != nil {
+		encodeTensorBody(e, op.X)
+	}
+	if op.W != nil {
+		encodeTensorBody(e, op.W)
+	}
+	if op.In != nil {
+		encodeTensorBody(e, op.In)
+	}
+}
+
+func decodeTraceBody(d *dec) (*nn.Trace, error) {
+	capture, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if capture > 1 {
+		return nil, fmt.Errorf("%w: bad capture flag %d", ErrDecode, capture)
+	}
+	n, err := d.count("trace ops", maxTraceOps, 34)
+	if err != nil {
+		return nil, err
+	}
+	t := &nn.Trace{Capture: capture == 1, Ops: make([]nn.Op, n)}
+	for i := range t.Ops {
+		if err := decodeOpBody(d, &t.Ops[i]); err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+func decodeOpBody(d *dec, op *nn.Op) error {
+	kind, err := d.u8()
+	if err != nil {
+		return err
+	}
+	if kind > byte(nn.OpPool) {
+		return fmt.Errorf("%w: unknown op kind %d", ErrDecode, kind)
+	}
+	op.Kind = nn.OpKind(kind)
+	layer, err := d.i64()
+	if err != nil {
+		return err
+	}
+	if layer < -1 || layer > maxLayer {
+		return fmt.Errorf("%w: layer %d out of range", ErrDecode, layer)
+	}
+	op.Layer = int(layer)
+	tag, err := d.blob("op tag")
+	if err != nil {
+		return err
+	}
+	op.Tag = string(tag)
+	for _, dst := range []*int{&op.A, &op.N, &op.B, &op.Rows, &op.Width} {
+		if *dst, err = d.boundedU32("op dimension", maxDim); err != nil {
+			return err
+		}
+	}
+	flags, err := d.u8()
+	if err != nil {
+		return err
+	}
+	if flags > 7 {
+		return fmt.Errorf("%w: bad operand flags %#x", ErrDecode, flags)
+	}
+	for _, f := range []struct {
+		bit  byte
+		dst  **tensor.Mat
+		what string
+		r, c int
+	}{
+		{1, &op.X, "X", op.A, op.N},
+		{2, &op.W, "W", op.N, op.B},
+		{4, &op.In, "In", op.Rows, op.Width},
+	} {
+		if flags&f.bit == 0 {
+			continue
+		}
+		m, err := decodeTensorBody(d)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.what, err)
+		}
+		if m.Rows != f.r || m.Cols != f.c {
+			return fmt.Errorf("%w: captured %s is %dx%d, op declares %dx%d",
+				ErrDecode, f.what, m.Rows, m.Cols, f.r, f.c)
+		}
+		*f.dst = m
+	}
+	return nil
+}
+
+// ---- ProveModelRequest ----
+
+// EncodeProveModelRequest serializes a model proving job.
+func EncodeProveModelRequest(r *ProveModelRequest) []byte {
+	e := newEnc(TagProveModelRequest)
+	encodeBackend(e, r.Backend)
+	if r.ProveNonlinear {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	encodeConfigBody(e, &r.Cfg)
+	encodeTraceBody(e, r.Trace)
+	return e.buf
+}
+
+// DecodeProveModelRequest parses a model proving job: a valid model
+// configuration plus a captured trace whose operand shapes all agree
+// with their declared dimensions.
+func DecodeProveModelRequest(b []byte) (*ProveModelRequest, error) {
+	d, err := newDec(b, TagProveModelRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &ProveModelRequest{}
+	if r.Backend, err = decodeBackend(d); err != nil {
+		return nil, err
+	}
+	nl, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if nl > 1 {
+		return nil, fmt.Errorf("%w: bad nonlinear flag %d", ErrDecode, nl)
+	}
+	r.ProveNonlinear = nl == 1
+	if r.Cfg, err = decodeConfigBody(d); err != nil {
+		return nil, err
+	}
+	if r.Trace, err = decodeTraceBody(d); err != nil {
+		return nil, err
+	}
+	return r, d.finish()
+}
+
+// ---- R1CS systems ----
+
+func encodeSystemBody(e *enc, sys *r1cs.System) {
+	e.u32(uint32(sys.NumPublic))
+	e.u32(uint32(sys.NumVars))
+	e.u32(uint32(len(sys.Constraints)))
+	for q := range sys.Constraints {
+		encodeLC(e, sys.Constraints[q].A)
+		encodeLC(e, sys.Constraints[q].B)
+		encodeLC(e, sys.Constraints[q].C)
+	}
+}
+
+func encodeLC(e *enc, lc r1cs.LC) {
+	e.u32(uint32(len(lc)))
+	for i := range lc {
+		e.u32(uint32(lc[i].V))
+		e.fr(&lc[i].Coeff)
+	}
+}
+
+func decodeSystemBody(d *dec) (*r1cs.System, error) {
+	sys := &r1cs.System{}
+	var err error
+	if sys.NumPublic, err = d.posU32("public wires", maxWires); err != nil {
+		return nil, err
+	}
+	if sys.NumVars, err = d.posU32("wires", maxWires); err != nil {
+		return nil, err
+	}
+	if sys.NumVars < sys.NumPublic {
+		return nil, fmt.Errorf("%w: %d wires but %d public", ErrDecode, sys.NumVars, sys.NumPublic)
+	}
+	n, err := d.count("constraints", maxConstraints, 12)
+	if err != nil {
+		return nil, err
+	}
+	sys.Constraints = make([]r1cs.Constraint, n)
+	for q := range sys.Constraints {
+		c := &sys.Constraints[q]
+		for _, lc := range []*r1cs.LC{&c.A, &c.B, &c.C} {
+			if *lc, err = decodeLC(d, sys.NumVars); err != nil {
+				return nil, fmt.Errorf("constraint %d: %w", q, err)
+			}
+		}
+	}
+	return sys, nil
+}
+
+func decodeLC(d *dec, numVars int) (r1cs.LC, error) {
+	n, err := d.count("LC terms", maxWires, 36)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	lc := make(r1cs.LC, n)
+	for i := range lc {
+		v, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(v) >= numVars {
+			return nil, fmt.Errorf("%w: LC references wire %d of %d", ErrDecode, v, numVars)
+		}
+		lc[i].V = r1cs.Var(v)
+		if err := d.fr(&lc[i].Coeff); err != nil {
+			return nil, err
+		}
+	}
+	return lc, nil
+}
+
+// ---- OpProof ----
+
+// EncodeOpProof serializes one per-operation proof as a top-level
+// message — the unit /v1/prove/model streams.
+func EncodeOpProof(op *zkml.OpProof) []byte {
+	e := newEnc(TagOpProof)
+	encodeOpProofBody(e, op)
+	return e.buf
+}
+
+// DecodeOpProof parses a streamed per-operation proof.
+func DecodeOpProof(b []byte) (*zkml.OpProof, error) {
+	d, err := newDec(b, TagOpProof)
+	if err != nil {
+		return nil, err
+	}
+	op, err := decodeOpProofBody(d)
+	if err != nil {
+		return nil, err
+	}
+	return op, d.finish()
+}
+
+func encodeOpProofBody(e *enc, op *zkml.OpProof) {
+	e.u32(uint32(op.Seq))
+	e.bytes([]byte(op.Tag))
+	e.i64(int64(op.Layer))
+	e.u8(byte(op.Kind))
+	for _, v := range op.Dims {
+		e.u32(uint32(v))
+	}
+	for _, v := range []int{op.Stats.Constraints, op.Stats.Variables, op.Stats.Public,
+		op.Stats.ATerms, op.Stats.BTerms, op.Stats.CTerms} {
+		e.u64(uint64(v))
+	}
+	for _, t := range []time.Duration{op.Synthesis, op.Setup, op.Prove, op.Verify} {
+		e.u64(uint64(t))
+	}
+	e.u32(uint32(op.ProofBytes))
+	// The payload section opens with the backend byte so no-payload ops
+	// (KeepProofs off) stay canonical: an op without a payload has no
+	// backend of its own — the report header carries it.
+	switch {
+	case op.G16 != nil:
+		e.u8(1)
+		encodeBackend(e, zkml.Groth16)
+		encodePublics(e, op.Public)
+		encodeG16Proof(e, op.G16)
+		encodeG16VK(e, op.G16VK)
+	case op.Spartan != nil:
+		e.u8(1)
+		encodeBackend(e, zkml.Spartan)
+		encodePublics(e, op.Public)
+		encodeSystemBody(e, op.Sys)
+		encodeSpartanProof(e, op.Spartan)
+	default:
+		e.u8(0)
+	}
+}
+
+func encodePublics(e *enc, pub []ff.Fr) {
+	e.u32(uint32(len(pub)))
+	for i := range pub {
+		e.fr(&pub[i])
+	}
+}
+
+func decodeOpProofBody(d *dec) (*zkml.OpProof, error) {
+	op := &zkml.OpProof{}
+	seq, err := d.boundedU32("op sequence", maxTraceOps)
+	if err != nil {
+		return nil, err
+	}
+	op.Seq = seq
+	tag, err := d.blob("op tag")
+	if err != nil {
+		return nil, err
+	}
+	op.Tag = string(tag)
+	layer, err := d.i64()
+	if err != nil {
+		return nil, err
+	}
+	if layer < -1 || layer > maxLayer {
+		return nil, fmt.Errorf("%w: layer %d out of range", ErrDecode, layer)
+	}
+	op.Layer = int(layer)
+	kind, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if kind > byte(nn.OpPool) {
+		return nil, fmt.Errorf("%w: unknown op kind %d", ErrDecode, kind)
+	}
+	op.Kind = nn.OpKind(kind)
+	for i := range op.Dims {
+		if op.Dims[i], err = d.boundedU32("op dimension", maxDim); err != nil {
+			return nil, err
+		}
+	}
+	for _, dst := range []*int{&op.Stats.Constraints, &op.Stats.Variables, &op.Stats.Public,
+		&op.Stats.ATerms, &op.Stats.BTerms, &op.Stats.CTerms} {
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if int64(v) < 0 || int64(v) > maxStatInt {
+			return nil, fmt.Errorf("%w: circuit statistic %d out of range", ErrDecode, v)
+		}
+		*dst = int(v)
+	}
+	for _, dst := range []*time.Duration{&op.Synthesis, &op.Setup, &op.Prove, &op.Verify} {
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if v > uint64(maxDuration) {
+			return nil, fmt.Errorf("%w: timing overflows", ErrDecode)
+		}
+		*dst = time.Duration(v)
+	}
+	if op.ProofBytes, err = d.boundedU32("proof size", 1<<30); err != nil {
+		return nil, err
+	}
+	hasPayload, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch hasPayload {
+	case 0:
+		return op, nil
+	case 1:
+	default:
+		return nil, fmt.Errorf("%w: bad payload flag %d", ErrDecode, hasPayload)
+	}
+	backend, err := decodeBackend(d)
+	if err != nil {
+		return nil, err
+	}
+	nPub, err := d.count("op publics", maxICLen, 32)
+	if err != nil {
+		return nil, err
+	}
+	if op.Public, err = d.frs("op publics", nPub); err != nil {
+		return nil, err
+	}
+	if backend == zkml.Groth16 {
+		if op.G16, err = decodeG16Proof(d); err != nil {
+			return nil, err
+		}
+		if op.G16VK, err = decodeG16VK(d); err != nil {
+			return nil, err
+		}
+		return op, nil
+	}
+	if op.Sys, err = decodeSystemBody(d); err != nil {
+		return nil, err
+	}
+	// A mismatched instance size would surface deep inside the Spartan
+	// verifier; reject it at the trust boundary instead.
+	if len(op.Public) != op.Sys.NumPublic {
+		return nil, fmt.Errorf("%w: %d publics for a system with %d instance wires",
+			ErrDecode, len(op.Public), op.Sys.NumPublic)
+	}
+	if op.Spartan, err = decodeSpartanProof(d); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// ---- Report ----
+
+// EncodeReport serializes a full model report (header plus every
+// operation proof, in sequence order) — the body of a /v1/verify/model
+// request and the on-disk format of `zkvc prove-model -out`.
+func EncodeReport(rep *zkml.Report) []byte {
+	e := newEnc(TagReport)
+	e.bytes([]byte(rep.Model))
+	encodeBackend(e, rep.Backend)
+	encodeOptions(e, rep.Circuit)
+	e.u32(uint32(len(rep.Ops)))
+	for i := range rep.Ops {
+		encodeOpProofBody(e, &rep.Ops[i])
+	}
+	return e.buf
+}
+
+// DecodeReport parses a model report, requiring ops in strict sequence
+// order (Seq == position), which makes the encoding canonical and lets
+// re-encoded ops match the frames the service streamed.
+func DecodeReport(b []byte) (*zkml.Report, error) {
+	d, err := newDec(b, TagReport)
+	if err != nil {
+		return nil, err
+	}
+	rep := &zkml.Report{}
+	name, err := d.blob("model name")
+	if err != nil {
+		return nil, err
+	}
+	rep.Model = string(name)
+	if rep.Backend, err = decodeBackend(d); err != nil {
+		return nil, err
+	}
+	if rep.Circuit, err = decodeOptions(d); err != nil {
+		return nil, err
+	}
+	n, err := d.count("report ops", maxTraceOps, 64)
+	if err != nil {
+		return nil, err
+	}
+	// An empty report proves nothing and can never have been issued (the
+	// prove endpoint rejects zero-op traces); reject it like an empty
+	// batch, so a vacuous report cannot slide past per-op policy checks.
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty report", ErrDecode)
+	}
+	rep.Ops = make([]zkml.OpProof, n)
+	for i := range rep.Ops {
+		op, err := decodeOpProofBody(d)
+		if err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		if op.Seq != i {
+			return nil, fmt.Errorf("%w: op at position %d carries sequence %d", ErrDecode, i, op.Seq)
+		}
+		rep.Ops[i] = *op
+	}
+	return rep, d.finish()
+}
+
+// ---- stream header / error ----
+
+// EncodeModelStreamHeader serializes the first frame of a model stream.
+func EncodeModelStreamHeader(h *ModelStreamHeader) []byte {
+	e := newEnc(TagModelStreamHeader)
+	e.bytes([]byte(h.Model))
+	encodeBackend(e, h.Backend)
+	encodeOptions(e, h.Circuit)
+	e.u32(uint32(h.TotalOps))
+	return e.buf
+}
+
+// DecodeModelStreamHeader parses a stream-opening frame.
+func DecodeModelStreamHeader(b []byte) (*ModelStreamHeader, error) {
+	d, err := newDec(b, TagModelStreamHeader)
+	if err != nil {
+		return nil, err
+	}
+	h := &ModelStreamHeader{}
+	name, err := d.blob("model name")
+	if err != nil {
+		return nil, err
+	}
+	h.Model = string(name)
+	if h.Backend, err = decodeBackend(d); err != nil {
+		return nil, err
+	}
+	if h.Circuit, err = decodeOptions(d); err != nil {
+		return nil, err
+	}
+	if h.TotalOps, err = d.boundedU32("total ops", maxTraceOps); err != nil {
+		return nil, err
+	}
+	return h, d.finish()
+}
+
+// EncodeModelStreamError serializes a mid-stream failure frame.
+func EncodeModelStreamError(msg string) []byte {
+	e := newEnc(TagModelStreamError)
+	e.bytes([]byte(msg))
+	return e.buf
+}
+
+// DecodeModelStreamError parses a failure frame.
+func DecodeModelStreamError(b []byte) (string, error) {
+	d, err := newDec(b, TagModelStreamError)
+	if err != nil {
+		return "", err
+	}
+	msg, err := d.blob("error message")
+	if err != nil {
+		return "", err
+	}
+	return string(msg), d.finish()
+}
+
+// ---- stream framing ----
+
+// maxFrameLen bounds one length-prefixed stream frame (same budget as
+// the service's model-endpoint body cap, so any op the service accepts
+// for proving can also be framed back).
+const maxFrameLen = 1 << 30
+
+// WriteFrame writes one length-prefixed message to a model stream. It
+// enforces the same bound ReadFrame does — a writer must never emit a
+// frame its peer's decoder is obligated to reject (and a message beyond
+// u32 range would silently wrap the length prefix and desynchronize the
+// stream).
+func WriteFrame(w io.Writer, msg []byte) error {
+	if len(msg) > maxFrameLen {
+		return fmt.Errorf("wire: %d-byte frame exceeds limit %d", len(msg), maxFrameLen)
+	}
+	var hdr [4]byte
+	hdr[0] = byte(len(msg) >> 24)
+	hdr[1] = byte(len(msg) >> 16)
+	hdr[2] = byte(len(msg) >> 8)
+	hdr[3] = byte(len(msg))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message. io.EOF (clean, at a frame
+// boundary) marks the end of the stream.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: truncated frame header", ErrDecode)
+		}
+		return nil, err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("%w: %d-byte frame exceeds limit %d", ErrDecode, n, maxFrameLen)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, fmt.Errorf("%w: truncated %d-byte frame", ErrDecode, n)
+	}
+	return msg, nil
+}
+
+// DecodeModelStream consumes a /v1/prove/model response stream: a header
+// frame, then one OpProof frame per operation in completion (not
+// sequence) order, reassembled into a Report in sequence order. onOp,
+// when non-nil, observes each proof as its frame arrives — CLI progress
+// without a second pass. A TagModelStreamError frame aborts with the
+// carried message; a stream that ends before every announced op arrived
+// is an error.
+func DecodeModelStream(r io.Reader, onOp func(op *zkml.OpProof)) (*zkml.Report, error) {
+	first, err := ReadFrame(r)
+	if err != nil {
+		return nil, fmt.Errorf("model stream header: %w", err)
+	}
+	hdr, err := DecodeModelStreamHeader(first)
+	if err != nil {
+		if msg, errErr := DecodeModelStreamError(first); errErr == nil {
+			return nil, fmt.Errorf("model stream: server error: %s", msg)
+		}
+		return nil, err
+	}
+	rep := &zkml.Report{Model: hdr.Model, Backend: hdr.Backend, Circuit: hdr.Circuit,
+		Ops: make([]zkml.OpProof, hdr.TotalOps)}
+	seen := make([]bool, hdr.TotalOps)
+	got := 0
+	for got < hdr.TotalOps {
+		frame, err := ReadFrame(r)
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: stream ended after %d of %d ops", ErrDecode, got, hdr.TotalOps)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if msg, errErr := DecodeModelStreamError(frame); errErr == nil {
+			return nil, fmt.Errorf("model stream: server error: %s", msg)
+		}
+		op, err := DecodeOpProof(frame)
+		if err != nil {
+			return nil, err
+		}
+		if op.Seq >= hdr.TotalOps {
+			return nil, fmt.Errorf("%w: op sequence %d out of range %d", ErrDecode, op.Seq, hdr.TotalOps)
+		}
+		if seen[op.Seq] {
+			return nil, fmt.Errorf("%w: duplicate op sequence %d", ErrDecode, op.Seq)
+		}
+		seen[op.Seq] = true
+		rep.Ops[op.Seq] = *op
+		got++
+		if onOp != nil {
+			onOp(op)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,206 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	mrand "math/rand"
+	"testing"
+
+	"zkvc/internal/nn"
+	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
+)
+
+// modelFixture builds one captured tiny trace plus its proved report.
+func modelFixture(t *testing.T, backend zkml.Backend, seed int64) (nn.Config, *nn.Trace, *zkml.Report) {
+	t.Helper()
+	cfg := tinyFuzzConfigT(t)
+	model, err := nn.NewModel(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := nn.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(seed+1))), &trace)
+	opts := zkml.DefaultOptions()
+	opts.Backend = backend
+	opts.Seed = seed
+	rep, err := zkml.ProveTrace(cfg, &trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, &trace, rep
+}
+
+func tinyFuzzConfigT(t *testing.T) nn.Config {
+	t.Helper()
+	cfg := tinyFuzzConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestProveModelRequestRoundTrip pins the request format: a captured
+// trace round-trips with every operand tensor intact, and the encoding
+// is canonical.
+func TestProveModelRequestRoundTrip(t *testing.T) {
+	cfg, trace, _ := modelFixture(t, zkml.Spartan, 21)
+	req := &wire.ProveModelRequest{Backend: zkml.Groth16, ProveNonlinear: true, Cfg: cfg, Trace: trace}
+	raw := wire.EncodeProveModelRequest(req)
+	back, err := wire.DecodeProveModelRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Backend != req.Backend || back.ProveNonlinear != req.ProveNonlinear {
+		t.Fatal("request header changed across round trip")
+	}
+	if back.Cfg.Name != cfg.Name || len(back.Trace.Ops) != len(trace.Ops) {
+		t.Fatal("config or trace changed across round trip")
+	}
+	for i, op := range back.Trace.Ops {
+		want := trace.Ops[i]
+		if op.Kind != want.Kind || op.Tag != want.Tag || op.Layer != want.Layer {
+			t.Fatalf("op %d metadata changed", i)
+		}
+		if (op.X == nil) != (want.X == nil) || (op.In == nil) != (want.In == nil) {
+			t.Fatalf("op %d operand presence changed", i)
+		}
+	}
+	if again := wire.EncodeProveModelRequest(back); !bytes.Equal(raw, again) {
+		t.Fatal("re-encoding is not canonical")
+	}
+	// The decoded trace must actually prove — operands survived intact.
+	opts := zkml.DefaultOptions()
+	opts.Seed = 21
+	if _, err := zkml.ProveTrace(back.Cfg, back.Trace, opts); err != nil {
+		t.Fatalf("decoded trace does not prove: %v", err)
+	}
+}
+
+// TestReportRoundTrip pins the report format on both backends: every op
+// payload survives, the decoded report still verifies, and re-encoding
+// reproduces the exact bytes. The streamed OpProof frames must match the
+// per-op slices of the report encoding — that equality is what lets the
+// issued-proof log attest frames and recognize reports.
+func TestReportRoundTrip(t *testing.T) {
+	for _, backend := range []zkml.Backend{zkml.Spartan, zkml.Groth16} {
+		_, _, rep := modelFixture(t, backend, 23)
+		raw := wire.EncodeReport(rep)
+		back, err := wire.DecodeReport(raw)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", backend, err)
+		}
+		if err := zkml.VerifyReport(back, zkml.DefaultOptions()); err != nil {
+			t.Fatalf("%v: decoded report does not verify: %v", backend, err)
+		}
+		if again := wire.EncodeReport(back); !bytes.Equal(raw, again) {
+			t.Fatalf("%v: re-encoding is not canonical", backend)
+		}
+		for i := range rep.Ops {
+			frame := wire.EncodeOpProof(&rep.Ops[i])
+			op, err := wire.DecodeOpProof(frame)
+			if err != nil {
+				t.Fatalf("%v: op %d frame: %v", backend, i, err)
+			}
+			if again := wire.EncodeOpProof(op); !bytes.Equal(frame, again) {
+				t.Fatalf("%v: op %d frame is not canonical", backend, i)
+			}
+		}
+	}
+}
+
+// TestModelStreamRoundTrip drives the framing helpers end to end,
+// including out-of-order delivery (ops stream in completion order).
+func TestModelStreamRoundTrip(t *testing.T) {
+	cfg, _, rep := modelFixture(t, zkml.Spartan, 25)
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
+		Model: cfg.Name, Backend: rep.Backend, Circuit: rep.Circuit, TotalOps: len(rep.Ops),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	for i := len(rep.Ops) - 1; i >= 0; i-- { // reverse order on purpose
+		if err := wire.WriteFrame(&buf, wire.EncodeOpProof(&rep.Ops[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamed, err := wire.DecodeModelStream(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire.EncodeReport(streamed), wire.EncodeReport(rep)) {
+		t.Fatal("reassembled report differs from the original")
+	}
+
+	// A short stream must be an error, not a partial report.
+	buf.Reset()
+	wire.WriteFrame(&buf, wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
+		Model: cfg.Name, Backend: rep.Backend, Circuit: rep.Circuit, TotalOps: len(rep.Ops),
+	}))
+	wire.WriteFrame(&buf, wire.EncodeOpProof(&rep.Ops[0]))
+	if _, err := wire.DecodeModelStream(&buf, nil); err == nil {
+		t.Fatal("truncated stream reassembled successfully")
+	}
+
+	// An error frame aborts with the server's message.
+	buf.Reset()
+	wire.WriteFrame(&buf, wire.EncodeModelStreamError("boom"))
+	if _, err := wire.DecodeModelStream(&buf, nil); err == nil {
+		t.Fatal("error frame did not abort the stream")
+	}
+}
+
+// TestModelDecodersRejectTruncationAndTrailing extends the strict-decode
+// discipline to the model messages: truncations fail, a trailing byte
+// fails, and every failure wraps ErrDecode.
+func TestModelDecodersRejectTruncationAndTrailing(t *testing.T) {
+	cfg, trace, rep := modelFixture(t, zkml.Spartan, 27)
+	req := wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+		Backend: zkml.Spartan, ProveNonlinear: true, Cfg: cfg, Trace: trace,
+	})
+	// Every strict prefix of the (small) request must fail.
+	for n := 0; n < len(req); n++ {
+		if _, err := wire.DecodeProveModelRequest(req[:n]); err == nil {
+			t.Fatalf("request truncated to %d/%d bytes decoded successfully", n, len(req))
+		} else if !errors.Is(err, wire.ErrDecode) {
+			t.Fatalf("request truncated to %d bytes: error %v does not wrap ErrDecode", n, err)
+		}
+	}
+	// The report is big; sample prefixes with a stride plus the tail.
+	raw := wire.EncodeReport(rep)
+	probe := func(n int) {
+		if _, err := wire.DecodeReport(raw[:n]); err == nil {
+			t.Fatalf("report truncated to %d/%d bytes decoded successfully", n, len(raw))
+		} else if !errors.Is(err, wire.ErrDecode) {
+			t.Fatalf("report truncated to %d bytes: error %v does not wrap ErrDecode", n, err)
+		}
+	}
+	for n := 0; n < len(raw); n += 1009 {
+		probe(n)
+	}
+	for n := len(raw) - 64; n < len(raw); n++ {
+		probe(n)
+	}
+	// Trailing bytes are rejected on every model message.
+	withTrailing := func(b []byte) []byte { return append(append([]byte(nil), b...), 0) }
+	if _, err := wire.DecodeProveModelRequest(withTrailing(req)); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("request with trailing byte accepted: %v", err)
+	}
+	if _, err := wire.DecodeReport(withTrailing(raw)); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("report with trailing byte accepted: %v", err)
+	}
+	frame := wire.EncodeOpProof(&rep.Ops[0])
+	if _, err := wire.DecodeOpProof(withTrailing(frame)); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("op proof with trailing byte accepted: %v", err)
+	}
+	hdr := wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
+		Model: cfg.Name, Backend: rep.Backend, Circuit: rep.Circuit, TotalOps: 1,
+	})
+	if _, err := wire.DecodeModelStreamHeader(withTrailing(hdr)); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("stream header with trailing byte accepted: %v", err)
+	}
+	// Cross-tag confusion: a report is not a request.
+	if _, err := wire.DecodeProveModelRequest(raw); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("cross-tag decode accepted: %v", err)
+	}
+}

@@ -34,12 +34,17 @@ const HeaderLen = len(Magic) + 2
 
 // Type tags distinguish top-level messages.
 const (
-	TagMatrix        byte = 0x01
-	TagMatMulProof   byte = 0x02
-	TagBatchProof    byte = 0x03
-	TagProveRequest  byte = 0x04
-	TagProveResponse byte = 0x05
-	TagVerifyRequest byte = 0x06
+	TagMatrix            byte = 0x01
+	TagMatMulProof       byte = 0x02
+	TagBatchProof        byte = 0x03
+	TagProveRequest      byte = 0x04
+	TagProveResponse     byte = 0x05
+	TagVerifyRequest     byte = 0x06
+	TagProveModelRequest byte = 0x07
+	TagOpProof           byte = 0x08
+	TagReport            byte = 0x09
+	TagModelStreamHeader byte = 0x0a
+	TagModelStreamError  byte = 0x0b
 )
 
 // ErrDecode is wrapped by every decoding failure.
@@ -56,12 +61,20 @@ const (
 	maxDim      = 1 << 16 // matrix rows/cols, batch length
 	maxICLen    = 1 << 22 // Groth16 VK public-input points
 	maxICInf    = 64      // infinity entries tolerated in one VK's IC
-	maxBlobLen  = 1 << 10 // WCommit / epoch labels
+	maxBlobLen  = 1 << 10 // WCommit / epoch labels / tags / model names
 	maxNumVars  = 48      // PCS commitment variables
 	maxRounds   = 64      // sumcheck rounds
 	maxPolyLen  = 16      // sumcheck round-poly evaluations
 	maxPathLen  = 64      // Merkle path depth
 	maxDuration = int64(1) << 62
+
+	// Model-proving limits (trace, report and R1CS payloads).
+	maxTraceOps    = 1 << 14 // operations in one trace or report
+	maxStages      = 64      // model stages
+	maxLayer       = 1 << 20 // block index (−1 allowed for embed/head)
+	maxConstraints = 1 << 22 // R1CS constraints in one op payload
+	maxWires       = 1 << 22 // R1CS wires in one op payload
+	maxStatInt     = int64(1) << 40
 )
 
 var (

@@ -178,7 +178,7 @@ func measureOne(g *OpEstimate, cfg nn.Config, opts Options, caps MeasureCaps, cm
 			X: tensor.Random(rng, ca, cn, bound),
 			W: tensor.Random(rng, cn, cb, bound),
 		}
-		measured, err := proveMatMul(op, opts, rng)
+		measured, err := proveMatMul(op, opts, rng, nil)
 		if err != nil {
 			return err
 		}
@@ -190,7 +190,7 @@ func measureOne(g *OpEstimate, cfg nn.Config, opts Options, caps MeasureCaps, cm
 		cr, cw := minInt(rows, caps.MaxRows), minInt(width, caps.MaxWidth)
 		in := tensor.Random(rng, cr, cw, bound)
 		op := nn.Op{Kind: g.Kind, Tag: g.Tag, Rows: cr, Width: cw, In: in}
-		measured, err := proveNonlinear(op, opts, nonlinearConfig(cfg), cfg, rng)
+		measured, err := proveNonlinear(op, opts, nonlinearConfig(cfg), cfg, rng, nil)
 		if err != nil {
 			return err
 		}

@@ -14,15 +14,23 @@
 //   - softmaxes and GELUs go through the §III-C gadget circuits
 //     (internal/gadgets) with inputs secret and outputs public.
 //
-// ProveModel proves every operation exactly and verifies it (used by the
-// tests and the scaled-mode tables). MeasureModel (measure.go) proves a
-// capped sub-shape per operation and extrapolates, making the paper's
-// full ImageNet shapes reportable in pure Go.
+// ProveTrace runs the trace's operations as a pipeline over the shared
+// internal/parallel budget: independent ops prove concurrently, each op
+// drawing its blinding randomness from a stream derived from (Seed, op
+// sequence number) and its Groth16 setup randomness from (Seed, circuit
+// digest), so the proofs are byte-identical at every parallelism level
+// and identical whether a trace is proven locally or by the proving
+// service. ProveModel is the capture-and-prove convenience; MeasureModel
+// (measure.go) proves a capped sub-shape per operation and extrapolates,
+// making the paper's full ImageNet shapes reportable in pure Go.
 package zkml
 
 import (
+	"errors"
 	"fmt"
 	mrand "math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"zkvc/internal/crpc"
@@ -31,13 +39,16 @@ import (
 	"zkvc/internal/groth16"
 	"zkvc/internal/matrix"
 	"zkvc/internal/nn"
+	"zkvc/internal/parallel"
 	"zkvc/internal/pcs"
 	"zkvc/internal/r1cs"
+	"zkvc/internal/randutil"
 	"zkvc/internal/spartan"
 	"zkvc/internal/tensor"
 )
 
-// Backend selects the proof system (mirrors the public zkvc.Backend).
+// Backend selects the proof system. The public zkvc.Backend is an alias
+// of this type, so the two never need mirroring.
 type Backend int
 
 const (
@@ -49,11 +60,21 @@ const (
 
 // String names the backend as in the paper.
 func (b Backend) String() string {
-	if b == Groth16 {
+	switch b {
+	case Groth16:
 		return "zkVC-G"
+	case Spartan:
+		return "zkVC-S"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
 	}
-	return "zkVC-S"
 }
+
+// SetupFunc supplies Groth16 proving material for a circuit identified
+// by its structure digest. The proving service injects one backed by its
+// shared CRS cache; when nil, ProveTrace memoizes setups per digest for
+// the duration of the call using SetupCircuit.
+type SetupFunc func(digest [32]byte, sys *r1cs.System) (*groth16.ProvingKey, *groth16.VerifyingKey, error)
 
 // Options configures compilation and proving.
 type Options struct {
@@ -66,8 +87,29 @@ type Options struct {
 	// KeepProofs retains proof payloads in the report so VerifyReport
 	// can re-check them later; costs memory on big models.
 	KeepProofs bool
-	// Seed feeds the proving randomness (blinding factors).
+	// Seed keys the proving randomness. Per-op blinding streams derive
+	// from (Seed, op sequence) and Groth16 setup streams from (Seed,
+	// circuit digest), so proofs do not depend on the order in which a
+	// parallel run finishes ops. Seed 0 draws crypto/rand instead — the
+	// production posture, at the cost of reproducibility.
 	Seed int64
+
+	// OnOp, when set, is called once per proved operation as it
+	// finishes. Ops prove concurrently, so calls arrive on multiple
+	// goroutines and out of sequence order; op.Seq positions the proof
+	// in the report. The proving service streams responses from here.
+	OnOp func(op *OpProof)
+	// DiscardOps leaves Report.Ops empty: each proof exists only for
+	// its OnOp call. This is how the service streams a large model
+	// without ever buffering the whole report.
+	DiscardOps bool
+	// Setup overrides Groth16 CRS generation (see SetupFunc).
+	Setup SetupFunc
+	// Stop, when set, is polled between operations; once it returns
+	// true no further op starts and ProveTrace returns ErrCanceled
+	// (ops already in flight still finish, and still reach OnOp). The
+	// proving service wires this to "the response reader went away".
+	Stop func() bool
 }
 
 // DefaultOptions proves everything with CRPC+PSQ on the Spartan backend
@@ -83,8 +125,11 @@ func DefaultOptions() Options {
 	}
 }
 
-// OpProof is the per-operation result.
+// OpProof is the per-operation result. Seq is the operation's position
+// in the report (assigned before proving starts, so a streamed proof can
+// be placed without waiting for its predecessors).
 type OpProof struct {
+	Seq   int
 	Tag   string
 	Layer int
 	Kind  nn.OpKind
@@ -97,12 +142,14 @@ type OpProof struct {
 	Verify     time.Duration
 	ProofBytes int
 
-	// Payloads (only when Options.KeepProofs).
-	sys     *r1cs.System
-	public  []ff.Fr
-	g16     *groth16.Proof
-	g16vk   *groth16.VerifyingKey
-	spartan *spartan.Proof
+	// Payloads (only when Options.KeepProofs). Sys is retained for the
+	// Spartan backend, whose verifier re-checks against the synthesized
+	// system; Groth16's circuit binding lives in G16VK.
+	Sys     *r1cs.System
+	Public  []ff.Fr
+	G16     *groth16.Proof
+	G16VK   *groth16.VerifyingKey
+	Spartan *spartan.Proof
 }
 
 // Report aggregates an end-to-end proved inference.
@@ -158,6 +205,18 @@ func (r *Report) TotalConstraints() int {
 	return sum
 }
 
+// pcsOrDefault normalizes a zero-value PCS parameter set to the
+// defaults. Options is a plain struct now shared with the public API
+// (zkvc.InferenceOptions), so a caller-constructed literal that never
+// set PCS must still prove and verify instead of failing deep inside
+// the commitment scheme.
+func pcsOrDefault(p pcs.Params) pcs.Params {
+	if p == (pcs.Params{}) {
+		return pcs.DefaultParams()
+	}
+	return p
+}
+
 // toMatrix lifts an int64 tensor into the scalar field.
 func toMatrix(m *tensor.Mat) *matrix.Matrix {
 	return matrix.FromInt64(m.Rows, m.Cols, m.Data)
@@ -181,44 +240,154 @@ func ProveModel(m *nn.Model, x *tensor.Mat, opts Options) (*Report, error) {
 	return ProveTrace(m.Cfg, &trace, opts)
 }
 
-// ProveTrace proves a captured trace.
-func ProveTrace(cfg nn.Config, trace *nn.Trace, opts Options) (*Report, error) {
-	rng := mrand.New(mrand.NewSource(opts.Seed))
-	rep := &Report{Model: cfg.Name, Backend: opts.Backend, Circuit: opts.Circuit}
-	ncfg := nonlinearConfig(cfg)
+// PlanTrace returns the trace operations ProveTrace would prove under
+// opts, in report order. The count is what a streaming consumer needs
+// before the first proof arrives.
+func PlanTrace(trace *nn.Trace, opts Options) ([]nn.Op, error) {
+	var plan []nn.Op
 	for _, op := range trace.Ops {
-		var (
-			proof OpProof
-			err   error
-		)
 		switch op.Kind {
 		case nn.OpMatMul:
-			proof, err = proveMatMul(op, opts, rng)
-		case nn.OpSoftmax:
+		case nn.OpSoftmax, nn.OpGELU:
 			if !opts.ProveNonlinear {
 				continue
 			}
-			proof, err = proveNonlinear(op, opts, ncfg, cfg, rng)
-		case nn.OpGELU:
-			if !opts.ProveNonlinear {
-				continue
-			}
-			proof, err = proveNonlinear(op, opts, ncfg, cfg, rng)
 		case nn.OpPool:
 			continue // additions only; free in R1CS
 		default:
 			return nil, fmt.Errorf("zkml: unknown op kind %v", op.Kind)
 		}
-		if err != nil {
-			return nil, fmt.Errorf("zkml: op %q: %w", op.Tag, err)
+		plan = append(plan, op)
+	}
+	return plan, nil
+}
+
+// ProveTrace proves a captured trace, running independent operations
+// concurrently over the shared parallel budget. The caller's goroutine
+// always participates; extra workers join only for budget tokens that
+// are free right now, exactly like batch statements. Proof bytes are
+// independent of the parallelism level (each op's randomness is derived
+// from its sequence number, not from completion order).
+func ProveTrace(cfg nn.Config, trace *nn.Trace, opts Options) (*Report, error) {
+	plan, err := PlanTrace(trace, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Model: cfg.Name, Backend: opts.Backend, Circuit: opts.Circuit}
+	if !opts.DiscardOps {
+		rep.Ops = make([]OpProof, len(plan))
+	}
+	ncfg := nonlinearConfig(cfg)
+	setups := newSetupCache(opts.Seed, opts.Setup)
+
+	errs := make([]error, len(plan))
+	var failed, canceled atomic.Bool
+	parallel.For(len(plan), 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			if failed.Load() || canceled.Load() {
+				continue
+			}
+			if opts.Stop != nil && opts.Stop() {
+				canceled.Store(true)
+				continue
+			}
+			op := plan[i]
+			rng := randutil.Derived(opts.Seed, []byte("zkml/op"), randutil.U32(i))
+			var proof OpProof
+			var err error
+			switch op.Kind {
+			case nn.OpMatMul:
+				proof, err = proveMatMul(op, opts, rng, setups)
+			default:
+				proof, err = proveNonlinear(op, opts, ncfg, cfg, rng, setups)
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("zkml: op %q: %w", op.Tag, err)
+				failed.Store(true)
+				continue
+			}
+			proof.Seq = i
+			if !opts.DiscardOps {
+				rep.Ops[i] = proof
+			}
+			if opts.OnOp != nil {
+				opts.OnOp(&proof)
+			}
 		}
-		rep.Ops = append(rep.Ops, proof)
+	})
+	// Among the ops that did error, the first in sequence order wins, so
+	// the reported failure does not depend on which worker tripped first.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if canceled.Load() {
+		return nil, ErrCanceled
 	}
 	return rep, nil
 }
 
+// ErrCanceled reports that Options.Stop ended a ProveTrace run before
+// every operation was proved.
+var ErrCanceled = errors.New("zkml: proving canceled")
+
+// setupCache memoizes Groth16 proving material per circuit digest for
+// one ProveTrace call (identical transformer blocks synthesize identical
+// circuits, so a 12-block model pays setup once per distinct shape).
+// When external is set the cache delegates creation to it — the proving
+// service routes this to its shared, LRU-bounded CRS cache.
+type setupCache struct {
+	mu       sync.Mutex
+	entries  map[[32]byte]*setupEntry
+	seed     int64
+	external SetupFunc
+}
+
+type setupEntry struct {
+	ready chan struct{}
+	pk    *groth16.ProvingKey
+	vk    *groth16.VerifyingKey
+	err   error
+}
+
+func newSetupCache(seed int64, external SetupFunc) *setupCache {
+	return &setupCache{entries: make(map[[32]byte]*setupEntry), seed: seed, external: external}
+}
+
+func (c *setupCache) get(digest [32]byte, sys *r1cs.System) (*groth16.ProvingKey, *groth16.VerifyingKey, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[digest]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.pk, e.vk, e.err
+	}
+	e := &setupEntry{ready: make(chan struct{})}
+	c.entries[digest] = e
+	c.mu.Unlock()
+	if c.external != nil {
+		e.pk, e.vk, e.err = c.external(digest, sys)
+	} else {
+		e.pk, e.vk, e.err = SetupCircuit(sys, c.seed)
+	}
+	close(e.ready)
+	return e.pk, e.vk, e.err
+}
+
+// SetupCircuit generates a Groth16 CRS for the circuit with randomness
+// derived from (seed, structure digest). The derivation is what makes a
+// trace's proofs independent of op completion order and identical
+// between local proving and a service seeded the same way; seed 0 draws
+// crypto/rand (the production posture — a reconstructible setup stream
+// is the toxic waste).
+func SetupCircuit(sys *r1cs.System, seed int64) (*groth16.ProvingKey, *groth16.VerifyingKey, error) {
+	digest := sys.StructureDigest()
+	rng := randutil.Derived(seed, []byte("zkml/setup"), digest[:])
+	return groth16.Setup(sys, rng)
+}
+
 // proveMatMul compiles one matmul through CRPC+PSQ and proves it.
-func proveMatMul(op nn.Op, opts Options, rng *mrand.Rand) (OpProof, error) {
+func proveMatMul(op nn.Op, opts Options, rng *mrand.Rand, setups *setupCache) (OpProof, error) {
 	if op.X == nil || op.W == nil {
 		return OpProof{}, fmt.Errorf("trace was not captured (missing operands)")
 	}
@@ -233,13 +402,13 @@ func proveMatMul(op nn.Op, opts Options, rng *mrand.Rand) (OpProof, error) {
 	out.Synthesis = time.Since(start)
 	out.Stats = syn.Stats()
 
-	return finishProof(out, syn.Sys, syn.Assignment, syn.Public, opts, rng)
+	return finishProof(out, syn.Sys, syn.Assignment, syn.Public, opts, rng, setups)
 }
 
 // proveNonlinear compiles a softmax or GELU grid through the gadget
 // circuits: secret inputs, public outputs asserted equal to the
 // fixed-point reference evaluation.
-func proveNonlinear(op nn.Op, opts Options, ncfg gadgets.NonlinearConfig, cfg nn.Config, rng *mrand.Rand) (OpProof, error) {
+func proveNonlinear(op nn.Op, opts Options, ncfg gadgets.NonlinearConfig, cfg nn.Config, rng *mrand.Rand, setups *setupCache) (OpProof, error) {
 	if op.In == nil {
 		return OpProof{}, fmt.Errorf("trace was not captured (missing input)")
 	}
@@ -253,7 +422,7 @@ func proveNonlinear(op nn.Op, opts Options, ncfg gadgets.NonlinearConfig, cfg nn
 	out.Synthesis = time.Since(start)
 	out.Stats = sys.Stats()
 
-	return finishProof(out, sys, assignment, public, opts, rng)
+	return finishProof(out, sys, assignment, public, opts, rng, setups)
 }
 
 // synthesizeNonlinear builds the gadget circuit for one traced nonlinear
@@ -317,12 +486,23 @@ func synthesizeNonlinear(op nn.Op, ncfg gadgets.NonlinearConfig, cfg nn.Config) 
 	return sys, assignment, b.PublicWitness(), nil
 }
 
-// finishProof runs the selected backend over a synthesized system.
-func finishProof(out OpProof, sys *r1cs.System, assignment, public []ff.Fr, opts Options, rng *mrand.Rand) (OpProof, error) {
+// finishProof runs the selected backend over a synthesized system. The
+// rng feeds proof blinding; Groth16 setup goes through the digest-keyed
+// cache when one is supplied (ProveTrace) and falls back to a fresh
+// setup drawn from rng when not (the measurement path, which only wants
+// timings).
+func finishProof(out OpProof, sys *r1cs.System, assignment, public []ff.Fr, opts Options, rng *mrand.Rand, setups *setupCache) (OpProof, error) {
 	switch opts.Backend {
 	case Groth16:
+		var pk *groth16.ProvingKey
+		var vk *groth16.VerifyingKey
+		var err error
 		start := time.Now()
-		pk, vk, err := groth16.Setup(sys, rng)
+		if setups != nil {
+			pk, vk, err = setups.get(sys.StructureDigest(), sys)
+		} else {
+			pk, vk, err = groth16.Setup(sys, rng)
+		}
 		if err != nil {
 			return out, err
 		}
@@ -340,23 +520,24 @@ func finishProof(out OpProof, sys *r1cs.System, assignment, public []ff.Fr, opts
 		}
 		out.Verify = time.Since(start)
 		if opts.KeepProofs {
-			out.g16, out.g16vk, out.public = proof, vk, public
+			out.G16, out.G16VK, out.Public = proof, vk, public
 		}
 	case Spartan:
+		params := pcsOrDefault(opts.PCS)
 		start := time.Now()
-		proof, err := spartan.Prove(sys, assignment, opts.PCS)
+		proof, err := spartan.Prove(sys, assignment, params)
 		if err != nil {
 			return out, err
 		}
 		out.Prove = time.Since(start)
 		out.ProofBytes = proof.SizeBytes()
 		start = time.Now()
-		if err := spartan.Verify(sys, proof, public, opts.PCS); err != nil {
+		if err := spartan.Verify(sys, proof, public, params); err != nil {
 			return out, fmt.Errorf("self-verify: %w", err)
 		}
 		out.Verify = time.Since(start)
 		if opts.KeepProofs {
-			out.sys, out.spartan, out.public = sys, proof, public
+			out.Sys, out.Spartan, out.Public = sys, proof, public
 		}
 	default:
 		return out, fmt.Errorf("unknown backend %d", opts.Backend)
@@ -364,26 +545,36 @@ func finishProof(out OpProof, sys *r1cs.System, assignment, public []ff.Fr, opts
 	return out, nil
 }
 
+// VerifyOp re-verifies one retained operation proof against the report's
+// backend.
+func VerifyOp(backend Backend, op *OpProof, params pcs.Params) error {
+	switch backend {
+	case Groth16:
+		if op.G16 == nil || op.G16VK == nil {
+			return fmt.Errorf("zkml: op %q has no retained proof", op.Tag)
+		}
+		if err := groth16.Verify(op.G16VK, op.G16, op.Public); err != nil {
+			return fmt.Errorf("zkml: op %q: %w", op.Tag, err)
+		}
+	case Spartan:
+		if op.Spartan == nil || op.Sys == nil {
+			return fmt.Errorf("zkml: op %q has no retained proof", op.Tag)
+		}
+		if err := spartan.Verify(op.Sys, op.Spartan, op.Public, pcsOrDefault(params)); err != nil {
+			return fmt.Errorf("zkml: op %q: %w", op.Tag, err)
+		}
+	default:
+		return fmt.Errorf("zkml: unknown backend %d", backend)
+	}
+	return nil
+}
+
 // VerifyReport re-verifies every retained proof in the report. It
 // returns an error naming the first operation that fails.
 func VerifyReport(rep *Report, opts Options) error {
 	for i := range rep.Ops {
-		op := &rep.Ops[i]
-		switch rep.Backend {
-		case Groth16:
-			if op.g16 == nil {
-				return fmt.Errorf("zkml: op %q has no retained proof", op.Tag)
-			}
-			if err := groth16.Verify(op.g16vk, op.g16, op.public); err != nil {
-				return fmt.Errorf("zkml: op %q: %w", op.Tag, err)
-			}
-		case Spartan:
-			if op.spartan == nil {
-				return fmt.Errorf("zkml: op %q has no retained proof", op.Tag)
-			}
-			if err := spartan.Verify(op.sys, op.spartan, op.public, opts.PCS); err != nil {
-				return fmt.Errorf("zkml: op %q: %w", op.Tag, err)
-			}
+		if err := VerifyOp(rep.Backend, &rep.Ops[i], opts.PCS); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -392,9 +583,9 @@ func VerifyReport(rep *Report, opts Options) error {
 // TamperPublic flips one public input of the i-th retained op — test
 // hook for soundness checks.
 func TamperPublic(rep *Report, i int) {
-	if len(rep.Ops[i].public) > 1 {
+	if len(rep.Ops[i].Public) > 1 {
 		var one ff.Fr
 		one.SetOne()
-		rep.Ops[i].public[1].Add(&rep.Ops[i].public[1], &one)
+		rep.Ops[i].Public[1].Add(&rep.Ops[i].Public[1], &one)
 	}
 }

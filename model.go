@@ -74,32 +74,18 @@ func PlanWithBudget(cfg ModelConfig, budgetFrac float64) []Mixer {
 // patch features).
 func RandomInput(m *Model, rng *mrand.Rand) *IntMatrix { return m.RandomInput(rng) }
 
-// InferenceOptions configures end-to-end inference proving.
-type InferenceOptions struct {
-	Backend Backend
-	// Optimized applies CRPC+PSQ to every matmul circuit (on by
-	// default through DefaultInferenceOptions; turning it off gives the
-	// paper's baseline columns).
-	Optimized bool
-	// ProveNonlinear includes the SoftMax/GELU gadget circuits.
-	ProveNonlinear bool
-	Seed           int64
-}
+// InferenceOptions configures end-to-end inference proving. It is the
+// compiler's option set itself (no more mirrored fields to keep in
+// sync): Backend picks the proof system, Circuit the CRPC/PSQ matmul
+// optimizations (zero value = the paper's baseline circuits),
+// ProveNonlinear the SoftMax/GELU gadget circuits. Start from
+// DefaultInferenceOptions and override fields — in particular,
+// KeepProofs must be set for VerifyInference to have anything to
+// re-check (an unset PCS falls back to the defaults on its own).
+type InferenceOptions = zkml.Options
 
 // DefaultInferenceOptions proves everything, optimized, on Spartan.
-func DefaultInferenceOptions() InferenceOptions {
-	return InferenceOptions{Backend: Spartan, Optimized: true, ProveNonlinear: true, Seed: 1}
-}
-
-func (o InferenceOptions) internal() zkml.Options {
-	opts := zkml.DefaultOptions()
-	opts.Backend = zkml.Backend(o.Backend)
-	opts.Circuit.CRPC = o.Optimized
-	opts.Circuit.PSQ = o.Optimized
-	opts.ProveNonlinear = o.ProveNonlinear
-	opts.Seed = o.Seed
-	return opts
-}
+func DefaultInferenceOptions() InferenceOptions { return zkml.DefaultOptions() }
 
 // InferenceProof is an end-to-end proved inference: one proof per traced
 // operation, verified together by VerifyInference.
@@ -129,13 +115,12 @@ func (p *InferenceProof) Operations() int { return len(p.report.Ops) }
 // forward pass (matmuls through CRPC+PSQ, nonlinears through the §III-C
 // gadgets).
 func ProveInference(m *Model, x *IntMatrix, opts InferenceOptions) (*InferenceProof, error) {
-	iopts := opts.internal()
 	logits := m.Forward(x, nil)
-	rep, err := zkml.ProveModel(m, x, iopts)
+	rep, err := zkml.ProveModel(m, x, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &InferenceProof{Logits: logits, report: rep, opts: iopts}, nil
+	return &InferenceProof{Logits: logits, report: rep, opts: opts}, nil
 }
 
 // VerifyInference re-verifies every operation proof.
@@ -156,7 +141,7 @@ type InferenceEstimate struct {
 // operation shape in cfg and extrapolates the full-model proving cost —
 // how the paper-scale Tables III/IV rows are produced.
 func EstimateInference(cfg ModelConfig, opts InferenceOptions) (InferenceEstimate, error) {
-	est, err := zkml.MeasureModel(cfg, opts.internal(), zkml.DefaultCaps())
+	est, err := zkml.MeasureModel(cfg, opts, zkml.DefaultCaps())
 	if err != nil {
 		return InferenceEstimate{}, err
 	}

@@ -15,8 +15,6 @@ package zkvc
 
 import (
 	"bytes"
-	crand "crypto/rand"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	mrand "math/rand"
@@ -29,7 +27,9 @@ import (
 	"zkvc/internal/matrix"
 	"zkvc/internal/parallel"
 	"zkvc/internal/pcs"
+	"zkvc/internal/randutil"
 	"zkvc/internal/spartan"
+	"zkvc/internal/zkml"
 )
 
 // SetParallelism bounds the process-wide worker budget every hot loop in
@@ -45,29 +45,19 @@ func SetParallelism(n int) { parallel.SetDefaultSize(n) }
 // Parallelism reports the current process-wide worker budget.
 func Parallelism() int { return parallel.DefaultSize() }
 
-// Backend selects the proof system.
-type Backend int
+// Backend selects the proof system. It is an alias of the internal
+// compiler's backend type, so the matmul API and the model-proving API
+// (internal/zkml) share one enum instead of mirroring each other.
+type Backend = zkml.Backend
 
 const (
 	// Groth16 is the pairing-based backend: constant 192-byte proofs,
 	// millisecond verification, circuit-specific trusted setup ("zkVC-G").
-	Groth16 Backend = iota
+	Groth16 = zkml.Groth16
 	// Spartan is the transparent backend: no trusted setup, larger proofs,
 	// sumcheck + hash-based polynomial commitment ("zkVC-S").
-	Spartan
+	Spartan = zkml.Spartan
 )
-
-// String names the backend as in the paper.
-func (b Backend) String() string {
-	switch b {
-	case Groth16:
-		return "zkVC-G"
-	case Spartan:
-		return "zkVC-S"
-	default:
-		return fmt.Sprintf("Backend(%d)", int(b))
-	}
-}
 
 // Matrix re-exports the dense field matrix used throughout the API.
 type Matrix = matrix.Matrix
@@ -158,25 +148,8 @@ func NewMatMulProver(backend Backend, opts Options) *MatMulProver {
 		backend: backend,
 		opts:    opts,
 		pcs:     pcs.DefaultParams(),
-		rng:     mrand.New(cryptoSource{}),
+		rng:     randutil.Crypto(),
 	}
-}
-
-// cryptoSource adapts crypto/rand to math/rand's Source64, so the backends
-// can keep their *rand.Rand plumbing while the default prover draws
-// operating-system entropy.
-type cryptoSource struct{}
-
-func (cryptoSource) Seed(int64) {}
-
-func (s cryptoSource) Int63() int64 { return int64(s.Uint64() >> 1) }
-
-func (cryptoSource) Uint64() uint64 {
-	var b [8]byte
-	if _, err := crand.Read(b[:]); err != nil {
-		panic("zkvc: crypto/rand failed: " + err.Error())
-	}
-	return binary.BigEndian.Uint64(b[:])
 }
 
 // Reseed switches the prover to a deterministic math/rand stream. This is
