@@ -36,6 +36,8 @@ func cmdServe(args []string) {
 	parallelism := fs.Int("parallelism", 0,
 		"process-wide worker budget shared by job concurrency and per-proof hot loops (0 = ZKVC_PARALLELISM env or GOMAXPROCS)")
 	epoch := fs.String("epoch", "zkvc-epoch-0", "shape-epoch label for the single-proof CRS cache")
+	streamTimeout := fs.Duration("stream-timeout", 30*time.Second,
+		"per-frame model-stream write deadline; a client that stops reading this long is treated as gone")
 	fs.Parse(args)
 
 	backend, err := parseBackend(*backendName)
@@ -49,6 +51,7 @@ func cmdServe(args []string) {
 	cfg.Workers = *workers
 	cfg.Parallelism = *parallelism
 	cfg.Epoch = []byte(*epoch)
+	cfg.StreamWriteTimeout = *streamTimeout
 
 	s, err := server.New(cfg)
 	if err != nil {

@@ -12,6 +12,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
 	mrand "math/rand"
 	"net/http"
@@ -55,6 +56,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("/v1/prove/model: status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
 	report, err := wire.DecodeModelStream(resp.Body, nil)
 	if err != nil {
 		log.Fatal(err)

@@ -16,6 +16,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
 	mrand "math/rand"
 	"net/http"
@@ -71,6 +72,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("/v1/prove/model: status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
 	streamed := 0
 	report, err := wire.DecodeModelStream(resp.Body, func(op *zkml.OpProof) {
 		streamed++

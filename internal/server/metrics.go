@@ -37,13 +37,14 @@ type metrics struct {
 	// issued-policy rejections on /v1/verify/model, and stream
 	// backpressure (how often — and for how long — proving blocked on a
 	// slow response reader).
-	modelJobs        atomic.Int64
-	modelJobsProved  atomic.Int64
-	modelOpsProved   atomic.Int64
-	modelOpsQueued   atomic.Int64
-	modelRejects     atomic.Int64
-	streamStalls     atomic.Int64
-	streamStallNanos atomic.Int64
+	modelJobs         atomic.Int64
+	modelJobsProved   atomic.Int64
+	modelJobsCanceled atomic.Int64
+	modelOpsProved    atomic.Int64
+	modelOpsQueued    atomic.Int64
+	modelRejects      atomic.Int64
+	streamStalls      atomic.Int64
+	streamStallNanos  atomic.Int64
 
 	synthesisNanos atomic.Int64
 	setupNanos     atomic.Int64
@@ -81,12 +82,16 @@ type Snapshot struct {
 	// proofs, issued-policy rejections on /v1/verify/model, and stream
 	// backpressure (count and total nanoseconds proving spent blocked on
 	// slow response readers).
-	ModelJobs        int64 `json:"model_jobs"`
-	ModelJobsProved  int64 `json:"model_jobs_proved"`
-	ModelOpsProved   int64 `json:"model_ops_proved"`
-	ModelRejects     int64 `json:"model_rejects"`
-	StreamStalls     int64 `json:"stream_stalls"`
-	StreamStallNanos int64 `json:"stream_stall_nanos"`
+	ModelJobs       int64 `json:"model_jobs"`
+	ModelJobsProved int64 `json:"model_jobs_proved"`
+	// ModelJobsCanceled counts jobs ended by client disconnect (or a
+	// stalled reader hitting StreamWriteTimeout) — routine churn, kept
+	// apart from ProveErrors so that counter stays a proving-fault alarm.
+	ModelJobsCanceled int64 `json:"model_jobs_canceled"`
+	ModelOpsProved    int64 `json:"model_ops_proved"`
+	ModelRejects      int64 `json:"model_rejects"`
+	StreamStalls      int64 `json:"stream_stalls"`
+	StreamStallNanos  int64 `json:"stream_stall_nanos"`
 
 	VerifyRequests int64 `json:"verify_requests"`
 	// EpochRejects counts epoch proofs turned away by /v1/verify's
@@ -130,6 +135,7 @@ func (m *metrics) snapshot(pool *parallel.Pool) Snapshot {
 	s.SinglesProved = m.singlesProved.Load()
 	s.ModelJobs = m.modelJobs.Load()
 	s.ModelJobsProved = m.modelJobsProved.Load()
+	s.ModelJobsCanceled = m.modelJobsCanceled.Load()
 	s.ModelOpsProved = m.modelOpsProved.Load()
 	s.ModelRejects = m.modelRejects.Load()
 	s.StreamStalls = m.streamStalls.Load()

@@ -13,8 +13,10 @@ package server
 // and complete).
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -52,9 +54,10 @@ type modelJob struct {
 	// (concurrent writers touch disjoint indices); on success they are
 	// combined, in order, into the single issued-report attestation.
 	opHashes [][32]byte
-	// clientGone is set by the handler when the response writer fails;
-	// the proving pipeline polls it and cancels instead of finishing
-	// work nobody will receive.
+	// clientGone is set by the handler when the response writer fails or
+	// the request context is canceled (client disconnect); the proving
+	// pipeline polls it and cancels instead of finishing work nobody
+	// will receive.
 	clientGone atomic.Bool
 
 	// events carries pre-encoded OpProof frames to the HTTP handler. The
@@ -89,7 +92,13 @@ func (j *modelJob) run(s *Server, _ *zkvc.MatMulProver) {
 	}()
 	_, err := zkml.ProveTrace(j.cfg, j.trace, s.modelOpts(j))
 	if err != nil {
-		s.metrics.proveErrors.Add(1)
+		// A client disconnect is routine churn, not a proving fault;
+		// keep prove_errors meaningful for operators alerting on it.
+		if errors.Is(err, zkml.ErrCanceled) {
+			s.metrics.modelJobsCanceled.Add(1)
+		} else {
+			s.metrics.proveErrors.Add(1)
+		}
 		j.events <- modelEvent{err: err}
 		return
 	}
@@ -228,9 +237,12 @@ func (s *Server) handleProveModel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// release is sync.Once-guarded, so the deferred call makes every
+	// early exit slot-safe while still letting the success path hand the
+	// slot back before streaming.
+	defer release()
 	raw, ok := readBodyN(w, r, maxModelBodyBytes)
 	if !ok {
-		release()
 		return
 	}
 	req, err := wire.DecodeProveModelRequest(raw)
@@ -242,19 +254,16 @@ func (s *Server) handleProveModel(w http.ResponseWriter, r *http.Request) {
 	planOpts := zkml.Options{ProveNonlinear: req.ProveNonlinear}
 	plan, err := zkml.PlanTrace(req.Trace, planOpts)
 	if err != nil {
-		release()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if len(plan) == 0 {
-		release()
 		http.Error(w, "trace has no provable operations", http.StatusBadRequest)
 		return
 	}
 	// A trace bigger than the whole queue capacity could never be
 	// admitted; say so honestly instead of returning 503 forever.
 	if len(plan) > s.cfg.QueueCap {
-		release()
 		http.Error(w, fmt.Sprintf("trace has %d provable operations, above this service's queue capacity %d; split the model or raise QueueCap",
 			len(plan), s.cfg.QueueCap), http.StatusBadRequest)
 		return
@@ -276,7 +285,6 @@ func (s *Server) handleProveModel(w http.ResponseWriter, r *http.Request) {
 		TotalOps: len(plan),
 	})
 	if err := s.submitModel(j); err != nil {
-		release()
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
@@ -285,17 +293,45 @@ func (s *Server) handleProveModel(w http.ResponseWriter, r *http.Request) {
 	// ledger; the body-buffering slot can go back before streaming.
 	release()
 
+	// A client that vanishes between frames may never trigger a write
+	// error (the next finished op can be minutes away, or the frame can
+	// land in OS buffers). The request context cancels promptly on
+	// disconnect, so watch it too; setting clientGone at handler return
+	// (when net/http cancels the context) is harmless — by then the job
+	// has already drained.
+	stop := context.AfterFunc(r.Context(), func() { j.clientGone.Store(true) })
+	defer stop()
+
 	w.Header().Set("Content-Type", "application/octet-stream")
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	write := func(msg []byte) {
 		if j.clientGone.Load() {
 			return
 		}
+		// Per-frame write deadline: a client that stops reading (socket
+		// buffers full, connection still open) must not wedge this worker
+		// and its budget token forever. Past the deadline the write fails
+		// and the job cancels like any other disconnect. Best-effort — a
+		// ResponseWriter without deadline support just keeps the old
+		// write-failure-only detection. Deliberately never cleared: the
+		// server clears it between keep-alive requests itself, and an
+		// expired deadline is what makes the post-handler flush to a
+		// stalled client fail fast instead of blocking conn.serve.
+		rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
 		if err := wire.WriteFrame(w, msg); err != nil {
-			// The client hung up; keep draining events (so the proving job
-			// never blocks on a reader that is gone) and tell the pipeline
-			// to cancel the ops it has not started.
+			// Either way, keep draining events (so the proving job never
+			// blocks on a reader that is gone) and tell the pipeline to
+			// cancel the ops it has not started.
 			j.clientGone.Store(true)
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// The connection is healthy — the server hit its own
+				// encoding bound. Say so in-stream instead of letting the
+				// client see an unexplained truncated stream.
+				if wire.WriteFrame(w, wire.EncodeModelStreamError(err.Error())) == nil && flusher != nil {
+					flusher.Flush()
+				}
+			}
 			return
 		}
 		if flusher != nil {
@@ -351,6 +387,7 @@ func (s *Server) handleVerifyModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	raw = nil
 	s.metrics.verifyRequests.Add(1)
 	tenant := r.Header.Get(TenantHeader)
 	header := wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{

@@ -228,6 +228,88 @@ func TestVerifyModelPolicy(t *testing.T) {
 	}
 }
 
+// TestModelSlotsSurviveMalformedBodies pins the body-slot accounting of
+// every early-exit path on the model endpoints: more malformed bodies
+// than there are buffering slots (4) must all answer 400 — a leaked slot
+// would turn the tail of the flood into 503s — and a valid request
+// afterwards must still be served.
+func TestModelSlotsSurviveMalformedBodies(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Seed = 29
+	_, ts := newTestServer(t, cfg)
+
+	for _, path := range []string{"/v1/prove/model", "/v1/verify/model"} {
+		for i := 0; i < 9; i++ { // 2×modelBodySlots+1
+			status, raw := post(t, ts.URL+path, []byte("not a wire message"))
+			if status != http.StatusBadRequest {
+				t.Fatalf("%s malformed body %d: status %d (%s), want 400", path, i, status, raw)
+			}
+		}
+	}
+
+	mcfg := tinyModelConfig(nn.MixerPooling)
+	trace := capturedTrace(t, mcfg, 31)
+	rep, err := proveModelHTTP(t, ts.URL, "", &wire.ProveModelRequest{
+		Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: mcfg, Trace: trace,
+	})
+	if err != nil {
+		t.Fatalf("valid request after malformed flood: %v", err)
+	}
+	if ok, msg := verifyModelHTTP(t, ts.URL, "", rep); !ok {
+		t.Fatalf("verify after malformed flood: %s", msg)
+	}
+}
+
+// TestStalledStreamReaderDoesNotWedgeWorker: a client that opens
+// /v1/prove/model and never reads the response must not hold the (here:
+// only) worker, its budget token and its queue units forever. Once the
+// stream write deadline fires the stalled job cancels like a disconnect
+// and the next job proves. (If the whole stream fits in socket buffers
+// the first job simply completes — either way the worker must come free.)
+func TestStalledStreamReaderDoesNotWedgeWorker(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Seed = 37
+	cfg.Workers = 1
+	cfg.StreamWriteTimeout = 200 * time.Millisecond
+	s, ts := newTestServer(t, cfg)
+
+	mcfg := tinyModelConfig(nn.MixerPooling)
+	trace := capturedTrace(t, mcfg, 41)
+	req := &wire.ProveModelRequest{Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: mcfg, Trace: trace}
+
+	// Open the stream and never read from it.
+	stalled, err := http.Post(ts.URL+"/v1/prove/model", "application/octet-stream",
+		bytes.NewReader(wire.EncodeProveModelRequest(req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Body.Close()
+
+	// A second job through the same single worker must still complete.
+	done := make(chan error, 1)
+	go func() {
+		rep, err := proveModelHTTP(t, ts.URL, "", req)
+		if err == nil && len(rep.Ops) == 0 {
+			err = fmt.Errorf("empty report")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("worker still wedged behind a stalled stream reader")
+	}
+	if got := parallel.Default().InUse(); got != 0 {
+		t.Fatalf("%d budget tokens still held", got)
+	}
+	if snap := s.Metrics(); snap.ModelJobsProved+snap.ModelJobsCanceled < 2 {
+		t.Fatalf("stalled job neither proved nor canceled: %+v", snap)
+	}
+}
+
 // TestModelJobsShareParallelBudgetUnderConcurrentLoad mixes concurrent
 // model jobs and coalescing matmul jobs over real HTTP on a small shared
 // budget. Under -race this is the budget-sharing data race check for the

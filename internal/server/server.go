@@ -112,6 +112,14 @@ type Config struct {
 	// resident, and /v1/prove/single lets clients pick shapes freely.
 	// 0 means 64.
 	MaxShapes int
+	// StreamWriteTimeout bounds how long one model-stream frame write may
+	// wait on the client. Without it, a client that connects and never
+	// reads wedges a worker (and its parallel-budget token and queue
+	// units) forever — the frame write blocks on full socket buffers and
+	// clientGone only fires on disconnect. Past the deadline the write
+	// fails, the connection is torn down and the job cancels like any
+	// other disconnect. 0 means 30s.
+	StreamWriteTimeout time.Duration
 	// Epoch labels the shape epoch for the single-proof CRS cache.
 	Epoch []byte
 	// Seed makes proving deterministic for tests. 0 (the default) keeps
@@ -132,14 +140,15 @@ const TenantHeader = "Zkvc-Tenant"
 // circuit, a short coalescing window, and one worker per CPU.
 func DefaultConfig() Config {
 	return Config{
-		Backend:   zkvc.Spartan,
-		Opts:      zkvc.DefaultOptions(),
-		Window:    10 * time.Millisecond,
-		MaxBatch:  16,
-		Workers:   runtime.NumCPU(),
-		QueueCap:  1024,
-		MaxShapes: 64,
-		Epoch:     []byte("zkvc-epoch-0"),
+		Backend:            zkvc.Spartan,
+		Opts:               zkvc.DefaultOptions(),
+		Window:             10 * time.Millisecond,
+		MaxBatch:           16,
+		Workers:            runtime.NumCPU(),
+		QueueCap:           1024,
+		MaxShapes:          64,
+		Epoch:              []byte("zkvc-epoch-0"),
+		StreamWriteTimeout: 30 * time.Second,
 	}
 }
 
@@ -252,6 +261,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxShapes <= 0 {
 		cfg.MaxShapes = 64
+	}
+	if cfg.StreamWriteTimeout <= 0 {
+		cfg.StreamWriteTimeout = 30 * time.Second
 	}
 	if len(cfg.Epoch) == 0 {
 		return nil, fmt.Errorf("server: epoch label must be non-empty")

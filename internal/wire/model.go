@@ -12,6 +12,7 @@ package wire
 // proof simply could not leave the process.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -721,6 +722,12 @@ func DecodeModelStreamHeader(b []byte) (*ModelStreamHeader, error) {
 	if h.TotalOps, err = d.boundedU32("total ops", maxTraceOps); err != nil {
 		return nil, err
 	}
+	// A zero-op stream would reassemble into an empty report, which
+	// DecodeReport (and the service) reject; refuse it here so a buggy
+	// or malicious server cannot hand the client a vacuous "success".
+	if h.TotalOps == 0 {
+		return nil, fmt.Errorf("%w: model stream announces zero ops", ErrDecode)
+	}
 	return h, d.finish()
 }
 
@@ -751,6 +758,12 @@ func DecodeModelStreamError(b []byte) (string, error) {
 // for proving can also be framed back).
 const maxFrameLen = 1 << 30
 
+// ErrFrameTooLarge reports a message over the stream frame bound. It is
+// a local encoding failure, not a connection failure — a writer that
+// hits it still has a healthy peer and can (and should) tell the peer
+// what happened instead of silently dropping the stream.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
 // WriteFrame writes one length-prefixed message to a model stream. It
 // enforces the same bound ReadFrame does — a writer must never emit a
 // frame its peer's decoder is obligated to reject (and a message beyond
@@ -758,7 +771,7 @@ const maxFrameLen = 1 << 30
 // stream).
 func WriteFrame(w io.Writer, msg []byte) error {
 	if len(msg) > maxFrameLen {
-		return fmt.Errorf("wire: %d-byte frame exceeds limit %d", len(msg), maxFrameLen)
+		return fmt.Errorf("%w: %d bytes > %d", ErrFrameTooLarge, len(msg), maxFrameLen)
 	}
 	var hdr [4]byte
 	hdr[0] = byte(len(msg) >> 24)

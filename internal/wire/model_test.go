@@ -148,6 +148,21 @@ func TestModelStreamRoundTrip(t *testing.T) {
 	if _, err := wire.DecodeModelStream(&buf, nil); err == nil {
 		t.Fatal("error frame did not abort the stream")
 	}
+
+	// A zero-op header is an empty report in disguise; DecodeReport and
+	// the service reject empty reports, so the stream decoder must too —
+	// a malicious server must not be able to hand out a vacuous success.
+	zero := wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
+		Model: cfg.Name, Backend: rep.Backend, Circuit: rep.Circuit, TotalOps: 0,
+	})
+	if _, err := wire.DecodeModelStreamHeader(zero); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("zero-op stream header accepted: %v", err)
+	}
+	buf.Reset()
+	wire.WriteFrame(&buf, zero)
+	if _, err := wire.DecodeModelStream(&buf, nil); err == nil {
+		t.Fatal("zero-op stream reassembled into an empty report")
+	}
 }
 
 // TestModelDecodersRejectTruncationAndTrailing extends the strict-decode
@@ -202,5 +217,20 @@ func TestModelDecodersRejectTruncationAndTrailing(t *testing.T) {
 	// Cross-tag confusion: a report is not a request.
 	if _, err := wire.DecodeProveModelRequest(raw); !errors.Is(err, wire.ErrDecode) {
 		t.Fatalf("cross-tag decode accepted: %v", err)
+	}
+}
+
+// TestWriteFrameRejectsOversize: a frame over the stream bound fails
+// with the ErrFrameTooLarge sentinel (the server relies on it to tell a
+// local encoding failure from a client disconnect), before any bytes
+// reach the writer.
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	err := wire.WriteFrame(&buf, make([]byte, 1<<30+1))
+	if !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("oversize frame error = %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes written for a rejected frame", buf.Len())
 	}
 }

@@ -355,23 +355,30 @@ func newSetupCache(seed int64, external SetupFunc) *setupCache {
 	return &setupCache{entries: make(map[[32]byte]*setupEntry), seed: seed, external: external}
 }
 
-func (c *setupCache) get(digest [32]byte, sys *r1cs.System) (*groth16.ProvingKey, *groth16.VerifyingKey, error) {
+// get returns the proving material for a circuit digest plus the setup
+// time this call actually paid: the creator measures its own setup,
+// while hits and waiters report zero — an op that merely waited on
+// another goroutine's in-flight setup did no setup work, and charging
+// it the wait would inflate TotalSetup by up to the parallelism factor.
+func (c *setupCache) get(digest [32]byte, sys *r1cs.System) (*groth16.ProvingKey, *groth16.VerifyingKey, time.Duration, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[digest]; ok {
 		c.mu.Unlock()
 		<-e.ready
-		return e.pk, e.vk, e.err
+		return e.pk, e.vk, 0, e.err
 	}
 	e := &setupEntry{ready: make(chan struct{})}
 	c.entries[digest] = e
 	c.mu.Unlock()
+	start := time.Now()
 	if c.external != nil {
 		e.pk, e.vk, e.err = c.external(digest, sys)
 	} else {
 		e.pk, e.vk, e.err = SetupCircuit(sys, c.seed)
 	}
+	elapsed := time.Since(start)
 	close(e.ready)
-	return e.pk, e.vk, e.err
+	return e.pk, e.vk, elapsed, e.err
 }
 
 // SetupCircuit generates a Groth16 CRS for the circuit with randomness
@@ -497,17 +504,17 @@ func finishProof(out OpProof, sys *r1cs.System, assignment, public []ff.Fr, opts
 		var pk *groth16.ProvingKey
 		var vk *groth16.VerifyingKey
 		var err error
-		start := time.Now()
 		if setups != nil {
-			pk, vk, err = setups.get(sys.StructureDigest(), sys)
+			pk, vk, out.Setup, err = setups.get(sys.StructureDigest(), sys)
 		} else {
+			start := time.Now()
 			pk, vk, err = groth16.Setup(sys, rng)
+			out.Setup = time.Since(start)
 		}
 		if err != nil {
 			return out, err
 		}
-		out.Setup = time.Since(start)
-		start = time.Now()
+		start := time.Now()
 		proof, err := groth16.Prove(sys, pk, assignment, rng)
 		if err != nil {
 			return out, err

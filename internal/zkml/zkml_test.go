@@ -2,10 +2,15 @@ package zkml
 
 import (
 	mrand "math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"zkvc/internal/crpc"
+	"zkvc/internal/groth16"
 	"zkvc/internal/nn"
+	"zkvc/internal/r1cs"
 )
 
 // tinyConfig is small enough that exact end-to-end proving with both
@@ -244,5 +249,45 @@ func TestSqrtRatio(t *testing.T) {
 		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
 			t.Errorf("sqrtRatio(%g) = %g, want %g", c.in, got, c.want)
 		}
+	}
+}
+
+// TestSetupCacheChargesOnlyTheCreator pins the setup-time accounting:
+// of N ops racing for the same circuit's proving material, exactly one
+// runs (and is charged for) the setup; waiters and later hits report
+// zero, so TotalSetup reflects work done, not time spent blocked.
+func TestSetupCacheChargesOnlyTheCreator(t *testing.T) {
+	var calls atomic.Int32
+	c := newSetupCache(0, func([32]byte, *r1cs.System) (*groth16.ProvingKey, *groth16.VerifyingKey, error) {
+		calls.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return nil, nil, nil
+	})
+	const racers = 4
+	durs := make([]time.Duration, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, d, err := c.get([32]byte{1}, nil)
+			if err != nil {
+				t.Error(err)
+			}
+			durs[i] = d
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("setup ran %d times, want 1", calls.Load())
+	}
+	charged := 0
+	for _, d := range durs {
+		if d > 0 {
+			charged++
+		}
+	}
+	if charged != 1 {
+		t.Fatalf("%d racers charged setup time, want exactly the creator", charged)
 	}
 }
