@@ -203,6 +203,23 @@ func runJSONMode(parallelRun bool, parseBench, jsonOut, baseline string, maxRegr
 		for name, s := range rep.Speedups {
 			fmt.Printf("%-40s %5.2fx (par=1 → par=%d)\n", name, s, parN)
 		}
+
+		// Cluster harness: coordinator overhead rows (direct vs routed vs
+		// failover) plus the routed/failover counters. Never gates — the
+		// gate reads gotest/ rows only.
+		clusterRows, counters, err := bench.RunClusterReport(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zkvc-bench: cluster harness: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Rows = append(rep.Rows, clusterRows...)
+		rep.Counters = counters
+		for _, r := range clusterRows {
+			fmt.Printf("%-40s %8.3fs/proof\n", r.Name, r.Seconds)
+		}
+		for name, v := range counters {
+			fmt.Printf("%-40s %8d\n", name, v)
+		}
 	}
 
 	if parseBench != "" {

@@ -21,6 +21,14 @@
 //	zkvc prove-model -server http://localhost:8799 -model vit-cifar10 -scale 8 -out report.bin
 //	zkvc verify-model -server http://localhost:8799 -report report.bin
 //
+// Cluster workflow (a coordinator shards jobs across prover nodes by
+// CRS affinity; clients talk to the coordinator exactly as to a node):
+//
+//	zkvc serve -addr :8801 &
+//	zkvc serve -addr :8802 &
+//	zkvc serve -coordinator -addr :8799 -node http://localhost:8801 -node http://localhost:8802
+//	zkvc client -server http://localhost:8799 -x x.json -w w.json
+//
 // Matrices are JSON ({"rows":R,"cols":C,"data":[...int64]}); proofs and
 // model reports use the canonical versioned binary format of
 // internal/wire.

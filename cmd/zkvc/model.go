@@ -12,15 +12,10 @@ package main
 // service's issued-proof policy exists to avoid for third parties).
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	mrand "math/rand"
-	"net/http"
 	"os"
-	"strings"
 
 	"zkvc"
 	"zkvc/internal/nn"
@@ -93,33 +88,14 @@ func cmdProveModel(args []string) {
 	logits := model.Forward(x, &trace)
 	fmt.Printf("model %s: %d traced ops, logits %v\n", cfg.Name, len(trace.Ops), logits.Data)
 
-	body := wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+	c := server.NewClient(*serverURL)
+	c.Tenant = *tenant
+	rep, err := c.ProveModel(&wire.ProveModelRequest{
 		Backend:        backend,
 		ProveNonlinear: *nonlinear,
 		Cfg:            cfg,
 		Trace:          &trace,
-	})
-	req, err := http.NewRequest(http.MethodPost, *serverURL+"/v1/prove/model", bytes.NewReader(body))
-	if err != nil {
-		fatalf("prove-model: %v", err)
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	if *tenant != "" {
-		req.Header.Set(server.TenantHeader, *tenant)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		fatalf("prove-model: %v", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		fatalf("prove-model: server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
-	}
-
-	done := 0
-	rep, err := wire.DecodeModelStream(resp.Body, func(op *zkml.OpProof) {
-		done++
+	}, func(op *zkml.OpProof) {
 		fmt.Printf("  op %3d %-18s %-7s %6d constraints, prove %v\n",
 			op.Seq, op.Tag, op.Kind, op.Stats.Constraints, op.Prove.Round(1e6))
 	})
@@ -169,32 +145,10 @@ func cmdVerifyModel(args []string) {
 		return
 	}
 
-	req, err := http.NewRequest(http.MethodPost, *serverURL+"/v1/verify/model", bytes.NewReader(raw))
-	if err != nil {
-		fatalf("verify-model: %v", err)
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	if *tenant != "" {
-		req.Header.Set(server.TenantHeader, *tenant)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		fatalf("verify-model: %v", err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fatalf("verify-model: reading verdict: %v", err)
-	}
-	var verdict struct {
-		OK    bool   `json:"ok"`
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(body, &verdict); err != nil {
-		fatalf("verify-model: server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
-	}
-	if !verdict.OK {
-		fatalf("verification FAILED: %s", verdict.Error)
+	c := server.NewClient(*serverURL)
+	c.Tenant = *tenant
+	if err := c.VerifyModel(rep); err != nil {
+		fatalf("verification FAILED: %v", err)
 	}
 	fmt.Printf("verification OK: service vouches for %s (%d ops on %s)\n",
 		rep.Model, len(rep.Ops), rep.Backend)

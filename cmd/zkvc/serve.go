@@ -1,15 +1,15 @@
 package main
 
 import (
-	"bytes"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"zkvc"
+	"zkvc/internal/cluster"
 	"zkvc/internal/server"
 	"zkvc/internal/wire"
 )
@@ -25,7 +25,17 @@ func parseBackend(name string) (zkvc.Backend, error) {
 	}
 }
 
-// cmdServe runs the coalescing proving service.
+// stringList is a repeatable string flag (e.g. -node url -node url).
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// cmdServe runs the proving service — as a single node, or with
+// -coordinator as the router in front of a pool of nodes.
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8799", "listen address")
@@ -38,7 +48,43 @@ func cmdServe(args []string) {
 	epoch := fs.String("epoch", "zkvc-epoch-0", "shape-epoch label for the single-proof CRS cache")
 	streamTimeout := fs.Duration("stream-timeout", 30*time.Second,
 		"per-frame model-stream write deadline; a client that stops reading this long is treated as gone")
+
+	coordinator := fs.Bool("coordinator", false,
+		"run as a cluster coordinator: route jobs across -node prover nodes by CRS affinity instead of proving locally")
+	var nodes stringList
+	fs.Var(&nodes, "node", "prover node base URL (repeatable; coordinator mode)")
+	probeInterval := fs.Duration("probe-interval", time.Second, "node health-probe interval (coordinator mode)")
+	probeFailures := fs.Int("probe-failures", 2, "consecutive probe failures before a node stops receiving work (coordinator mode)")
+
+	announce := fs.String("announce", "",
+		"coordinator base URL to register this node with (node mode); requires -advertise")
+	advertise := fs.String("advertise", "",
+		"base URL the coordinator should reach this node at, e.g. http://10.0.0.7:8799")
+	nodeName := fs.String("node-name", "", "stable node identity for the coordinator (default: the -advertise URL)")
+	heartbeat := fs.Duration("heartbeat", 2*time.Second, "heartbeat interval toward -announce")
 	fs.Parse(args)
+
+	if *coordinator {
+		if len(nodes) == 0 {
+			fmt.Fprintln(os.Stderr, "serve: -coordinator with no -node flags: nodes must join via /v1/cluster/announce before any job can be routed")
+		}
+		ccfg := cluster.DefaultConfig()
+		ccfg.Nodes = nodes
+		ccfg.ProbeInterval = *probeInterval
+		ccfg.ProbeFailures = *probeFailures
+		ccfg.StreamWriteTimeout = *streamTimeout
+		c, err := cluster.New(ccfg)
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+		defer c.Close()
+		fmt.Printf("zkvc cluster coordinator on %s: %d static node(s), probe every %v\n",
+			*addr, len(nodes), *probeInterval)
+		if err := c.ListenAndServe(*addr); err != nil {
+			fatalf("serve: %v", err)
+		}
+		return
+	}
 
 	backend, err := parseBackend(*backendName)
 	if err != nil {
@@ -58,6 +104,16 @@ func cmdServe(args []string) {
 		fatalf("serve: %v", err)
 	}
 	defer s.Close()
+	if *announce != "" {
+		if *advertise == "" {
+			fatalf("serve: -announce requires -advertise (the URL the coordinator reaches this node at)")
+		}
+		name := *nodeName
+		if name == "" {
+			name = *advertise
+		}
+		go announceLoop(s, *announce, name, *advertise, cfg.Workers, *heartbeat)
+	}
 	fmt.Printf("zkvc proving service on %s: backend %s, window %v, max batch %d, parallelism %d\n",
 		*addr, backend, *window, *maxBatch, zkvc.Parallelism())
 	if err := s.ListenAndServe(*addr); err != nil {
@@ -65,8 +121,41 @@ func cmdServe(args []string) {
 	}
 }
 
-// cmdClient submits a proving job to a running service, verifies the
-// coalesced batch locally, and stores the response in the wire format.
+// announceLoop registers the node with a coordinator and keeps its
+// entry fresh: announce until it sticks, then heartbeat the queue
+// depth. Re-announcing on heartbeat 404 covers a coordinator restart.
+func announceLoop(s *server.Server, coordinatorURL, name, advertise string, workers int, interval time.Duration) {
+	c := server.NewClient(coordinatorURL)
+	a := &wire.NodeAnnounce{Name: name, URL: advertise, Workers: workers}
+	for {
+		if err := c.Announce(a); err == nil {
+			break
+		} else {
+			fmt.Fprintf(os.Stderr, "zkvc: announce to %s failed (will retry): %v\n", coordinatorURL, err)
+		}
+		time.Sleep(interval)
+	}
+	fmt.Printf("registered with coordinator %s as %q\n", coordinatorURL, name)
+	for {
+		time.Sleep(interval)
+		snap := s.Metrics()
+		err := c.Heartbeat(&wire.NodeHeartbeat{
+			Name:       name,
+			QueueUnits: snap.QueueDepth + snap.ModelOpsQueued,
+		})
+		var se *server.StatusError
+		if errors.As(err, &se) && se.Code == 404 {
+			// Coordinator restarted and lost the registration.
+			if err := c.Announce(a); err != nil {
+				fmt.Fprintf(os.Stderr, "zkvc: re-announce to %s failed: %v\n", coordinatorURL, err)
+			}
+		}
+	}
+}
+
+// cmdClient submits a proving job to a running service (or a cluster
+// coordinator — same surface), verifies the result locally, and stores
+// the response in the wire format.
 func cmdClient(args []string) {
 	fs := flag.NewFlagSet("client", flag.ExitOnError)
 	serverURL := fs.String("server", "http://localhost:8799", "proving service base URL")
@@ -89,36 +178,13 @@ func cmdClient(args []string) {
 		fatalf("client: %v", err)
 	}
 
-	body := wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w})
-	endpoint := *serverURL + "/v1/prove"
+	c := server.NewClient(*serverURL)
+	c.Tenant = *tenant
+	var raw []byte
 	if *single {
-		endpoint += "/single"
-	}
-	httpReq, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
-	if err != nil {
-		fatalf("client: %v", err)
-	}
-	httpReq.Header.Set("Content-Type", "application/octet-stream")
-	if *tenant != "" {
-		httpReq.Header.Set(server.TenantHeader, *tenant)
-	}
-	resp, err := http.DefaultClient.Do(httpReq)
-	if err != nil {
-		fatalf("client: %v", err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fatalf("client: reading response: %v", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		fatalf("client: server returned %d: %s", resp.StatusCode, raw)
-	}
-
-	if *single {
-		proof, err := wire.DecodeMatMulProof(raw)
+		proof, err := c.ProveSingle(x, w)
 		if err != nil {
-			fatalf("client: decoding proof: %v", err)
+			fatalf("client: %v", err)
 		}
 		// The trusted epoch comes from our flag, not from the proof. And
 		// since this client knows W, it checks the product directly too —
@@ -132,10 +198,11 @@ func cmdClient(args []string) {
 		}
 		fmt.Printf("single proof OK: backend %s, %d bytes, epoch %q\n",
 			proof.Backend, proof.SizeBytes(), proof.Epoch)
+		raw = wire.EncodeMatMulProof(proof)
 	} else {
-		pr, err := wire.DecodeProveResponse(raw)
+		pr, err := c.Prove(x, w)
 		if err != nil {
-			fatalf("client: decoding response: %v", err)
+			fatalf("client: %v", err)
 		}
 		if err := zkvc.VerifyMatMulBatch(pr.Xs, pr.Batch); err != nil {
 			fatalf("client: batch does not verify: %v", err)
@@ -145,6 +212,7 @@ func cmdClient(args []string) {
 		}
 		fmt.Printf("batch proof OK: %d statements coalesced, ours is #%d, backend %s, %d bytes\n",
 			len(pr.Xs), pr.Index, pr.Batch.Backend, pr.Batch.SizeBytes())
+		raw = wire.EncodeProveResponse(pr)
 	}
 	if err := os.WriteFile(*out, raw, 0o644); err != nil {
 		fatalf("client: %v", err)

@@ -1,0 +1,121 @@
+// Sharded proving: a coordinator routes jobs across three prover nodes
+// by CRS affinity — the scale-out step after the single service, all
+// in-process so the whole cluster runs with one command.
+//
+// The coordinator hashes each job's coalescing key (matmul: tenant +
+// shape + options; model: tenant + circuit structure) over the node
+// pool, so identical circuits keep hitting the node whose Groth16 setup
+// cache is already warm: watch the per-node CRS counters — repeat
+// proofs of the same model pay zero new setups, and they all live on
+// one node. The example then drains that node and shows work flowing to
+// the rest of the pool while the drained node finishes what it had.
+//
+//	go run ./examples/cluster-inference
+package main
+
+import (
+	"fmt"
+	"log"
+	mrand "math/rand"
+	"net/http/httptest"
+
+	"zkvc"
+	"zkvc/internal/cluster"
+	"zkvc/internal/nn"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+)
+
+func main() {
+	// Three ordinary prover nodes — each is exactly what `zkvc serve`
+	// runs, here in-process behind httptest listeners.
+	var nodes []*server.Server
+	var urls []string
+	for i := 0; i < 3; i++ {
+		cfg := server.DefaultConfig()
+		cfg.Seed = 42 // deterministic demo; production keeps crypto/rand
+		s, err := server.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		nodes = append(nodes, s)
+		urls = append(urls, ts.URL)
+	}
+
+	// The coordinator — `zkvc serve -coordinator -node <url> ...`.
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = urls
+	coord, err := cluster.New(ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+	front := httptest.NewServer(coord.Handler())
+	defer front.Close()
+	fmt.Printf("cluster up: coordinator fronting %d nodes\n", len(urls))
+
+	// Matmul jobs from a few tenants spread across the pool...
+	rng := mrand.New(mrand.NewSource(7))
+	x := zkvc.RandomMatrix(rng, 6, 8, 32)
+	w := zkvc.RandomMatrix(rng, 8, 5, 32)
+	for _, tenant := range []string{"acme", "globex", "initech", "umbrella"} {
+		c := server.NewClient(front.URL)
+		c.Tenant = tenant
+		resp, err := c.Prove(x, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := zkvc.VerifyMatMulBatch(resp.Xs, resp.Batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// ...while one tenant's model lands on one node, twice: the second
+	// pass hits that node's warm CRS cache instead of paying new setups.
+	cfg := nn.TinyConfig("cluster-demo", nn.MixerPooling)
+	model, err := nn.NewModel(cfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := nn.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(9))), &trace)
+	req := &wire.ProveModelRequest{Backend: zkvc.Groth16, ProveNonlinear: true, Cfg: cfg, Trace: &trace}
+
+	mc := server.NewClient(front.URL)
+	mc.Tenant = "acme"
+	rep, err := mc.ProveModel(req, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mc.ProveModel(req, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := mc.VerifyModel(rep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %q proved twice through the cluster (%d ops), report verified by the issuing node\n",
+		cfg.Name, len(rep.Ops))
+
+	var homeNode string
+	for i, n := range nodes {
+		snap := n.Metrics()
+		fmt.Printf("  node %d: crs misses %d, hits %d, model jobs %d\n",
+			i, snap.CRSCacheMisses, snap.CRSCacheHits, snap.ModelJobsProved)
+		if snap.ModelJobsProved > 0 {
+			homeNode = urls[i]
+		}
+	}
+
+	// Drain the model's home node: new work routes around it; nothing
+	// already accepted is dropped.
+	coord.Drain(homeNode, true)
+	if _, err := mc.Prove(x, w); err != nil {
+		log.Fatal(err)
+	}
+	snap := coord.Metrics()
+	fmt.Printf("drained %s; cluster totals: routed %d, failovers %d, unroutable %d\n",
+		homeNode, snap.Routed, snap.FailedOver, snap.Unroutable)
+}

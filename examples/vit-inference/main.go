@@ -14,12 +14,9 @@
 package main
 
 import (
-	"bytes"
 	"fmt"
-	"io"
 	"log"
 	mrand "math/rand"
-	"net/http"
 	"net/http/httptest"
 
 	"zkvc"
@@ -59,25 +56,17 @@ func main() {
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
-	// POST the captured trace; per-op proofs stream back as frames in
-	// completion order (independent ops prove concurrently server-side).
-	body := wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+	// POST the captured trace through the typed client; per-op proofs
+	// stream back as frames in completion order (independent ops prove
+	// concurrently server-side).
+	client := server.NewClient(ts.URL)
+	streamed := 0
+	report, err := client.ProveModel(&wire.ProveModelRequest{
 		Backend:        zkvc.Spartan,
 		ProveNonlinear: true,
 		Cfg:            cfg,
 		Trace:          &trace,
-	})
-	resp, err := http.Post(ts.URL+"/v1/prove/model", "application/octet-stream", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		log.Fatalf("/v1/prove/model: status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
-	}
-	streamed := 0
-	report, err := wire.DecodeModelStream(resp.Body, func(op *zkml.OpProof) {
+	}, func(op *zkml.OpProof) {
 		streamed++
 		if streamed <= 3 {
 			fmt.Printf("  streamed op %d (%s, %v): %d constraints\n",
@@ -91,14 +80,8 @@ func main() {
 		streamed, report.TotalConstraints(), report.TotalProofBytes(), report.TotalProve().Seconds())
 
 	// Ask the service for its verdict, then re-verify every proof locally.
-	verdict, err := http.Post(ts.URL+"/v1/verify/model", "application/octet-stream",
-		bytes.NewReader(wire.EncodeReport(report)))
-	if err != nil {
-		log.Fatal(err)
-	}
-	verdict.Body.Close()
-	if verdict.StatusCode != http.StatusOK {
-		log.Fatalf("/v1/verify/model rejected the report (status %d)", verdict.StatusCode)
+	if err := client.VerifyModel(report); err != nil {
+		log.Fatalf("/v1/verify/model rejected the report: %v", err)
 	}
 	if err := zkml.VerifyReport(report, zkml.Options{PCS: pcs.DefaultParams()}); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"net/http/httptest"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/cluster"
+	"zkvc/internal/matrix"
+	"zkvc/internal/server"
+)
+
+// This file measures coordinator overhead: the same single-proof
+// workload against a node directly and through a two-node coordinator,
+// plus a forced failover pass against a half-dead pool. The rows land
+// in BENCH_*.json next to the parallelism rows (they never gate — the
+// gate only reads gotest/ rows); the routed/failover counters go into
+// the report's counters map so the trajectory tracks them.
+
+// clusterShape is deliberately small: the point is the routing delta,
+// not the proving time it rides on.
+var clusterShape = [3]int{16, 32, 16}
+
+// RunClusterReport measures direct-vs-routed proving and a failover
+// pass, returning rows for the report plus the coordinator's counters.
+func RunClusterReport(seed int64) ([]ParallelRow, map[string]int64, error) {
+	scfg := server.DefaultConfig()
+	scfg.Seed = seed
+	scfg.Workers = 1
+	var nodeTS []*httptest.Server
+	var urls []string
+	for i := 0; i < 2; i++ {
+		s, err := server.New(scfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		nodeTS = append(nodeTS, ts)
+		urls = append(urls, ts.URL)
+	}
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = urls
+	ccfg.ProbeInterval = time.Hour // forwarding must survive without probe help
+	coord, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer coord.Close()
+	front := httptest.NewServer(coord.Handler())
+	defer front.Close()
+
+	rng := mrand.New(mrand.NewSource(seed))
+	x := matrix.Random(rng, clusterShape[0], clusterShape[1], 256)
+	w := matrix.Random(rng, clusterShape[1], clusterShape[2], 256)
+
+	// Warm both nodes' epoch CRS for the shape so neither measured pass
+	// pays a setup.
+	for _, u := range urls {
+		if _, err := server.NewClient(u).ProveSingle(x, w); err != nil {
+			return nil, nil, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	const reps = 6
+	measurePath := func(baseURL, tenant string) (float64, error) {
+		c := server.NewClient(baseURL)
+		c.Tenant = tenant
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			proof, err := c.ProveSingle(x, w)
+			if err != nil {
+				return 0, err
+			}
+			if err := zkvc.VerifyMatMulInEpoch(x, proof, scfg.Epoch); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds() / reps, nil
+	}
+
+	name := fmt.Sprintf("single/zkVC-S/%dx%dx%d", clusterShape[0], clusterShape[1], clusterShape[2])
+	direct, err := measurePath(urls[0], "bench")
+	if err != nil {
+		return nil, nil, fmt.Errorf("direct pass: %w", err)
+	}
+	routed, err := measurePath(front.URL, "bench")
+	if err != nil {
+		return nil, nil, fmt.Errorf("routed pass: %w", err)
+	}
+	rows := []ParallelRow{
+		{Name: "cluster/direct/" + name, Parallelism: 1, Seconds: direct},
+		{Name: "cluster/routed/" + name, Parallelism: 1, Seconds: routed},
+	}
+
+	// Failover pass: kill one node and route tenants whose home it was.
+	nodeTS[1].Close()
+	c := server.NewClient(front.URL)
+	start := time.Now()
+	fails := 0
+	for i := 0; i < reps; i++ {
+		c.Tenant = fmt.Sprintf("failover-%d", i)
+		if _, err := c.ProveSingle(x, w); err != nil {
+			fails++
+		}
+	}
+	if fails > 0 {
+		return nil, nil, fmt.Errorf("failover pass: %d of %d jobs failed against a half-dead pool", fails, reps)
+	}
+	rows = append(rows, ParallelRow{
+		Name: "cluster/failover/" + name, Parallelism: 1,
+		Seconds: time.Since(start).Seconds() / reps,
+	})
+
+	snap := coord.Metrics()
+	counters := map[string]int64{
+		"cluster_routed":    snap.Routed,
+		"cluster_failovers": snap.FailedOver,
+	}
+	return rows, counters, nil
+}

@@ -57,6 +57,9 @@ type ParallelReport struct {
 	Rows          []ParallelRow `json:"results"`
 	// Speedups maps each configuration to seconds(par=1)/seconds(par=N).
 	Speedups map[string]float64 `json:"speedups,omitempty"`
+	// Counters carries workload-level counts recorded alongside the rows
+	// (cluster_routed / cluster_failovers from the cluster harness).
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // parallelShapes are the single-proof shapes the harness sweeps: the

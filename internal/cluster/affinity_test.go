@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"bytes"
+	mrand "math/rand"
+	"testing"
+
+	"zkvc"
+	"zkvc/internal/nn"
+	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
+)
+
+// TestModelAffinityRequestReportAgree pins the property verify routing
+// depends on: the affinity key derived from a prove-model request must
+// equal the key derived from the report that request produces —
+// otherwise /v1/verify/model would route to a node whose issued log
+// never saw the report.
+func TestModelAffinityRequestReportAgree(t *testing.T) {
+	cfg := nn.TinyConfig("affinity", nn.MixerPooling)
+	model, err := nn.NewModel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := nn.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(4))), &trace)
+
+	for _, nonlinear := range []bool{true, false} {
+		req := &wire.ProveModelRequest{
+			Backend: zkvc.Spartan, ProveNonlinear: nonlinear, Cfg: cfg, Trace: &trace,
+		}
+		opts := zkml.DefaultOptions()
+		opts.Seed = 5
+		opts.ProveNonlinear = nonlinear
+		rep, err := zkml.ProveTrace(cfg, &trace, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		reqKey, err := modelKeyFromRequest("tenant-x", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repKey := modelKeyFromReport("tenant-x", rep)
+		if !bytes.Equal(reqKey, repKey) {
+			t.Fatalf("nonlinear=%t: request key %x != report key %x", nonlinear, reqKey, repKey)
+		}
+
+		// The key must separate what must not share a node's issued log.
+		if otherTenant := modelKeyFromReport("tenant-y", rep); bytes.Equal(repKey, otherTenant) {
+			t.Fatal("keys collide across tenants")
+		}
+		otherBackend := *req
+		otherBackend.Backend = zkvc.Groth16
+		obKey, err := modelKeyFromRequest("tenant-x", &otherBackend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(reqKey, obKey) {
+			t.Fatal("keys collide across backends")
+		}
+	}
+
+	// The nonlinear flag changes the planned op set, hence the key.
+	withNL, err := modelKeyFromRequest("t", &wire.ProveModelRequest{
+		Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: cfg, Trace: &trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutNL, err := modelKeyFromRequest("t", &wire.ProveModelRequest{
+		Backend: zkvc.Spartan, ProveNonlinear: false, Cfg: cfg, Trace: &trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(withNL, withoutNL) {
+		t.Fatal("keys collide across nonlinear settings")
+	}
+}
+
+// TestMatMulAffinityKeySeparation: the matmul key must isolate tenants
+// (including quoting-hostile tenant strings), shapes and options.
+func TestMatMulAffinityKeySeparation(t *testing.T) {
+	base := matmulKey("t", 6, 8, 5, zkvc.DefaultOptions())
+	if bytes.Equal(base, matmulKey("u", 6, 8, 5, zkvc.DefaultOptions())) {
+		t.Fatal("keys collide across tenants")
+	}
+	if bytes.Equal(base, matmulKey("t", 6, 8, 6, zkvc.DefaultOptions())) {
+		t.Fatal("keys collide across shapes")
+	}
+	if bytes.Equal(base, matmulKey("t", 6, 8, 5, zkvc.Options{})) {
+		t.Fatal("keys collide across circuit options")
+	}
+	// A tenant crafted to look like another tenant's key material must
+	// not collide: %q-quoting keeps the separators out of reach.
+	a := matmulKey(`x|6x8x5`, 1, 1, 1, zkvc.DefaultOptions())
+	b := matmulKey(`x`, 1, 1, 1, zkvc.DefaultOptions())
+	if bytes.Equal(a, b) {
+		t.Fatal("crafted tenant collides")
+	}
+}
+
+// TestRendezvousRankStability: every key ranks all nodes, the order is
+// deterministic, and removing the winner only promotes the runner-up —
+// the minimal-disruption property that keeps CRS caches warm when the
+// pool changes.
+func TestRendezvousRankStability(t *testing.T) {
+	c, err := New(Config{Nodes: []string{
+		"http://node-a:1", "http://node-b:1", "http://node-c:1",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	key := matmulKey("tenant", 6, 8, 5, zkvc.DefaultOptions())
+	first := c.rank(key)
+	if len(first) != 3 {
+		t.Fatalf("rank returned %d nodes, want 3", len(first))
+	}
+	again := c.rank(key)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatal("rank is not deterministic")
+		}
+	}
+	// Drain the winner: the healthy ranking is the old one minus the
+	// winner, in the same order.
+	if !c.Drain(first[0].name, true) {
+		t.Fatal("drain failed")
+	}
+	healthy := c.healthyRanked(key)
+	if len(healthy) != 2 || healthy[0] != first[1] || healthy[1] != first[2] {
+		t.Fatal("draining the winner reshuffled the remaining order")
+	}
+}

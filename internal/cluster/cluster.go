@@ -1,0 +1,428 @@
+// Package cluster scales the proving service out: a coordinator fronts
+// a pool of ordinary prover nodes (internal/server instances), routing
+// every job by CRS affinity so identical circuits keep landing on the
+// node whose setup cache is already warm.
+//
+// Routing is rendezvous (highest-random-weight) hashing on the same key
+// the nodes coalesce and cache by — matmul: (tenant, shape, circuit
+// options); model: (tenant, backend, trace circuit structure) — so a
+// tenant's repeated shapes hit one node's Groth16 CRS cache instead of
+// every node re-deriving every shape, and adding a node only remaps the
+// 1/n of the keyspace it takes over. The coordinator forwards request
+// bodies byte-for-byte (the Zkvc-Tenant header travels verbatim — a
+// dropped header would silently merge tenants' coalescing windows on
+// the node) and passes model stream frames through unmodified, with the
+// same per-frame write deadline discipline as the nodes themselves.
+//
+// Failure handling: a job whose node cannot be reached (or sheds load
+// with 503) is retried, unstarted, against the next node in hash order;
+// a node that dies mid-model-stream is surfaced to the client as an
+// in-stream error frame — started ops cannot be transparently replayed,
+// because the stream already carries their frames. A periodic
+// /metrics-based probe marks unreachable nodes unhealthy: they stop
+// receiving new work but finish what they accepted (forwarding is
+// synchronous, so nothing is queued at the coordinator), which is also
+// exactly what Drain does on demand.
+//
+// Verify endpoints route by the same affinity as their prove
+// counterparts. That is what keeps the issued-proof policy sound
+// without a replicated log: the node that issued a proof is the only
+// one whose issued log can vouch for it, and affinity is how a
+// resubmitted proof finds that node again.
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+)
+
+// Config tunes a coordinator. The zero value is not valid; use
+// DefaultConfig as a base.
+type Config struct {
+	// Nodes are the static prover-node base URLs. More can join at
+	// runtime through /v1/cluster/announce.
+	Nodes []string
+	// Opts are the deployment-wide circuit options, folded into matmul
+	// affinity keys so they match the nodes' CRS cache keys.
+	Opts zkvc.Options
+	// ProbeInterval is how often every node's /metrics is probed.
+	// 0 means 1s.
+	ProbeInterval time.Duration
+	// ProbeFailures is how many consecutive probe failures mark a node
+	// unhealthy. 0 means 2.
+	ProbeFailures int
+	// ProbeTimeout bounds one probe round trip. 0 means 5s.
+	ProbeTimeout time.Duration
+	// StreamWriteTimeout bounds one relayed model-stream frame write
+	// toward the client, exactly like server.Config.StreamWriteTimeout.
+	// 0 means 30s.
+	StreamWriteTimeout time.Duration
+}
+
+// DefaultConfig returns a production-shaped coordinator configuration.
+func DefaultConfig() Config {
+	return Config{
+		Opts:               zkvc.DefaultOptions(),
+		ProbeInterval:      time.Second,
+		ProbeFailures:      2,
+		ProbeTimeout:       5 * time.Second,
+		StreamWriteTimeout: 30 * time.Second,
+	}
+}
+
+// node is one prover in the pool. Identity (name, url) is immutable
+// after registration; everything observable is atomic so the probe
+// loop, the forwarding paths and /metrics never contend.
+type node struct {
+	name string
+	url  string
+
+	// probe is the health-check client (bounded timeout); forward is the
+	// proving-path client (no timeout — a model stream lasts as long as
+	// proving does, and contexts handle cancellation).
+	probe   *server.Client
+	forward *http.Client
+
+	workers atomic.Int64
+
+	// probeOK is the probe loop's (and heartbeats') verdict. The two
+	// drain flags are deliberately separate levers: opDrained belongs to
+	// the operator (Drain / the drain endpoint) and only the operator
+	// clears it, while selfDraining follows the node's own heartbeat —
+	// so a node's routine Draining:false heartbeats cannot silently undo
+	// an operator drain. A node takes new work only when all agree.
+	probeOK      atomic.Bool
+	opDrained    atomic.Bool
+	selfDraining atomic.Bool
+	fails        atomic.Int64
+
+	// queueUnits is the node's accepted-but-unproved work as of the last
+	// probe or heartbeat (matmul jobs + model ops).
+	queueUnits atomic.Int64
+
+	routed     atomic.Int64
+	failedOver atomic.Int64
+}
+
+func (n *node) healthy() bool {
+	return n.probeOK.Load() && !n.opDrained.Load() && !n.selfDraining.Load()
+}
+
+func (n *node) draining() bool { return n.opDrained.Load() || n.selfDraining.Load() }
+
+// Coordinator fronts the node pool. Create with New, serve Handler,
+// Close to stop the probe loop.
+type Coordinator struct {
+	cfg     Config
+	metrics clusterMetrics
+
+	mu    sync.RWMutex
+	nodes []*node
+
+	// modelSlots bounds concurrent model-endpoint requests while their
+	// (up to maxModelBodyBytes) bodies are buffered here — the same
+	// protection the nodes have, because routing does not make the
+	// coordinator's memory any less finite.
+	modelSlots chan struct{}
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New validates the configuration and starts the health-probe loop.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeFailures <= 0 {
+		cfg.ProbeFailures = 2
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 5 * time.Second
+	}
+	if cfg.StreamWriteTimeout <= 0 {
+		cfg.StreamWriteTimeout = 30 * time.Second
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		modelSlots: make(chan struct{}, modelBodySlots),
+		stop:       make(chan struct{}),
+	}
+	for _, raw := range cfg.Nodes {
+		if _, err := c.addNode(raw, raw, 0); err != nil {
+			return nil, err
+		}
+	}
+	c.wg.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the probe loop. In-flight forwarded requests are not
+// interrupted (their handlers own them).
+func (c *Coordinator) Close() {
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// addNode registers a node. Names are the rendezvous identity: a known
+// name re-announcing refreshes its URL, capacity and health instead of
+// adding a duplicate.
+func (c *Coordinator) addNode(name, rawURL string, workers int) (*node, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("cluster: node URL %q is not an absolute http(s) URL", rawURL)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		if n.name == name {
+			if n.url != rawURL {
+				return nil, fmt.Errorf("cluster: node %q re-announced with URL %q, registered at %q (restart the coordinator to move a node)", name, rawURL, n.url)
+			}
+			// A re-announce clears the node's own state but not an
+			// operator drain — only the operator hands that back.
+			n.workers.Store(int64(workers))
+			n.probeOK.Store(true)
+			n.fails.Store(0)
+			n.selfDraining.Store(false)
+			return n, nil
+		}
+	}
+	n := &node{
+		name:    name,
+		url:     u.String(),
+		probe:   server.NewClient(rawURL),
+		forward: &http.Client{},
+	}
+	n.probe.HTTP = &http.Client{Timeout: c.cfg.ProbeTimeout}
+	n.workers.Store(int64(workers))
+	// A freshly registered node is presumed healthy until the probe says
+	// otherwise — routing must work before the first probe round.
+	n.probeOK.Store(true)
+	c.nodes = append(c.nodes, n)
+	return n, nil
+}
+
+// lookup finds a node by name.
+func (c *Coordinator) lookup(name string) *node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, n := range c.nodes {
+		if n.name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// snapshotNodes copies the node list out from under the lock.
+func (c *Coordinator) snapshotNodes() []*node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*node(nil), c.nodes...)
+}
+
+// Drain marks a node as (not) accepting new work. A draining node keeps
+// finishing the jobs already forwarded to it — the coordinator holds no
+// queue of its own, so nothing is dropped. Returns false for an unknown
+// node name.
+func (c *Coordinator) Drain(name string, drain bool) bool {
+	n := c.lookup(name)
+	if n == nil {
+		return false
+	}
+	n.opDrained.Store(drain)
+	return true
+}
+
+// probeLoop polls every node's /metrics. A reachable node is healthy
+// and reports its queue depth; ProbeFailures consecutive failures mark
+// it unhealthy (drained of new work) until a probe succeeds again.
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		nodes := c.snapshotNodes()
+		var wg sync.WaitGroup
+		for _, n := range nodes {
+			wg.Add(1)
+			go func(n *node) {
+				defer wg.Done()
+				snap, err := n.probe.Metrics()
+				if err != nil {
+					if n.fails.Add(1) >= int64(c.cfg.ProbeFailures) {
+						n.probeOK.Store(false)
+					}
+					return
+				}
+				n.fails.Store(0)
+				n.probeOK.Store(true)
+				n.queueUnits.Store(snap.QueueDepth + snap.ModelOpsQueued)
+			}(n)
+		}
+		wg.Wait()
+	}
+}
+
+// rank orders every registered node by rendezvous score for key,
+// highest first: position 0 is the job's home, the rest are its
+// failover order. The score is sha256(key ‖ 0x00 ‖ name), so each
+// node's slice of the keyspace is stable under pool changes — adding a
+// node steals only the keys it now wins.
+func (c *Coordinator) rank(key []byte) []*node {
+	nodes := c.snapshotNodes()
+	type scored struct {
+		n     *node
+		score [sha256.Size]byte
+	}
+	ranked := make([]scored, len(nodes))
+	for i, n := range nodes {
+		h := sha256.New()
+		h.Write(key)
+		h.Write([]byte{0})
+		h.Write([]byte(n.name))
+		h.Sum(ranked[i].score[:0])
+		ranked[i].n = n
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		for b := 0; b < sha256.Size; b++ {
+			if ranked[i].score[b] != ranked[j].score[b] {
+				return ranked[i].score[b] > ranked[j].score[b]
+			}
+		}
+		return ranked[i].n.name < ranked[j].n.name
+	})
+	out := make([]*node, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.n
+	}
+	return out
+}
+
+// healthyRanked is rank filtered to nodes currently taking new work.
+func (c *Coordinator) healthyRanked(key []byte) []*node {
+	ranked := c.rank(key)
+	out := ranked[:0]
+	for _, n := range ranked {
+		if n.healthy() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Handler returns the coordinator's HTTP surface: the full proving
+// surface of a node (forwarded), plus the cluster control plane.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/prove", c.handleProve)
+	mux.HandleFunc("POST /v1/prove/single", c.handleProveSingle)
+	mux.HandleFunc("POST /v1/prove/model", c.handleProveModel)
+	mux.HandleFunc("POST /v1/verify", c.handleVerify)
+	mux.HandleFunc("POST /v1/verify/batch", c.handleVerifyBatch)
+	mux.HandleFunc("POST /v1/verify/model", c.handleVerifyModel)
+	mux.HandleFunc("POST /v1/cluster/announce", c.handleAnnounce)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/drain", c.handleDrain)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	return mux
+}
+
+// ListenAndServe serves the handler on addr until the listener fails.
+func (c *Coordinator) ListenAndServe(addr string) error {
+	hs := &http.Server{Addr: addr, Handler: c.Handler()}
+	return hs.ListenAndServe()
+}
+
+func (c *Coordinator) handleAnnounce(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBodyN(w, r, maxControlBodyBytes)
+	if !ok {
+		return
+	}
+	a, err := wire.DecodeNodeAnnounce(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := c.addNode(a.Name, a.URL, a.Workers); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.metrics.announces.Add(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBodyN(w, r, maxControlBodyBytes)
+	if !ok {
+		return
+	}
+	h, err := wire.DecodeNodeHeartbeat(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := c.lookup(h.Name)
+	if n == nil {
+		http.Error(w, fmt.Sprintf("unknown node %q (announce first)", h.Name), http.StatusNotFound)
+		return
+	}
+	// A heartbeat is liveness evidence on par with a successful probe.
+	// It moves only the node's own draining flag, never the operator's.
+	n.fails.Store(0)
+	n.probeOK.Store(true)
+	n.queueUnits.Store(h.QueueUnits)
+	n.selfDraining.Store(h.Draining)
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleDrain is the operator lever behind Drain:
+//
+//	POST /v1/cluster/drain?node=<name>&drain=true|false
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("node")
+	drain := r.URL.Query().Get("drain") != "false"
+	if name == "" {
+		http.Error(w, "missing node parameter", http.StatusBadRequest)
+		return
+	}
+	if !c.Drain(name, drain) {
+		http.Error(w, fmt.Sprintf("unknown node %q", name), http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	healthy := 0
+	nodes := c.snapshotNodes()
+	for _, n := range nodes {
+		if n.healthy() {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		http.Error(w, fmt.Sprintf("no healthy prover nodes (%d registered)", len(nodes)),
+			http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintf(w, "ok: %d/%d nodes healthy\n", healthy, len(nodes))
+}

@@ -1,0 +1,486 @@
+package cluster_test
+
+// Fault injection: nodes dying mid-stream, dead nodes in the hash
+// order, drains, and the tenant-forwarding regression. All of these run
+// under -race in CI (the race job covers internal/cluster).
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/cluster"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
+)
+
+// TestCoordinatorForwardsTenantVerbatim is the regression test for the
+// tenant header: the coordinator must forward Zkvc-Tenant byte for byte.
+// A dropped header would silently merge the two tenants into the node's
+// default coalescing pool — one batch carrying both statements, each
+// client seeing the other's X and Y (the cross-tenant exposure PR 1's
+// partitioning exists to prevent). With the header forwarded, two
+// concurrent same-shape jobs under different tenants must come back as
+// two single-statement batches.
+func TestCoordinatorForwardsTenantVerbatim(t *testing.T) {
+	ncfg := nodeConfig(11)
+	ncfg.Window = 250 * time.Millisecond
+	_, nodeTS := newNode(t, ncfg)
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = []string{nodeTS.URL}
+	_, coordTS := newCoordinator(t, ccfg)
+
+	rng := mrand.New(mrand.NewSource(5))
+	x := zkvc.RandomMatrix(rng, 6, 8, 32)
+	w := zkvc.RandomMatrix(rng, 8, 5, 32)
+
+	var wg sync.WaitGroup
+	resps := make([]*wire.ProveResponse, 2)
+	errs := make([]error, 2)
+	for i, tenant := range []string{"tenant-a", "tenant-b"} {
+		wg.Add(1)
+		go func(i int, tenant string) {
+			defer wg.Done()
+			c := server.NewClient(coordTS.URL)
+			c.Tenant = tenant
+			resps[i], errs[i] = c.Prove(x, w)
+		}(i, tenant)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+		if got := len(resps[i].Xs); got != 1 {
+			t.Fatalf("tenant %d got a %d-statement batch: the coordinator merged tenants (Zkvc-Tenant not forwarded)", i, got)
+		}
+		if err := zkvc.VerifyMatMulBatch(resps[i].Xs, resps[i].Batch); err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+	}
+}
+
+// stubStreamNode is a fake prover node whose /v1/prove/model sends a
+// stream header plus opFrames arbitrary frames, then kills the
+// connection — a node dying mid-model-stream, made deterministic.
+func stubStreamNode(t *testing.T, totalOps, opFrames int) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, "{}")
+	})
+	mux.HandleFunc("POST /v1/prove/model", func(w http.ResponseWriter, r *http.Request) {
+		flusher := w.(http.Flusher)
+		header := wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
+			Model: "stub", Backend: zkvc.Spartan, Circuit: zkvc.DefaultOptions(), TotalOps: totalOps,
+		})
+		if err := wire.WriteFrame(w, header); err != nil {
+			return
+		}
+		flusher.Flush()
+		for i := 0; i < opFrames; i++ {
+			if err := wire.WriteFrame(w, []byte("started-op-frame")); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+		// Die with the stream open: ErrAbortHandler tears the connection
+		// down without a graceful end-of-body.
+		panic(http.ErrAbortHandler)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestNodeDeathMidStreamSurfacesErrorFrame: once frames have been
+// forwarded, a dying node must become an in-stream ModelStreamError
+// frame — the client's decoder reports a server error instead of a
+// truncated stream, and the coordinator does not silently retry work
+// whose frames the client already holds.
+func TestNodeDeathMidStreamSurfacesErrorFrame(t *testing.T) {
+	stub := stubStreamNode(t, 3, 1)
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = []string{stub.URL}
+	ccfg.ProbeInterval = time.Hour // health changes only via forwarding, not probing
+	coord, coordTS := newCoordinator(t, ccfg)
+
+	body := wire.EncodeProveModelRequest(modelRequest(t, zkvc.Spartan, 9))
+	resp, err := http.Post(coordTS.URL+"/v1/prove/model", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	// Frame 1: the stub's header, passed through unmodified.
+	frame, err := wire.ReadFrame(resp.Body)
+	if err != nil {
+		t.Fatalf("header frame: %v", err)
+	}
+	if _, err := wire.DecodeModelStreamHeader(frame); err != nil {
+		t.Fatalf("header frame does not decode: %v", err)
+	}
+	// Frame 2: the started op's frame, passed through unmodified.
+	frame, err = wire.ReadFrame(resp.Body)
+	if err != nil {
+		t.Fatalf("op frame: %v", err)
+	}
+	if !bytes.Equal(frame, []byte("started-op-frame")) {
+		t.Fatalf("op frame was modified in transit: %q", frame)
+	}
+	// Frame 3: the coordinator's in-stream error for the node death.
+	frame, err = wire.ReadFrame(resp.Body)
+	if err != nil {
+		t.Fatalf("expected an in-stream error frame, got %v", err)
+	}
+	msg, err := wire.DecodeModelStreamError(frame)
+	if err != nil {
+		t.Fatalf("third frame is not a ModelStreamError: %v", err)
+	}
+	if !strings.Contains(msg, "mid-stream") {
+		t.Fatalf("error frame does not name the mid-stream failure: %q", msg)
+	}
+	snap := coord.Metrics()
+	if snap.StreamErrors != 1 {
+		t.Fatalf("cluster_stream_errors = %d, want 1", snap.StreamErrors)
+	}
+}
+
+// TestDeadNodeFailover: jobs whose home node is dead (unreachable, not
+// yet probed out) must be retried, unstarted, against the next node in
+// hash order — for both buffered matmul jobs and model streams that
+// never got a first frame. With enough distinct tenants, some keys are
+// guaranteed (up to 2^-24) to rank the dead node first.
+func TestDeadNodeFailover(t *testing.T) {
+	_, liveTS := newNode(t, nodeConfig(13))
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = []string{liveTS.URL, deadURL}
+	ccfg.ProbeInterval = time.Hour // keep the dead node "healthy" so forwarding must cope
+	coord, coordTS := newCoordinator(t, ccfg)
+
+	rng := mrand.New(mrand.NewSource(3))
+	x := zkvc.RandomMatrix(rng, 6, 8, 32)
+	w := zkvc.RandomMatrix(rng, 8, 5, 32)
+	for i := 0; i < 12; i++ {
+		c := server.NewClient(coordTS.URL)
+		c.Tenant = fmt.Sprintf("failover-%d", i)
+		resp, err := c.Prove(x, w)
+		if err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+		if err := zkvc.VerifyMatMulBatch(resp.Xs, resp.Batch); err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+	}
+	snap := coord.Metrics()
+	if snap.FailedOver < 1 {
+		t.Fatalf("12 tenants against a half-dead pool recorded no failovers: %+v", snap)
+	}
+	if snap.Routed != 12 {
+		t.Fatalf("cluster_routed = %d, want 12", snap.Routed)
+	}
+
+	// Model jobs fail over the same way when the dead node is first in
+	// hash order (no frames were ever forwarded).
+	req := modelRequest(t, zkvc.Spartan, 15)
+	for i := 0; i < 4; i++ {
+		c := server.NewClient(coordTS.URL)
+		c.Tenant = fmt.Sprintf("model-failover-%d", i)
+		rep, err := c.ProveModel(req, nil)
+		if err != nil {
+			t.Fatalf("model tenant %d: %v", i, err)
+		}
+		if len(rep.Ops) == 0 {
+			t.Fatalf("model tenant %d: empty report", i)
+		}
+	}
+	if snap := coord.Metrics(); snap.StreamErrors != 0 {
+		t.Fatalf("unstarted model failovers must not surface stream errors: %+v", snap)
+	}
+}
+
+// TestDrainFinishesQueuedWork: draining a node must stop new work
+// without dropping what is already accepted — a job parked in the
+// node's coalescing window completes and verifies after every node in
+// the pool is drained.
+func TestDrainFinishesQueuedWork(t *testing.T) {
+	ncfg := nodeConfig(17)
+	ncfg.Window = 400 * time.Millisecond
+	_, aTS := newNode(t, ncfg)
+	_, bTS := newNode(t, ncfg)
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = []string{aTS.URL, bTS.URL}
+	ccfg.ProbeInterval = time.Hour
+	coord, coordTS := newCoordinator(t, ccfg)
+
+	rng := mrand.New(mrand.NewSource(21))
+	x := zkvc.RandomMatrix(rng, 6, 8, 32)
+	w := zkvc.RandomMatrix(rng, 8, 5, 32)
+
+	// Park a job in some node's coalescing window.
+	type result struct {
+		resp *wire.ProveResponse
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		c := server.NewClient(coordTS.URL)
+		c.Tenant = "drain-tenant"
+		resp, err := c.Prove(x, w)
+		done <- result{resp, err}
+	}()
+
+	// Give the forward a moment to reach the node, then drain the whole
+	// pool — via the operator endpoint, so it is exercised too.
+	time.Sleep(100 * time.Millisecond)
+	for _, name := range []string{aTS.URL, bTS.URL} {
+		resp, err := http.Post(coordTS.URL+"/v1/cluster/drain?node="+name+"&drain=true", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("drain %s: status %d", name, resp.StatusCode)
+		}
+	}
+
+	// New work is refused while everything drains...
+	c := server.NewClient(coordTS.URL)
+	c.Tenant = "post-drain"
+	var se *server.StatusError
+	if _, err := c.Prove(x, w); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("prove against a fully drained pool: got %v, want 503", err)
+	}
+	if err := c.Healthz(); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz of a fully drained pool: got %v, want 503", err)
+	}
+
+	// ...but the parked job still completes and verifies.
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("parked job was dropped by the drain: %v", r.err)
+	}
+	if err := zkvc.VerifyMatMulBatch(r.resp.Xs, r.resp.Batch); err != nil {
+		t.Fatalf("parked job's proof does not verify: %v", err)
+	}
+
+	// Undraining brings the pool back.
+	if !coord.Drain(aTS.URL, false) {
+		t.Fatal("undrain of a known node reported unknown")
+	}
+	if _, err := c.Prove(x, w); err != nil {
+		t.Fatalf("prove after undrain: %v", err)
+	}
+	if snap := coord.Metrics(); snap.Unroutable < 1 {
+		t.Fatalf("fully drained pool recorded no unroutable requests: %+v", snap)
+	}
+}
+
+// TestAnnounceHeartbeatLifecycle drives the control plane end to end: a
+// coordinator born with zero nodes is unhealthy, a node announce brings
+// it up, a draining heartbeat takes the node out of rotation without a
+// restart, and a recovering heartbeat puts it back.
+func TestAnnounceHeartbeatLifecycle(t *testing.T) {
+	_, nodeTS := newNode(t, nodeConfig(23))
+	ccfg := cluster.DefaultConfig()
+	ccfg.ProbeInterval = time.Hour
+	coord, coordTS := newCoordinator(t, ccfg)
+
+	cc := server.NewClient(coordTS.URL)
+	var se *server.StatusError
+	if err := cc.Healthz(); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty cluster healthz: got %v, want 503", err)
+	}
+
+	// Heartbeats from unknown nodes are rejected: announce first.
+	if err := cc.Heartbeat(&wire.NodeHeartbeat{Name: "prover-1"}); !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("heartbeat before announce: got %v, want 404", err)
+	}
+	if err := cc.Announce(&wire.NodeAnnounce{Name: "prover-1", URL: nodeTS.URL, Workers: 1}); err != nil {
+		t.Fatalf("announce: %v", err)
+	}
+	if err := cc.Healthz(); err != nil {
+		t.Fatalf("healthz after announce: %v", err)
+	}
+
+	rng := mrand.New(mrand.NewSource(27))
+	x := zkvc.RandomMatrix(rng, 6, 8, 32)
+	w := zkvc.RandomMatrix(rng, 8, 5, 32)
+	cc.Tenant = "announced"
+	if _, err := cc.Prove(x, w); err != nil {
+		t.Fatalf("prove through an announced node: %v", err)
+	}
+
+	// A draining heartbeat takes the node out of rotation...
+	if err := cc.Heartbeat(&wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 2, Draining: true}); err != nil {
+		t.Fatalf("draining heartbeat: %v", err)
+	}
+	if _, err := cc.Prove(x, w); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("prove against a draining announced node: got %v, want 503", err)
+	}
+	snap := coord.Metrics()
+	if len(snap.Nodes) != 1 || !snap.Nodes[0].Draining || snap.Nodes[0].QueueUnits != 2 {
+		t.Fatalf("metrics don't reflect the draining heartbeat: %+v", snap.Nodes)
+	}
+	// ...and a recovering one puts it back.
+	if err := cc.Heartbeat(&wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 0}); err != nil {
+		t.Fatalf("recovering heartbeat: %v", err)
+	}
+	if _, err := cc.Prove(x, w); err != nil {
+		t.Fatalf("prove after recovery: %v", err)
+	}
+
+	// Re-announcing under the same name must not move the node to a new
+	// URL (that would be trivial traffic hijacking on an open port).
+	if err := cc.Announce(&wire.NodeAnnounce{Name: "prover-1", URL: "http://evil:1"}); !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("re-announce with a different URL: got %v, want 400", err)
+	}
+
+	// An operator drain must survive the node's routine heartbeats (and
+	// even a re-announce): only the operator hands a drain back. A
+	// heartbeat carries Draining:false by default, and before the fix it
+	// would silently undo the drain within one interval.
+	if !coord.Drain("prover-1", true) {
+		t.Fatal("operator drain of announced node failed")
+	}
+	if err := cc.Heartbeat(&wire.NodeHeartbeat{Name: "prover-1"}); err != nil {
+		t.Fatalf("heartbeat during operator drain: %v", err)
+	}
+	if err := cc.Announce(&wire.NodeAnnounce{Name: "prover-1", URL: nodeTS.URL, Workers: 1}); err != nil {
+		t.Fatalf("re-announce during operator drain: %v", err)
+	}
+	if _, err := cc.Prove(x, w); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("heartbeat/re-announce reverted an operator drain: got %v, want 503", err)
+	}
+	if !coord.Drain("prover-1", false) {
+		t.Fatal("operator undrain failed")
+	}
+	if _, err := cc.Prove(x, w); err != nil {
+		t.Fatalf("prove after operator undrain: %v", err)
+	}
+}
+
+// stubVerifyNode is a fake node whose /v1/verify/model always answers
+// with the given status and body (plus a live /metrics for probes).
+func stubVerifyNode(t *testing.T, status int, body string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "{}")
+	})
+	mux.HandleFunc("POST /v1/verify/model", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(status)
+		fmt.Fprintln(w, body)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestVerifyShedLoadIsNotFailedOver: a verify answer is node state, not
+// work — only the issuing node's log can vouch for a proof. A 503 from
+// a busy issuing node must therefore reach the client as a retryable
+// 503, NOT be failed over to a node that would answer a definitive
+// (and wrong) "not issued". With one always-503 node and one
+// always-verdict node, enough distinct tenants rank each node first at
+// least once; if verifies failed over, no 503 would ever surface.
+func TestVerifyShedLoadIsNotFailedOver(t *testing.T) {
+	busy := stubVerifyNode(t, http.StatusServiceUnavailable, "busy")
+	verdict := stubVerifyNode(t, http.StatusOK, `{"ok":false,"error":"not issued"}`)
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = []string{busy.URL, verdict.URL}
+	ccfg.ProbeInterval = time.Hour
+	_, coordTS := newCoordinator(t, ccfg)
+
+	// Any valid report body will do; the stubs never decode it.
+	req := modelRequest(t, zkvc.Spartan, 33)
+	opts := zkml.DefaultOptions()
+	opts.Seed = 7
+	rep, err := zkml.ProveTrace(req.Cfg, req.Trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := wire.EncodeReport(rep)
+
+	got503, gotVerdict := 0, 0
+	for i := 0; i < 16; i++ {
+		hreq, err := http.NewRequest(http.MethodPost, coordTS.URL+"/v1/verify/model", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hreq.Header.Set(server.TenantHeader, fmt.Sprintf("verify-%d", i))
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable:
+			got503++
+		case http.StatusOK:
+			gotVerdict++
+		default:
+			t.Fatalf("verify %d: unexpected status %d", i, resp.StatusCode)
+		}
+	}
+	if got503 == 0 {
+		t.Fatal("no verify came back 503: shed verifies are being failed over to non-issuing nodes")
+	}
+	if gotVerdict == 0 {
+		t.Fatal("no verify reached the verdict node (rendezvous should split 16 tenants)")
+	}
+}
+
+// TestProbeMarksDeadNodeUnhealthy: the periodic probe must eject an
+// unreachable node after ProbeFailures consecutive failures, and the
+// pool routes around it without paying per-request dial failures.
+func TestProbeMarksDeadNodeUnhealthy(t *testing.T) {
+	_, liveTS := newNode(t, nodeConfig(29))
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = []string{liveTS.URL, deadURL}
+	ccfg.ProbeInterval = 20 * time.Millisecond
+	ccfg.ProbeFailures = 2
+	coord, _ := newCoordinator(t, ccfg)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := coord.Metrics()
+		unhealthy := 0
+		for _, n := range snap.Nodes {
+			if !n.Healthy {
+				unhealthy++
+			}
+		}
+		if unhealthy == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probe never marked the dead node unhealthy: %+v", snap.Nodes)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

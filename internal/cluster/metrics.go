@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// clusterMetrics are the coordinator's own counters; per-node counters
+// live on the nodes themselves.
+type clusterMetrics struct {
+	routed       atomic.Int64
+	retried      atomic.Int64
+	failedOver   atomic.Int64
+	streamErrors atomic.Int64
+	unroutable   atomic.Int64
+	announces    atomic.Int64
+}
+
+// NodeStatus is one node's row in the cluster snapshot.
+type NodeStatus struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Draining distinguishes an operator drain (or a node's own
+	// heartbeat announcing shutdown) from probe-detected failure.
+	Draining bool `json:"draining"`
+	// QueueUnits is the node's accepted-but-unproved work (matmul jobs
+	// plus model ops) as of its last probe or heartbeat.
+	QueueUnits int64 `json:"queue_units"`
+	Workers    int   `json:"workers,omitempty"`
+	// Routed counts exchanges this node answered; FailedOver counts
+	// jobs that had to move off it (plus mid-stream deaths charged to it).
+	Routed     int64 `json:"routed"`
+	FailedOver int64 `json:"failed_over"`
+	// ProbeFailures is the current consecutive-failure streak.
+	ProbeFailures int64 `json:"probe_failures"`
+}
+
+// Snapshot is the JSON shape of the coordinator's GET /metrics.
+type Snapshot struct {
+	Nodes []NodeStatus `json:"nodes"`
+	// Routed counts client exchanges answered through the cluster;
+	// Retried counts forwarding attempts beyond a job's first node;
+	// FailedOver counts attempts abandoned on one node (dead or
+	// shedding) and moved to the next in hash order.
+	Routed     int64 `json:"cluster_routed"`
+	Retried    int64 `json:"cluster_retried"`
+	FailedOver int64 `json:"cluster_failovers"`
+	// StreamErrors counts model streams ended by an in-stream error
+	// frame after their node died with frames already forwarded.
+	StreamErrors int64 `json:"cluster_stream_errors"`
+	// Unroutable counts requests refused because no healthy node (or no
+	// surviving candidate) could take them.
+	Unroutable int64 `json:"cluster_unroutable"`
+	Announces  int64 `json:"cluster_announces"`
+}
+
+// Metrics returns a point-in-time snapshot of the cluster state.
+func (c *Coordinator) Metrics() Snapshot {
+	nodes := c.snapshotNodes()
+	s := Snapshot{
+		Nodes:        make([]NodeStatus, len(nodes)),
+		Routed:       c.metrics.routed.Load(),
+		Retried:      c.metrics.retried.Load(),
+		FailedOver:   c.metrics.failedOver.Load(),
+		StreamErrors: c.metrics.streamErrors.Load(),
+		Unroutable:   c.metrics.unroutable.Load(),
+		Announces:    c.metrics.announces.Load(),
+	}
+	for i, n := range nodes {
+		s.Nodes[i] = NodeStatus{
+			Name:          n.name,
+			URL:           n.url,
+			Healthy:       n.healthy(),
+			Draining:      n.draining(),
+			QueueUnits:    n.queueUnits.Load(),
+			Workers:       int(n.workers.Load()),
+			Routed:        n.routed.Load(),
+			FailedOver:    n.failedOver.Load(),
+			ProbeFailures: n.fails.Load(),
+		}
+	}
+	return s
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(c.Metrics())
+}

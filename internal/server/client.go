@@ -1,0 +1,214 @@
+package server
+
+// Client is the reusable HTTP client for the proving service — one
+// typed method per endpoint over the canonical wire encodings. It
+// exists so the CLI, the examples and the cluster coordinator all speak
+// to a service the same way instead of each hand-rolling requests; the
+// coordinator additionally uses it for its health probes and the nodes
+// for coordinator registration (Announce/Heartbeat).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"zkvc"
+	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
+)
+
+// Client talks to one proving service (or cluster coordinator — the
+// coordinator exposes the same proving surface). The zero value is not
+// usable; construct with NewClient.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://localhost:8799".
+	BaseURL string
+	// Tenant, when non-empty, is sent as the Zkvc-Tenant header on every
+	// request: jobs only coalesce — and issued-proof attestations only
+	// match — within one tenant.
+	Tenant string
+	// HTTP is the underlying client. Leave the default (no timeout) for
+	// proving calls: a model stream legitimately lasts as long as the
+	// proving does.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{}}
+}
+
+// StatusError is a non-2xx response from the service, with the body the
+// service sent (its error message).
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// do issues one POST with the tenant header. The caller owns the
+// response body.
+func (c *Client) do(path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	return c.HTTP.Do(req)
+}
+
+// post issues one buffered POST and returns the body of a 200 response;
+// any other status becomes a *StatusError.
+func (c *Client) post(path string, body []byte) ([]byte, error) {
+	resp, err := c.do(path, body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(raw)}
+	}
+	return raw, nil
+}
+
+// verdict posts to a verify endpoint and folds the JSON verdict into an
+// error: nil when the service vouches for the proof, otherwise an error
+// carrying the service's reason.
+func (c *Client) verdict(path string, body []byte) error {
+	resp, err := c.do(path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading verdict: %w", err)
+	}
+	var v struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return &StatusError{Code: resp.StatusCode, Body: string(raw)}
+	}
+	if !v.OK {
+		// The service's message usually already carries the
+		// ErrVerification prefix; strip it so wrapping doesn't stutter.
+		msg := strings.TrimPrefix(v.Error, zkvc.ErrVerification.Error()+": ")
+		return fmt.Errorf("%w: %s", zkvc.ErrVerification, msg)
+	}
+	return nil
+}
+
+// Prove submits one matmul job to the coalescing endpoint and returns
+// the whole-batch response (the caller's statement is at Index).
+func (c *Client) Prove(x, w *zkvc.Matrix) (*wire.ProveResponse, error) {
+	raw, err := c.post("/v1/prove", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeProveResponse(raw)
+}
+
+// ProveSingle requests one uncoalesced proof against the service's
+// per-shape epoch CRS.
+func (c *Client) ProveSingle(x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
+	raw, err := c.post("/v1/prove/single", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeMatMulProof(raw)
+}
+
+// Verify asks the service to check a single proof against X. A nil
+// return means the service vouches for it; the error otherwise carries
+// the service's reason (policy rejections included).
+func (c *Client) Verify(x *zkvc.Matrix, proof *zkvc.MatMulProof) error {
+	return c.verdict("/v1/verify", wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: proof}))
+}
+
+// VerifyBatch asks the service to check a coalesced batch response.
+func (c *Client) VerifyBatch(resp *wire.ProveResponse) error {
+	return c.verdict("/v1/verify/batch", wire.EncodeProveResponse(resp))
+}
+
+// ProveModel submits a captured trace to /v1/prove/model and reassembles
+// the streamed per-op proofs into a report. onOp, when non-nil, observes
+// each proof as its frame arrives.
+func (c *Client) ProveModel(req *wire.ProveModelRequest, onOp func(*zkml.OpProof)) (*zkml.Report, error) {
+	resp, err := c.do("/v1/prove/model", wire.EncodeProveModelRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(raw)}
+	}
+	return wire.DecodeModelStream(resp.Body, onOp)
+}
+
+// VerifyModel asks the service to check a model report it issued.
+func (c *Client) VerifyModel(rep *zkml.Report) error {
+	return c.verdict("/v1/verify/model", wire.EncodeReport(rep))
+}
+
+// Metrics fetches the service's counters — the coordinator's health
+// probe, and an operator's one-liner.
+func (c *Client) Metrics() (Snapshot, error) {
+	var snap Snapshot
+	resp, err := c.HTTP.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return snap, &StatusError{Code: resp.StatusCode, Body: string(raw)}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decoding metrics: %w", err)
+	}
+	return snap, nil
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz() error {
+	resp, err := c.HTTP.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return &StatusError{Code: resp.StatusCode, Body: string(raw)}
+	}
+	return nil
+}
+
+// Announce registers a prover node with the coordinator this client
+// points at.
+func (c *Client) Announce(a *wire.NodeAnnounce) error {
+	_, err := c.post("/v1/cluster/announce", wire.EncodeNodeAnnounce(a))
+	return err
+}
+
+// Heartbeat refreshes a node's liveness with the coordinator this
+// client points at.
+func (c *Client) Heartbeat(h *wire.NodeHeartbeat) error {
+	_, err := c.post("/v1/cluster/heartbeat", wire.EncodeNodeHeartbeat(h))
+	return err
+}

@@ -1,0 +1,101 @@
+package server_test
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+
+	"zkvc"
+	"zkvc/internal/nn"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
+)
+
+// TestClientRoundTrips drives every Client method against a live
+// service: the typed client must reproduce exactly what the hand-rolled
+// HTTP of the CLI used to do, including tenant headers and verdict
+// folding.
+func TestClientRoundTrips(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Seed = 19
+	_, ts := newTestServer(t, cfg)
+
+	c := server.NewClient(ts.URL)
+	c.Tenant = "client-test"
+	if err := c.Healthz(); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	rng := mrand.New(mrand.NewSource(7))
+	x := zkvc.RandomMatrix(rng, 6, 8, 32)
+	w := zkvc.RandomMatrix(rng, 8, 5, 32)
+
+	resp, err := c.Prove(x, w)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := zkvc.VerifyMatMulBatch(resp.Xs, resp.Batch); err != nil {
+		t.Fatalf("batch does not verify locally: %v", err)
+	}
+	if err := c.VerifyBatch(resp); err != nil {
+		t.Fatalf("service rejected its own batch: %v", err)
+	}
+
+	proof, err := c.ProveSingle(x, w)
+	if err != nil {
+		t.Fatalf("prove single: %v", err)
+	}
+	if err := c.Verify(x, proof); err != nil {
+		t.Fatalf("service rejected its own epoch proof: %v", err)
+	}
+	// A proof the service did not issue must come back as a verification
+	// error carrying the service's reason, not a transport error.
+	foreign := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
+	foreign.Reseed(3)
+	fp, err := foreign.Prove(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp.Epoch = append([]byte(nil), cfg.Epoch...)
+	if err := c.Verify(x, fp); !errors.Is(err, zkvc.ErrVerification) {
+		t.Fatalf("foreign epoch proof: got %v, want ErrVerification", err)
+	}
+
+	mcfg := tinyModelConfig(nn.MixerPooling)
+	trace := capturedTrace(t, mcfg, 23)
+	seen := 0
+	rep, err := c.ProveModel(&wire.ProveModelRequest{
+		Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: mcfg, Trace: trace,
+	}, func(*zkml.OpProof) { seen++ })
+	if err != nil {
+		t.Fatalf("prove model: %v", err)
+	}
+	if seen != len(rep.Ops) {
+		t.Fatalf("onOp saw %d frames, report has %d ops", seen, len(rep.Ops))
+	}
+	if err := c.VerifyModel(rep); err != nil {
+		t.Fatalf("service rejected its own report: %v", err)
+	}
+	// The tenant header must travel with every request: the same report
+	// under a different tenant misses the issued-log attestation.
+	other := server.NewClient(ts.URL)
+	other.Tenant = "someone-else"
+	if err := other.VerifyModel(rep); !errors.Is(err, zkvc.ErrVerification) {
+		t.Fatalf("cross-tenant verify: got %v, want ErrVerification", err)
+	}
+
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if snap.ModelJobsProved != 1 || snap.SinglesProved != 1 {
+		t.Fatalf("metrics don't reflect the session: %+v", snap)
+	}
+
+	// Malformed body → *StatusError with the service's status code.
+	var se *server.StatusError
+	if _, err := c.Prove(x, zkvc.NewMatrix(3, 3)); !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("mismatched dims: got %v, want StatusError 400", err)
+	}
+}

@@ -1,0 +1,122 @@
+package wire
+
+// Cluster control-plane messages: a prover node announcing itself to a
+// coordinator and the periodic heartbeat that keeps its entry fresh.
+// They cross the same unauthenticated HTTP surface as proving requests,
+// so the full strict-decode discipline applies — bounded lengths, no
+// trailing bytes, canonical re-encode — and the coordinator additionally
+// validates the announced URL before routing anything to it (a URL is a
+// routing instruction, not just data).
+
+import "fmt"
+
+// NodeAnnounce registers a prover node with a cluster coordinator. Name
+// is the node's stable identity — the rendezvous-hash input, so a node
+// that restarts under the same name keeps the same slice of the keyspace
+// (and its warm CRS cache stays relevant). URL is where the coordinator
+// forwards work. Workers is a capacity hint (the node's proving pool
+// size); the coordinator records it for operators, routing itself is
+// affinity-driven.
+type NodeAnnounce struct {
+	Name    string
+	URL     string
+	Workers int
+}
+
+// NodeHeartbeat refreshes a registered node's liveness and reports its
+// load. QueueUnits mirrors the node's own capacity ledger (matmul jobs
+// plus model ops accepted but not yet proved). Draining asks the
+// coordinator to stop routing new work while in-flight jobs finish —
+// the graceful half of a shutdown.
+type NodeHeartbeat struct {
+	Name       string
+	QueueUnits int64
+	Draining   bool
+}
+
+// EncodeNodeAnnounce serializes a node registration.
+func EncodeNodeAnnounce(a *NodeAnnounce) []byte {
+	e := newEnc(TagNodeAnnounce)
+	e.bytes([]byte(a.Name))
+	e.bytes([]byte(a.URL))
+	e.u32(uint32(a.Workers))
+	return e.buf
+}
+
+// DecodeNodeAnnounce parses a node registration. Name and URL must be
+// non-empty (an anonymous or unroutable node cannot be registered);
+// whether the URL actually parses is the coordinator's call.
+func DecodeNodeAnnounce(b []byte) (*NodeAnnounce, error) {
+	d, err := newDec(b, TagNodeAnnounce)
+	if err != nil {
+		return nil, err
+	}
+	a := &NodeAnnounce{}
+	name, err := d.blob("node name")
+	if err != nil {
+		return nil, err
+	}
+	if len(name) == 0 {
+		return nil, fmt.Errorf("%w: empty node name", ErrDecode)
+	}
+	a.Name = string(name)
+	url, err := d.blob("node URL")
+	if err != nil {
+		return nil, err
+	}
+	if len(url) == 0 {
+		return nil, fmt.Errorf("%w: empty node URL", ErrDecode)
+	}
+	a.URL = string(url)
+	if a.Workers, err = d.boundedU32("node workers", maxDim); err != nil {
+		return nil, err
+	}
+	return a, d.finish()
+}
+
+// EncodeNodeHeartbeat serializes a node heartbeat.
+func EncodeNodeHeartbeat(h *NodeHeartbeat) []byte {
+	e := newEnc(TagNodeHeartbeat)
+	e.bytes([]byte(h.Name))
+	e.u64(uint64(h.QueueUnits))
+	if h.Draining {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	return e.buf
+}
+
+// DecodeNodeHeartbeat parses a node heartbeat.
+func DecodeNodeHeartbeat(b []byte) (*NodeHeartbeat, error) {
+	d, err := newDec(b, TagNodeHeartbeat)
+	if err != nil {
+		return nil, err
+	}
+	h := &NodeHeartbeat{}
+	name, err := d.blob("node name")
+	if err != nil {
+		return nil, err
+	}
+	if len(name) == 0 {
+		return nil, fmt.Errorf("%w: empty node name", ErrDecode)
+	}
+	h.Name = string(name)
+	units, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if int64(units) < 0 || int64(units) > maxStatInt {
+		return nil, fmt.Errorf("%w: queue units %d out of range", ErrDecode, units)
+	}
+	h.QueueUnits = int64(units)
+	draining, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if draining > 1 {
+		return nil, fmt.Errorf("%w: bad draining flag %d", ErrDecode, draining)
+	}
+	h.Draining = draining == 1
+	return h, d.finish()
+}

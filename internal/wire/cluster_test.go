@@ -1,0 +1,91 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"zkvc/internal/wire"
+)
+
+func TestNodeAnnounceRoundTrip(t *testing.T) {
+	a := &wire.NodeAnnounce{Name: "prover-1", URL: "http://10.0.0.7:8799", Workers: 8}
+	raw := wire.EncodeNodeAnnounce(a)
+	got, err := wire.DecodeNodeAnnounce(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("round trip: got %+v, want %+v", got, a)
+	}
+	if again := wire.EncodeNodeAnnounce(got); !bytes.Equal(raw, again) {
+		t.Fatal("re-encode is not canonical")
+	}
+}
+
+func TestNodeHeartbeatRoundTrip(t *testing.T) {
+	for _, h := range []wire.NodeHeartbeat{
+		{Name: "prover-1", QueueUnits: 0, Draining: false},
+		{Name: "prover-2", QueueUnits: 12345, Draining: true},
+	} {
+		raw := wire.EncodeNodeHeartbeat(&h)
+		got, err := wire.DecodeNodeHeartbeat(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != h {
+			t.Fatalf("round trip: got %+v, want %+v", got, h)
+		}
+		if again := wire.EncodeNodeHeartbeat(got); !bytes.Equal(raw, again) {
+			t.Fatal("re-encode is not canonical")
+		}
+	}
+}
+
+// TestClusterMessagesStrictDecode pins the rejection cases: empty
+// identities, out-of-range values, bad flags, truncation and trailing
+// bytes must all fail with ErrDecode — same discipline as every other
+// wire message.
+func TestClusterMessagesStrictDecode(t *testing.T) {
+	announce := wire.EncodeNodeAnnounce(&wire.NodeAnnounce{Name: "n", URL: "http://x", Workers: 1})
+	heartbeat := wire.EncodeNodeHeartbeat(&wire.NodeHeartbeat{Name: "n", QueueUnits: 3, Draining: true})
+
+	cases := []struct {
+		what string
+		raw  []byte
+	}{
+		{"announce: empty name", wire.EncodeNodeAnnounce(&wire.NodeAnnounce{URL: "http://x"})},
+		{"announce: empty URL", wire.EncodeNodeAnnounce(&wire.NodeAnnounce{Name: "n"})},
+		{"announce: truncated", announce[:len(announce)-2]},
+		{"announce: trailing bytes", append(append([]byte(nil), announce...), 0)},
+		{"announce: wrong tag", heartbeat},
+		{"heartbeat: empty name", wire.EncodeNodeHeartbeat(&wire.NodeHeartbeat{QueueUnits: 1})},
+		{"heartbeat: truncated", heartbeat[:len(heartbeat)-1]},
+		{"heartbeat: trailing bytes", append(append([]byte(nil), heartbeat...), 0)},
+		{"heartbeat: wrong tag", announce},
+	}
+	for _, c := range cases {
+		var err error
+		if bytes.HasPrefix([]byte(c.what), []byte("announce")) {
+			_, err = wire.DecodeNodeAnnounce(c.raw)
+		} else {
+			_, err = wire.DecodeNodeHeartbeat(c.raw)
+		}
+		if err == nil {
+			t.Errorf("%s: decoded without error", c.what)
+		}
+	}
+
+	// Bad draining flag: patch the last byte of a valid heartbeat.
+	bad := append([]byte(nil), heartbeat...)
+	bad[len(bad)-1] = 2
+	if _, err := wire.DecodeNodeHeartbeat(bad); err == nil {
+		t.Error("heartbeat with draining flag 2 decoded")
+	}
+
+	// Negative / overflowing queue units: patch the u64 after the name.
+	bad = append([]byte(nil), heartbeat...)
+	bad[len(bad)-9] = 0xff // high byte of QueueUnits → sign bit set
+	if _, err := wire.DecodeNodeHeartbeat(bad); err == nil {
+		t.Error("heartbeat with out-of-range queue units decoded")
+	}
+}

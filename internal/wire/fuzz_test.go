@@ -40,6 +40,8 @@ func fuzzSeeds(f *testing.F) [][]byte {
 	seeds = append(seeds,
 		wire.EncodeMatrix(x),
 		wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}),
+		wire.EncodeNodeAnnounce(&wire.NodeAnnounce{Name: "prover-1", URL: "http://10.0.0.7:8799", Workers: 4}),
+		wire.EncodeNodeHeartbeat(&wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 17, Draining: true}),
 		[]byte("ZKVC"),
 		[]byte{},
 		bytes.Repeat([]byte{0xff}, 64),
@@ -156,6 +158,16 @@ func FuzzWireDecodeProof(f *testing.F) {
 		if msg, err := wire.DecodeModelStreamError(data); err == nil {
 			if again := wire.EncodeModelStreamError(msg); !bytes.Equal(data, again) {
 				t.Fatalf("accepted ModelStreamError is not canonical")
+			}
+		}
+		if a, err := wire.DecodeNodeAnnounce(data); err == nil {
+			if again := wire.EncodeNodeAnnounce(a); !bytes.Equal(data, again) {
+				t.Fatalf("accepted NodeAnnounce is not canonical")
+			}
+		}
+		if h, err := wire.DecodeNodeHeartbeat(data); err == nil {
+			if again := wire.EncodeNodeHeartbeat(h); !bytes.Equal(data, again) {
+				t.Fatalf("accepted NodeHeartbeat is not canonical")
 			}
 		}
 	})

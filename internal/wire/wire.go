@@ -45,6 +45,8 @@ const (
 	TagReport            byte = 0x09
 	TagModelStreamHeader byte = 0x0a
 	TagModelStreamError  byte = 0x0b
+	TagNodeAnnounce      byte = 0x0c
+	TagNodeHeartbeat     byte = 0x0d
 )
 
 // ErrDecode is wrapped by every decoding failure.
