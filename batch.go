@@ -1,6 +1,7 @@
 package zkvc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -51,7 +52,23 @@ func (p *BatchProof) SizeBytes() int {
 
 // ProveBatch proves every product Y_m = X_m·W_m in one proof. The pairs
 // are (X, W); batching requires the CRPC identity (DefaultOptions).
+//
+// Deprecated: use ProveBatchContext, or an Engine (Local for in-process
+// proving) whose methods are context-first and cancelable. ProveBatch
+// remains a thin wrapper over ProveBatchContext with
+// context.Background().
 func (p *MatMulProver) ProveBatch(pairs ...[2]*Matrix) (*BatchProof, error) {
+	return p.ProveBatchContext(context.Background(), pairs...)
+}
+
+// ProveBatchContext proves every product Y_m = X_m·W_m in one proof,
+// checking ctx between the proving phases (synthesis, setup, proof
+// generation) — a canceled context stops the work at the next phase
+// boundary and returns ctx's error.
+func (p *MatMulProver) ProveBatchContext(ctx context.Context, pairs ...[2]*Matrix) (*BatchProof, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	bs := crpc.NewBatchStatement(pairs...)
 	proof := &BatchProof{
 		Opts:    p.opts,
@@ -70,6 +87,9 @@ func (p *MatMulProver) ProveBatch(pairs ...[2]*Matrix) (*BatchProof, error) {
 	}
 	proof.Timings.Synthesis = time.Since(start)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch p.backend {
 	case Groth16:
 		start = time.Now()
@@ -78,6 +98,9 @@ func (p *MatMulProver) ProveBatch(pairs ...[2]*Matrix) (*BatchProof, error) {
 			return nil, err
 		}
 		proof.Timings.Setup = time.Since(start)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start = time.Now()
 		g16, err := groth16.Prove(syn.Sys, pk, syn.Assignment, p.rng)
 		if err != nil {

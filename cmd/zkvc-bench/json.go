@@ -220,6 +220,28 @@ func runJSONMode(parallelRun bool, parseBench, jsonOut, baseline string, maxRegr
 		for name, v := range counters {
 			fmt.Printf("%-40s %8d\n", name, v)
 		}
+
+		// Engine harness: the same statement proven directly and through
+		// zkvc.Local — the local-vs-direct ratio pins that the Engine
+		// interface adds no measurable cost, and the byte-identity check
+		// that it changes nothing cryptographic. Never gates.
+		engineRows, ratios, deterministic, err := bench.RunEngineReport(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zkvc-bench: engine harness: %v\n", err)
+			os.Exit(1)
+		}
+		if !deterministic {
+			fmt.Fprintln(os.Stderr, "zkvc-bench: FATAL: engine and direct proofs differ at equal seeds")
+			os.Exit(1)
+		}
+		rep.Rows = append(rep.Rows, engineRows...)
+		for _, r := range engineRows {
+			fmt.Printf("%-40s %8.3fs/proof\n", r.Name, r.Seconds)
+		}
+		for name, ratio := range ratios {
+			rep.Speedups[name] = ratio
+			fmt.Printf("%-40s %5.2fx (direct → engine; ≈1.0 = interface is free)\n", name, ratio)
+		}
 	}
 
 	if parseBench != "" {

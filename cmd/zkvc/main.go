@@ -35,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -153,8 +154,10 @@ func cmdProve(args []string) {
 		opts = zkvc.Options{}
 	}
 
-	prover := zkvc.NewMatMulProver(backend, opts)
-	proof, err := prover.Prove(x, w)
+	// The in-process Engine; `zkvc client` is the same workflow against
+	// a remote service, by swapping this constructor.
+	eng := zkvc.NewLocal(backend, opts)
+	proof, err := eng.ProveMatMul(context.Background(), x, w)
 	if err != nil {
 		fatalf("prove: %v", err)
 	}
@@ -197,7 +200,7 @@ func cmdVerify(args []string) {
 	if *epoch != "" {
 		err = zkvc.VerifyMatMulInEpoch(x, proof, []byte(*epoch))
 	} else {
-		err = zkvc.VerifyMatMul(x, proof)
+		err = zkvc.NewLocal(proof.Backend, proof.Opts).VerifyMatMul(context.Background(), x, proof)
 	}
 	if err != nil {
 		fatalf("verification FAILED: %v", err)

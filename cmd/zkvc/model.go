@@ -1,17 +1,21 @@
 package main
 
-// prove-model / verify-model: the end-to-end model workflow against the
-// proving service. prove-model runs a quantized transformer locally (the
+// prove-model / verify-model: the end-to-end model workflow on the
+// Engine API. prove-model runs a quantized transformer locally (the
 // weights are seed-synthesized, so "shipping the model" is shipping its
-// captured trace), sends the trace to /v1/prove/model, reassembles the
-// streamed per-op proofs into a report, spot-verifies it locally and
-// stores it in the canonical wire format. verify-model submits a stored
-// report to /v1/verify/model — which only vouches for reports it issued
-// — or, with -local, re-runs cryptographic verification in-process
-// (trusting the report's own verifying material, exactly what the
-// service's issued-proof policy exists to avoid for third parties).
+// captured trace) and proves every traced operation through a
+// zkvc.Engine — the remote service client by default, the in-process
+// Local engine with -local; the workflow is identical because the two
+// share the interface. Per-op proofs stream back as a Go iterator, the
+// reassembled report is spot-verified locally and stored in the
+// canonical wire format. verify-model submits a stored report to
+// /v1/verify/model — which only vouches for reports it issued — or,
+// with -local, re-runs cryptographic verification in-process (trusting
+// the report's own verifying material, exactly what the service's
+// issued-proof policy exists to avoid for third parties).
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	mrand "math/rand"
@@ -19,16 +23,14 @@ import (
 
 	"zkvc"
 	"zkvc/internal/nn"
-	"zkvc/internal/pcs"
 	"zkvc/internal/server"
 	"zkvc/internal/wire"
-	"zkvc/internal/zkml"
 )
 
 // modelByName maps CLI model names to the paper's architectures plus a
 // deliberately tiny synthetic config for demos and smoke tests.
-func modelByName(name string, scale int) (nn.Config, error) {
-	var cfg nn.Config
+func modelByName(name string, scale int) (zkvc.ModelConfig, error) {
+	var cfg zkvc.ModelConfig
 	switch name {
 	case "vit-cifar10":
 		cfg = zkvc.ViTCIFAR10()
@@ -52,11 +54,13 @@ func modelByName(name string, scale int) (nn.Config, error) {
 	return cfg, nil
 }
 
-// cmdProveModel drives /v1/prove/model: capture a forward pass, stream
-// per-op proofs back, reassemble and store the report.
+// cmdProveModel drives Engine.ProveModel: capture a forward pass, stream
+// per-op proofs back, reassemble and store the report. -local swaps the
+// service client for the in-process engine — the only line that changes.
 func cmdProveModel(args []string) {
 	fs := flag.NewFlagSet("prove-model", flag.ExitOnError)
 	serverURL := fs.String("server", "http://localhost:8799", "proving service base URL")
+	local := fs.Bool("local", false, "prove in-process (zkvc.NewLocal) instead of against -server")
 	modelName := fs.String("model", "tiny", "architecture: vit-cifar10, vit-tiny-imagenet, vit-imagenet-hier, bert-glue or tiny")
 	scale := fs.Int("scale", 1, "divide model dims/tokens by this factor (1 = full paper shape)")
 	backendName := fs.String("backend", "spartan", "proof system: groth16 or spartan")
@@ -84,27 +88,38 @@ func cmdProveModel(args []string) {
 		fatalf("prove-model: %v", err)
 	}
 	x := model.RandomInput(mrand.New(mrand.NewSource(*inputSeed)))
-	trace := nn.Trace{Capture: true}
+	trace := zkvc.Trace{Capture: true}
 	logits := model.Forward(x, &trace)
 	fmt.Printf("model %s: %d traced ops, logits %v\n", cfg.Name, len(trace.Ops), logits.Data)
 
-	c := server.NewClient(*serverURL)
-	c.Tenant = *tenant
-	rep, err := c.ProveModel(&wire.ProveModelRequest{
+	var eng zkvc.Engine
+	if *local {
+		eng = zkvc.NewLocal(backend, zkvc.DefaultOptions())
+	} else {
+		c := server.NewClient(*serverURL)
+		c.Tenant = *tenant
+		eng = c
+	}
+	stream := eng.ProveModel(context.Background(), &zkvc.ModelRequest{
 		Backend:        backend,
 		ProveNonlinear: *nonlinear,
 		Cfg:            cfg,
 		Trace:          &trace,
-	}, func(op *zkml.OpProof) {
+	})
+	for op, err := range stream.All() {
+		if err != nil {
+			fatalf("prove-model: %v", err)
+		}
 		fmt.Printf("  op %3d %-18s %-7s %6d constraints, prove %v\n",
 			op.Seq, op.Tag, op.Kind, op.Stats.Constraints, op.Prove.Round(1e6))
-	})
+	}
+	rep, err := stream.Report()
 	if err != nil {
 		fatalf("prove-model: %v", err)
 	}
-	// The service already self-verified each op; re-check locally so the
+	// The prover already self-verified each op; re-check locally so the
 	// stored report is known-good under our own verifier too.
-	if err := zkml.VerifyReport(rep, zkml.Options{PCS: pcs.DefaultParams()}); err != nil {
+	if err := zkvc.NewLocal(backend, rep.Circuit).VerifyModel(context.Background(), rep); err != nil {
 		fatalf("prove-model: streamed report does not verify locally: %v", err)
 	}
 	raw := wire.EncodeReport(rep)
@@ -137,7 +152,7 @@ func cmdVerifyModel(args []string) {
 	}
 
 	if *local {
-		if err := zkml.VerifyReport(rep, zkml.Options{PCS: pcs.DefaultParams()}); err != nil {
+		if err := zkvc.NewLocal(rep.Backend, rep.Circuit).VerifyModel(context.Background(), rep); err != nil {
 			fatalf("verification FAILED: %v", err)
 		}
 		fmt.Printf("local verification OK: %s, %d ops on %s (note: Groth16 ops are checked against their embedded keys — trust them only if you trust where this report came from)\n",
@@ -147,7 +162,7 @@ func cmdVerifyModel(args []string) {
 
 	c := server.NewClient(*serverURL)
 	c.Tenant = *tenant
-	if err := c.VerifyModel(rep); err != nil {
+	if err := c.VerifyModel(context.Background(), rep); err != nil {
 		fatalf("verification FAILED: %v", err)
 	}
 	fmt.Printf("verification OK: service vouches for %s (%d ops on %s)\n",

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -128,7 +129,7 @@ func announceLoop(s *server.Server, coordinatorURL, name, advertise string, work
 	c := server.NewClient(coordinatorURL)
 	a := &wire.NodeAnnounce{Name: name, URL: advertise, Workers: workers}
 	for {
-		if err := c.Announce(a); err == nil {
+		if err := c.Announce(context.Background(), a); err == nil {
 			break
 		} else {
 			fmt.Fprintf(os.Stderr, "zkvc: announce to %s failed (will retry): %v\n", coordinatorURL, err)
@@ -139,14 +140,14 @@ func announceLoop(s *server.Server, coordinatorURL, name, advertise string, work
 	for {
 		time.Sleep(interval)
 		snap := s.Metrics()
-		err := c.Heartbeat(&wire.NodeHeartbeat{
+		err := c.Heartbeat(context.Background(), &wire.NodeHeartbeat{
 			Name:       name,
 			QueueUnits: snap.QueueDepth + snap.ModelOpsQueued,
 		})
 		var se *server.StatusError
 		if errors.As(err, &se) && se.Code == 404 {
 			// Coordinator restarted and lost the registration.
-			if err := c.Announce(a); err != nil {
+			if err := c.Announce(context.Background(), a); err != nil {
 				fmt.Fprintf(os.Stderr, "zkvc: re-announce to %s failed: %v\n", coordinatorURL, err)
 			}
 		}
@@ -182,7 +183,7 @@ func cmdClient(args []string) {
 	c.Tenant = *tenant
 	var raw []byte
 	if *single {
-		proof, err := c.ProveSingle(x, w)
+		proof, err := c.ProveSingle(context.Background(), x, w)
 		if err != nil {
 			fatalf("client: %v", err)
 		}
@@ -200,7 +201,7 @@ func cmdClient(args []string) {
 			proof.Backend, proof.SizeBytes(), proof.Epoch)
 		raw = wire.EncodeMatMulProof(proof)
 	} else {
-		pr, err := c.Prove(x, w)
+		pr, err := c.ProveCoalesced(context.Background(), x, w)
 		if err != nil {
 			fatalf("client: %v", err)
 		}

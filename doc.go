@@ -1,0 +1,61 @@
+// Package zkvc is the public API of the zkVC reproduction: fast
+// zero-knowledge proofs for matrix multiplication and end-to-end
+// transformer inference (DAC 2025). It wraps the CRPC + PSQ optimized
+// circuits (internal/crpc) and two zk-SNARK backends built from scratch
+// in this module — Groth16 over a from-scratch BN254 pairing ("zkVC-G")
+// and a transparent Spartan-style SNARK ("zkVC-S").
+//
+// # Engines
+//
+// The statement API is separated from the execution backend by the
+// Engine interface: ProveMatMul, ProveBatch and ProveModel (plus the
+// matching Verify methods), all context-first. Three implementations
+// cover the deployment shapes, and a program moves between them by
+// swapping one constructor:
+//
+//	eng := zkvc.NewLocal(zkvc.Spartan, zkvc.DefaultOptions()) // in-process
+//	eng := server.NewClient("http://prover:8799")             // one remote service
+//	eng := cluster.NewEngine("http://coordinator:8799")       // sharded pool
+//
+// Typical use (see examples/quickstart):
+//
+//	x := zkvc.RandomMatrix(rng, 49, 64, 128)   // public input
+//	w := zkvc.RandomMatrix(rng, 64, 128, 128)  // private model
+//	eng := zkvc.NewLocal(zkvc.Spartan, zkvc.DefaultOptions())
+//	proof, err := eng.ProveMatMul(ctx, x, w)
+//	err = eng.VerifyMatMul(ctx, x, proof)
+//
+// Model inference streams one proof per traced operation through a Go
+// iterator, uniformly on every engine:
+//
+//	stream := eng.ProveModel(ctx, &zkvc.ModelRequest{Backend: zkvc.Spartan,
+//	    ProveNonlinear: true, Cfg: cfg, Trace: trace})
+//	for op, err := range stream.All() { ... }
+//	report, err := stream.Report()
+//
+// # The Engine contract
+//
+// Every implementation satisfies the same contract, pinned by the
+// conformance suite (engine_conformance_test.go) so future engines get
+// it for free:
+//
+//   - Round trip: a proof an engine produces verifies through the same
+//     engine's Verify method.
+//   - Determinism: with equal non-zero seeds, all engines produce
+//     byte-identical proofs for equal statements (wall-clock Timings
+//     aside). Seed 0 draws crypto/rand — the production posture.
+//   - Cancellation: a done context stops a call at the next phase or
+//     model-op boundary with an error matching errors.Is(err,
+//     ctx.Err()); remote engines abort the HTTP exchange, canceling the
+//     service-side job.
+//   - Error taxonomy: failed verification matches errors.Is(err,
+//     ErrVerification) everywhere; remote verdicts fold back into the
+//     same sentinel.
+//   - Streaming: ProveModel yields each op proof exactly once, in
+//     completion order, with valid sequence numbers; ModelStream.Report
+//     reassembles the sequence-ordered report.
+//
+// The pre-Engine entry points (MatMulProver.Prove, ProveBatch,
+// ProveInference, the zkml Stop predicate) remain as thin deprecated
+// wrappers; new code should construct an Engine.
+package zkvc

@@ -1,0 +1,239 @@
+package zkvc_test
+
+// The Engine conformance suite: one table-driven contract run against
+// every implementation — Local (in-process), server.Client (one remote
+// service) and cluster.Engine (a coordinator over two nodes) — so a
+// future implementation inherits the whole contract by being added to
+// conformanceEngines. Pinned here:
+//
+//   - prove → verify round-trips for matmul, batch and model workloads;
+//   - byte-identical proofs across all implementations at equal seeds
+//     (wall-clock timings zeroed), on both backends;
+//   - the streaming contract of ProveModel (every announced op exactly
+//     once, valid sequence numbers, Report assembles in order);
+//   - the error taxonomy (ErrVerification for failed checks, ctx.Err()
+//     for cancellation) on every implementation.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	mrand "math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"zkvc"
+	"zkvc/internal/cluster"
+	"zkvc/internal/ff"
+	"zkvc/internal/nn"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+)
+
+const confSeed = 99
+
+// namedEngine is one conformance row.
+type namedEngine struct {
+	name string
+	eng  zkvc.Engine
+}
+
+// conformanceEngines builds the three implementations over one backend,
+// all seeded identically: a Local engine, a Client against a standalone
+// node, and a cluster Engine against a coordinator fronting two more
+// nodes. Every server is torn down with the test.
+func conformanceEngines(t *testing.T, backend zkvc.Backend) []namedEngine {
+	t.Helper()
+	local := zkvc.NewLocal(backend, zkvc.DefaultOptions())
+	local.Seed = confSeed
+
+	newNode := func() string {
+		cfg := server.DefaultConfig()
+		cfg.Backend = backend
+		cfg.Seed = confSeed
+		cfg.Workers = 1
+		s, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			s.Close()
+		})
+		return ts.URL
+	}
+
+	client := server.NewClient(newNode())
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = []string{newNode(), newNode()}
+	coord, err := cluster.New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		front.Close()
+		coord.Close()
+	})
+
+	return []namedEngine{
+		{"local", local},
+		{"client", client},
+		{"cluster", cluster.NewEngine(front.URL)},
+	}
+}
+
+// canonicalMatMul / canonicalBatch / canonicalReport strip wall-clock
+// timings so proofs from different engines compare byte for byte.
+func canonicalMatMul(p *zkvc.MatMulProof) []byte {
+	c := *p
+	c.Timings = zkvc.Timings{}
+	return wire.EncodeMatMulProof(&c)
+}
+
+func canonicalBatch(p *zkvc.BatchProof) []byte {
+	c := *p
+	c.Timings = zkvc.Timings{}
+	return wire.EncodeBatchProof(&c)
+}
+
+func canonicalReport(rep *zkvc.Report) []byte {
+	c := *rep
+	c.Ops = append([]zkvc.OpProof(nil), rep.Ops...)
+	for i := range c.Ops {
+		c.Ops[i].Synthesis = 0
+		c.Ops[i].Setup = 0
+		c.Ops[i].Prove = 0
+		c.Ops[i].Verify = 0
+	}
+	return wire.EncodeReport(&c)
+}
+
+// conformanceModelRequest captures a tiny forward pass.
+func conformanceModelRequest(t *testing.T, backend zkvc.Backend) *zkvc.ModelRequest {
+	t.Helper()
+	cfg := nn.TinyConfig("conformance", nn.MixerPooling)
+	model, err := zkvc.NewModel(cfg, confSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := zkvc.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(confSeed+1))), &trace)
+	return &zkvc.ModelRequest{Backend: backend, ProveNonlinear: true, Cfg: cfg, Trace: &trace}
+}
+
+func TestEngineConformance(t *testing.T) {
+	for _, backend := range []zkvc.Backend{zkvc.Spartan, zkvc.Groth16} {
+		backend := backend
+		t.Run(backend.String(), func(t *testing.T) {
+			ctx := context.Background()
+			engines := conformanceEngines(t, backend)
+
+			rng := mrand.New(mrand.NewSource(confSeed))
+			x := zkvc.RandomMatrix(rng, 6, 8, 32)
+			w := zkvc.RandomMatrix(rng, 8, 5, 32)
+			mreq := conformanceModelRequest(t, backend)
+
+			matmuls := make(map[string][]byte)
+			batches := make(map[string][]byte)
+			reports := make(map[string][]byte)
+
+			for _, ne := range engines {
+				t.Run(ne.name, func(t *testing.T) {
+					eng := ne.eng
+
+					// --- matmul round trip + tamper taxonomy ---
+					proof, err := eng.ProveMatMul(ctx, x, w)
+					if err != nil {
+						t.Fatalf("ProveMatMul: %v", err)
+					}
+					if err := eng.VerifyMatMul(ctx, x, proof); err != nil {
+						t.Fatalf("VerifyMatMul of own proof: %v", err)
+					}
+					tampered := *proof
+					tampered.Y = proof.Y.Clone()
+					tampered.Y.At(0, 0).SetInt64(12345)
+					if err := eng.VerifyMatMul(ctx, x, &tampered); !errors.Is(err, zkvc.ErrVerification) {
+						t.Fatalf("tampered VerifyMatMul: got %v, want ErrVerification", err)
+					}
+					matmuls[ne.name] = canonicalMatMul(proof)
+
+					// --- batch round trip ---
+					batch, err := eng.ProveBatch(ctx, [][2]*zkvc.Matrix{{x, w}, {x, w}})
+					if err != nil {
+						t.Fatalf("ProveBatch: %v", err)
+					}
+					if err := eng.VerifyBatch(ctx, []*zkvc.Matrix{x, x}, batch); err != nil {
+						t.Fatalf("VerifyBatch of own batch: %v", err)
+					}
+					batches[ne.name] = canonicalBatch(batch)
+
+					// --- model streaming contract + round trip ---
+					stream := eng.ProveModel(ctx, mreq)
+					seen := make(map[int]bool)
+					for op, err := range stream.All() {
+						if err != nil {
+							t.Fatalf("model stream: %v", err)
+						}
+						if seen[op.Seq] {
+							t.Fatalf("op sequence %d yielded twice", op.Seq)
+						}
+						seen[op.Seq] = true
+					}
+					rep, err := stream.Report()
+					if err != nil {
+						t.Fatalf("Report: %v", err)
+					}
+					if len(seen) != len(rep.Ops) {
+						t.Fatalf("stream yielded %d ops, report has %d", len(seen), len(rep.Ops))
+					}
+					for i := range rep.Ops {
+						if rep.Ops[i].Seq != i {
+							t.Fatalf("report op %d carries sequence %d", i, rep.Ops[i].Seq)
+						}
+					}
+					if err := eng.VerifyModel(ctx, rep); err != nil {
+						t.Fatalf("VerifyModel of own report: %v", err)
+					}
+					reports[ne.name] = canonicalReport(rep)
+					// A tampered report fails with the same sentinel on
+					// every engine (a policy rejection remotely, a
+					// cryptographic failure locally). Deep-copy the
+					// tampered op so the retained report stays intact.
+					bad := *rep
+					bad.Ops = append([]zkvc.OpProof(nil), rep.Ops...)
+					pub := append([]ff.Fr(nil), bad.Ops[0].Public...)
+					var one ff.Fr
+					one.SetOne()
+					pub[1].Add(&pub[1], &one)
+					bad.Ops[0].Public = pub
+					if err := eng.VerifyModel(ctx, &bad); !errors.Is(err, zkvc.ErrVerification) {
+						t.Fatalf("tampered VerifyModel: got %v, want ErrVerification", err)
+					}
+
+					// --- cancellation taxonomy ---
+					canceled, cancel := context.WithCancel(ctx)
+					cancel()
+					if _, err := eng.ProveMatMul(canceled, x, w); !errors.Is(err, context.Canceled) {
+						t.Fatalf("canceled ProveMatMul: got %v, want context.Canceled", err)
+					}
+				})
+			}
+
+			// --- cross-engine byte identity at equal seeds ---
+			for _, ne := range engines[1:] {
+				if !bytes.Equal(matmuls[ne.name], matmuls["local"]) {
+					t.Fatalf("%s matmul proof differs from local at equal seeds", ne.name)
+				}
+				if !bytes.Equal(batches[ne.name], batches["local"]) {
+					t.Fatalf("%s batch proof differs from local at equal seeds", ne.name)
+				}
+				if !bytes.Equal(reports[ne.name], reports["local"]) {
+					t.Fatalf("%s model report differs from local at equal seeds", ne.name)
+				}
+			}
+		})
+	}
+}

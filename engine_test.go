@@ -1,0 +1,134 @@
+package zkvc_test
+
+// Engine unit tests that go beyond the cross-implementation conformance
+// suite: Local's cancellation promptness mid-pipeline, and the
+// ModelStream contract (single use, abandonment, Report assembly).
+
+import (
+	"context"
+	"errors"
+	mrand "math/rand"
+	"strings"
+	"testing"
+
+	"zkvc"
+	"zkvc/internal/zkml"
+)
+
+// bigModelRequest captures a forward pass with enough operations that a
+// cancellation mid-stream is guaranteed to precede completion.
+func bigModelRequest(t *testing.T) *zkvc.ModelRequest {
+	t.Helper()
+	cfg := zkvc.ViTCIFAR10().Scaled(16)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	model, err := zkvc.NewModel(cfg, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := zkvc.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(62))), &trace)
+	return &zkvc.ModelRequest{Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: cfg, Trace: &trace}
+}
+
+// TestLocalProveModelCancelStopsPromptly: canceling the context after
+// the first streamed op must stop Local from issuing new ops and
+// surface an error matching BOTH taxonomies — ctx.Err() (the Engine
+// contract) and zkml.ErrCanceled (the compiler's sentinel).
+func TestLocalProveModelCancelStopsPromptly(t *testing.T) {
+	req := bigModelRequest(t)
+	eng := zkvc.NewLocal(zkvc.Spartan, zkvc.DefaultOptions())
+	eng.Seed = 63
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream := eng.ProveModel(ctx, req)
+	streamed := 0
+	var streamErr error
+	for _, err := range stream.All() {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		streamed++
+		cancel()
+	}
+	if streamed == 0 {
+		t.Fatalf("no op arrived before the stream ended: %v", streamErr)
+	}
+	if !errors.Is(streamErr, context.Canceled) {
+		t.Fatalf("canceled stream returned %v, want context.Canceled", streamErr)
+	}
+	if !errors.Is(streamErr, zkml.ErrCanceled) {
+		t.Fatalf("canceled stream returned %v, want it to also match zkml.ErrCanceled", streamErr)
+	}
+	// Prompt: the pipeline must not have proven the whole plan. With
+	// one op in flight per budget token, "streamed + a few in-flight"
+	// is the ceiling; the full trace is ~50 provable ops.
+	if streamed > 10 {
+		t.Fatalf("%d ops streamed after cancellation at op 1 — cancellation is not prompt", streamed)
+	}
+	if _, err := stream.Report(); err == nil {
+		t.Fatal("Report succeeded on a canceled stream")
+	}
+}
+
+// TestModelStreamSingleUseAndAbandonment pins the ModelStream contract:
+// a second consumption reports an error rather than silently replaying,
+// and a broken range counts as abandonment — Report refuses to invent
+// the ops the consumer never drained.
+func TestModelStreamSingleUseAndAbandonment(t *testing.T) {
+	cfg := zkvc.ViTCIFAR10().Scaled(16)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	model, err := zkvc.NewModel(cfg, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := zkvc.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(72))), &trace)
+	req := &zkvc.ModelRequest{Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: cfg, Trace: &trace}
+	eng := zkvc.NewLocal(zkvc.Spartan, zkvc.DefaultOptions())
+
+	// Abandon after the first op: the break must cancel the pipeline
+	// (this returns quickly rather than proving all ~50 ops) and Report
+	// must refuse.
+	stream := eng.ProveModel(context.Background(), req)
+	for op, err := range stream.All() {
+		if err != nil {
+			t.Fatalf("stream failed before the break: %v", err)
+		}
+		_ = op
+		break
+	}
+	if _, err := stream.Report(); err == nil || !strings.Contains(err.Error(), "abandoned") {
+		t.Fatalf("Report after break: got %v, want abandonment error", err)
+	}
+
+	// Second consumption of the same stream: a single error, no replay.
+	count := 0
+	var reuseErr error
+	for _, err := range stream.All() {
+		count++
+		reuseErr = err
+	}
+	if count != 1 || reuseErr == nil {
+		t.Fatalf("reused stream yielded %d items (last err %v), want exactly one error", count, reuseErr)
+	}
+
+	// Report-without-All drains the stream itself.
+	rep, err := eng.ProveModel(context.Background(), &zkvc.ModelRequest{
+		Backend: zkvc.Spartan, ProveNonlinear: false, Cfg: cfg, Trace: &trace,
+	}).Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ops) == 0 {
+		t.Fatal("Report-driven drain produced an empty report")
+	}
+	if err := eng.VerifyModel(context.Background(), rep); err != nil {
+		t.Fatal(err)
+	}
+}

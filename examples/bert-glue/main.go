@@ -10,34 +10,31 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"fmt"
-	"io"
 	"log"
 	mrand "math/rand"
-	"net/http"
 	"net/http/httptest"
 
 	"zkvc"
-	"zkvc/internal/nn"
 	"zkvc/internal/server"
-	"zkvc/internal/wire"
 )
 
 func main() {
+	ctx := context.Background()
 	bert := zkvc.BERTGLUE()
 	n := bert.TotalBlocks()
 
 	// Part 1 — exact service-proven inference at a tractable scale: the
-	// hybrid BERT, scaled 8× down, proven operation by operation via
-	// /v1/prove/model and attested back via /v1/verify/model.
+	// hybrid BERT, scaled 8× down, proven operation by operation through
+	// Engine.ProveModel and attested back via Engine.VerifyModel.
 	small := bert.Scaled(8)
 	small.Mixers = zkvc.PlanHybrid(small)
 	model, err := zkvc.NewModel(small, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trace := nn.Trace{Capture: true}
+	trace := zkvc.Trace{Capture: true}
 	model.Forward(zkvc.RandomInput(model, mrand.New(mrand.NewSource(2))), &trace)
 
 	svc, err := server.New(server.DefaultConfig())
@@ -47,31 +44,16 @@ func main() {
 	defer svc.Close()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
+	eng := server.NewClient(ts.URL)
 
-	resp, err := http.Post(ts.URL+"/v1/prove/model", "application/octet-stream",
-		bytes.NewReader(wire.EncodeProveModelRequest(&wire.ProveModelRequest{
-			Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: small, Trace: &trace,
-		})))
+	report, err := eng.ProveModel(ctx, &zkvc.ModelRequest{
+		Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: small, Trace: &trace,
+	}).Report()
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		log.Fatalf("/v1/prove/model: status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
-	}
-	report, err := wire.DecodeModelStream(resp.Body, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	verdict, err := http.Post(ts.URL+"/v1/verify/model", "application/octet-stream",
-		bytes.NewReader(wire.EncodeReport(report)))
-	if err != nil {
-		log.Fatal(err)
-	}
-	verdict.Body.Close()
-	if verdict.StatusCode != http.StatusOK {
-		log.Fatalf("/v1/verify/model rejected the report (status %d)", verdict.StatusCode)
+	if err := eng.VerifyModel(ctx, report); err != nil {
+		log.Fatalf("/v1/verify/model rejected the report: %v", err)
 	}
 	fmt.Printf("service proved %s end to end: %d ops, %d constraints, prove %.2fs, report attested\n\n",
 		small.Name, len(report.Ops), report.TotalConstraints(), report.TotalProve().Seconds())

@@ -1,6 +1,9 @@
 // Sharded proving: a coordinator routes jobs across three prover nodes
 // by CRS affinity — the scale-out step after the single service, all
-// in-process so the whole cluster runs with one command.
+// in-process so the whole cluster runs with one command. Clients speak
+// to the cluster through cluster.NewEngine, the third implementation of
+// the zkvc.Engine interface: the code below would run unchanged against
+// zkvc.NewLocal or a single server.NewClient.
 //
 // The coordinator hashes each job's coalescing key (matmul: tenant +
 // shape + options; model: tenant + circuit structure) over the node
@@ -14,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	mrand "math/rand"
@@ -23,10 +27,11 @@ import (
 	"zkvc/internal/cluster"
 	"zkvc/internal/nn"
 	"zkvc/internal/server"
-	"zkvc/internal/wire"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Three ordinary prover nodes — each is exactly what `zkvc serve`
 	// runs, here in-process behind httptest listeners.
 	var nodes []*server.Server
@@ -57,18 +62,19 @@ func main() {
 	defer front.Close()
 	fmt.Printf("cluster up: coordinator fronting %d nodes\n", len(urls))
 
-	// Matmul jobs from a few tenants spread across the pool...
+	// Matmul jobs from a few tenants spread across the pool: each tenant
+	// gets its own Engine, and the coordinator routes by (tenant, shape).
 	rng := mrand.New(mrand.NewSource(7))
 	x := zkvc.RandomMatrix(rng, 6, 8, 32)
 	w := zkvc.RandomMatrix(rng, 8, 5, 32)
 	for _, tenant := range []string{"acme", "globex", "initech", "umbrella"} {
-		c := server.NewClient(front.URL)
-		c.Tenant = tenant
-		resp, err := c.Prove(x, w)
+		eng := cluster.NewEngine(front.URL)
+		eng.Tenant = tenant
+		proof, err := eng.ProveMatMul(ctx, x, w)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := zkvc.VerifyMatMulBatch(resp.Xs, resp.Batch); err != nil {
+		if err := eng.VerifyMatMul(ctx, x, proof); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -76,24 +82,24 @@ func main() {
 	// ...while one tenant's model lands on one node, twice: the second
 	// pass hits that node's warm CRS cache instead of paying new setups.
 	cfg := nn.TinyConfig("cluster-demo", nn.MixerPooling)
-	model, err := nn.NewModel(cfg, 42)
+	model, err := zkvc.NewModel(cfg, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trace := nn.Trace{Capture: true}
+	trace := zkvc.Trace{Capture: true}
 	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(9))), &trace)
-	req := &wire.ProveModelRequest{Backend: zkvc.Groth16, ProveNonlinear: true, Cfg: cfg, Trace: &trace}
+	req := &zkvc.ModelRequest{Backend: zkvc.Groth16, ProveNonlinear: true, Cfg: cfg, Trace: &trace}
 
-	mc := server.NewClient(front.URL)
-	mc.Tenant = "acme"
-	rep, err := mc.ProveModel(req, nil)
+	eng := cluster.NewEngine(front.URL)
+	eng.Tenant = "acme"
+	rep, err := eng.ProveModel(ctx, req).Report()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := mc.ProveModel(req, nil); err != nil {
+	if _, err := eng.ProveModel(ctx, req).Report(); err != nil {
 		log.Fatal(err)
 	}
-	if err := mc.VerifyModel(rep); err != nil {
+	if err := eng.VerifyModel(ctx, rep); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("model %q proved twice through the cluster (%d ops), report verified by the issuing node\n",
@@ -112,7 +118,7 @@ func main() {
 	// Drain the model's home node: new work routes around it; nothing
 	// already accepted is dropped.
 	coord.Drain(homeNode, true)
-	if _, err := mc.Prove(x, w); err != nil {
+	if _, err := eng.ProveMatMul(ctx, x, w); err != nil {
 		log.Fatal(err)
 	}
 	snap := coord.Metrics()

@@ -5,10 +5,17 @@
 // that the product was computed with the committed W — without learning
 // W itself (Figure 1 of the paper).
 //
+// Everything goes through a zkvc.Engine — here the in-process Local
+// engine. The same program proves against a remote service by swapping
+// the constructor for server.NewClient(url), or against a sharded
+// cluster with cluster.NewEngine(url); see examples/verifiable-matmul
+// for that swap in action.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	mrand "math/rand"
@@ -17,6 +24,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rng := mrand.New(mrand.NewSource(42))
 
 	// The paper's Figure 3 shape: [49,64]·[64,128], i.e. the patch
@@ -26,8 +34,8 @@ func main() {
 
 	// CRPC+PSQ on the transparent Spartan backend ("zkVC-S"): no
 	// trusted setup, sub-second proving at this size.
-	prover := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
-	proof, err := prover.Prove(x, w)
+	eng := zkvc.NewLocal(zkvc.Spartan, zkvc.DefaultOptions())
+	proof, err := eng.ProveMatMul(ctx, x, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +45,7 @@ func main() {
 		proof.SizeBytes(), proof.Backend, proof.Opts)
 
 	// The client verifies against the public X and the claimed Y only.
-	if err := zkvc.VerifyMatMul(x, proof); err != nil {
+	if err := eng.VerifyMatMul(ctx, x, proof); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("verified: Y = X·W for the committed W")
@@ -47,7 +55,7 @@ func main() {
 	bad.At(0, 0).SetInt64(12345)
 	tampered := *proof
 	tampered.Y = bad
-	if err := zkvc.VerifyMatMul(x, &tampered); err != nil {
+	if err := eng.VerifyMatMul(ctx, x, &tampered); err != nil {
 		fmt.Println("tampered result correctly rejected:", err)
 	} else {
 		log.Fatal("tampered result verified — soundness bug")

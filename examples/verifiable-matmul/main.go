@@ -1,129 +1,101 @@
-// Verifiable matmul as a service: the paper's Figure 1 client/server
-// workflow over HTTP.
+// Verifiable matmul as a service — and the Engine swap that makes the
+// deployment shape a one-line decision.
 //
-// The server owns a private weight matrix W (its intellectual property).
-// A client POSTs a public input matrix X to /infer; the server answers
-// with Y = X·W and a zkVC proof. The client verifies the proof locally —
-// if the server had tampered with the computation (or silently swapped
-// models between requests, detected via the W commitment), verification
-// would fail.
+// The paper's Figure 1 workflow (a prover holds private weights W, a
+// client submits public X and verifies Y = X·W) is written here ONCE,
+// against the zkvc.Engine interface. It then runs twice: first on the
+// in-process Local engine, then against a real proving service over
+// HTTP through server.Client — the same interface, so the workflow
+// function cannot tell the difference. Both engines are seeded alike,
+// and the example checks the proofs they produce are byte-identical:
+// moving proving out of process changes where the work runs, not a
+// single proved byte. (cluster.NewEngine is the third swap — see
+// examples/cluster-inference.)
 //
 //	go run ./examples/verifiable-matmul
 package main
 
 import (
 	"bytes"
-	"encoding/gob"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
 	mrand "math/rand"
-	"net"
-	"net/http"
-	"time"
+	"net/http/httptest"
 
 	"zkvc"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
 )
 
-// inferRequest is the client's public input.
-type inferRequest struct {
-	Rows int     `json:"rows"`
-	Cols int     `json:"cols"`
-	Data []int64 `json:"data"`
-}
-
-// server holds the private model and proves every inference.
-type server struct {
-	w      *zkvc.Matrix
-	prover *zkvc.MatMulProver
-}
-
-func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	var req inferRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if req.Rows*req.Cols != len(req.Data) || req.Cols != s.w.Rows {
-		http.Error(w, "bad input shape", http.StatusBadRequest)
-		return
-	}
-	x := zkvc.MatrixFromInt64(req.Rows, req.Cols, req.Data)
-	proof, err := s.prover.Prove(x, s.w)
+// workflow is the Figure 1 exchange against any Engine: prove the
+// product of a public input against the private weights, verify it, and
+// check the weight commitment is stable across requests (a server
+// silently swapping models between requests would change it).
+func workflow(eng zkvc.Engine, x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
+	ctx := context.Background()
+	proof, err := eng.ProveMatMul(ctx, x, w)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return nil, err
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(proof); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	if err := eng.VerifyMatMul(ctx, x, proof); err != nil {
+		return nil, fmt.Errorf("proof does not verify: %w", err)
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(buf.Bytes())
+	again, err := eng.ProveMatMul(ctx, x, w)
+	if err != nil {
+		return nil, err
+	}
+	if !zkvc.SameCommitment(proof, again) {
+		return nil, fmt.Errorf("weight commitment changed between requests")
+	}
+	return proof, nil
+}
+
+// canonical strips wall-clock timings so proofs compare byte for byte.
+func canonical(p *zkvc.MatMulProof) []byte {
+	c := *p
+	c.Timings = zkvc.Timings{}
+	return wire.EncodeMatMulProof(&c)
 }
 
 func main() {
-	rng := mrand.New(mrand.NewSource(7))
+	const seed = 7
+	rng := mrand.New(mrand.NewSource(seed))
+	w := zkvc.RandomMatrix(rng, 64, 32, 256) // the prover's private model
+	x := zkvc.RandomMatrix(rng, 16, 64, 256) // the client's public input
 
-	// Server side: a private 64×32 weight matrix.
-	srv := &server{
-		w:      zkvc.RandomMatrix(rng, 64, 32, 256),
-		prover: zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions()),
+	// Shape 1 — in-process: the library provers behind the interface.
+	local := zkvc.NewLocal(zkvc.Spartan, zkvc.DefaultOptions())
+	local.Seed = seed
+	localProof, err := workflow(local, x, w)
+	if err != nil {
+		log.Fatal("local engine: ", err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /infer", srv.handleInfer)
+	fmt.Printf("local engine:  proved+verified [16,64]x[64,32], %d-byte proof\n", localProof.SizeBytes())
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// Shape 2 — remote: the same workflow against a real proving
+	// service (what `zkvc serve` runs), reached through the typed
+	// client. Only the constructor changed.
+	cfg := server.DefaultConfig()
+	cfg.Seed = seed // deterministic demo; production keeps crypto/rand
+	svc, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, mux)
-	url := fmt.Sprintf("http://%s/infer", ln.Addr())
-	fmt.Println("server holding private W, listening on", url)
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
 
-	// Client side: send a public input, receive Y + proof, verify.
-	x := zkvc.RandomMatrix(rng, 16, 64, 256)
-	req := inferRequest{Rows: x.Rows, Cols: x.Cols, Data: zkvc.MatrixToInt64(x)}
-	body, _ := json.Marshal(req)
-
-	start := time.Now()
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	remoteProof, err := workflow(server.NewClient(ts.URL), x, w)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal("remote engine: ", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("server error: %s", resp.Status)
-	}
-	var proof zkvc.MatMulProof
-	if err := gob.NewDecoder(resp.Body).Decode(&proof); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("client received %dx%d result + %d-byte proof in %v\n",
-		proof.Y.Rows, proof.Y.Cols, proof.SizeBytes(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("remote engine: proved+verified over HTTP, %d-byte proof\n", remoteProof.SizeBytes())
 
-	if err := zkvc.VerifyMatMul(x, &proof); err != nil {
-		log.Fatal("verification failed: ", err)
+	// Equal seeds ⇒ equal bytes: the deployment shape is not allowed to
+	// change the cryptography.
+	if !bytes.Equal(canonical(localProof), canonical(remoteProof)) {
+		log.Fatal("local and remote proofs differ at equal seeds")
 	}
-	fmt.Println("client verified: the server really computed Y = X·W")
-
-	// A second request must bind to the same committed model.
-	resp2, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp2.Body.Close()
-	var proof2 zkvc.MatMulProof
-	if err := gob.NewDecoder(resp2.Body).Decode(&proof2); err != nil {
-		log.Fatal(err)
-	}
-	if err := zkvc.VerifyMatMul(x, &proof2); err != nil {
-		log.Fatal("verification failed: ", err)
-	}
-	if zkvc.SameCommitment(&proof, &proof2) {
-		fmt.Println("model commitment stable across requests: server did not swap W")
-	} else {
-		log.Fatal("server swapped models between requests")
-	}
+	fmt.Println("local and remote proofs are byte-identical at equal seeds")
 }

@@ -2,9 +2,11 @@
 // CIFAR-10 vision transformer, capture its forward pass, and have the
 // concurrent proving service prove every operation — matmuls through
 // CRPC+PSQ, SoftMax and GELU through the §III-C gadget circuits —
-// streaming each proof back the moment it finishes. The reassembled
-// report is then checked two ways: by the service (/v1/verify/model,
-// which vouches only for reports it issued) and locally, exactly as the
+// streaming each proof back the moment it finishes. The stream is a
+// plain Go iterator on the Engine interface (the same loop works
+// against zkvc.NewLocal or cluster.NewEngine); the reassembled report
+// is then checked two ways: by the service (/v1/verify/model, which
+// vouches only for reports it issued) and locally, exactly as the
 // paper's Table III measures end to end.
 //
 // The full paper shapes are estimated at the end via the same
@@ -14,20 +16,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	mrand "math/rand"
 	"net/http/httptest"
 
 	"zkvc"
-	"zkvc/internal/nn"
-	"zkvc/internal/pcs"
 	"zkvc/internal/server"
-	"zkvc/internal/wire"
-	"zkvc/internal/zkml"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The paper's CIFAR-10 architecture (7 layers / 4 heads / dim 256 /
 	// 64 tokens), scaled 16× down so exact end-to-end proving finishes in
 	// seconds on a laptop.
@@ -43,11 +44,12 @@ func main() {
 		log.Fatal(err)
 	}
 	x := zkvc.RandomInput(model, mrand.New(mrand.NewSource(9)))
-	trace := nn.Trace{Capture: true}
+	trace := zkvc.Trace{Capture: true}
 	logits := model.Forward(x, &trace)
 	fmt.Printf("forward pass traced %d operations, logits: %v\n", len(trace.Ops), logits.Data)
 
-	// An in-process proving service — the same one `zkvc serve` runs.
+	// An in-process proving service — the same one `zkvc serve` runs —
+	// reached through the Engine interface.
 	svc, err := server.New(server.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -55,24 +57,28 @@ func main() {
 	defer svc.Close()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
+	eng := server.NewClient(ts.URL)
 
-	// POST the captured trace through the typed client; per-op proofs
-	// stream back as frames in completion order (independent ops prove
-	// concurrently server-side).
-	client := server.NewClient(ts.URL)
-	streamed := 0
-	report, err := client.ProveModel(&wire.ProveModelRequest{
+	// Stream per-op proofs as they finish (independent ops prove
+	// concurrently server-side, so frames arrive in completion order).
+	stream := eng.ProveModel(ctx, &zkvc.ModelRequest{
 		Backend:        zkvc.Spartan,
 		ProveNonlinear: true,
 		Cfg:            cfg,
 		Trace:          &trace,
-	}, func(op *zkml.OpProof) {
+	})
+	streamed := 0
+	for op, err := range stream.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		streamed++
 		if streamed <= 3 {
 			fmt.Printf("  streamed op %d (%s, %v): %d constraints\n",
 				op.Seq, op.Tag, op.Kind, op.Stats.Constraints)
 		}
-	})
+	}
+	report, err := stream.Report()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,10 +86,10 @@ func main() {
 		streamed, report.TotalConstraints(), report.TotalProofBytes(), report.TotalProve().Seconds())
 
 	// Ask the service for its verdict, then re-verify every proof locally.
-	if err := client.VerifyModel(report); err != nil {
+	if err := eng.VerifyModel(ctx, report); err != nil {
 		log.Fatalf("/v1/verify/model rejected the report: %v", err)
 	}
-	if err := zkml.VerifyReport(report, zkml.Options{PCS: pcs.DefaultParams()}); err != nil {
+	if err := zkvc.NewLocal(zkvc.Spartan, report.Circuit).VerifyModel(ctx, report); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("report verified by the service and locally (verify %.3fs)\n",

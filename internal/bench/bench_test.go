@@ -146,3 +146,28 @@ func TestFig6ShapeMatchesPaper(t *testing.T) {
 		t.Errorf("fig6Shape(128) = [%d,%d]x[%d,%d]", a, n, n, b)
 	}
 }
+
+// TestRunEngineReport pins the engine harness contract: both rows
+// present, a local-vs-direct ratio recorded, and — the part that must
+// never regress — engine and direct proofs byte-identical at equal
+// seeds (deterministic == true).
+func TestRunEngineReport(t *testing.T) {
+	rows, ratios, deterministic, err := RunEngineReport(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (direct + local)", len(rows))
+	}
+	if len(ratios) != 1 {
+		t.Fatalf("got %d ratios, want 1 local-vs-direct entry", len(ratios))
+	}
+	for name := range ratios {
+		if !strings.HasPrefix(name, "engine/local-vs-direct/") {
+			t.Fatalf("ratio key %q does not name the local-vs-direct comparison", name)
+		}
+	}
+	if !deterministic {
+		t.Fatal("engine and direct proofs differ at equal seeds")
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	mrand "math/rand"
 	"net/http/httptest"
@@ -60,7 +61,7 @@ func RunClusterReport(seed int64) ([]ParallelRow, map[string]int64, error) {
 	// Warm both nodes' epoch CRS for the shape so neither measured pass
 	// pays a setup.
 	for _, u := range urls {
-		if _, err := server.NewClient(u).ProveSingle(x, w); err != nil {
+		if _, err := server.NewClient(u).ProveSingle(context.Background(), x, w); err != nil {
 			return nil, nil, fmt.Errorf("warmup: %w", err)
 		}
 	}
@@ -71,7 +72,7 @@ func RunClusterReport(seed int64) ([]ParallelRow, map[string]int64, error) {
 		c.Tenant = tenant
 		start := time.Now()
 		for i := 0; i < reps; i++ {
-			proof, err := c.ProveSingle(x, w)
+			proof, err := c.ProveSingle(context.Background(), x, w)
 			if err != nil {
 				return 0, err
 			}
@@ -103,7 +104,7 @@ func RunClusterReport(seed int64) ([]ParallelRow, map[string]int64, error) {
 	fails := 0
 	for i := 0; i < reps; i++ {
 		c.Tenant = fmt.Sprintf("failover-%d", i)
-		if _, err := c.ProveSingle(x, w); err != nil {
+		if _, err := c.ProveSingle(context.Background(), x, w); err != nil {
 			fails++
 		}
 	}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/matrix"
+	"zkvc/internal/wire"
+)
+
+// This file measures the Engine abstraction itself: the same statements
+// proven by calling the provers directly (MatMulProver.ProveContext)
+// and through the zkvc.Local engine. The interface is a constructor and
+// a context check per phase — the local-vs-direct ratio pins that it
+// adds no measurable cost, and the byte-identity cross-check pins that
+// it changes nothing cryptographic. Rows land in BENCH_*.json next to
+// the parallelism and cluster rows (they never gate — the gate only
+// reads gotest/ rows); the ratio goes into the report's speedup map
+// under "engine/local-vs-direct/...".
+
+// engineShape is the quickstart shape: big enough that per-call fixed
+// costs are visible as a ratio, small enough for a few repetitions.
+var engineShape = [3]int{49, 64, 128}
+
+// engineReps averages out scheduler noise on the overhead measurement.
+const engineReps = 5
+
+// RunEngineReport measures direct-vs-engine proving and cross-checks
+// the proofs byte for byte. The returned ratios map holds
+// seconds(direct)/seconds(engine) per configuration — ≈1.0 means the
+// interface is free; the deterministic flag reports the byte-identity
+// cross-check.
+func RunEngineReport(seed int64) ([]ParallelRow, map[string]float64, bool, error) {
+	ctx := context.Background()
+	rng := mrand.New(mrand.NewSource(seed))
+	x := matrix.Random(rng, engineShape[0], engineShape[1], 256)
+	w := matrix.Random(rng, engineShape[1], engineShape[2], 256)
+
+	name := fmt.Sprintf("single/%s/%dx%dx%d", backendName(zkvc.Spartan),
+		engineShape[0], engineShape[1], engineShape[2])
+
+	// Direct path: the provers as PR 1 shipped them, one fresh seeded
+	// prover per proof — exactly what zkvc.Local does internally, so the
+	// comparison isolates the interface, not a caching difference.
+	var directProof *zkvc.MatMulProof
+	direct, err := timePerProof(func() error {
+		p := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
+		p.Reseed(seed)
+		var e error
+		directProof, e = p.ProveContext(ctx, x, w)
+		return e
+	})
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("direct pass: %w", err)
+	}
+
+	// Engine path: the same statement through zkvc.Local.
+	eng := zkvc.NewLocal(zkvc.Spartan, zkvc.DefaultOptions())
+	eng.Seed = seed
+	var engineProof *zkvc.MatMulProof
+	engine, err := timePerProof(func() error {
+		var e error
+		engineProof, e = eng.ProveMatMul(ctx, x, w)
+		return e
+	})
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("engine pass: %w", err)
+	}
+	if err := eng.VerifyMatMul(ctx, x, engineProof); err != nil {
+		return nil, nil, false, fmt.Errorf("engine proof does not verify: %w", err)
+	}
+
+	deterministic := bytes.Equal(canonicalProofBytes(directProof), canonicalProofBytes(engineProof))
+	rows := []ParallelRow{
+		{Name: "engine/direct/" + name, Parallelism: 1, Seconds: direct,
+			ProofBytes: directProof.SizeBytes()},
+		{Name: "engine/local/" + name, Parallelism: 1, Seconds: engine,
+			ProofBytes: engineProof.SizeBytes()},
+	}
+	ratios := map[string]float64{}
+	if engine > 0 {
+		ratios["engine/local-vs-direct/"+name] = direct / engine
+	}
+	return rows, ratios, deterministic, nil
+}
+
+// timePerProof averages f over engineReps runs.
+func timePerProof(f func() error) (float64, error) {
+	start := time.Now()
+	for i := 0; i < engineReps; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds() / engineReps, nil
+}
+
+// canonicalProofBytes strips wall clock for the byte-identity check.
+func canonicalProofBytes(p *zkvc.MatMulProof) []byte {
+	c := *p
+	c.Timings = zkvc.Timings{}
+	return wire.EncodeMatMulProof(&c)
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	mrand "math/rand"
 	"runtime"
@@ -105,7 +106,7 @@ func runSingle(backend zkvc.Backend, shape [3]int, par int, seed int64) (Paralle
 	var proof *zkvc.MatMulProof
 	_, allocs, allocBytes, err := measure(func() error {
 		var e error
-		proof, e = prover.Prove(x, w)
+		proof, e = prover.ProveContext(context.Background(), x, w)
 		return e
 	})
 	if err != nil {
@@ -146,7 +147,7 @@ func runBatch(par int, m int, shape [3]int, seed int64) (ParallelRow, []byte, er
 	var proof *zkvc.BatchProof
 	_, allocs, allocBytes, err := measure(func() error {
 		var e error
-		proof, e = prover.ProveBatch(pairs...)
+		proof, e = prover.ProveBatchContext(context.Background(), pairs...)
 		return e
 	})
 	if err != nil {

@@ -32,6 +32,7 @@
 package cluster
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"net/http"
@@ -265,7 +266,7 @@ func (c *Coordinator) probeLoop() {
 			wg.Add(1)
 			go func(n *node) {
 				defer wg.Done()
-				snap, err := n.probe.Metrics()
+				snap, err := n.probe.Metrics(context.Background())
 				if err != nil {
 					if n.fails.Add(1) >= int64(c.cfg.ProbeFailures) {
 						n.probeOK.Store(false)
@@ -334,6 +335,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/prove", c.handleProve)
 	mux.HandleFunc("POST /v1/prove/single", c.handleProveSingle)
+	mux.HandleFunc("POST /v1/prove/matmul", c.handleProveMatMul)
+	mux.HandleFunc("POST /v1/prove/batch", c.handleProveBatch)
 	mux.HandleFunc("POST /v1/prove/model", c.handleProveModel)
 	mux.HandleFunc("POST /v1/verify", c.handleVerify)
 	mux.HandleFunc("POST /v1/verify/batch", c.handleVerifyBatch)

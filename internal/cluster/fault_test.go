@@ -6,6 +6,7 @@ package cluster_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	mrand "math/rand"
@@ -53,7 +54,7 @@ func TestCoordinatorForwardsTenantVerbatim(t *testing.T) {
 			defer wg.Done()
 			c := server.NewClient(coordTS.URL)
 			c.Tenant = tenant
-			resps[i], errs[i] = c.Prove(x, w)
+			resps[i], errs[i] = c.ProveCoalesced(tctx, x, w)
 		}(i, tenant)
 	}
 	wg.Wait()
@@ -116,7 +117,7 @@ func TestNodeDeathMidStreamSurfacesErrorFrame(t *testing.T) {
 	ccfg.ProbeInterval = time.Hour // health changes only via forwarding, not probing
 	coord, coordTS := newCoordinator(t, ccfg)
 
-	body := wire.EncodeProveModelRequest(modelRequest(t, zkvc.Spartan, 9))
+	body := wire.EncodeProveModelRequest(wireModelRequest(modelRequest(t, zkvc.Spartan, 9)))
 	resp, err := http.Post(coordTS.URL+"/v1/prove/model", "application/octet-stream", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +183,7 @@ func TestDeadNodeFailover(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		c := server.NewClient(coordTS.URL)
 		c.Tenant = fmt.Sprintf("failover-%d", i)
-		resp, err := c.Prove(x, w)
+		resp, err := c.ProveCoalesced(tctx, x, w)
 		if err != nil {
 			t.Fatalf("tenant %d: %v", i, err)
 		}
@@ -204,7 +205,7 @@ func TestDeadNodeFailover(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		c := server.NewClient(coordTS.URL)
 		c.Tenant = fmt.Sprintf("model-failover-%d", i)
-		rep, err := c.ProveModel(req, nil)
+		rep, err := c.ProveModel(tctx, req).Report()
 		if err != nil {
 			t.Fatalf("model tenant %d: %v", i, err)
 		}
@@ -245,7 +246,7 @@ func TestDrainFinishesQueuedWork(t *testing.T) {
 	go func() {
 		c := server.NewClient(coordTS.URL)
 		c.Tenant = "drain-tenant"
-		resp, err := c.Prove(x, w)
+		resp, err := c.ProveCoalesced(tctx, x, w)
 		done <- result{resp, err}
 	}()
 
@@ -267,10 +268,10 @@ func TestDrainFinishesQueuedWork(t *testing.T) {
 	c := server.NewClient(coordTS.URL)
 	c.Tenant = "post-drain"
 	var se *server.StatusError
-	if _, err := c.Prove(x, w); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+	if _, err := c.ProveCoalesced(tctx, x, w); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
 		t.Fatalf("prove against a fully drained pool: got %v, want 503", err)
 	}
-	if err := c.Healthz(); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+	if err := c.Healthz(tctx); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
 		t.Fatalf("healthz of a fully drained pool: got %v, want 503", err)
 	}
 
@@ -287,7 +288,7 @@ func TestDrainFinishesQueuedWork(t *testing.T) {
 	if !coord.Drain(aTS.URL, false) {
 		t.Fatal("undrain of a known node reported unknown")
 	}
-	if _, err := c.Prove(x, w); err != nil {
+	if _, err := c.ProveCoalesced(tctx, x, w); err != nil {
 		t.Fatalf("prove after undrain: %v", err)
 	}
 	if snap := coord.Metrics(); snap.Unroutable < 1 {
@@ -307,18 +308,18 @@ func TestAnnounceHeartbeatLifecycle(t *testing.T) {
 
 	cc := server.NewClient(coordTS.URL)
 	var se *server.StatusError
-	if err := cc.Healthz(); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+	if err := cc.Healthz(tctx); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
 		t.Fatalf("empty cluster healthz: got %v, want 503", err)
 	}
 
 	// Heartbeats from unknown nodes are rejected: announce first.
-	if err := cc.Heartbeat(&wire.NodeHeartbeat{Name: "prover-1"}); !errors.As(err, &se) || se.Code != http.StatusNotFound {
+	if err := cc.Heartbeat(tctx, &wire.NodeHeartbeat{Name: "prover-1"}); !errors.As(err, &se) || se.Code != http.StatusNotFound {
 		t.Fatalf("heartbeat before announce: got %v, want 404", err)
 	}
-	if err := cc.Announce(&wire.NodeAnnounce{Name: "prover-1", URL: nodeTS.URL, Workers: 1}); err != nil {
+	if err := cc.Announce(tctx, &wire.NodeAnnounce{Name: "prover-1", URL: nodeTS.URL, Workers: 1}); err != nil {
 		t.Fatalf("announce: %v", err)
 	}
-	if err := cc.Healthz(); err != nil {
+	if err := cc.Healthz(tctx); err != nil {
 		t.Fatalf("healthz after announce: %v", err)
 	}
 
@@ -326,15 +327,15 @@ func TestAnnounceHeartbeatLifecycle(t *testing.T) {
 	x := zkvc.RandomMatrix(rng, 6, 8, 32)
 	w := zkvc.RandomMatrix(rng, 8, 5, 32)
 	cc.Tenant = "announced"
-	if _, err := cc.Prove(x, w); err != nil {
+	if _, err := cc.ProveCoalesced(tctx, x, w); err != nil {
 		t.Fatalf("prove through an announced node: %v", err)
 	}
 
 	// A draining heartbeat takes the node out of rotation...
-	if err := cc.Heartbeat(&wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 2, Draining: true}); err != nil {
+	if err := cc.Heartbeat(tctx, &wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 2, Draining: true}); err != nil {
 		t.Fatalf("draining heartbeat: %v", err)
 	}
-	if _, err := cc.Prove(x, w); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+	if _, err := cc.ProveCoalesced(tctx, x, w); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
 		t.Fatalf("prove against a draining announced node: got %v, want 503", err)
 	}
 	snap := coord.Metrics()
@@ -342,16 +343,16 @@ func TestAnnounceHeartbeatLifecycle(t *testing.T) {
 		t.Fatalf("metrics don't reflect the draining heartbeat: %+v", snap.Nodes)
 	}
 	// ...and a recovering one puts it back.
-	if err := cc.Heartbeat(&wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 0}); err != nil {
+	if err := cc.Heartbeat(tctx, &wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 0}); err != nil {
 		t.Fatalf("recovering heartbeat: %v", err)
 	}
-	if _, err := cc.Prove(x, w); err != nil {
+	if _, err := cc.ProveCoalesced(tctx, x, w); err != nil {
 		t.Fatalf("prove after recovery: %v", err)
 	}
 
 	// Re-announcing under the same name must not move the node to a new
 	// URL (that would be trivial traffic hijacking on an open port).
-	if err := cc.Announce(&wire.NodeAnnounce{Name: "prover-1", URL: "http://evil:1"}); !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+	if err := cc.Announce(tctx, &wire.NodeAnnounce{Name: "prover-1", URL: "http://evil:1"}); !errors.As(err, &se) || se.Code != http.StatusBadRequest {
 		t.Fatalf("re-announce with a different URL: got %v, want 400", err)
 	}
 
@@ -362,19 +363,19 @@ func TestAnnounceHeartbeatLifecycle(t *testing.T) {
 	if !coord.Drain("prover-1", true) {
 		t.Fatal("operator drain of announced node failed")
 	}
-	if err := cc.Heartbeat(&wire.NodeHeartbeat{Name: "prover-1"}); err != nil {
+	if err := cc.Heartbeat(tctx, &wire.NodeHeartbeat{Name: "prover-1"}); err != nil {
 		t.Fatalf("heartbeat during operator drain: %v", err)
 	}
-	if err := cc.Announce(&wire.NodeAnnounce{Name: "prover-1", URL: nodeTS.URL, Workers: 1}); err != nil {
+	if err := cc.Announce(tctx, &wire.NodeAnnounce{Name: "prover-1", URL: nodeTS.URL, Workers: 1}); err != nil {
 		t.Fatalf("re-announce during operator drain: %v", err)
 	}
-	if _, err := cc.Prove(x, w); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+	if _, err := cc.ProveCoalesced(tctx, x, w); !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
 		t.Fatalf("heartbeat/re-announce reverted an operator drain: got %v, want 503", err)
 	}
 	if !coord.Drain("prover-1", false) {
 		t.Fatal("operator undrain failed")
 	}
-	if _, err := cc.Prove(x, w); err != nil {
+	if _, err := cc.ProveCoalesced(tctx, x, w); err != nil {
 		t.Fatalf("prove after operator undrain: %v", err)
 	}
 }
@@ -483,4 +484,111 @@ func TestProbeMarksDeadNodeUnhealthy(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+// TestClientCancelMidStreamRelaysAbortWithoutWedgingNode: a client that
+// cancels its context mid-model-stream through the coordinator must (a)
+// see the cancellation as its own ctx error, (b) have the abort relayed
+// to the prover node — whose job lands in model_jobs_canceled, not
+// prove_errors — and (c) leave both coordinator and node serving the
+// next request normally. This is the ctx-cancel scenario of the fault
+// harness: cancellation crosses two HTTP hops and must not strand work
+// or capacity on either. The scenario races the ~50-op job against the
+// cancel; a lost race (job finished first) proves nothing, so it
+// retries with a fresh cluster and only fails if cancellation never
+// wins.
+func TestClientCancelMidStreamRelaysAbortWithoutWedgingNode(t *testing.T) {
+	for attempt := int64(0); attempt < 3; attempt++ {
+		if runClusterCancelScenario(t, 51+attempt) {
+			return
+		}
+	}
+	t.Fatal("job completed before cancellation in all 3 attempts — model too small for this machine")
+}
+
+func runClusterCancelScenario(t *testing.T, seed int64) bool {
+	t.Helper()
+	ncfg := nodeConfig(seed)
+	ncfg.Workers = 1
+	nodeSrv, nodeTS := newNode(t, ncfg)
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = []string{nodeTS.URL}
+	ccfg.ProbeInterval = time.Hour
+	coord, coordTS := newCoordinator(t, ccfg)
+
+	// Enough operations that the job is overwhelmingly likely to still
+	// be mid-pipeline when the cancellation lands.
+	mcfg := zkvc.ViTCIFAR10().Scaled(16)
+	if err := mcfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	model, err := zkvc.NewModel(mcfg, seed+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := zkvc.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(seed+3))), &trace)
+
+	eng := cluster.NewEngine(coordTS.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream := eng.ProveModel(ctx, &zkvc.ModelRequest{
+		Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: mcfg, Trace: &trace,
+	})
+	streamed := 0
+	var streamErr error
+	for _, err := range stream.All() {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		streamed++
+		cancel() // first proof in hand: abort mid-stream
+	}
+	if streamed == 0 {
+		t.Fatalf("stream ended before any op arrived: %v", streamErr)
+	}
+	if streamErr == nil {
+		// The whole stream arrived before the cancel took effect.
+		return false
+	}
+	if !errors.Is(streamErr, context.Canceled) {
+		t.Fatalf("canceled stream returned %v, want context.Canceled", streamErr)
+	}
+
+	// The abort must reach the node as a cancellation, not a fault.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		snap := nodeSrv.Metrics()
+		if snap.ModelJobsProved > 0 {
+			// The node finished proving anyway — inconclusive, retry.
+			return false
+		}
+		if snap.ModelJobsCanceled == 1 {
+			if snap.ProveErrors != 0 {
+				t.Fatalf("relayed cancel polluted the node's prove_errors: %+v", snap)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel never reached the node as model_jobs_canceled: %+v", snap)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Neither hop is wedged: the next model job through the same
+	// coordinator and the same single-worker node completes.
+	req := modelRequest(t, zkvc.Spartan, seed+4)
+	rep, err := eng.ProveModel(tctx, req).Report()
+	if err != nil {
+		t.Fatalf("model job after a canceled stream: %v", err)
+	}
+	if err := eng.VerifyModel(tctx, rep); err != nil {
+		t.Fatalf("verify after a canceled stream: %v", err)
+	}
+	if snap := coord.Metrics(); snap.StreamErrors != 0 {
+		t.Fatalf("client-side cancel must not count as a node stream error: %+v", snap)
+	}
+	return true
 }

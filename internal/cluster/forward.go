@@ -166,6 +166,42 @@ func (c *Coordinator) handleProveSingle(w http.ResponseWriter, r *http.Request) 
 	c.forwardBuffered(w, r, "/v1/prove/single", key, raw, true)
 }
 
+// handleProveMatMul routes an Engine-shape per-statement proving job by
+// the same (tenant, shape, options) key as /v1/prove and /v1/verify —
+// so the proof's later verification finds the node whose issued log
+// attests it.
+func (c *Coordinator) handleProveMatMul(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBodyN(w, r, maxBodyBytes)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeProveRequest(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := matmulKey(r.Header.Get(server.TenantHeader), req.X.Rows, req.X.Cols, req.W.Cols, c.cfg.Opts)
+	c.forwardBuffered(w, r, "/v1/prove/matmul", key, raw, true)
+}
+
+// handleProveBatch routes a direct batch job by its first pair's shape —
+// the same canonical-member rule /v1/verify/batch uses, so a batch and
+// its verification land on one node.
+func (c *Coordinator) handleProveBatch(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBodyN(w, r, maxBodyBytes)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeProveBatchRequest(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	x, wm := req.Pairs[0][0], req.Pairs[0][1]
+	key := matmulKey(r.Header.Get(server.TenantHeader), x.Rows, x.Cols, wm.Cols, c.cfg.Opts)
+	c.forwardBuffered(w, r, "/v1/prove/batch", key, raw, true)
+}
+
 // handleVerify routes a verification to the node whose shape slice the
 // proof belongs to — for epoch proofs, the only node whose issued log
 // and cached CRS can vouch for it.
@@ -318,8 +354,13 @@ func (c *Coordinator) handleProveModel(w http.ResponseWriter, r *http.Request) {
 		case relayErr == nil:
 			n.routed.Add(1)
 			c.metrics.routed.Add(1)
-		case errors.Is(relayErr, errClientGone):
-			// Nothing to report and nobody to report it to.
+		case errors.Is(relayErr, errClientGone), r.Context().Err() != nil:
+			// Nothing to report and nobody to report it to. The second
+			// clause matters: the forward to the node runs under the
+			// client's request context, so a client that cancels
+			// mid-stream surfaces here as a failed READ from the node —
+			// without the context check that would be misattributed as a
+			// node death and pollute cluster_stream_errors.
 		default:
 			// Mid-stream death with frames already forwarded: started ops
 			// cannot be replayed under this stream, so surface the failure

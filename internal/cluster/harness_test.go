@@ -14,6 +14,7 @@ package cluster_test
 
 import (
 	"bytes"
+	"context"
 	mrand "math/rand"
 	"net/http/httptest"
 	"testing"
@@ -29,6 +30,10 @@ import (
 )
 
 const harnessSeed = 7
+
+// tctx is the background context every client call in these tests runs
+// under; cancellation paths get their own contexts.
+var tctx = context.Background()
 
 // nodeConfig is the shared node configuration: one worker each so the
 // batch-proving prover's randomness stream is a function of the seed
@@ -95,7 +100,7 @@ func zeroReportTimings(rep *zkml.Report) []byte {
 	return wire.EncodeReport(&out)
 }
 
-func modelRequest(t *testing.T, backend zkml.Backend, seed int64) *wire.ProveModelRequest {
+func modelRequest(t *testing.T, backend zkml.Backend, seed int64) *zkvc.ModelRequest {
 	t.Helper()
 	cfg := nn.TinyConfig("cluster-e2e", nn.MixerPooling)
 	model, err := nn.NewModel(cfg, seed)
@@ -104,7 +109,18 @@ func modelRequest(t *testing.T, backend zkml.Backend, seed int64) *wire.ProveMod
 	}
 	trace := nn.Trace{Capture: true}
 	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(seed+1))), &trace)
-	return &wire.ProveModelRequest{Backend: backend, ProveNonlinear: true, Cfg: cfg, Trace: &trace}
+	return &zkvc.ModelRequest{Backend: backend, ProveNonlinear: true, Cfg: cfg, Trace: &trace}
+}
+
+// wireModelRequest renders a model request as the raw wire body the
+// endpoints decode — for tests that drive HTTP directly.
+func wireModelRequest(req *zkvc.ModelRequest) *wire.ProveModelRequest {
+	return &wire.ProveModelRequest{
+		Backend:        req.Backend,
+		ProveNonlinear: req.ProveNonlinear,
+		Cfg:            req.Cfg,
+		Trace:          req.Trace,
+	}
 }
 
 // sumCRS totals the CRS cache counters across the node pool.
@@ -155,11 +171,11 @@ func TestClusterE2E(t *testing.T) {
 	w := zkvc.RandomMatrix(rng, 8, 5, 32)
 
 	// --- Matmul batch: byte-identical to the single-node run. ---
-	refResp, err := ref.Prove(x, w)
+	refResp, err := ref.ProveCoalesced(tctx, x, w)
 	if err != nil {
 		t.Fatalf("reference prove: %v", err)
 	}
-	resp, err := cc.Prove(x, w)
+	resp, err := cc.ProveCoalesced(tctx, x, w)
 	if err != nil {
 		t.Fatalf("cluster prove: %v", err)
 	}
@@ -171,7 +187,7 @@ func TestClusterE2E(t *testing.T) {
 	}
 	// The batch verifies through the coordinator too: affinity brings it
 	// back to the node whose issued log attests it.
-	if err := cc.VerifyBatch(resp); err != nil {
+	if err := cc.VerifyResponse(tctx, resp); err != nil {
 		t.Fatalf("cluster verify/batch: %v", err)
 	}
 
@@ -180,14 +196,14 @@ func TestClusterE2E(t *testing.T) {
 	for i, n := range nodes {
 		missBase[i] = n.Metrics().CRSCacheMisses
 	}
-	proof, err := cc.ProveSingle(x, w)
+	proof, err := cc.ProveSingle(tctx, x, w)
 	if err != nil {
 		t.Fatalf("cluster prove/single: %v", err)
 	}
-	if _, err := cc.ProveSingle(x, w); err != nil {
+	if _, err := cc.ProveSingle(tctx, x, w); err != nil {
 		t.Fatalf("cluster prove/single (repeat): %v", err)
 	}
-	if err := cc.Verify(x, proof); err != nil {
+	if err := cc.VerifyMatMul(tctx, x, proof); err != nil {
 		t.Fatalf("cluster verify of issued epoch proof: %v", err)
 	}
 	misses, hits := sumCRS(nodes)
@@ -202,7 +218,7 @@ func TestClusterE2E(t *testing.T) {
 	// byte-identical to the single-node run, and every distinct circuit
 	// digest's setup lives on exactly one node. ---
 	req := modelRequest(t, zkvc.Groth16, 3)
-	refRep, err := ref.ProveModel(req, nil)
+	refRep, err := ref.ProveModel(tctx, req).Report()
 	if err != nil {
 		t.Fatalf("reference model prove: %v", err)
 	}
@@ -214,7 +230,7 @@ func TestClusterE2E(t *testing.T) {
 		missBase[i] = snap.CRSCacheMisses
 		hitBase[i] = snap.CRSCacheHits
 	}
-	rep, err := cc.ProveModel(req, nil)
+	rep, err := cc.ProveModel(tctx, req).Report()
 	if err != nil {
 		t.Fatalf("cluster model prove: %v", err)
 	}
@@ -224,7 +240,7 @@ func TestClusterE2E(t *testing.T) {
 	if err := zkml.VerifyReport(rep, zkml.Options{PCS: pcs.DefaultParams()}); err != nil {
 		t.Fatalf("cluster model report does not verify locally: %v", err)
 	}
-	if _, err := cc.ProveModel(req, nil); err != nil {
+	if _, err := cc.ProveModel(tctx, req).Report(); err != nil {
 		t.Fatalf("cluster model prove (repeat): %v", err)
 	}
 	if got := nodesWithNewMisses(nodes, missBase); got != 1 {
@@ -245,7 +261,7 @@ func TestClusterE2E(t *testing.T) {
 	}
 	// The report verifies through the coordinator: the model affinity key
 	// derived from the report finds the node that issued it.
-	if err := cc.VerifyModel(rep); err != nil {
+	if err := cc.VerifyModel(tctx, rep); err != nil {
 		t.Fatalf("cluster verify/model: %v", err)
 	}
 
@@ -253,7 +269,7 @@ func TestClusterE2E(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		tc := server.NewClient(coordTS.URL)
 		tc.Tenant = "spread-" + string(rune('a'+i))
-		r, err := tc.Prove(x, w)
+		r, err := tc.ProveCoalesced(tctx, x, w)
 		if err != nil {
 			t.Fatalf("tenant %d: %v", i, err)
 		}

@@ -25,6 +25,7 @@
 package parallel
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
@@ -59,6 +60,20 @@ func (p *Pool) InUse() int { return len(p.tokens) }
 // use TryAcquire so that nested parallelism degrades to sequential
 // execution instead of deadlocking.
 func (p *Pool) Acquire() { p.tokens <- struct{}{} }
+
+// AcquireCtx blocks until a token is free or ctx is done, in which case
+// it returns ctx's error without holding a token. It is the admission
+// path for request-scoped work: a caller whose client has already gone
+// away should stop waiting in line, not eventually burn a token proving
+// something nobody will read.
+func (p *Pool) AcquireCtx(ctx context.Context) error {
+	select {
+	case p.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // TryAcquire takes a token if one is free.
 func (p *Pool) TryAcquire() bool {
@@ -147,6 +162,26 @@ func (p *Pool) run(chunks, extra int, chunk func(c int)) {
 	if r := panicVal.Load(); r != nil {
 		panic(*r)
 	}
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is done, chunks
+// that have not started yet are skipped (chunks already running finish —
+// bodies own their index ranges and are never interrupted mid-write).
+// The caller decides what cancellation means by checking ctx.Err after
+// the call; ForCtx itself returns nothing, exactly like For, so the two
+// schedules stay drop-in interchangeable. A nil ctx means no
+// cancellation.
+func (p *Pool) ForCtx(ctx context.Context, n, grain int, body func(start, end int)) {
+	if ctx == nil {
+		p.For(n, grain, body)
+		return
+	}
+	p.For(n, grain, func(start, end int) {
+		if ctx.Err() != nil {
+			return
+		}
+		body(start, end)
+	})
 }
 
 // MapReduce maps fixed chunks of [0, n) and folds the chunk results in
@@ -246,4 +281,10 @@ func SetDefaultSize(n int) {
 // For runs body over [0, n) on the default pool.
 func For(n, grain int, body func(start, end int)) {
 	Default().For(n, grain, body)
+}
+
+// ForCtx runs body over [0, n) on the default pool with cooperative
+// cancellation (see Pool.ForCtx).
+func ForCtx(ctx context.Context, n, grain int, body func(start, end int)) {
+	Default().ForCtx(ctx, n, grain, body)
 }

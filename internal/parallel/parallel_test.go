@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -237,5 +238,64 @@ func TestSetDefaultSizeRaces(t *testing.T) {
 	SetDefaultSize(0)
 	if DefaultSize() < 1 {
 		t.Fatal("default size must be at least 1")
+	}
+}
+
+func TestForCtxSkipsChunksAfterCancel(t *testing.T) {
+	for _, size := range []int{1, 4} {
+		p := NewPool(size)
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		p.ForCtx(ctx, 1000, 1, func(start, end int) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+		})
+		cancel()
+		// At most the chunks that were already in flight when cancel hit
+		// may run; everything scheduled afterwards is skipped.
+		if got := ran.Load(); got > int32(3+size) {
+			t.Fatalf("size %d: %d chunks ran after cancellation at chunk 3", size, got)
+		}
+		if ctx.Err() == nil {
+			t.Fatal("context should be canceled")
+		}
+	}
+}
+
+func TestForCtxNilAndUncanceledCoverEverything(t *testing.T) {
+	p := NewPool(4)
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		hits := make([]int32, 500)
+		p.ForCtx(ctx, len(hits), 7, func(start, end int) {
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("index %d ran %d times", i, h)
+			}
+		}
+	}
+}
+
+func TestAcquireCtx(t *testing.T) {
+	p := NewPool(1)
+	if err := p.AcquireCtx(context.Background()); err != nil {
+		t.Fatalf("acquire on an idle pool: %v", err)
+	}
+	// Pool exhausted: a canceled context must abandon the wait without
+	// taking (or leaking) a token.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.AcquireCtx(ctx) }()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("acquire on a full pool with canceled ctx: %v", err)
+	}
+	p.Release()
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("%d tokens leaked", got)
 	}
 }

@@ -1,14 +1,21 @@
 package server
 
-// Client is the reusable HTTP client for the proving service — one
-// typed method per endpoint over the canonical wire encodings. It
-// exists so the CLI, the examples and the cluster coordinator all speak
-// to a service the same way instead of each hand-rolling requests; the
-// coordinator additionally uses it for its health probes and the nodes
-// for coordinator registration (Announce/Heartbeat).
+// Client is the remote zkvc.Engine: one typed, context-first method per
+// proving-service endpoint over the canonical wire encodings. The CLI,
+// the examples and the cluster coordinator all speak to a service
+// through it — the coordinator additionally uses it for health probes,
+// and nodes for coordinator registration (Announce/Heartbeat). Pointing
+// it at a coordinator instead of a node gives the same interface,
+// routed (cluster.NewEngine is that spelling).
+//
+// Beyond the Engine interface the client exposes the service-shape
+// extras: the coalescing endpoint (ProveCoalesced/VerifyResponse), the
+// epoch-CRS single-proof endpoint (ProveSingle), metrics and the
+// cluster control plane.
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,7 +24,6 @@ import (
 
 	"zkvc"
 	"zkvc/internal/wire"
-	"zkvc/internal/zkml"
 )
 
 // Client talks to one proving service (or cluster coordinator — the
@@ -32,14 +38,18 @@ type Client struct {
 	Tenant string
 	// HTTP is the underlying client. Leave the default (no timeout) for
 	// proving calls: a model stream legitimately lasts as long as the
-	// proving does.
+	// proving does, and per-call deadlines belong on the context.
 	HTTP *http.Client
 }
 
-// NewClient returns a client for the service at baseURL.
+// NewClient returns a client for the service at baseURL. It implements
+// zkvc.Engine: swap it for zkvc.NewLocal (or cluster.NewEngine) and the
+// program moves between in-process, remote and sharded proving.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{}}
 }
+
+var _ zkvc.Engine = (*Client)(nil)
 
 // StatusError is a non-2xx response from the service, with the body the
 // service sent (its error message).
@@ -52,10 +62,10 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.Code, strings.TrimSpace(e.Body))
 }
 
-// do issues one POST with the tenant header. The caller owns the
-// response body.
-func (c *Client) do(path string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+// do issues one POST with the tenant header under ctx. The caller owns
+// the response body.
+func (c *Client) do(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -68,8 +78,8 @@ func (c *Client) do(path string, body []byte) (*http.Response, error) {
 
 // post issues one buffered POST and returns the body of a 200 response;
 // any other status becomes a *StatusError.
-func (c *Client) post(path string, body []byte) ([]byte, error) {
-	resp, err := c.do(path, body)
+func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, error) {
+	resp, err := c.do(ctx, path, body)
 	if err != nil {
 		return nil, err
 	}
@@ -86,9 +96,10 @@ func (c *Client) post(path string, body []byte) ([]byte, error) {
 
 // verdict posts to a verify endpoint and folds the JSON verdict into an
 // error: nil when the service vouches for the proof, otherwise an error
-// carrying the service's reason.
-func (c *Client) verdict(path string, body []byte) error {
-	resp, err := c.do(path, body)
+// carrying the service's reason under the zkvc.ErrVerification sentinel
+// — the Engine error taxonomy.
+func (c *Client) verdict(ctx context.Context, path string, body []byte) error {
+	resp, err := c.do(ctx, path, body)
 	if err != nil {
 		return err
 	}
@@ -113,10 +124,112 @@ func (c *Client) verdict(path string, body []byte) error {
 	return nil
 }
 
-// Prove submits one matmul job to the coalescing endpoint and returns
-// the whole-batch response (the caller's statement is at Index).
-func (c *Client) Prove(x, w *zkvc.Matrix) (*wire.ProveResponse, error) {
-	raw, err := c.post("/v1/prove", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
+// ---- the zkvc.Engine surface ----
+
+// ProveMatMul asks the service for one per-statement proof of X·W
+// (POST /v1/prove/matmul) — zkvc.Local's ProveMatMul semantics, remote.
+func (c *Client) ProveMatMul(ctx context.Context, x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
+	raw, err := c.post(ctx, "/v1/prove/matmul", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeMatMulProof(raw)
+}
+
+// ProveBatch asks the service to fold exactly these pairs into one
+// direct batch proof (POST /v1/prove/batch) — no coalescing window, no
+// other tenants' statements.
+func (c *Client) ProveBatch(ctx context.Context, pairs [][2]*zkvc.Matrix) (*zkvc.BatchProof, error) {
+	raw, err := c.post(ctx, "/v1/prove/batch", wire.EncodeProveBatchRequest(&wire.ProveBatchRequest{Pairs: pairs}))
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeBatchProof(raw)
+}
+
+// ProveModel submits a captured trace to /v1/prove/model and streams the
+// per-op proofs back as they finish. Canceling ctx — or breaking out of
+// the range — aborts the HTTP stream, which cancels the service-side
+// job's unstarted ops.
+func (c *Client) ProveModel(ctx context.Context, req *zkvc.ModelRequest) *zkvc.ModelStream {
+	return zkvc.NewModelStream(func(info func(zkvc.ModelStreamInfo), yield func(*zkvc.OpProof, error) bool) {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel() // an abandoned stream tears the request down
+		resp, err := c.do(ctx, "/v1/prove/model", wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+			Backend:        req.Backend,
+			ProveNonlinear: req.ProveNonlinear,
+			Cfg:            req.Cfg,
+			Trace:          req.Trace,
+		}))
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			yield(nil, &StatusError{Code: resp.StatusCode, Body: string(raw)})
+			return
+		}
+		// wire.ModelStreamReader is the trust boundary: it validates the
+		// header, folds in-stream error frames into errors, and enforces
+		// sequence numbers in range, no duplicates and no truncation —
+		// the same code path DecodeModelStream uses, so a misbehaving
+		// server can never hand ModelStream.Report a report it would
+		// mis-assemble.
+		sr, err := wire.NewModelStreamReader(resp.Body)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		hdr := sr.Header()
+		info(zkvc.ModelStreamInfo{Model: hdr.Model, Backend: hdr.Backend, Circuit: hdr.Circuit, TotalOps: hdr.TotalOps})
+		for {
+			op, err := sr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(op, nil) {
+				return
+			}
+		}
+	})
+}
+
+// VerifyMatMul asks the service to check a single proof against X
+// (POST /v1/verify). A nil return means the service vouches for it; the
+// error otherwise carries the service's reason (policy rejections
+// included) under zkvc.ErrVerification.
+func (c *Client) VerifyMatMul(ctx context.Context, x *zkvc.Matrix, proof *zkvc.MatMulProof) error {
+	return c.verdict(ctx, "/v1/verify", wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: proof}))
+}
+
+// VerifyBatch asks the service to check a direct batch proof against its
+// public inputs (POST /v1/verify/batch, at the canonical recipient
+// index 0 — the index /v1/prove/batch attests).
+func (c *Client) VerifyBatch(ctx context.Context, xs []*zkvc.Matrix, proof *zkvc.BatchProof) error {
+	return c.verdict(ctx, "/v1/verify/batch",
+		wire.EncodeProveResponse(&wire.ProveResponse{Index: 0, Xs: xs, Batch: proof}))
+}
+
+// VerifyModel asks the service to check a model report it issued
+// (POST /v1/verify/model).
+func (c *Client) VerifyModel(ctx context.Context, rep *zkvc.Report) error {
+	return c.verdict(ctx, "/v1/verify/model", wire.EncodeReport(rep))
+}
+
+// ---- service-shape extras beyond the Engine interface ----
+
+// ProveCoalesced submits one matmul statement to the coalescing endpoint
+// (POST /v1/prove) and returns the whole-batch response: the caller's
+// statement is at Index, next to whatever same-tenant statements shared
+// the window. Use VerifyResponse to have the service re-check it.
+func (c *Client) ProveCoalesced(ctx context.Context, x, w *zkvc.Matrix) (*wire.ProveResponse, error) {
+	raw, err := c.post(ctx, "/v1/prove", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
 	if err != nil {
 		return nil, err
 	}
@@ -124,53 +237,31 @@ func (c *Client) Prove(x, w *zkvc.Matrix) (*wire.ProveResponse, error) {
 }
 
 // ProveSingle requests one uncoalesced proof against the service's
-// per-shape epoch CRS.
-func (c *Client) ProveSingle(x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
-	raw, err := c.post("/v1/prove/single", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
+// per-shape epoch CRS (POST /v1/prove/single).
+func (c *Client) ProveSingle(ctx context.Context, x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
+	raw, err := c.post(ctx, "/v1/prove/single", wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}))
 	if err != nil {
 		return nil, err
 	}
 	return wire.DecodeMatMulProof(raw)
 }
 
-// Verify asks the service to check a single proof against X. A nil
-// return means the service vouches for it; the error otherwise carries
-// the service's reason (policy rejections included).
-func (c *Client) Verify(x *zkvc.Matrix, proof *zkvc.MatMulProof) error {
-	return c.verdict("/v1/verify", wire.EncodeVerifyRequest(&wire.VerifyRequest{X: x, Proof: proof}))
-}
-
-// VerifyBatch asks the service to check a coalesced batch response.
-func (c *Client) VerifyBatch(resp *wire.ProveResponse) error {
-	return c.verdict("/v1/verify/batch", wire.EncodeProveResponse(resp))
-}
-
-// ProveModel submits a captured trace to /v1/prove/model and reassembles
-// the streamed per-op proofs into a report. onOp, when non-nil, observes
-// each proof as its frame arrives.
-func (c *Client) ProveModel(req *wire.ProveModelRequest, onOp func(*zkml.OpProof)) (*zkml.Report, error) {
-	resp, err := c.do("/v1/prove/model", wire.EncodeProveModelRequest(req))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		return nil, &StatusError{Code: resp.StatusCode, Body: string(raw)}
-	}
-	return wire.DecodeModelStream(resp.Body, onOp)
-}
-
-// VerifyModel asks the service to check a model report it issued.
-func (c *Client) VerifyModel(rep *zkml.Report) error {
-	return c.verdict("/v1/verify/model", wire.EncodeReport(rep))
+// VerifyResponse asks the service to check a coalesced batch response
+// exactly as it was handed out (POST /v1/verify/batch, at the response's
+// own recipient index).
+func (c *Client) VerifyResponse(ctx context.Context, resp *wire.ProveResponse) error {
+	return c.verdict(ctx, "/v1/verify/batch", wire.EncodeProveResponse(resp))
 }
 
 // Metrics fetches the service's counters — the coordinator's health
 // probe, and an operator's one-liner.
-func (c *Client) Metrics() (Snapshot, error) {
+func (c *Client) Metrics(ctx context.Context) (Snapshot, error) {
 	var snap Snapshot
-	resp, err := c.HTTP.Get(c.BaseURL + "/metrics")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return snap, err
 	}
@@ -186,8 +277,12 @@ func (c *Client) Metrics() (Snapshot, error) {
 }
 
 // Healthz checks liveness.
-func (c *Client) Healthz() error {
-	resp, err := c.HTTP.Get(c.BaseURL + "/healthz")
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -201,14 +296,14 @@ func (c *Client) Healthz() error {
 
 // Announce registers a prover node with the coordinator this client
 // points at.
-func (c *Client) Announce(a *wire.NodeAnnounce) error {
-	_, err := c.post("/v1/cluster/announce", wire.EncodeNodeAnnounce(a))
+func (c *Client) Announce(ctx context.Context, a *wire.NodeAnnounce) error {
+	_, err := c.post(ctx, "/v1/cluster/announce", wire.EncodeNodeAnnounce(a))
 	return err
 }
 
 // Heartbeat refreshes a node's liveness with the coordinator this
 // client points at.
-func (c *Client) Heartbeat(h *wire.NodeHeartbeat) error {
-	_, err := c.post("/v1/cluster/heartbeat", wire.EncodeNodeHeartbeat(h))
+func (c *Client) Heartbeat(ctx context.Context, h *wire.NodeHeartbeat) error {
+	_, err := c.post(ctx, "/v1/cluster/heartbeat", wire.EncodeNodeHeartbeat(h))
 	return err
 }

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"errors"
 	mrand "math/rand"
 	"testing"
@@ -8,8 +9,6 @@ import (
 	"zkvc"
 	"zkvc/internal/nn"
 	"zkvc/internal/server"
-	"zkvc/internal/wire"
-	"zkvc/internal/zkml"
 )
 
 // TestClientRoundTrips drives every Client method against a live
@@ -17,13 +16,14 @@ import (
 // HTTP of the CLI used to do, including tenant headers and verdict
 // folding.
 func TestClientRoundTrips(t *testing.T) {
+	ctx := context.Background()
 	cfg := server.DefaultConfig()
 	cfg.Seed = 19
 	_, ts := newTestServer(t, cfg)
 
 	c := server.NewClient(ts.URL)
 	c.Tenant = "client-test"
-	if err := c.Healthz(); err != nil {
+	if err := c.Healthz(ctx); err != nil {
 		t.Fatalf("healthz: %v", err)
 	}
 
@@ -31,22 +31,22 @@ func TestClientRoundTrips(t *testing.T) {
 	x := zkvc.RandomMatrix(rng, 6, 8, 32)
 	w := zkvc.RandomMatrix(rng, 8, 5, 32)
 
-	resp, err := c.Prove(x, w)
+	resp, err := c.ProveCoalesced(ctx, x, w)
 	if err != nil {
 		t.Fatalf("prove: %v", err)
 	}
 	if err := zkvc.VerifyMatMulBatch(resp.Xs, resp.Batch); err != nil {
 		t.Fatalf("batch does not verify locally: %v", err)
 	}
-	if err := c.VerifyBatch(resp); err != nil {
+	if err := c.VerifyResponse(ctx, resp); err != nil {
 		t.Fatalf("service rejected its own batch: %v", err)
 	}
 
-	proof, err := c.ProveSingle(x, w)
+	proof, err := c.ProveSingle(ctx, x, w)
 	if err != nil {
 		t.Fatalf("prove single: %v", err)
 	}
-	if err := c.Verify(x, proof); err != nil {
+	if err := c.VerifyMatMul(ctx, x, proof); err != nil {
 		t.Fatalf("service rejected its own epoch proof: %v", err)
 	}
 	// A proof the service did not issue must come back as a verification
@@ -58,44 +58,68 @@ func TestClientRoundTrips(t *testing.T) {
 		t.Fatal(err)
 	}
 	fp.Epoch = append([]byte(nil), cfg.Epoch...)
-	if err := c.Verify(x, fp); !errors.Is(err, zkvc.ErrVerification) {
+	if err := c.VerifyMatMul(ctx, x, fp); !errors.Is(err, zkvc.ErrVerification) {
 		t.Fatalf("foreign epoch proof: got %v, want ErrVerification", err)
+	}
+
+	// The Engine-shape direct endpoints round-trip too.
+	direct, err := c.ProveMatMul(ctx, x, w)
+	if err != nil {
+		t.Fatalf("prove matmul: %v", err)
+	}
+	if err := c.VerifyMatMul(ctx, x, direct); err != nil {
+		t.Fatalf("service rejected its own direct proof: %v", err)
+	}
+	batch, err := c.ProveBatch(ctx, [][2]*zkvc.Matrix{{x, w}, {x, w}})
+	if err != nil {
+		t.Fatalf("prove batch: %v", err)
+	}
+	if err := c.VerifyBatch(ctx, []*zkvc.Matrix{x, x}, batch); err != nil {
+		t.Fatalf("service rejected its own direct batch: %v", err)
 	}
 
 	mcfg := tinyModelConfig(nn.MixerPooling)
 	trace := capturedTrace(t, mcfg, 23)
 	seen := 0
-	rep, err := c.ProveModel(&wire.ProveModelRequest{
+	stream := c.ProveModel(ctx, &zkvc.ModelRequest{
 		Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: mcfg, Trace: trace,
-	}, func(*zkml.OpProof) { seen++ })
+	})
+	for _, err := range stream.All() {
+		if err != nil {
+			t.Fatalf("prove model: %v", err)
+		}
+		seen++
+	}
+	rep, err := stream.Report()
 	if err != nil {
-		t.Fatalf("prove model: %v", err)
+		t.Fatalf("prove model report: %v", err)
 	}
 	if seen != len(rep.Ops) {
-		t.Fatalf("onOp saw %d frames, report has %d ops", seen, len(rep.Ops))
+		t.Fatalf("stream yielded %d frames, report has %d ops", seen, len(rep.Ops))
 	}
-	if err := c.VerifyModel(rep); err != nil {
+	if err := c.VerifyModel(ctx, rep); err != nil {
 		t.Fatalf("service rejected its own report: %v", err)
 	}
 	// The tenant header must travel with every request: the same report
 	// under a different tenant misses the issued-log attestation.
 	other := server.NewClient(ts.URL)
 	other.Tenant = "someone-else"
-	if err := other.VerifyModel(rep); !errors.Is(err, zkvc.ErrVerification) {
+	if err := other.VerifyModel(ctx, rep); !errors.Is(err, zkvc.ErrVerification) {
 		t.Fatalf("cross-tenant verify: got %v, want ErrVerification", err)
 	}
 
-	snap, err := c.Metrics()
+	snap, err := c.Metrics(ctx)
 	if err != nil {
 		t.Fatalf("metrics: %v", err)
 	}
-	if snap.ModelJobsProved != 1 || snap.SinglesProved != 1 {
+	if snap.ModelJobsProved != 1 || snap.SinglesProved != 1 ||
+		snap.MatMulsProved != 1 || snap.DirectBatchesProved != 1 {
 		t.Fatalf("metrics don't reflect the session: %+v", snap)
 	}
 
 	// Malformed body → *StatusError with the service's status code.
 	var se *server.StatusError
-	if _, err := c.Prove(x, zkvc.NewMatrix(3, 3)); !errors.As(err, &se) || se.Code != 400 {
+	if _, err := c.ProveCoalesced(ctx, x, zkvc.NewMatrix(3, 3)); !errors.As(err, &se) || se.Code != 400 {
 		t.Fatalf("mismatched dims: got %v, want StatusError 400", err)
 	}
 }

@@ -25,12 +25,18 @@ type metrics struct {
 	requestsProved atomic.Int64
 	batchesProved  atomic.Int64
 	singlesProved  atomic.Int64
-	verifyRequests atomic.Int64
-	epochRejects   atomic.Int64
-	vkRejects      atomic.Int64
-	proveErrors    atomic.Int64
-	crsHits        atomic.Int64
-	crsMisses      atomic.Int64
+	// Engine-shape direct endpoints: per-statement proofs from
+	// /v1/prove/matmul and client-named batches from /v1/prove/batch.
+	// They are counted apart from the coalescing path so CoalesceRatio
+	// (requests per coalesced backend proof) stays meaningful.
+	matmulsProved       atomic.Int64
+	directBatchesProved atomic.Int64
+	verifyRequests      atomic.Int64
+	epochRejects        atomic.Int64
+	vkRejects           atomic.Int64
+	proveErrors         atomic.Int64
+	crsHits             atomic.Int64
+	crsMisses           atomic.Int64
 
 	// Model-job counters: accepted jobs, jobs fully proved, per-op
 	// progress, queued-but-unproved ops (the model share of QueueCap),
@@ -77,6 +83,11 @@ type Snapshot struct {
 	Requests       int64 `json:"requests"`
 	BatchesProved  int64 `json:"batches_proved"`
 	SinglesProved  int64 `json:"singles_proved"`
+	// MatMulsProved counts /v1/prove/matmul proofs and
+	// DirectBatchesProved counts /v1/prove/batch proofs — the
+	// Engine-shape direct endpoints, outside the coalescing pipeline.
+	MatMulsProved       int64 `json:"matmuls_proved"`
+	DirectBatchesProved int64 `json:"direct_batches_proved"`
 
 	// Model-job counters: accepted jobs, fully proved jobs, streamed op
 	// proofs, issued-policy rejections on /v1/verify/model, and stream
@@ -133,6 +144,8 @@ func (m *metrics) snapshot(pool *parallel.Pool) Snapshot {
 	s.Requests = m.requestsProved.Load()
 	s.BatchesProved = m.batchesProved.Load()
 	s.SinglesProved = m.singlesProved.Load()
+	s.MatMulsProved = m.matmulsProved.Load()
+	s.DirectBatchesProved = m.directBatchesProved.Load()
 	s.ModelJobs = m.modelJobs.Load()
 	s.ModelJobsProved = m.modelJobsProved.Load()
 	s.ModelJobsCanceled = m.modelJobsCanceled.Load()

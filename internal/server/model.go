@@ -42,6 +42,14 @@ type modelJob struct {
 	cfg            nn.Config
 	trace          *nn.Trace
 
+	// ctx is the submitting request's context: the proving pipeline runs
+	// under it, so a client disconnect cancels unstarted ops directly.
+	// It stays live for the job's whole lifetime because the handler
+	// blocks draining events until run finishes. The legacy clientGone
+	// flag remains alongside it for the one signal no context carries —
+	// a stream frame write failing on a still-connected socket.
+	ctx context.Context
+
 	plan      int // ops that will be proved (queue-capacity units)
 	completed atomic.Int64
 
@@ -90,10 +98,13 @@ func (j *modelJob) run(s *Server, _ *zkvc.MatMulProver) {
 		s.metrics.modelOpsQueued.Add(delta)
 		s.metrics.queueUnits.Add(delta)
 	}()
-	_, err := zkml.ProveTrace(j.cfg, j.trace, s.modelOpts(j))
+	_, err := zkml.ProveTraceContext(j.ctx, j.cfg, j.trace, s.modelOpts(j))
 	if err != nil {
 		// A client disconnect is routine churn, not a proving fault;
 		// keep prove_errors meaningful for operators alerting on it.
+		// Cancellation reports ErrCanceled whether it came from the
+		// request context or the legacy clientGone/Stop path, so both
+		// land in model_jobs_canceled.
 		if errors.Is(err, zkml.ErrCanceled) {
 			s.metrics.modelJobsCanceled.Add(1)
 		} else {
@@ -274,6 +285,7 @@ func (s *Server) handleProveModel(w http.ResponseWriter, r *http.Request) {
 		proveNonlinear: req.ProveNonlinear,
 		cfg:            req.Cfg,
 		trace:          req.Trace,
+		ctx:            r.Context(),
 		plan:           len(plan),
 		opHashes:       make([][32]byte, len(plan)),
 		events:         make(chan modelEvent, modelEventBuffer),
@@ -407,7 +419,10 @@ func (s *Server) handleVerifyModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pool := parallel.Default()
-	pool.Acquire()
+	if err := pool.AcquireCtx(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	defer pool.Release()
 	writeVerdict(w, zkml.VerifyReport(rep, zkml.Options{PCS: pcs.DefaultParams()}))
 }

@@ -330,6 +330,21 @@ func (s *Server) newProver() *zkvc.MatMulProver {
 	return p
 }
 
+// newDirectProver is the prover for the Engine-shape direct endpoints
+// (/v1/prove/matmul, /v1/prove/batch). Unlike newProver it reseeds with
+// the configured seed exactly — no per-request counter — because
+// determinism is those endpoints' contract: a seeded service must
+// produce byte-identical proofs to zkvc.Local with the same seed, which
+// the conformance suite pins across every Engine implementation. With
+// Seed 0 (production) the prover stays on crypto/rand.
+func (s *Server) newDirectProver() *zkvc.MatMulProver {
+	p := zkvc.NewMatMulProver(s.cfg.Backend, s.cfg.Opts)
+	if s.cfg.Seed != 0 {
+		p.Reseed(s.cfg.Seed)
+	}
+	return p
+}
+
 // submitJob hands a job to the coalescer and waits for its batch to prove.
 // Jobs only coalesce with other jobs of the same tenant.
 func (s *Server) submitJob(tenant string, x, w *zkvc.Matrix) (*wire.ProveResponse, error) {
@@ -583,6 +598,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/prove", s.handleProve)
 	mux.HandleFunc("POST /v1/prove/single", s.handleProveSingle)
+	mux.HandleFunc("POST /v1/prove/matmul", s.handleProveMatMul)
+	mux.HandleFunc("POST /v1/prove/batch", s.handleProveBatch)
 	mux.HandleFunc("POST /v1/prove/model", s.handleProveModel)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
@@ -656,6 +673,111 @@ func (s *Server) handleProveSingle(w http.ResponseWriter, r *http.Request) {
 	w.Write(wire.EncodeMatMulProof(proof))
 }
 
+// handleProveMatMul serves the Engine-shape per-statement endpoint: one
+// proof per request with a per-statement Fiat–Shamir challenge — exactly
+// zkvc.Local's ProveMatMul semantics, so a client swapping Local for a
+// Client sees identical proofs at equal seeds. No coalescing, no epoch
+// CRS: the Groth16 backend pays a fresh setup here, and the proof is
+// attested in the issued log so /v1/verify can later vouch for it (a
+// per-statement Groth16 proof carries its own verifying key, which only
+// means something when this service ran that setup).
+func (s *Server) handleProveMatMul(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeProveRequest(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// One budget token per request, like every other unit of proving
+	// work — and the request context bounds the wait, so a caller that
+	// cancels while queued leaves the line instead of proving to nobody.
+	pool := parallel.Default()
+	if err := pool.AcquireCtx(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer pool.Release()
+	proof, err := s.newDirectProver().ProveContext(r.Context(), req.X, req.W)
+	if err != nil {
+		// A canceled request is client churn, not a proving fault: keep
+		// prove_errors an operator alarm, matching the model pipeline's
+		// model_jobs_canceled discipline.
+		if r.Context().Err() != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		s.metrics.proveErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Attest Groth16 proofs only: they are the ones /v1/verify re-checks
+	// against the issued log (the embedded key is trustworthy exactly
+	// because this service ran the setup). Spartan proofs verify
+	// transparently and never consult the log — attesting them would
+	// only push live Groth16/epoch/model attestations out of the
+	// bounded FIFO.
+	if s.cfg.Backend == zkvc.Groth16 {
+		s.issued.add(issuedDigest(req.X, proof, 0))
+	}
+	s.metrics.matmulsProved.Add(1)
+	s.metrics.recordTimings(proof.Timings)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wire.EncodeMatMulProof(proof))
+}
+
+// handleProveBatch serves the Engine-shape direct batch endpoint: fold
+// exactly the submitted pairs into one proof, in order — zkvc.Local's
+// ProveBatch over HTTP. It differs from /v1/prove, where a request
+// contributes one statement to a server-assembled coalescing window and
+// the batch membership depends on concurrent traffic; here the client
+// names the whole batch, which is what makes the proof deterministic at
+// equal seeds. Groth16 batches are attested (at recipient index 0, the
+// canonical index for a client-assembled batch) so /v1/verify/batch can
+// vouch for them.
+func (s *Server) handleProveBatch(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := wire.DecodeProveBatchRequest(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pool := parallel.Default()
+	if err := pool.AcquireCtx(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer pool.Release()
+	proof, err := s.newDirectProver().ProveBatchContext(r.Context(), req.Pairs...)
+	if err != nil {
+		// Cancellation is client churn, not a proving fault (see
+		// handleProveMatMul).
+		if r.Context().Err() != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		s.metrics.proveErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if s.cfg.Backend == zkvc.Groth16 {
+		xs := make([]*zkvc.Matrix, len(req.Pairs))
+		for i, pair := range req.Pairs {
+			xs[i] = pair[0]
+		}
+		s.issued.add(issuedBatchDigest(&wire.ProveResponse{Index: 0, Xs: xs, Batch: proof}))
+	}
+	s.metrics.directBatchesProved.Add(1)
+	s.metrics.recordTimings(proof.Timings)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wire.EncodeBatchProof(proof))
+}
+
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	raw, ok := readBody(w, r)
 	if !ok {
@@ -674,11 +796,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	// A per-statement Groth16 proof carries its own verifying key, and a
 	// key from a setup this service did not witness proves nothing — its
 	// creator holds the toxic waste and can simulate proofs of false
-	// statements. Only the transparent Spartan backend verifies without
-	// trusting prover-supplied material.
-	if req.Proof.Backend == zkvc.Groth16 {
+	// statements. The exception is a proof this service itself issued
+	// (/v1/prove/matmul attests one digest per proof): the embedded key
+	// came from this service's own setup, so re-checking against it is
+	// sound. Everything else must use the transparent Spartan backend,
+	// which verifies without trusting prover-supplied material.
+	if req.Proof.Backend == zkvc.Groth16 && !s.issued.has(issuedDigest(req.X, req.Proof, 0)) {
 		s.metrics.vkRejects.Add(1)
-		writeVerdict(w, fmt.Errorf("%w: per-statement Groth16 proofs carry a prover-supplied verifying key this service has no reason to trust; use the Spartan backend, or an epoch proof issued by this service", zkvc.ErrVerification))
+		writeVerdict(w, fmt.Errorf("%w: per-statement Groth16 proofs carry a prover-supplied verifying key this service has no reason to trust (only proofs this service issued are re-checked; attestations also expire from the bounded issued log); use the Spartan backend, or an epoch proof issued by this service", zkvc.ErrVerification))
 		return
 	}
 	writeVerdict(w, zkvc.VerifyMatMul(req.X, req.Proof))

@@ -40,6 +40,9 @@ func fuzzSeeds(f *testing.F) [][]byte {
 	seeds = append(seeds,
 		wire.EncodeMatrix(x),
 		wire.EncodeProveRequest(&wire.ProveRequest{X: x, W: w}),
+		wire.EncodeProveBatchRequest(&wire.ProveBatchRequest{
+			Pairs: [][2]*zkvc.Matrix{{x, w}, {x, w}},
+		}),
 		wire.EncodeNodeAnnounce(&wire.NodeAnnounce{Name: "prover-1", URL: "http://10.0.0.7:8799", Workers: 4}),
 		wire.EncodeNodeHeartbeat(&wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 17, Draining: true}),
 		[]byte("ZKVC"),
@@ -133,6 +136,11 @@ func FuzzWireDecodeProof(f *testing.F) {
 		if r, err := wire.DecodeVerifyRequest(data); err == nil {
 			if again := wire.EncodeVerifyRequest(r); !bytes.Equal(data, again) {
 				t.Fatalf("accepted VerifyRequest is not canonical")
+			}
+		}
+		if r, err := wire.DecodeProveBatchRequest(data); err == nil {
+			if again := wire.EncodeProveBatchRequest(r); !bytes.Equal(data, again) {
+				t.Fatalf("accepted ProveBatchRequest is not canonical")
 			}
 		}
 		if r, err := wire.DecodeProveModelRequest(data); err == nil {

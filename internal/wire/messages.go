@@ -33,6 +33,13 @@ type ProveResponse struct {
 	Batch *zkvc.BatchProof
 }
 
+// ProveBatchRequest asks the proving service to fold the products
+// X_m·W_m of every pair into one direct batch proof (POST
+// /v1/prove/batch — no coalescing window, no other tenants' statements).
+type ProveBatchRequest struct {
+	Pairs [][2]*zkvc.Matrix
+}
+
 // VerifyRequest asks the service to check a single proof against X.
 type VerifyRequest struct {
 	X     *zkvc.Matrix
@@ -652,6 +659,52 @@ func DecodeProveResponse(b []byte) (*ProveResponse, error) {
 		if x.Rows != r.Batch.Shapes[i][0] || x.Cols != r.Batch.Shapes[i][1] {
 			return nil, fmt.Errorf("%w: X[%d] is %dx%d, shape says %dx%d",
 				ErrDecode, i, x.Rows, x.Cols, r.Batch.Shapes[i][0], r.Batch.Shapes[i][1])
+		}
+	}
+	return r, d.finish()
+}
+
+// EncodeProveBatchRequest serializes a direct batch-proving job: the
+// (X, W) pairs the caller wants folded into one proof, in batch order.
+// Unlike the coalescing endpoint — where each request contributes one
+// statement to a window the server assembles — the pair list is the
+// whole statement, so the response is a bare BatchProof covering exactly
+// these products.
+func EncodeProveBatchRequest(r *ProveBatchRequest) []byte {
+	e := newEnc(TagProveBatchRequest)
+	e.u32(uint32(len(r.Pairs)))
+	for _, pair := range r.Pairs {
+		encodeMatrixBody(e, pair[0])
+		encodeMatrixBody(e, pair[1])
+	}
+	return e.buf
+}
+
+// DecodeProveBatchRequest parses a direct batch-proving job, checking
+// every pair's product is well-formed (inner dimensions agree).
+func DecodeProveBatchRequest(b []byte) (*ProveBatchRequest, error) {
+	d, err := newDec(b, TagProveBatchRequest)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.count("batch pairs", maxDim, 144)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrDecode)
+	}
+	r := &ProveBatchRequest{Pairs: make([][2]*zkvc.Matrix, n)}
+	for i := range r.Pairs {
+		if r.Pairs[i][0], err = decodeMatrixBody(d); err != nil {
+			return nil, fmt.Errorf("X[%d]: %w", i, err)
+		}
+		if r.Pairs[i][1], err = decodeMatrixBody(d); err != nil {
+			return nil, fmt.Errorf("W[%d]: %w", i, err)
+		}
+		if r.Pairs[i][0].Cols != r.Pairs[i][1].Rows {
+			return nil, fmt.Errorf("%w: pair %d inner dimensions %d and %d disagree",
+				ErrDecode, i, r.Pairs[i][0].Cols, r.Pairs[i][1].Rows)
 		}
 	}
 	return r, d.finish()

@@ -806,14 +806,23 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return msg, nil
 }
 
-// DecodeModelStream consumes a /v1/prove/model response stream: a header
-// frame, then one OpProof frame per operation in completion (not
-// sequence) order, reassembled into a Report in sequence order. onOp,
-// when non-nil, observes each proof as its frame arrives — CLI progress
-// without a second pass. A TagModelStreamError frame aborts with the
-// carried message; a stream that ends before every announced op arrived
-// is an error.
-func DecodeModelStream(r io.Reader, onOp func(op *zkml.OpProof)) (*zkml.Report, error) {
+// ModelStreamReader is the single trust boundary for a /v1/prove/model
+// response stream: it decodes the header frame, then hands out one
+// validated OpProof per Next call — in-stream error frames become
+// errors, sequence numbers are checked in range and seen at most once,
+// and a stream ending before every announced op arrived is an error,
+// never a silent truncation. Both the buffered reassembly
+// (DecodeModelStream) and the Engine client's lazy iterator are built
+// on it, so the validation exists exactly once.
+type ModelStreamReader struct {
+	r    io.Reader
+	hdr  *ModelStreamHeader
+	seen []bool
+	got  int
+}
+
+// NewModelStreamReader reads and validates the stream header.
+func NewModelStreamReader(r io.Reader) (*ModelStreamReader, error) {
 	first, err := ReadFrame(r)
 	if err != nil {
 		return nil, fmt.Errorf("model stream header: %w", err)
@@ -825,37 +834,67 @@ func DecodeModelStream(r io.Reader, onOp func(op *zkml.OpProof)) (*zkml.Report, 
 		}
 		return nil, err
 	}
+	return &ModelStreamReader{r: r, hdr: hdr, seen: make([]bool, hdr.TotalOps)}, nil
+}
+
+// Header returns the validated stream header.
+func (sr *ModelStreamReader) Header() *ModelStreamHeader { return sr.hdr }
+
+// Next returns the next validated op proof, in completion order. It
+// returns io.EOF once every announced op has been read.
+func (sr *ModelStreamReader) Next() (*zkml.OpProof, error) {
+	if sr.got >= sr.hdr.TotalOps {
+		return nil, io.EOF
+	}
+	frame, err := ReadFrame(sr.r)
+	if err == io.EOF {
+		return nil, fmt.Errorf("%w: stream ended after %d of %d ops", ErrDecode, sr.got, sr.hdr.TotalOps)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if msg, errErr := DecodeModelStreamError(frame); errErr == nil {
+		return nil, fmt.Errorf("model stream: server error: %s", msg)
+	}
+	op, err := DecodeOpProof(frame)
+	if err != nil {
+		return nil, err
+	}
+	if op.Seq >= sr.hdr.TotalOps {
+		return nil, fmt.Errorf("%w: op sequence %d out of range %d", ErrDecode, op.Seq, sr.hdr.TotalOps)
+	}
+	if sr.seen[op.Seq] {
+		return nil, fmt.Errorf("%w: duplicate op sequence %d", ErrDecode, op.Seq)
+	}
+	sr.seen[op.Seq] = true
+	sr.got++
+	return op, nil
+}
+
+// DecodeModelStream consumes a /v1/prove/model response stream: a header
+// frame, then one OpProof frame per operation in completion (not
+// sequence) order, reassembled into a Report in sequence order. onOp,
+// when non-nil, observes each proof as its frame arrives — CLI progress
+// without a second pass.
+func DecodeModelStream(r io.Reader, onOp func(op *zkml.OpProof)) (*zkml.Report, error) {
+	sr, err := NewModelStreamReader(r)
+	if err != nil {
+		return nil, err
+	}
+	hdr := sr.Header()
 	rep := &zkml.Report{Model: hdr.Model, Backend: hdr.Backend, Circuit: hdr.Circuit,
 		Ops: make([]zkml.OpProof, hdr.TotalOps)}
-	seen := make([]bool, hdr.TotalOps)
-	got := 0
-	for got < hdr.TotalOps {
-		frame, err := ReadFrame(r)
+	for {
+		op, err := sr.Next()
 		if err == io.EOF {
-			return nil, fmt.Errorf("%w: stream ended after %d of %d ops", ErrDecode, got, hdr.TotalOps)
+			return rep, nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		if msg, errErr := DecodeModelStreamError(frame); errErr == nil {
-			return nil, fmt.Errorf("model stream: server error: %s", msg)
-		}
-		op, err := DecodeOpProof(frame)
-		if err != nil {
-			return nil, err
-		}
-		if op.Seq >= hdr.TotalOps {
-			return nil, fmt.Errorf("%w: op sequence %d out of range %d", ErrDecode, op.Seq, hdr.TotalOps)
-		}
-		if seen[op.Seq] {
-			return nil, fmt.Errorf("%w: duplicate op sequence %d", ErrDecode, op.Seq)
-		}
-		seen[op.Seq] = true
 		rep.Ops[op.Seq] = *op
-		got++
 		if onOp != nil {
 			onOp(op)
 		}
 	}
-	return rep, nil
 }

@@ -47,6 +47,7 @@ const (
 	TagModelStreamError  byte = 0x0b
 	TagNodeAnnounce      byte = 0x0c
 	TagNodeHeartbeat     byte = 0x0d
+	TagProveBatchRequest byte = 0x0e
 )
 
 // ErrDecode is wrapped by every decoding failure.

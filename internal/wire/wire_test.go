@@ -205,3 +205,41 @@ func TestDecodeRejectsOffCurvePoint(t *testing.T) {
 		t.Fatalf("off-curve point accepted: %v", err)
 	}
 }
+
+func TestProveBatchRequestRoundTrip(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(31))
+	x1 := zkvc.RandomMatrix(rng, 4, 6, 64)
+	w1 := zkvc.RandomMatrix(rng, 6, 5, 64)
+	x2 := zkvc.RandomMatrix(rng, 3, 2, 64)
+	w2 := zkvc.RandomMatrix(rng, 2, 7, 64)
+	req := &wire.ProveBatchRequest{Pairs: [][2]*zkvc.Matrix{{x1, w1}, {x2, w2}}}
+	raw := wire.EncodeProveBatchRequest(req)
+	got, err := wire.DecodeProveBatchRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pairs) != 2 || !got.Pairs[0][0].Equal(x1) || !got.Pairs[1][1].Equal(w2) {
+		t.Fatal("round trip lost pairs")
+	}
+	if !bytes.Equal(wire.EncodeProveBatchRequest(got), raw) {
+		t.Fatal("re-encode is not canonical")
+	}
+
+	// Strictness: truncations, trailing bytes, empty batches and
+	// mismatched inner dimensions are all rejected.
+	for cut := 0; cut < len(raw); cut += 97 {
+		if _, err := wire.DecodeProveBatchRequest(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := wire.DecodeProveBatchRequest(append(append([]byte(nil), raw...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := wire.DecodeProveBatchRequest(wire.EncodeProveBatchRequest(&wire.ProveBatchRequest{})); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	bad := &wire.ProveBatchRequest{Pairs: [][2]*zkvc.Matrix{{x1, w2}}} // 6 vs 2 inner
+	if _, err := wire.DecodeProveBatchRequest(wire.EncodeProveBatchRequest(bad)); err == nil {
+		t.Fatal("mismatched inner dimensions accepted")
+	}
+}

@@ -26,6 +26,7 @@
 package zkml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	mrand "math/rand"
@@ -107,8 +108,13 @@ type Options struct {
 	Setup SetupFunc
 	// Stop, when set, is polled between operations; once it returns
 	// true no further op starts and ProveTrace returns ErrCanceled
-	// (ops already in flight still finish, and still reach OnOp). The
-	// proving service wires this to "the response reader went away".
+	// (ops already in flight still finish, and still reach OnOp).
+	//
+	// Deprecated: pass a context to ProveTraceContext (or use a
+	// zkvc.Engine, whose methods are context-first) instead. Stop is
+	// still honored — the proving service keeps it as the signal for
+	// "a stream frame write failed", which no context observes — and a
+	// run stopped either way reports ErrCanceled.
 	Stop func() bool
 }
 
@@ -235,9 +241,16 @@ func nonlinearConfig(cfg nn.Config) gadgets.NonlinearConfig {
 // ProveModel runs the model on x with a capturing trace and proves every
 // traced operation, verifying each proof as it goes.
 func ProveModel(m *nn.Model, x *tensor.Mat, opts Options) (*Report, error) {
+	return ProveModelContext(context.Background(), m, x, opts)
+}
+
+// ProveModelContext is ProveModel with cancellation: once ctx is done no
+// further operation starts and the error reports both ErrCanceled and
+// ctx's error.
+func ProveModelContext(ctx context.Context, m *nn.Model, x *tensor.Mat, opts Options) (*Report, error) {
 	trace := nn.Trace{Capture: true}
 	m.Forward(x, &trace)
-	return ProveTrace(m.Cfg, &trace, opts)
+	return ProveTraceContext(ctx, m.Cfg, &trace, opts)
 }
 
 // PlanTrace returns the trace operations ProveTrace would prove under
@@ -269,6 +282,17 @@ func PlanTrace(trace *nn.Trace, opts Options) ([]nn.Op, error) {
 // independent of the parallelism level (each op's randomness is derived
 // from its sequence number, not from completion order).
 func ProveTrace(cfg nn.Config, trace *nn.Trace, opts Options) (*Report, error) {
+	return ProveTraceContext(context.Background(), cfg, trace, opts)
+}
+
+// ProveTraceContext is ProveTrace with cancellation threaded through the
+// pipeline: once ctx is done, no further operation starts (the parallel
+// schedule skips unstarted chunks), ops already in flight finish — and
+// still reach OnOp — and the returned error wraps both ErrCanceled and
+// ctx's error, so errors.Is works against either taxonomy. The legacy
+// Options.Stop predicate is honored the same way and reports plain
+// ErrCanceled.
+func ProveTraceContext(ctx context.Context, cfg nn.Config, trace *nn.Trace, opts Options) (*Report, error) {
 	plan, err := PlanTrace(trace, opts)
 	if err != nil {
 		return nil, err
@@ -282,12 +306,12 @@ func ProveTrace(cfg nn.Config, trace *nn.Trace, opts Options) (*Report, error) {
 
 	errs := make([]error, len(plan))
 	var failed, canceled atomic.Bool
-	parallel.For(len(plan), 1, func(start, end int) {
+	parallel.ForCtx(ctx, len(plan), 1, func(start, end int) {
 		for i := start; i < end; i++ {
 			if failed.Load() || canceled.Load() {
 				continue
 			}
-			if opts.Stop != nil && opts.Stop() {
+			if ctx.Err() != nil || (opts.Stop != nil && opts.Stop()) {
 				canceled.Store(true)
 				continue
 			}
@@ -322,14 +346,20 @@ func ProveTrace(cfg nn.Config, trace *nn.Trace, opts Options) (*Report, error) {
 			return nil, err
 		}
 	}
-	if canceled.Load() {
+	if canceled.Load() || ctx.Err() != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
 		return nil, ErrCanceled
 	}
 	return rep, nil
 }
 
-// ErrCanceled reports that Options.Stop ended a ProveTrace run before
-// every operation was proved.
+// ErrCanceled reports that cancellation — a done context handed to
+// ProveTraceContext, or the legacy Options.Stop predicate — ended a run
+// before every operation was proved. When the cause was a context, the
+// returned error additionally wraps ctx.Err(), so callers can match
+// either errors.Is(err, ErrCanceled) or errors.Is(err, context.Canceled).
 var ErrCanceled = errors.New("zkml: proving canceled")
 
 // setupCache memoizes Groth16 proving material per circuit digest for

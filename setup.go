@@ -2,6 +2,7 @@ package zkvc
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -85,6 +86,12 @@ func (p *MatMulProver) Setup(rows, inner, cols int, epoch []byte) (*CRS, error) 
 // skipping per-call setup entirely. The prover's backend and options must
 // match the CRS, and the matrices must have the CRS shape.
 func (p *MatMulProver) ProveWithCRS(crs *CRS, x, w *Matrix) (*MatMulProof, error) {
+	return p.ProveWithCRSContext(context.Background(), crs, x, w)
+}
+
+// ProveWithCRSContext is ProveWithCRS with ctx checked at the proving
+// phase boundaries, like ProveContext.
+func (p *MatMulProver) ProveWithCRSContext(ctx context.Context, crs *CRS, x, w *Matrix) (*MatMulProof, error) {
 	if crs == nil {
 		return nil, fmt.Errorf("zkvc: nil CRS")
 	}
@@ -113,7 +120,7 @@ func (p *MatMulProver) ProveWithCRS(crs *CRS, x, w *Matrix) (*MatMulProof, error
 	}
 	proof.Timings.Synthesis = time.Since(start)
 
-	if err := p.attachBackendProof(proof, syn, crs); err != nil {
+	if err := p.attachBackendProof(ctx, proof, syn, crs); err != nil {
 		return nil, err
 	}
 	return proof, nil

@@ -1,20 +1,8 @@
-// Package zkvc is the public API of the zkVC reproduction: fast
-// zero-knowledge proofs for matrix multiplication (DAC 2025). It wraps the
-// CRPC + PSQ optimized circuits (internal/crpc) and two zk-SNARK backends
-// built from scratch in this module — Groth16 over a from-scratch BN254
-// pairing ("zkVC-G") and a transparent Spartan-style SNARK ("zkVC-S").
-//
-// Typical use (see examples/quickstart):
-//
-//	x := zkvc.RandomMatrix(rng, 49, 64, 128)   // public input
-//	w := zkvc.RandomMatrix(rng, 64, 128, 128)  // private model
-//	prover := zkvc.NewMatMulProver(zkvc.Spartan, zkvc.DefaultOptions())
-//	proof, err := prover.Prove(x, w)
-//	err = zkvc.VerifyMatMul(x, proof)
 package zkvc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	mrand "math/rand"
@@ -163,10 +151,24 @@ func (p *MatMulProver) Reseed(seed int64) { p.rng = mrand.New(mrand.NewSource(se
 func (p *MatMulProver) PCSParams() pcs.Params { return p.pcs }
 
 // Prove computes Y = X·W and produces a proof of correctness that hides W.
-// The CRPC challenge is derived per-statement, so the Groth16 backend pays
-// a fresh CRS here; use Setup + ProveWithCRS to amortize it across a shape
-// epoch.
+//
+// Deprecated: use ProveContext, or an Engine (Local for in-process
+// proving) whose methods are context-first and cancelable. Prove remains
+// a thin wrapper over ProveContext with context.Background().
 func (p *MatMulProver) Prove(x, w *Matrix) (*MatMulProof, error) {
+	return p.ProveContext(context.Background(), x, w)
+}
+
+// ProveContext computes Y = X·W and produces a proof of correctness that
+// hides W, checking ctx between the proving phases (synthesis, setup,
+// proof generation) — a canceled context stops the work at the next
+// phase boundary and returns ctx's error. The CRPC challenge is derived
+// per-statement, so the Groth16 backend pays a fresh CRS here; use Setup
+// + ProveWithCRS to amortize it across a shape epoch.
+func (p *MatMulProver) ProveContext(ctx context.Context, x, w *Matrix) (*MatMulProof, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	stmt := crpc.NewStatement(x, w)
 	proof := &MatMulProof{
 		Backend: p.backend,
@@ -182,7 +184,7 @@ func (p *MatMulProver) Prove(x, w *Matrix) (*MatMulProof, error) {
 	}
 	proof.Timings.Synthesis = time.Since(start)
 
-	if err := p.attachBackendProof(proof, syn, nil); err != nil {
+	if err := p.attachBackendProof(ctx, proof, syn, nil); err != nil {
 		return nil, err
 	}
 	return proof, nil
@@ -190,8 +192,12 @@ func (p *MatMulProver) Prove(x, w *Matrix) (*MatMulProof, error) {
 
 // attachBackendProof runs the selected backend over a synthesized circuit.
 // With a non-nil crs the Groth16 keys are reused (epoch path, Timings.Setup
-// stays zero); otherwise a fresh CRS is generated and timed.
-func (p *MatMulProver) attachBackendProof(proof *MatMulProof, syn *crpc.Synthesis, crs *CRS) error {
+// stays zero); otherwise a fresh CRS is generated and timed. ctx is
+// checked at each phase boundary.
+func (p *MatMulProver) attachBackendProof(ctx context.Context, proof *MatMulProof, syn *crpc.Synthesis, crs *CRS) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	switch p.backend {
 	case Groth16:
 		pk, vk := (*groth16.ProvingKey)(nil), (*groth16.VerifyingKey)(nil)
@@ -205,6 +211,9 @@ func (p *MatMulProver) attachBackendProof(proof *MatMulProof, syn *crpc.Synthesi
 				return err
 			}
 			proof.Timings.Setup = time.Since(start)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		start := time.Now()
 		g16, err := groth16.Prove(syn.Sys, pk, syn.Assignment, p.rng)
