@@ -242,6 +242,29 @@ func runJSONMode(parallelRun bool, parseBench, jsonOut, baseline string, maxRegr
 			rep.Speedups[name] = ratio
 			fmt.Printf("%-40s %5.2fx (direct → engine; ≈1.0 = interface is free)\n", name, ratio)
 		}
+
+		// Jobs harness: the same model proven through the synchronous
+		// stream and the async durable-job API — the submit-vs-sync ratio
+		// is the cost of journaled durability, and the byte-identity check
+		// pins that the journal replays the synchronous stream's exact
+		// frames. Never gates.
+		jobRows, jobRatios, jobsIdentical, err := bench.RunJobsReport(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zkvc-bench: jobs harness: %v\n", err)
+			os.Exit(1)
+		}
+		if !jobsIdentical {
+			fmt.Fprintln(os.Stderr, "zkvc-bench: FATAL: async job report differs from the synchronous stream at equal seeds")
+			os.Exit(1)
+		}
+		rep.Rows = append(rep.Rows, jobRows...)
+		for _, r := range jobRows {
+			fmt.Printf("%-40s %8.3fs/proof\n", r.Name, r.Seconds)
+		}
+		for name, ratio := range jobRatios {
+			rep.Speedups[name] = ratio
+			fmt.Printf("%-40s %5.2fx (sync → async; the durability overhead factor)\n", name, ratio)
+		}
 	}
 
 	if parseBench != "" {

@@ -61,6 +61,10 @@ func cmdProveModel(args []string) {
 	fs := flag.NewFlagSet("prove-model", flag.ExitOnError)
 	serverURL := fs.String("server", "http://localhost:8799", "proving service base URL")
 	local := fs.Bool("local", false, "prove in-process (zkvc.NewLocal) instead of against -server")
+	async := fs.Bool("async", false,
+		"prove through the durable job API (POST /v1/jobs): the stream resumes across reconnects instead of dying with the connection")
+	jobTTL := fs.Duration("job-ttl", 0,
+		"with -async, ask the server to retain the job's journal at most this long (0 = server default)")
 	modelName := fs.String("model", "tiny", "architecture: vit-cifar10, vit-tiny-imagenet, vit-imagenet-hier, bert-glue or tiny")
 	scale := fs.Int("scale", 1, "divide model dims/tokens by this factor (1 = full paper shape)")
 	backendName := fs.String("backend", "spartan", "proof system: groth16 or spartan")
@@ -93,9 +97,15 @@ func cmdProveModel(args []string) {
 	fmt.Printf("model %s: %d traced ops, logits %v\n", cfg.Name, len(trace.Ops), logits.Data)
 
 	var eng zkvc.Engine
-	if *local {
+	switch {
+	case *local:
 		eng = zkvc.NewLocal(backend, zkvc.DefaultOptions())
-	} else {
+	case *async:
+		c := server.NewAsyncClient(*serverURL)
+		c.Tenant = *tenant
+		c.TTL = *jobTTL
+		eng = c
+	default:
 		c := server.NewClient(*serverURL)
 		c.Tenant = *tenant
 		eng = c

@@ -49,6 +49,10 @@ func cmdServe(args []string) {
 	epoch := fs.String("epoch", "zkvc-epoch-0", "shape-epoch label for the single-proof CRS cache")
 	streamTimeout := fs.Duration("stream-timeout", 30*time.Second,
 		"per-frame model-stream write deadline; a client that stops reading this long is treated as gone")
+	journalDir := fs.String("journal-dir", "",
+		"persist async job journals here so resumable streams survive a restart (empty = in-memory journals only)")
+	jobTTL := fs.Duration("job-ttl", 15*time.Minute, "retain each async job's journal at most this long")
+	tenantQuota := fs.Int("tenant-quota", 64, "live async jobs one tenant may hold before submissions shed with 429")
 
 	coordinator := fs.Bool("coordinator", false,
 		"run as a cluster coordinator: route jobs across -node prover nodes by CRS affinity instead of proving locally")
@@ -99,6 +103,9 @@ func cmdServe(args []string) {
 	cfg.Parallelism = *parallelism
 	cfg.Epoch = []byte(*epoch)
 	cfg.StreamWriteTimeout = *streamTimeout
+	cfg.JournalDir = *journalDir
+	cfg.JobTTL = *jobTTL
+	cfg.TenantJobQuota = *tenantQuota
 
 	s, err := server.New(cfg)
 	if err != nil {

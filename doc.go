@@ -9,13 +9,23 @@
 //
 // The statement API is separated from the execution backend by the
 // Engine interface: ProveMatMul, ProveBatch and ProveModel (plus the
-// matching Verify methods), all context-first. Three implementations
+// matching Verify methods), all context-first. Four implementations
 // cover the deployment shapes, and a program moves between them by
 // swapping one constructor:
 //
 //	eng := zkvc.NewLocal(zkvc.Spartan, zkvc.DefaultOptions()) // in-process
 //	eng := server.NewClient("http://prover:8799")             // one remote service
 //	eng := cluster.NewEngine("http://coordinator:8799")       // sharded pool
+//	eng := server.NewAsyncClient("http://prover:8799")        // durable jobs, resumable streams
+//
+// AsyncClient's ProveModel goes through the service's durable job API
+// (POST /v1/jobs): each completed op is journaled server-side and the
+// stream it hands out transparently reconnects after connection loss,
+// resuming from the last frame received intact — no acked frame is
+// ever replayed, no op re-proved, and with a journal directory the
+// resume survives a server restart. The assembled Report is still
+// byte-identical to every other engine's at equal seeds; durability is
+// invisible at this seam.
 //
 // Typical use (see examples/quickstart):
 //

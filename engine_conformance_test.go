@@ -2,7 +2,8 @@ package zkvc_test
 
 // The Engine conformance suite: one table-driven contract run against
 // every implementation — Local (in-process), server.Client (one remote
-// service) and cluster.Engine (a coordinator over two nodes) — so a
+// service), cluster.Engine (a coordinator over two nodes) and
+// server.AsyncClient (the durable-job API with resumable streams) — so a
 // future implementation inherits the whole contract by being added to
 // conformanceEngines. Pinned here:
 //
@@ -38,10 +39,11 @@ type namedEngine struct {
 	eng  zkvc.Engine
 }
 
-// conformanceEngines builds the three implementations over one backend,
+// conformanceEngines builds the four implementations over one backend,
 // all seeded identically: a Local engine, a Client against a standalone
-// node, and a cluster Engine against a coordinator fronting two more
-// nodes. Every server is torn down with the test.
+// node, a cluster Engine against a coordinator fronting two more nodes,
+// and an AsyncClient against its own node. Every server is torn down
+// with the test.
 func conformanceEngines(t *testing.T, backend zkvc.Backend) []namedEngine {
 	t.Helper()
 	local := zkvc.NewLocal(backend, zkvc.DefaultOptions())
@@ -82,6 +84,10 @@ func conformanceEngines(t *testing.T, backend zkvc.Backend) []namedEngine {
 		{"local", local},
 		{"client", client},
 		{"cluster", cluster.NewEngine(front.URL)},
+		// The durable-job spelling of the remote engine: ProveModel goes
+		// through POST /v1/jobs and the resumable journal stream, and must
+		// still be byte-identical to everything above at equal seeds.
+		{"async", server.NewAsyncClient(newNode())},
 	}
 }
 

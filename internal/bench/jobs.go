@@ -1,0 +1,119 @@
+package bench
+
+// This file measures the async durable-job layer against the
+// synchronous model stream it wraps: the same tiny model proved through
+// /v1/prove/model (one connection, frames on the response body) and
+// through POST /v1/jobs + the journaled frame stream (submit, then
+// fetch). The submit-vs-sync ratio pins what durability costs — the
+// journal appends, their fsyncs (in-memory here: the overhead floor),
+// and the extra HTTP exchange — and the byte-identity check pins that
+// the journal replays exactly the frames the synchronous stream would
+// have carried. Rows land in BENCH_*.json next to the cluster and
+// engine rows (they never gate — the gate only reads gotest/ rows).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	mrand "math/rand"
+	"net/http/httptest"
+	"time"
+
+	"zkvc"
+	"zkvc/internal/nn"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+)
+
+// jobsReps averages out scheduler noise; the tiny model keeps each rep
+// cheap.
+const jobsReps = 3
+
+// RunJobsReport measures sync-vs-async model proving against one
+// in-process service, returning rows for the report, the
+// async-over-sync overhead ratio, and the byte-identity flag.
+func RunJobsReport(seed int64) ([]ParallelRow, map[string]float64, bool, error) {
+	scfg := server.DefaultConfig()
+	scfg.Seed = seed
+	scfg.Workers = 1
+	s, err := server.New(scfg)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := nn.TinyConfig("bench-jobs", nn.MixerPooling)
+	model, err := nn.NewModel(cfg, seed)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	trace := nn.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(seed+1))), &trace)
+	req := &zkvc.ModelRequest{Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: cfg, Trace: &trace}
+
+	ctx := context.Background()
+	name := fmt.Sprintf("model/%s/%s", backendName(zkvc.Spartan), cfg.Name)
+
+	sync := server.NewClient(ts.URL)
+	var syncRep *zkvc.Report
+	syncSecs, err := timeReps(jobsReps, func() error {
+		var e error
+		syncRep, e = sync.ProveModel(ctx, req).Report()
+		return e
+	})
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("sync pass: %w", err)
+	}
+
+	async := server.NewAsyncClient(ts.URL)
+	var asyncRep *zkvc.Report
+	asyncSecs, err := timeReps(jobsReps, func() error {
+		var e error
+		asyncRep, e = async.ProveModel(ctx, req).Report()
+		return e
+	})
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("async pass: %w", err)
+	}
+
+	deterministic := bytes.Equal(canonicalReportBytes(syncRep), canonicalReportBytes(asyncRep))
+	rows := []ParallelRow{
+		{Name: "jobs/sync/" + name, Parallelism: 1, Seconds: syncSecs},
+		{Name: "jobs/async/" + name, Parallelism: 1, Seconds: asyncSecs},
+	}
+	ratios := map[string]float64{}
+	if syncSecs > 0 {
+		// >1.0 is the durability overhead factor (journal + extra
+		// exchanges); ≈1.0 means the job API is effectively free for a
+		// model this size.
+		ratios["jobs/submit-vs-sync/"+name] = asyncSecs / syncSecs
+	}
+	return rows, ratios, deterministic, nil
+}
+
+// timeReps averages f over reps runs.
+func timeReps(reps int, f func() error) (float64, error) {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds() / float64(reps), nil
+}
+
+// canonicalReportBytes strips per-op wall clock for the byte-identity
+// check.
+func canonicalReportBytes(rep *zkvc.Report) []byte {
+	c := *rep
+	c.Ops = append([]zkvc.OpProof(nil), rep.Ops...)
+	for i := range c.Ops {
+		c.Ops[i].Synthesis = 0
+		c.Ops[i].Setup = 0
+		c.Ops[i].Prove = 0
+		c.Ops[i].Verify = 0
+	}
+	return wire.EncodeReport(&c)
+}

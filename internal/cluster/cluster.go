@@ -136,6 +136,10 @@ type Coordinator struct {
 	// coordinator's memory any less finite.
 	modelSlots chan struct{}
 
+	// jobRoutes remembers which node each accepted async job lives on,
+	// so status/stream/cancel exchanges find the journal again.
+	jobRoutes *jobRouteTable
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -157,6 +161,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:        cfg,
 		modelSlots: make(chan struct{}, modelBodySlots),
+		jobRoutes:  newJobRouteTable(),
 		stop:       make(chan struct{}),
 	}
 	for _, raw := range cfg.Nodes {
@@ -338,6 +343,11 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/prove/matmul", c.handleProveMatMul)
 	mux.HandleFunc("POST /v1/prove/batch", c.handleProveBatch)
 	mux.HandleFunc("POST /v1/prove/model", c.handleProveModel)
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", c.handleJobStreamGet)
+	mux.HandleFunc("POST /v1/jobs/stream", c.handleJobStreamPost)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleJobCancel)
 	mux.HandleFunc("POST /v1/verify", c.handleVerify)
 	mux.HandleFunc("POST /v1/verify/batch", c.handleVerifyBatch)
 	mux.HandleFunc("POST /v1/verify/model", c.handleVerifyModel)

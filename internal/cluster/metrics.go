@@ -15,6 +15,9 @@ type clusterMetrics struct {
 	streamErrors atomic.Int64
 	unroutable   atomic.Int64
 	announces    atomic.Int64
+	// jobsRouted counts async job submissions accepted through the
+	// cluster (each also counts in routed).
+	jobsRouted atomic.Int64
 }
 
 // NodeStatus is one node's row in the cluster snapshot.
@@ -54,6 +57,10 @@ type Snapshot struct {
 	// surviving candidate) could take them.
 	Unroutable int64 `json:"cluster_unroutable"`
 	Announces  int64 `json:"cluster_announces"`
+	// JobsRouted counts async job submissions accepted through the
+	// cluster; JobRoutes is the live size of the jobID→node table.
+	JobsRouted int64 `json:"cluster_jobs_routed"`
+	JobRoutes  int   `json:"cluster_job_routes"`
 }
 
 // Metrics returns a point-in-time snapshot of the cluster state.
@@ -67,6 +74,8 @@ func (c *Coordinator) Metrics() Snapshot {
 		StreamErrors: c.metrics.streamErrors.Load(),
 		Unroutable:   c.metrics.unroutable.Load(),
 		Announces:    c.metrics.announces.Load(),
+		JobsRouted:   c.metrics.jobsRouted.Load(),
+		JobRoutes:    c.jobRoutes.len(),
 	}
 	for i, n := range nodes {
 		s.Nodes[i] = NodeStatus{

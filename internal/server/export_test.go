@@ -1,0 +1,20 @@
+package server
+
+import "time"
+
+// ExpireJob backdates a job's TTL deadline — under the store lock, the
+// same one the reaper's expired() scan reads it through — so the next
+// reap tick collects the job. It is the deterministic stand-in for
+// waiting out a real TTL: a test that races proving against a
+// subsecond TTL flakes the moment -race or a loaded machine stretches
+// the proof past the deadline.
+func ExpireJob(s *Server, id string) bool {
+	s.jobs.mu.Lock()
+	defer s.jobs.mu.Unlock()
+	j := s.jobs.jobs[id]
+	if j == nil {
+		return false
+	}
+	j.jl.deadline = time.Now().Add(-time.Second)
+	return true
+}

@@ -65,17 +65,22 @@ func issuedBatchDigests(xs []*zkvc.Matrix, batch *zkvc.BatchProof, n int) [][sha
 // issuedLog is a bounded FIFO set of digests of the epoch proofs this
 // service issued. It is the attestation /v1/verify needs before accepting
 // an epoch proof: the service computed those statements itself, so they
-// are true regardless of the epoch challenge being public.
+// are true regardless of the epoch challenge being public. The set maps
+// each digest to its FIFO slot so remove (the job reaper withdrawing a
+// deleted report's attestation) is O(1): the slot keeps a tombstone
+// until eviction reaches it, and eviction double-checks the slot still
+// owns its digest so a removed-then-readded digest is never evicted by
+// its stale slot.
 type issuedLog struct {
 	mu   sync.Mutex
-	set  map[[sha256.Size]byte]struct{}
+	set  map[[sha256.Size]byte]int // digest → fifo slot
 	fifo [][sha256.Size]byte
 	next int // next fifo slot to overwrite once full
 	cap  int
 }
 
 func newIssuedLog(cap int) *issuedLog {
-	return &issuedLog{set: make(map[[sha256.Size]byte]struct{}), cap: cap}
+	return &issuedLog{set: make(map[[sha256.Size]byte]int), cap: cap}
 }
 
 func (l *issuedLog) add(d [sha256.Size]byte) {
@@ -85,13 +90,16 @@ func (l *issuedLog) add(d [sha256.Size]byte) {
 		return
 	}
 	if len(l.fifo) < l.cap {
+		l.set[d] = len(l.fifo)
 		l.fifo = append(l.fifo, d)
 	} else {
-		delete(l.set, l.fifo[l.next])
+		if idx, ok := l.set[l.fifo[l.next]]; ok && idx == l.next {
+			delete(l.set, l.fifo[l.next])
+		}
 		l.fifo[l.next] = d
+		l.set[d] = l.next
 		l.next = (l.next + 1) % l.cap
 	}
-	l.set[d] = struct{}{}
 }
 
 func (l *issuedLog) has(d [sha256.Size]byte) bool {
@@ -99,4 +107,13 @@ func (l *issuedLog) has(d [sha256.Size]byte) bool {
 	defer l.mu.Unlock()
 	_, ok := l.set[d]
 	return ok
+}
+
+// remove withdraws an attestation (a reaped job's report must stop
+// verifying). The FIFO slot keeps the stale digest as a tombstone;
+// add's eviction check makes that harmless.
+func (l *issuedLog) remove(d [sha256.Size]byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.set, d)
 }

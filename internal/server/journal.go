@@ -1,0 +1,359 @@
+package server
+
+// The per-job write-ahead journal behind the async job API. A journal is
+// an append-only sequence of hash-chained records: one manifest (job
+// identity + retention policy), one model-stream header, one record per
+// proved op in completion order, and — only if the job ended early — one
+// terminal error record. Records 1..n are byte-for-byte the frames of
+// the job's model stream, so resuming a client from frame k is replaying
+// journal records k+1 onward; nothing is re-proved and nothing already
+// acked is re-sent. With a JournalDir configured each journal is also a
+// file of framed wire.JournalRecord messages, fsynced per append, and a
+// restarted server recovers every journal it finds: the hash chain is
+// recomputed from the job ID, a torn or tampered suffix is truncated
+// (and the job honestly failed), and a complete journal's report is
+// re-attested so /v1/verify/model keeps vouching for it.
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"zkvc/internal/wire"
+)
+
+// journalExt names journal files inside Config.JournalDir.
+const journalExt = ".journal"
+
+// errJournalDone reports an append to a journal that already reached a
+// terminal record (the reaper or a cancel got there first). It is
+// routine teardown racing, not a persistence failure.
+var errJournalDone = errors.New("server: journal already terminal")
+
+// journalRec is one in-memory journal entry: the record kind and its
+// payload (an encoded JobManifest, ModelStreamHeader, OpProof or
+// ModelStreamError, by kind).
+type journalRec struct {
+	kind    byte
+	payload []byte
+}
+
+// journal is one job's write-ahead log plus the subscription machinery
+// stream handlers block on. It outlives its job in the store: a reaped
+// or canceled job's in-flight readers keep their pointer and drain to a
+// terminal record, they just cannot reconnect.
+type journal struct {
+	id       string
+	tenant   string
+	created  time.Time
+	deadline time.Time // zero value = no expiry
+	path     string    // "" = memory-only journal
+
+	mu       sync.Mutex
+	updated  chan struct{} // closed and replaced on every append
+	recs     []journalRec  // index = record seq; recs[0] is the manifest
+	chain    [32]byte      // running hash over payloads, seeded from the ID
+	ops      int           // op records appended so far
+	totalOps int           // announced op count (from the header record)
+	done     bool          // terminal: complete, failed or canceled
+	errMsg   string        // non-empty iff a terminal error record exists
+	file     *os.File
+}
+
+// chainSeed starts a journal's hash chain: the chain value "before the
+// first record" is the hash of the job ID, so two journals with
+// identical payloads still chain differently and a record file renamed
+// to another job's ID fails recovery.
+func chainSeed(id string) [32]byte { return sha256.Sum256([]byte(id)) }
+
+// chainNext folds one record payload into the chain.
+func chainNext(prev [32]byte, payload []byte) [32]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(payload)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// newJournal creates a journal for a freshly admitted job and writes its
+// first two records (manifest, stream header). With dir non-empty the
+// journal is also persisted to <dir>/<id>.journal.
+func newJournal(id, tenant string, created, deadline time.Time, dir string, header []byte, totalOps int) (*journal, error) {
+	jl := &journal{
+		id:       id,
+		tenant:   tenant,
+		created:  created,
+		deadline: deadline,
+		updated:  make(chan struct{}),
+		chain:    chainSeed(id),
+		totalOps: totalOps,
+	}
+	if dir != "" {
+		jl.path = filepath.Join(dir, id+journalExt)
+		f, err := os.OpenFile(jl.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("server: creating journal: %w", err)
+		}
+		jl.file = f
+	}
+	manifest := wire.EncodeJobManifest(&wire.JobManifest{
+		ID:          id,
+		Tenant:      tenant,
+		CreatedUnix: created.Unix(),
+		DeadlineUnix: func() int64 {
+			if deadline.IsZero() {
+				return 0
+			}
+			return deadline.Unix()
+		}(),
+	})
+	if err := jl.append(wire.JournalManifest, manifest); err != nil {
+		jl.removeFile()
+		return nil, err
+	}
+	if err := jl.append(wire.JournalHeader, header); err != nil {
+		jl.removeFile()
+		return nil, err
+	}
+	return jl, nil
+}
+
+// append writes one record: chain it, persist it (fsynced, so an acked
+// frame survives a crash), then publish it to blocked readers. The
+// terminal transitions live here so every append site agrees on them:
+// the totalOps'th op record completes the journal, an error record
+// fails it.
+func (jl *journal) append(kind byte, payload []byte) error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.done {
+		return errJournalDone
+	}
+	rec := &wire.JournalRecord{Seq: len(jl.recs), Kind: kind, Prev: jl.chain, Payload: payload}
+	if jl.file != nil {
+		if err := wire.WriteFrame(jl.file, wire.EncodeJournalRecord(rec)); err != nil {
+			return fmt.Errorf("server: journal write: %w", err)
+		}
+		if err := jl.file.Sync(); err != nil {
+			return fmt.Errorf("server: journal sync: %w", err)
+		}
+	}
+	jl.chain = chainNext(jl.chain, payload)
+	jl.recs = append(jl.recs, journalRec{kind: kind, payload: payload})
+	switch kind {
+	case wire.JournalOp:
+		jl.ops++
+		if jl.ops == jl.totalOps {
+			jl.done = true
+		}
+	case wire.JournalError:
+		jl.done = true
+		if msg, err := wire.DecodeModelStreamError(payload); err == nil {
+			jl.errMsg = msg
+		}
+	}
+	close(jl.updated)
+	jl.updated = make(chan struct{})
+	return nil
+}
+
+// fail records a terminal error unless the journal already ended; it is
+// how cancellation, reaping and crash recovery keep the never-silent-
+// truncation promise — a reader always drains to either the announced
+// op count or an explicit error frame.
+func (jl *journal) fail(msg string) {
+	jl.mu.Lock()
+	if jl.done {
+		jl.mu.Unlock()
+		return
+	}
+	jl.mu.Unlock()
+	// Encode outside the lock; append re-checks done under it.
+	jl.append(wire.JournalError, wire.EncodeModelStreamError(msg))
+}
+
+// frame returns stream frame k (journal record k+1), blocking until it
+// exists, the stream ends before it, or ctx is done. ok=false means "no
+// such frame will ever exist": the journal is terminal and fully
+// replayed past k, or the caller gave up.
+func (jl *journal) frame(ctx context.Context, k int) (payload []byte, ok bool) {
+	for {
+		jl.mu.Lock()
+		if k+1 < len(jl.recs) {
+			p := jl.recs[k+1].payload
+			jl.mu.Unlock()
+			return p, true
+		}
+		if jl.done {
+			jl.mu.Unlock()
+			return nil, false
+		}
+		ch := jl.updated
+		jl.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}
+
+// snapshot reports the journal's progress for job status responses.
+func (jl *journal) snapshot() (ops, totalOps int, done bool, errMsg string) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.ops, jl.totalOps, jl.done, jl.errMsg
+}
+
+// closeFile releases the file handle (the records stay on disk).
+func (jl *journal) closeFile() {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.file != nil {
+		jl.file.Close()
+		jl.file = nil
+	}
+}
+
+// removeFile deletes the on-disk journal (reaper and cancel path).
+func (jl *journal) removeFile() {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.file != nil {
+		jl.file.Close()
+		jl.file = nil
+	}
+	if jl.path != "" {
+		os.Remove(jl.path)
+	}
+}
+
+// recoveredJournal is one journal read back from disk after a restart.
+type recoveredJournal struct {
+	jl       *journal
+	header   []byte     // stream-header payload (record 1)
+	opHashes [][32]byte // per-seq op frame digests, only for complete journals
+	complete bool       // every announced op present
+}
+
+// loadJournal reads one journal file back, verifying the hash chain and
+// the record grammar (manifest, header, ops, optional trailing error) as
+// it goes. The first record that fails to decode, breaks the chain or
+// violates the grammar — and everything after it — is a torn tail: the
+// file is truncated back to the last good record, because a record that
+// cannot be proven to belong to this journal must not be replayed as if
+// the client's acked prefix included it. A file without a valid
+// manifest+header prefix is not a journal at all and returns an error.
+func loadJournal(path string) (*recoveredJournal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	id := strings.TrimSuffix(filepath.Base(path), journalExt)
+	jl := &journal{
+		id:      id,
+		updated: make(chan struct{}),
+		chain:   chainSeed(id),
+		path:    path,
+	}
+	out := &recoveredJournal{jl: jl}
+	var manifest *wire.JobManifest
+	var goodOffset int64
+	seenSeqs := map[int]bool{}
+	for {
+		frame, err := wire.ReadFrame(f)
+		if err != nil {
+			break // io.EOF: clean end; anything else: torn tail
+		}
+		rec, err := wire.DecodeJournalRecord(frame)
+		if err != nil || rec.Seq != len(jl.recs) || rec.Prev != jl.chain {
+			break
+		}
+		switch {
+		case rec.Seq == 0:
+			if rec.Kind != wire.JournalManifest {
+				goto done
+			}
+			if manifest, err = wire.DecodeJobManifest(rec.Payload); err != nil || manifest.ID != id {
+				goto done
+			}
+		case rec.Seq == 1:
+			if rec.Kind != wire.JournalHeader {
+				goto done
+			}
+			hdr, err := wire.DecodeModelStreamHeader(rec.Payload)
+			if err != nil {
+				goto done
+			}
+			jl.totalOps = hdr.TotalOps
+			out.header = rec.Payload
+			out.opHashes = make([][32]byte, hdr.TotalOps)
+		case rec.Kind == wire.JournalOp:
+			if jl.done {
+				goto done // record after completion is never legitimate
+			}
+			op, err := wire.DecodeOpProof(rec.Payload)
+			if err != nil || op.Seq >= jl.totalOps || seenSeqs[op.Seq] {
+				goto done
+			}
+			seenSeqs[op.Seq] = true
+			out.opHashes[op.Seq] = sha256.Sum256(rec.Payload)
+		case rec.Kind == wire.JournalError:
+			if jl.done {
+				goto done
+			}
+		default:
+			goto done
+		}
+		jl.chain = chainNext(jl.chain, rec.Payload)
+		jl.recs = append(jl.recs, journalRec{kind: rec.Kind, payload: rec.Payload})
+		switch rec.Kind {
+		case wire.JournalOp:
+			jl.ops++
+			if jl.ops == jl.totalOps {
+				jl.done = true
+			}
+		case wire.JournalError:
+			jl.done = true
+			if msg, err := wire.DecodeModelStreamError(rec.Payload); err == nil {
+				jl.errMsg = msg
+			}
+		}
+		var pos int64
+		if pos, err = f.Seek(0, 1); err != nil {
+			f.Close()
+			return nil, err
+		}
+		goodOffset = pos
+	}
+done:
+	if manifest == nil || len(jl.recs) < 2 {
+		f.Close()
+		return nil, fmt.Errorf("server: %s holds no valid journal prefix", filepath.Base(path))
+	}
+	// Drop the torn tail on disk too, so the file and the verified
+	// in-memory state agree from here on.
+	if err := f.Truncate(goodOffset); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(goodOffset, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	jl.file = f
+	jl.tenant = manifest.Tenant
+	jl.created = time.Unix(manifest.CreatedUnix, 0)
+	if manifest.DeadlineUnix != 0 {
+		jl.deadline = time.Unix(manifest.DeadlineUnix, 0)
+	}
+	out.complete = jl.done && jl.errMsg == ""
+	return out, nil
+}

@@ -52,6 +52,17 @@ type metrics struct {
 	streamStalls      atomic.Int64
 	streamStallNanos  atomic.Int64
 
+	// Async-job counters: jobs admitted through POST /v1/jobs, jobs
+	// currently held by the store (gauge), streams resumed from a
+	// non-zero frame, journals deleted by the TTL reaper or DELETE, and
+	// submissions turned away with 429 (queue saturation or tenant
+	// quota) — the honest-admission counterpart of silent parking.
+	jobsSubmitted    atomic.Int64
+	jobsActive       atomic.Int64
+	jobsResumed      atomic.Int64
+	jobsReaped       atomic.Int64
+	admissionRejects atomic.Int64
+
 	synthesisNanos atomic.Int64
 	setupNanos     atomic.Int64
 	proveNanos     atomic.Int64
@@ -104,6 +115,14 @@ type Snapshot struct {
 	StreamStalls      int64 `json:"stream_stalls"`
 	StreamStallNanos  int64 `json:"stream_stall_nanos"`
 
+	// Async-job counters: admitted jobs, live jobs (gauge), resumed
+	// streams, reaped journals, and 429-rejected submissions.
+	JobsSubmitted    int64 `json:"jobs_submitted"`
+	JobsActive       int64 `json:"jobs_active"`
+	JobsResumed      int64 `json:"jobs_resumed"`
+	JobsReaped       int64 `json:"jobs_reaped"`
+	AdmissionRejects int64 `json:"admission_rejects"`
+
 	VerifyRequests int64 `json:"verify_requests"`
 	// EpochRejects counts epoch proofs turned away by /v1/verify's
 	// issued-only policy (wrong epoch, not issued here, or no trusted CRS).
@@ -153,6 +172,11 @@ func (m *metrics) snapshot(pool *parallel.Pool) Snapshot {
 	s.ModelRejects = m.modelRejects.Load()
 	s.StreamStalls = m.streamStalls.Load()
 	s.StreamStallNanos = m.streamStallNanos.Load()
+	s.JobsSubmitted = m.jobsSubmitted.Load()
+	s.JobsActive = m.jobsActive.Load()
+	s.JobsResumed = m.jobsResumed.Load()
+	s.JobsReaped = m.jobsReaped.Load()
+	s.AdmissionRejects = m.admissionRejects.Load()
 	s.VerifyRequests = m.verifyRequests.Load()
 	s.EpochRejects = m.epochRejects.Load()
 	s.VKRejects = m.vkRejects.Load()

@@ -24,6 +24,11 @@
 //	POST /v1/prove        coalescing batch proving (wire.ProveRequest → wire.ProveResponse)
 //	POST /v1/prove/single one proof per request, Groth16 CRS cached per shape (→ wire MatMulProof)
 //	POST /v1/prove/model  prove a captured model trace (wire.ProveModelRequest → framed stream of wire.OpProof)
+//	POST /v1/jobs         submit a model trace as a durable async job (wire.JobSubmitRequest → 202 wire.JobStatus, or 429 + Retry-After)
+//	GET  /v1/jobs/{id}            poll a job (→ wire.JobStatus)
+//	GET  /v1/jobs/{id}/stream     stream the job's frames; ?from=k resumes after k acked frames
+//	POST /v1/jobs/stream          the same stream, addressed by a wire.JobStreamRequest body
+//	DELETE /v1/jobs/{id}          cancel a job and delete its journal
 //	POST /v1/verify       check a single proof (wire.VerifyRequest → JSON)
 //	POST /v1/verify/batch check a coalesced batch (wire.ProveResponse → JSON)
 //	POST /v1/verify/model check a model report this service issued (wire.Report → JSON)
@@ -120,6 +125,24 @@ type Config struct {
 	// fails, the connection is torn down and the job cancels like any
 	// other disconnect. 0 means 30s.
 	StreamWriteTimeout time.Duration
+	// JobTTL is how long an async job and its journal are retained after
+	// submission before the reaper deletes them (status turns 404, the
+	// report's attestation is withdrawn). Clients may ask for a shorter
+	// TTL per job; requests for a longer one are clamped to this cap.
+	// 0 means 15 minutes.
+	JobTTL time.Duration
+	// TenantJobQuota bounds how many async jobs one tenant may hold live
+	// (queued, running, or retained) at once; past it submissions are
+	// rejected with 429. 0 means 64.
+	TenantJobQuota int
+	// JournalDir, when set, persists each async job's journal to
+	// <JournalDir>/<id>.journal so resumable streams survive a server
+	// restart; New recovers every journal found there. Empty keeps
+	// journals in memory only (they still survive client reconnects).
+	JournalDir string
+	// ReapInterval is how often the reaper scans for expired jobs.
+	// 0 means 1 second.
+	ReapInterval time.Duration
 	// Epoch labels the shape epoch for the single-proof CRS cache.
 	Epoch []byte
 	// Seed makes proving deterministic for tests. 0 (the default) keeps
@@ -147,6 +170,9 @@ func DefaultConfig() Config {
 		Workers:            runtime.NumCPU(),
 		QueueCap:           1024,
 		MaxShapes:          64,
+		JobTTL:             15 * time.Minute,
+		TenantJobQuota:     64,
+		ReapInterval:       time.Second,
 		Epoch:              []byte("zkvc-epoch-0"),
 		StreamWriteTimeout: 30 * time.Second,
 	}
@@ -223,6 +249,11 @@ type Server struct {
 	// buffer and decode their (large) bodies; see acquireModelSlot.
 	modelSlots chan struct{}
 
+	// jobs is the async durable-job store (journals, TTLs, quotas);
+	// reapStop ends its reaper goroutine on Close.
+	jobs     *jobStore
+	reapStop chan struct{}
+
 	mu     sync.RWMutex // guards closed / submit channel close
 	closed bool
 	wg     sync.WaitGroup
@@ -265,6 +296,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StreamWriteTimeout <= 0 {
 		cfg.StreamWriteTimeout = 30 * time.Second
 	}
+	if cfg.JobTTL <= 0 {
+		cfg.JobTTL = 15 * time.Minute
+	}
+	if cfg.TenantJobQuota <= 0 {
+		cfg.TenantJobQuota = 64
+	}
+	if cfg.ReapInterval <= 0 {
+		cfg.ReapInterval = time.Second
+	}
 	if len(cfg.Epoch) == 0 {
 		return nil, fmt.Errorf("server: epoch label must be non-empty")
 	}
@@ -289,11 +329,20 @@ func New(cfg Config) (*Server, error) {
 
 		modelSlots: make(chan struct{}, modelBodySlots),
 
+		jobs:     newJobStore(),
+		reapStop: make(chan struct{}),
+
 		prevParallelism: prevParallelism,
 		installedPool:   installedPool,
 	}
-	s.wg.Add(1 + cfg.Workers)
+	if cfg.JournalDir != "" {
+		if err := s.recoverJobs(); err != nil {
+			return nil, err
+		}
+	}
+	s.wg.Add(2 + cfg.Workers)
 	go s.coalesce()
+	go s.reaper()
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
@@ -310,8 +359,12 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	close(s.submit)
+	close(s.reapStop)
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Queued async jobs drained through the pool above; release journal
+	// file handles so a successor server can recover the directory.
+	s.jobs.closeAll()
 	if s.prevParallelism > 0 && parallel.Default() == s.installedPool {
 		parallel.SetDefaultSize(s.prevParallelism)
 	}
@@ -601,6 +654,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/prove/matmul", s.handleProveMatMul)
 	mux.HandleFunc("POST /v1/prove/batch", s.handleProveBatch)
 	mux.HandleFunc("POST /v1/prove/model", s.handleProveModel)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStreamGet)
+	mux.HandleFunc("POST /v1/jobs/stream", s.handleJobStreamPost)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
 	mux.HandleFunc("POST /v1/verify/model", s.handleVerifyModel)

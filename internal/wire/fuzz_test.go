@@ -45,6 +45,11 @@ func fuzzSeeds(f *testing.F) [][]byte {
 		}),
 		wire.EncodeNodeAnnounce(&wire.NodeAnnounce{Name: "prover-1", URL: "http://10.0.0.7:8799", Workers: 4}),
 		wire.EncodeNodeHeartbeat(&wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 17, Draining: true}),
+		wire.EncodeJobStatus(&wire.JobStatus{ID: "job-1", State: wire.JobRunning, TotalOps: 9, CompletedOps: 4}),
+		wire.EncodeJobStatus(&wire.JobStatus{State: wire.JobRejected, QueuePos: 12, RetryAfterSeconds: 2, Error: "queue full"}),
+		wire.EncodeJournalRecord(&wire.JournalRecord{Seq: 2, Kind: wire.JournalOp, Payload: []byte("frame")}),
+		wire.EncodeJobStreamRequest(&wire.JobStreamRequest{ID: "job-1", From: 3}),
+		wire.EncodeJobManifest(&wire.JobManifest{ID: "job-1", Tenant: "acme", CreatedUnix: 1700000000, DeadlineUnix: 1700003600}),
 		[]byte("ZKVC"),
 		[]byte{},
 		bytes.Repeat([]byte{0xff}, 64),
@@ -82,8 +87,15 @@ func modelSeeds(f *testing.F) [][]byte {
 	corrupted := append([]byte(nil), opFrame...)
 	corrupted[len(corrupted)/2] ^= 0xff
 
+	jobReq := wire.EncodeJobSubmitRequest(&wire.JobSubmitRequest{
+		TTLSeconds: 60,
+		Model: &wire.ProveModelRequest{
+			Backend: zkvc.Spartan, ProveNonlinear: true, Cfg: cfg, Trace: &trace,
+		},
+	})
 	return [][]byte{
 		req, req[:len(req)/2],
+		jobReq, jobReq[:len(jobReq)*2/3],
 		opFrame, corrupted,
 		encodedRep, encodedRep[:len(encodedRep)/3],
 		wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
@@ -176,6 +188,31 @@ func FuzzWireDecodeProof(f *testing.F) {
 		if h, err := wire.DecodeNodeHeartbeat(data); err == nil {
 			if again := wire.EncodeNodeHeartbeat(h); !bytes.Equal(data, again) {
 				t.Fatalf("accepted NodeHeartbeat is not canonical")
+			}
+		}
+		if r, err := wire.DecodeJobSubmitRequest(data); err == nil {
+			if again := wire.EncodeJobSubmitRequest(r); !bytes.Equal(data, again) {
+				t.Fatalf("accepted JobSubmitRequest is not canonical")
+			}
+		}
+		if s, err := wire.DecodeJobStatus(data); err == nil {
+			if again := wire.EncodeJobStatus(s); !bytes.Equal(data, again) {
+				t.Fatalf("accepted JobStatus is not canonical")
+			}
+		}
+		if rec, err := wire.DecodeJournalRecord(data); err == nil {
+			if again := wire.EncodeJournalRecord(rec); !bytes.Equal(data, again) {
+				t.Fatalf("accepted JournalRecord is not canonical")
+			}
+		}
+		if r, err := wire.DecodeJobStreamRequest(data); err == nil {
+			if again := wire.EncodeJobStreamRequest(r); !bytes.Equal(data, again) {
+				t.Fatalf("accepted JobStreamRequest is not canonical")
+			}
+		}
+		if m, err := wire.DecodeJobManifest(data); err == nil {
+			if again := wire.EncodeJobManifest(m); !bytes.Equal(data, again) {
+				t.Fatalf("accepted JobManifest is not canonical")
 			}
 		}
 	})

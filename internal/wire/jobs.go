@@ -1,0 +1,355 @@
+package wire
+
+// Durable-job messages: submitting a model proof as an asynchronous job,
+// polling its status, resuming its frame stream, and the journal records
+// the server persists so a stream survives reconnects and restarts. All
+// of them cross the unauthenticated HTTP surface (and journal records are
+// additionally re-read from disk after a crash), so the full strict-decode
+// discipline applies: bounded lengths, no trailing bytes, canonical
+// re-encode, errors instead of panics.
+
+import "fmt"
+
+// Job message type tags (continuing the top-level tag space in wire.go).
+const (
+	TagJobSubmitRequest byte = 0x0f
+	TagJobStatus        byte = 0x10
+	TagJournalRecord    byte = 0x11
+	TagJobStreamRequest byte = 0x12
+	TagJobManifest      byte = 0x13
+)
+
+// Job lifecycle states carried by JobStatus.
+const (
+	JobQueued   byte = 0 // admitted, waiting for a worker
+	JobRunning  byte = 1 // a worker is proving ops
+	JobDone     byte = 2 // every op proved, journal complete
+	JobFailed   byte = 3 // terminal error recorded in the journal
+	JobCanceled byte = 4 // canceled by the client or the reaper
+	JobRejected byte = 5 // never admitted (saturation or quota)
+)
+
+// maxJobState bounds the state byte; decoders reject anything above it.
+const maxJobState = JobRejected
+
+// Bounds specific to job messages.
+const (
+	maxTTLSeconds        = 1 << 22 // ~48 days; far beyond any sane journal TTL
+	maxRetryAfterSeconds = 1 << 20 // ~12 days; Retry-After beyond this is a bug
+	maxJournalPayload    = maxFrameLen
+	// A journal holds one manifest record, one stream-header record, one
+	// record per op and at most one terminal error record.
+	maxJournalSeq = maxTraceOps + 3
+)
+
+// JobSubmitRequest asks the service to prove a model trace asynchronously:
+// the response is a job ID, not a stream, and the frames are read back —
+// possibly much later, possibly more than once — via JobStreamRequest.
+// TTLSeconds caps how long the finished journal is retained (0 means the
+// server's default); the payload is the same config + trace a synchronous
+// /v1/prove/model request carries.
+type JobSubmitRequest struct {
+	TTLSeconds int
+	Model      *ProveModelRequest
+}
+
+// EncodeJobSubmitRequest serializes an asynchronous job submission.
+func EncodeJobSubmitRequest(r *JobSubmitRequest) []byte {
+	e := newEnc(TagJobSubmitRequest)
+	e.u32(uint32(r.TTLSeconds))
+	encodeBackend(e, r.Model.Backend)
+	if r.Model.ProveNonlinear {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	encodeConfigBody(e, &r.Model.Cfg)
+	encodeTraceBody(e, r.Model.Trace)
+	return e.buf
+}
+
+// DecodeJobSubmitRequest parses an asynchronous job submission with the
+// same validation the synchronous prove-model decoder applies.
+func DecodeJobSubmitRequest(b []byte) (*JobSubmitRequest, error) {
+	d, err := newDec(b, TagJobSubmitRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &JobSubmitRequest{Model: &ProveModelRequest{}}
+	if r.TTLSeconds, err = d.boundedU32("job TTL seconds", maxTTLSeconds); err != nil {
+		return nil, err
+	}
+	if r.Model.Backend, err = decodeBackend(d); err != nil {
+		return nil, err
+	}
+	nl, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if nl > 1 {
+		return nil, fmt.Errorf("%w: bad nonlinear flag %d", ErrDecode, nl)
+	}
+	r.Model.ProveNonlinear = nl == 1
+	if r.Model.Cfg, err = decodeConfigBody(d); err != nil {
+		return nil, err
+	}
+	if r.Model.Trace, err = decodeTraceBody(d); err != nil {
+		return nil, err
+	}
+	return r, d.finish()
+}
+
+// JobStatus reports where a job is in its lifecycle. It is the body of
+// the 202 a successful submission returns, the response to a status poll,
+// and — with State == JobRejected — the body of a 429: QueuePos is how
+// many queue units stand ahead of the rejected work and RetryAfterSeconds
+// mirrors the Retry-After header, so a client can make an informed retry
+// decision instead of hammering a saturated pool. ID is empty exactly
+// when the job was never admitted (rejected work has no identity).
+type JobStatus struct {
+	ID                string
+	State             byte
+	TotalOps          int
+	CompletedOps      int
+	QueuePos          int64
+	RetryAfterSeconds int
+	Error             string
+}
+
+// EncodeJobStatus serializes a job status report.
+func EncodeJobStatus(s *JobStatus) []byte {
+	e := newEnc(TagJobStatus)
+	e.bytes([]byte(s.ID))
+	e.u8(s.State)
+	e.u32(uint32(s.TotalOps))
+	e.u32(uint32(s.CompletedOps))
+	e.u64(uint64(s.QueuePos))
+	e.u32(uint32(s.RetryAfterSeconds))
+	e.bytes([]byte(s.Error))
+	return e.buf
+}
+
+// DecodeJobStatus parses a job status report.
+func DecodeJobStatus(b []byte) (*JobStatus, error) {
+	d, err := newDec(b, TagJobStatus)
+	if err != nil {
+		return nil, err
+	}
+	s := &JobStatus{}
+	id, err := d.blob("job ID")
+	if err != nil {
+		return nil, err
+	}
+	s.ID = string(id)
+	if s.State, err = d.u8(); err != nil {
+		return nil, err
+	}
+	if s.State > maxJobState {
+		return nil, fmt.Errorf("%w: bad job state %d", ErrDecode, s.State)
+	}
+	if len(s.ID) == 0 && s.State != JobRejected {
+		return nil, fmt.Errorf("%w: admitted job without an ID", ErrDecode)
+	}
+	if len(s.ID) != 0 && s.State == JobRejected {
+		return nil, fmt.Errorf("%w: rejected job carries an ID", ErrDecode)
+	}
+	if s.TotalOps, err = d.boundedU32("job total ops", maxTraceOps); err != nil {
+		return nil, err
+	}
+	if s.CompletedOps, err = d.boundedU32("job completed ops", maxTraceOps); err != nil {
+		return nil, err
+	}
+	if s.CompletedOps > s.TotalOps {
+		return nil, fmt.Errorf("%w: %d completed ops exceed %d total", ErrDecode, s.CompletedOps, s.TotalOps)
+	}
+	pos, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if int64(pos) < 0 || int64(pos) > maxStatInt {
+		return nil, fmt.Errorf("%w: queue position %d out of range", ErrDecode, pos)
+	}
+	s.QueuePos = int64(pos)
+	if s.RetryAfterSeconds, err = d.boundedU32("retry-after seconds", maxRetryAfterSeconds); err != nil {
+		return nil, err
+	}
+	msg, err := d.blob("job error")
+	if err != nil {
+		return nil, err
+	}
+	s.Error = string(msg)
+	return s, d.finish()
+}
+
+// Journal record kinds. A job's journal is, in order: one manifest
+// record (kind 0, payload an encoded JobManifest), one stream-header
+// record (kind 1, payload an encoded ModelStreamHeader), one op record
+// per proved op in completion order (kind 2, payload an encoded OpProof),
+// and — only if the job ended early — one terminal error record (kind 3,
+// payload an encoded ModelStreamError). Records 1..n are exactly the
+// frames of the model stream, so "resume from frame k" is "replay journal
+// records k+1 onward".
+const (
+	JournalManifest byte = 0
+	JournalHeader   byte = 1
+	JournalOp       byte = 2
+	JournalError    byte = 3
+)
+
+const maxJournalKind = JournalError
+
+// JournalRecord is one entry of a job's write-ahead journal. Prev is the
+// hash chain up to the previous record (sha256 over the job ID for the
+// first record), so a journal read back from disk proves its own
+// integrity and any torn or tampered suffix is detected instead of
+// replayed; see the server's journal chain for the exact chaining rule.
+type JournalRecord struct {
+	Seq     int
+	Kind    byte
+	Prev    [32]byte
+	Payload []byte
+}
+
+// EncodeJournalRecord serializes one journal entry.
+func EncodeJournalRecord(r *JournalRecord) []byte {
+	e := newEnc(TagJournalRecord)
+	e.u32(uint32(r.Seq))
+	e.u8(r.Kind)
+	e.buf = append(e.buf, r.Prev[:]...)
+	e.bytes(r.Payload)
+	return e.buf
+}
+
+// DecodeJournalRecord parses one journal entry. The payload is opaque at
+// this layer (its own decoder validates it by kind); only its size is
+// bounded here.
+func DecodeJournalRecord(b []byte) (*JournalRecord, error) {
+	d, err := newDec(b, TagJournalRecord)
+	if err != nil {
+		return nil, err
+	}
+	r := &JournalRecord{}
+	if r.Seq, err = d.boundedU32("journal sequence", maxJournalSeq); err != nil {
+		return nil, err
+	}
+	if r.Kind, err = d.u8(); err != nil {
+		return nil, err
+	}
+	if r.Kind > maxJournalKind {
+		return nil, fmt.Errorf("%w: bad journal record kind %d", ErrDecode, r.Kind)
+	}
+	prev, err := d.take(32)
+	if err != nil {
+		return nil, err
+	}
+	copy(r.Prev[:], prev)
+	n, err := d.count("journal payload", maxJournalPayload, 1)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := d.take(n)
+	if err != nil {
+		return nil, err
+	}
+	r.Payload = append([]byte(nil), payload...)
+	return r, d.finish()
+}
+
+// JobStreamRequest asks for a job's frame stream starting at frame From
+// (0 restarts from the stream header; k skips the k frames the client
+// already acked). It is the body of POST /v1/jobs/stream — the wire-typed
+// twin of GET /v1/jobs/{id}/stream?from=k.
+type JobStreamRequest struct {
+	ID   string
+	From int
+}
+
+// EncodeJobStreamRequest serializes a stream-resume request.
+func EncodeJobStreamRequest(r *JobStreamRequest) []byte {
+	e := newEnc(TagJobStreamRequest)
+	e.bytes([]byte(r.ID))
+	e.u32(uint32(r.From))
+	return e.buf
+}
+
+// DecodeJobStreamRequest parses a stream-resume request.
+func DecodeJobStreamRequest(b []byte) (*JobStreamRequest, error) {
+	d, err := newDec(b, TagJobStreamRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &JobStreamRequest{}
+	id, err := d.blob("job ID")
+	if err != nil {
+		return nil, err
+	}
+	if len(id) == 0 {
+		return nil, fmt.Errorf("%w: empty job ID", ErrDecode)
+	}
+	r.ID = string(id)
+	if r.From, err = d.boundedU32("resume frame", maxJournalSeq); err != nil {
+		return nil, err
+	}
+	return r, d.finish()
+}
+
+// JobManifest is the payload of a journal's first record: the identity
+// and retention policy of the job, so a journal directory recovered
+// after a restart knows whose work each file holds, which tenant may
+// read it, and when the reaper should delete it. DeadlineUnix of 0 means
+// no expiry (retained until explicitly canceled).
+type JobManifest struct {
+	ID           string
+	Tenant       string
+	CreatedUnix  int64
+	DeadlineUnix int64
+}
+
+// EncodeJobManifest serializes a journal manifest.
+func EncodeJobManifest(m *JobManifest) []byte {
+	e := newEnc(TagJobManifest)
+	e.bytes([]byte(m.ID))
+	e.bytes([]byte(m.Tenant))
+	e.u64(uint64(m.CreatedUnix))
+	e.u64(uint64(m.DeadlineUnix))
+	return e.buf
+}
+
+// DecodeJobManifest parses a journal manifest.
+func DecodeJobManifest(b []byte) (*JobManifest, error) {
+	d, err := newDec(b, TagJobManifest)
+	if err != nil {
+		return nil, err
+	}
+	m := &JobManifest{}
+	id, err := d.blob("job ID")
+	if err != nil {
+		return nil, err
+	}
+	if len(id) == 0 {
+		return nil, fmt.Errorf("%w: empty job ID", ErrDecode)
+	}
+	m.ID = string(id)
+	tenant, err := d.blob("job tenant")
+	if err != nil {
+		return nil, err
+	}
+	m.Tenant = string(tenant)
+	created, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if int64(created) < 0 || int64(created) > maxStatInt {
+		return nil, fmt.Errorf("%w: creation time %d out of range", ErrDecode, created)
+	}
+	m.CreatedUnix = int64(created)
+	deadline, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if int64(deadline) < 0 || int64(deadline) > maxStatInt {
+		return nil, fmt.Errorf("%w: deadline %d out of range", ErrDecode, deadline)
+	}
+	m.DeadlineUnix = int64(deadline)
+	return m, d.finish()
+}
