@@ -265,6 +265,32 @@ func runJSONMode(parallelRun bool, parseBench, jsonOut, baseline string, maxRegr
 			rep.Speedups[name] = ratio
 			fmt.Printf("%-40s %5.2fx (sync → async; the durability overhead factor)\n", name, ratio)
 		}
+
+		// Verify harness: the scaled paper ViT checked per-op and
+		// aggregated. RunVerifyReport itself hard-fails unless the
+		// aggregate mode spends ≥10× fewer final exponentiations, so a
+		// report that loses the k→1 pairing collapse never gets written.
+		// Never gates.
+		verifyRows, verifyRatios, verifyCounters, err := bench.RunVerifyReport(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zkvc-bench: FATAL: verify harness: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Rows = append(rep.Rows, verifyRows...)
+		if rep.Counters == nil {
+			rep.Counters = map[string]int64{}
+		}
+		for name, v := range verifyCounters {
+			rep.Counters[name] = v
+			fmt.Printf("%-40s %8d final exponentiations\n", name, v)
+		}
+		for _, r := range verifyRows {
+			fmt.Printf("%-40s %8.3fs/verify\n", r.Name, r.Seconds)
+		}
+		for name, ratio := range verifyRatios {
+			rep.Speedups[name] = ratio
+			fmt.Printf("%-40s %5.2fx (per-op → aggregate)\n", name, ratio)
+		}
 	}
 
 	if parseBench != "" {

@@ -65,6 +65,34 @@
 //     completion order, with valid sequence numbers; ModelStream.Report
 //     reassembles the sequence-ordered report.
 //
+// # Verify modes
+//
+// VerifyModel takes optional VerifyOptions selecting how much work the
+// verifier does, never what it accepts:
+//
+//	err := eng.VerifyModel(ctx, report, zkvc.VerifyOptions{Mode: zkvc.VerifyAggregate})
+//
+// VerifyPerOp checks every operation's proof independently — one
+// pairing product per Groth16 op, one transcript replay per Spartan op.
+// VerifyAggregate folds the whole report into one succinct check: all
+// Groth16 ops join a single random-linear-combination multi-pairing
+// (one final exponentiation total), and Spartan ops sharing a circuit
+// structure batch their final identity checks. The combination weights
+// are Fiat–Shamir challenges bound to the entire report — op
+// identities, public inputs and complete proof material — so no op can
+// be swapped, dropped or forged without changing its weight.
+//
+// The modes agree on every verdict (conformance-pinned: same accepts,
+// same rejections, same ErrVerification sentinel), and aggregation
+// attests nothing beyond what per-op verification attests: on remote
+// engines both modes are subject to the service's issued-only report
+// policy over the same whole-report digest. Aggregate mode requires the
+// report to retain its proof payloads (Options.KeepProofs); a stripped
+// report fails verification rather than passing vacuously.
+//
+// The two-argument VerifyModel(ctx, report) is the deprecated mode-less
+// spelling and behaves as VerifyPerOp.
+//
 // The pre-Engine entry points (MatMulProver.Prove, ProveBatch,
 // ProveInference, the zkml Stop predicate) remain as thin deprecated
 // wrappers; new code should construct an Engine.

@@ -200,14 +200,26 @@ func TestEngineConformance(t *testing.T) {
 							t.Fatalf("report op %d carries sequence %d", i, rep.Ops[i].Seq)
 						}
 					}
+					// --- verify-mode dimension ---
+					// The deprecated mode-less call and both explicit
+					// modes accept the engine's own report; the verdict
+					// must not depend on the mode (aggregate ⇔ per-op
+					// parity), only the number of pairing checks does.
 					if err := eng.VerifyModel(ctx, rep); err != nil {
-						t.Fatalf("VerifyModel of own report: %v", err)
+						t.Fatalf("VerifyModel of own report (mode-less): %v", err)
+					}
+					for _, mode := range []zkvc.VerifyMode{zkvc.VerifyPerOp, zkvc.VerifyAggregate} {
+						opts := zkvc.VerifyOptions{Mode: mode}
+						if err := eng.VerifyModel(ctx, rep, opts); err != nil {
+							t.Fatalf("VerifyModel(%s) of own report: %v", mode, err)
+						}
 					}
 					reports[ne.name] = canonicalReport(rep)
 					// A tampered report fails with the same sentinel on
 					// every engine (a policy rejection remotely, a
-					// cryptographic failure locally). Deep-copy the
-					// tampered op so the retained report stays intact.
+					// cryptographic failure locally), in every mode.
+					// Deep-copy the tampered op so the retained report
+					// stays intact.
 					bad := *rep
 					bad.Ops = append([]zkvc.OpProof(nil), rep.Ops...)
 					pub := append([]ff.Fr(nil), bad.Ops[0].Public...)
@@ -217,6 +229,12 @@ func TestEngineConformance(t *testing.T) {
 					bad.Ops[0].Public = pub
 					if err := eng.VerifyModel(ctx, &bad); !errors.Is(err, zkvc.ErrVerification) {
 						t.Fatalf("tampered VerifyModel: got %v, want ErrVerification", err)
+					}
+					for _, mode := range []zkvc.VerifyMode{zkvc.VerifyPerOp, zkvc.VerifyAggregate} {
+						opts := zkvc.VerifyOptions{Mode: mode}
+						if err := eng.VerifyModel(ctx, &bad, opts); !errors.Is(err, zkvc.ErrVerification) {
+							t.Fatalf("tampered VerifyModel(%s): got %v, want ErrVerification", mode, err)
+						}
 					}
 
 					// --- cancellation taxonomy ---
@@ -239,6 +257,53 @@ func TestEngineConformance(t *testing.T) {
 				if !bytes.Equal(reports[ne.name], reports["local"]) {
 					t.Fatalf("%s model report differs from local at equal seeds", ne.name)
 				}
+			}
+		})
+	}
+}
+
+// TestVerifyModelAggregateRejectsCorruptedOpProof pins the soundness of
+// the random-linear-combination batch behind VerifyAggregate: corrupting
+// exactly one op proof — with a valid group element, so no decode-stage
+// subgroup check can reject early — must sink the whole aggregated
+// verdict, on both backends, with the standard sentinel. Run against the
+// Local engine, where the report reaches the RLC check directly (remote
+// engines reject altered bytes at the issued-report policy instead,
+// which the main suite covers).
+func TestVerifyModelAggregateRejectsCorruptedOpProof(t *testing.T) {
+	ctx := context.Background()
+	for _, backend := range []zkvc.Backend{zkvc.Spartan, zkvc.Groth16} {
+		backend := backend
+		t.Run(backend.String(), func(t *testing.T) {
+			eng := zkvc.NewLocal(backend, zkvc.DefaultOptions())
+			eng.Seed = confSeed
+			stream := eng.ProveModel(ctx, conformanceModelRequest(t, backend))
+			rep, err := stream.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := zkvc.VerifyOptions{Mode: zkvc.VerifyAggregate}
+			if err := eng.VerifyModel(ctx, rep, agg); err != nil {
+				t.Fatalf("valid report rejected in aggregate mode: %v", err)
+			}
+			// Corrupt one op, leaving every other proof intact.
+			op := &rep.Ops[len(rep.Ops)/2]
+			switch backend {
+			case zkvc.Groth16:
+				forged := *op.G16
+				forged.A.Neg(&op.G16.A)
+				op.G16 = &forged
+			default:
+				forged := *op.Spartan
+				forged.VA.Add(&forged.VA, &forged.VB)
+				op.Spartan = &forged
+			}
+			if err := eng.VerifyModel(ctx, rep, agg); !errors.Is(err, zkvc.ErrVerification) {
+				t.Fatalf("one corrupted op proof: got %v, want ErrVerification", err)
+			}
+			// Parity: per-op mode agrees on the verdict.
+			if err := eng.VerifyModel(ctx, rep, zkvc.VerifyOptions{Mode: zkvc.VerifyPerOp}); !errors.Is(err, zkvc.ErrVerification) {
+				t.Fatalf("per-op mode disagrees with aggregate verdict: %v", err)
 			}
 		})
 	}

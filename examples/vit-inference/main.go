@@ -85,14 +85,22 @@ func main() {
 	fmt.Printf("service streamed %d op proofs (%d constraints total, %d proof bytes, prove %.2fs)\n",
 		streamed, report.TotalConstraints(), report.TotalProofBytes(), report.TotalProve().Seconds())
 
-	// Ask the service for its verdict, then re-verify every proof locally.
-	if err := eng.VerifyModel(ctx, report); err != nil {
+	// Ask the service for its verdict twice — once per op, once through
+	// the aggregate fast path (?mode=aggregate, one batched check for the
+	// whole report) — then re-verify the aggregate locally. The three
+	// verdicts attest the same report.
+	perOp := zkvc.VerifyOptions{Mode: zkvc.VerifyPerOp}
+	agg := zkvc.VerifyOptions{Mode: zkvc.VerifyAggregate}
+	if err := eng.VerifyModel(ctx, report, perOp); err != nil {
 		log.Fatalf("/v1/verify/model rejected the report: %v", err)
 	}
-	if err := zkvc.NewLocal(zkvc.Spartan, report.Circuit).VerifyModel(ctx, report); err != nil {
+	if err := eng.VerifyModel(ctx, report, agg); err != nil {
+		log.Fatalf("/v1/verify/model?mode=aggregate rejected the report: %v", err)
+	}
+	if err := zkvc.NewLocal(zkvc.Spartan, report.Circuit).VerifyModel(ctx, report, agg); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("report verified by the service and locally (verify %.3fs)\n",
+	fmt.Printf("report verified by the service (per-op and aggregate) and locally (verify %.3fs)\n",
 		report.TotalVerify().Seconds())
 
 	// Estimate the full (unscaled) paper shape on this machine.

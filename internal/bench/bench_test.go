@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"zkvc/internal/crpc"
+	"zkvc/internal/nn"
 )
 
 // TestRunMatMulAllSchemes exercises every scheme on a tiny shape so the
@@ -169,5 +170,37 @@ func TestRunEngineReport(t *testing.T) {
 	}
 	if !deterministic {
 		t.Fatal("engine and direct proofs differ at equal seeds")
+	}
+}
+
+// TestRunVerifyReport drives the verify-mode harness on the smallest
+// valid transformer (the paper-shape ViT run is the zkvc-bench binary's
+// job): both modes must accept the report, the aggregate row must exist,
+// and the counters must show the k→1 final-exponentiation collapse.
+func TestRunVerifyReport(t *testing.T) {
+	rows, ratios, counters, err := runVerifyReport(7, nn.TinyConfig("bench-verify", nn.MixerPooling), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %v", rows)
+	}
+	var perOp, agg int64
+	for name, v := range counters {
+		switch {
+		case strings.HasPrefix(name, "verify/pairings/per-op/"):
+			perOp = v
+		case strings.HasPrefix(name, "verify/pairings/aggregate/"):
+			agg = v
+		}
+	}
+	if agg != 1 {
+		t.Errorf("aggregate mode ran %d final exponentiations, want exactly 1", agg)
+	}
+	if perOp < 2*agg {
+		t.Errorf("per-op ran %d final exponentiations vs aggregate %d", perOp, agg)
+	}
+	if len(ratios) != 1 {
+		t.Errorf("want one speedup ratio, got %v", ratios)
 	}
 }

@@ -1,0 +1,101 @@
+package bench
+
+// This file measures the verify-mode redesign: the same proved model
+// report checked per-op (one pairing product per operation) and
+// aggregated (one random-linear-combination multi-pairing for the whole
+// report). Wall clock on a small report is mostly MSM noise, so the
+// pairing counters are the honest unit — final exponentiations dominate
+// pairing cost, per-op mode spends one per op and aggregate mode one per
+// report. The harness hard-fails if that reduction misses the promised
+// floor on the scaled paper ViT, or if the two modes disagree on a
+// verdict. Rows land in BENCH_*.json next to the engine and jobs rows
+// (they never gate — the gate only reads gotest/ rows).
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand"
+
+	"zkvc"
+	"zkvc/internal/curve"
+	"zkvc/internal/nn"
+)
+
+// verifyReps averages the wall-clock rows; the counters come from a
+// single additional call per mode.
+const verifyReps = 3
+
+// verifyMinReduction is the acceptance bar for the paper-shape run: the
+// aggregate mode must spend at least 10× fewer final exponentiations
+// than per-op verification on the scaled ViT report.
+const verifyMinReduction = 10
+
+// RunVerifyReport proves the scaled paper ViT once under Groth16 and
+// verifies the report in both modes. It returns timing rows, the
+// aggregate-over-per-op speedup ratio, and the measured final
+// exponentiation counts per mode; it errors if either mode rejects the
+// report or the pairing reduction misses verifyMinReduction.
+func RunVerifyReport(seed int64) ([]ParallelRow, map[string]float64, map[string]int64, error) {
+	return runVerifyReport(seed, nn.ViTCIFAR10().Scaled(32), verifyMinReduction)
+}
+
+func runVerifyReport(seed int64, cfg nn.Config, minReduction uint64) ([]ParallelRow, map[string]float64, map[string]int64, error) {
+	ctx := context.Background()
+	model, err := nn.NewModel(cfg, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	trace := nn.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(seed+1))), &trace)
+	req := &zkvc.ModelRequest{Backend: zkvc.Groth16, Cfg: cfg, Trace: &trace}
+
+	eng := zkvc.NewLocal(zkvc.Groth16, zkvc.DefaultOptions())
+	eng.Seed = seed
+	rep, err := eng.ProveModel(ctx, req).Report()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("proving %s: %w", cfg.Name, err)
+	}
+	name := fmt.Sprintf("model/%s/%s", backendName(zkvc.Groth16), cfg.Name)
+	perOp := zkvc.VerifyOptions{Mode: zkvc.VerifyPerOp}
+	agg := zkvc.VerifyOptions{Mode: zkvc.VerifyAggregate}
+
+	// Counters first, around one clean call per mode.
+	_, fe0 := curve.PairingCounts()
+	if err := eng.VerifyModel(ctx, rep, perOp); err != nil {
+		return nil, nil, nil, fmt.Errorf("per-op verify: %w", err)
+	}
+	_, fe1 := curve.PairingCounts()
+	if err := eng.VerifyModel(ctx, rep, agg); err != nil {
+		return nil, nil, nil, fmt.Errorf("aggregate verify: %w", err)
+	}
+	_, fe2 := curve.PairingCounts()
+	perOpPairings, aggPairings := fe1-fe0, fe2-fe1
+	if aggPairings == 0 || perOpPairings < minReduction*aggPairings {
+		return nil, nil, nil, fmt.Errorf(
+			"aggregate mode ran %d final exponentiations vs %d per-op on %s — below the promised %d× reduction",
+			aggPairings, perOpPairings, cfg.Name, minReduction)
+	}
+
+	perOpSecs, err := timeReps(verifyReps, func() error { return eng.VerifyModel(ctx, rep, perOp) })
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	aggSecs, err := timeReps(verifyReps, func() error { return eng.VerifyModel(ctx, rep, agg) })
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	rows := []ParallelRow{
+		{Name: "verify/per-op/" + name, Parallelism: 1, Seconds: perOpSecs},
+		{Name: "verify/aggregate/" + name, Parallelism: 1, Seconds: aggSecs},
+	}
+	ratios := map[string]float64{}
+	if aggSecs > 0 {
+		ratios["verify/aggregate-vs-per-op/"+name] = perOpSecs / aggSecs
+	}
+	counters := map[string]int64{
+		"verify/pairings/per-op/" + name:    int64(perOpPairings),
+		"verify/pairings/aggregate/" + name: int64(aggPairings),
+	}
+	return rows, ratios, counters, nil
+}

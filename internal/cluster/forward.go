@@ -17,8 +17,10 @@ import (
 	"sync"
 	"time"
 
+	"zkvc"
 	"zkvc/internal/server"
 	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
 )
 
 // Body bounds, mirroring the node-side limits: what a node would
@@ -238,6 +240,12 @@ func (c *Coordinator) handleVerifyBatch(w http.ResponseWriter, r *http.Request) 
 	c.forwardBuffered(w, r, "/v1/verify/batch", key, raw, false)
 }
 
+// handleVerifyModel routes a report verification — legacy mode-less or
+// the ?mode=per-op|aggregate fast path — to the node that issued the
+// report, by the same CRS-affinity key the prove path used. The mode
+// query survives the forward: it rides on the relayed path, and the
+// body's embedded mode must already match it (checked here so a
+// disagreeing frame dies at the coordinator, not a hop later).
 func (c *Coordinator) handleVerifyModel(w http.ResponseWriter, r *http.Request) {
 	release, ok := c.acquireModelSlot(w)
 	if !ok {
@@ -248,13 +256,34 @@ func (c *Coordinator) handleVerifyModel(w http.ResponseWriter, r *http.Request) 
 	if !ok {
 		return
 	}
-	rep, err := wire.DecodeReport(raw)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	var rep *zkml.Report
+	path := "/v1/verify/model"
+	if q := r.URL.Query().Get("mode"); q != "" {
+		mode, err := zkvc.ParseVerifyMode(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := wire.DecodeVerifyModelRequest(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Mode != mode {
+			http.Error(w, fmt.Sprintf("request body carries mode %q, query requests %q", req.Mode, mode), http.StatusBadRequest)
+			return
+		}
+		rep = req.Report
+		path += "?mode=" + mode.String()
+	} else {
+		var err error
+		if rep, err = wire.DecodeReport(raw); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
 	key := modelKeyFromReport(r.Header.Get(server.TenantHeader), rep)
-	c.forwardBuffered(w, r, "/v1/verify/model", key, raw, false)
+	c.forwardBuffered(w, r, path, key, raw, false)
 }
 
 // errClientGone marks a relay failure on the client side of the stream;

@@ -3,6 +3,7 @@ package curve
 import (
 	"math/big"
 	"sync"
+	"sync/atomic"
 
 	"zkvc/internal/ff"
 )
@@ -137,8 +138,25 @@ func (t *millerState) lineAdd(p *G1Affine, q *G2Affine) ff.Fp12 {
 	return l
 }
 
+// Pairing work counters. The final exponentiation dominates this
+// implementation's pairing cost (a generic ~2800-bit square-and-multiply,
+// amortized once per PairingCheck), so "how many pairing-product
+// evaluations did verification run" is the honest unit for comparing
+// per-proof verification against batched verification. Counts are
+// process-wide and monotone; callers measure deltas around a workload.
+var millerLoopCount, finalExpCount atomic.Uint64
+
+// PairingCounts reports the process-wide totals of Miller-loop
+// evaluations and final exponentiations (= pairing-product evaluations)
+// performed so far. The bench harness snapshots deltas around per-op and
+// aggregate verification to pin the k→1 pairing reduction.
+func PairingCounts() (millerLoops, finalExps uint64) {
+	return millerLoopCount.Load(), finalExpCount.Load()
+}
+
 // MillerLoop computes f_{r,P}(ψ(Q)) without the final exponentiation.
 func MillerLoop(p *G1Affine, q *G2Affine) ff.Fp12 {
+	millerLoopCount.Add(1)
 	var f ff.Fp12
 	f.SetOne()
 	if p.Infinity || q.Infinity {
@@ -163,6 +181,7 @@ func MillerLoop(p *G1Affine, q *G2Affine) ff.Fp12 {
 
 // FinalExponentiation maps a Miller-loop output into GT.
 func FinalExponentiation(f *ff.Fp12) GT {
+	finalExpCount.Add(1)
 	var out ff.Fp12
 	out.Exp(f, finalExpExponent())
 	return out

@@ -217,9 +217,32 @@ func (c *Client) VerifyBatch(ctx context.Context, xs []*zkvc.Matrix, proof *zkvc
 }
 
 // VerifyModel asks the service to check a model report it issued
-// (POST /v1/verify/model).
-func (c *Client) VerifyModel(ctx context.Context, rep *zkvc.Report) error {
-	return c.verdict(ctx, "/v1/verify/model", wire.EncodeReport(rep))
+// (POST /v1/verify/model). With no options it speaks the legacy
+// mode-less exchange (bare report body, JSON verdict) — the deprecated
+// per-op shape; with options it posts a mode-carrying binary request to
+// the ?mode= fast path, aggregate or per-op as selected.
+func (c *Client) VerifyModel(ctx context.Context, rep *zkvc.Report, opts ...zkvc.VerifyOptions) error {
+	if len(opts) == 0 {
+		return c.verdict(ctx, "/v1/verify/model", wire.EncodeReport(rep))
+	}
+	mode := zkvc.ResolveVerifyOptions(opts...).Mode
+	raw, err := c.post(ctx, "/v1/verify/model?mode="+mode.String(),
+		wire.EncodeVerifyModelRequest(&wire.VerifyModelRequest{Mode: mode, Report: rep}))
+	if err != nil {
+		return err
+	}
+	resp, err := wire.DecodeVerifyModelResponse(raw)
+	if err != nil {
+		return err
+	}
+	if resp.Mode != mode {
+		return fmt.Errorf("server verified in mode %q, requested %q", resp.Mode, mode)
+	}
+	if !resp.OK {
+		msg := strings.TrimPrefix(resp.Error, zkvc.ErrVerification.Error()+": ")
+		return fmt.Errorf("%w: %s", zkvc.ErrVerification, msg)
+	}
+	return nil
 }
 
 // ---- service-shape extras beyond the Engine interface ----

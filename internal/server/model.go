@@ -374,6 +374,26 @@ func (s *Server) acquireModelSlot(w http.ResponseWriter) (func(), bool) {
 	}
 }
 
+// errReportNotIssued is the issued-only policy rejection, identical on
+// the legacy and mode-carrying verify paths: both attest exactly the
+// same whole-report digest.
+func errReportNotIssued() error {
+	return fmt.Errorf("%w: report was not issued by this service under this tenant (model reports carry prover-supplied verifying material, so only reports this service streamed — resubmitted unmodified and complete, with the same Zkvc-Tenant header — are accepted; attestations also expire from the bounded issued log)",
+		zkvc.ErrVerification)
+}
+
+// writeVerifyModelResponse writes the binary verdict of the ?mode= fast
+// path. Unlike the legacy JSON verdict, a processed request is always
+// HTTP 200 — the verdict rides in the OK flag.
+func writeVerifyModelResponse(w http.ResponseWriter, mode zkvc.VerifyMode, err error) {
+	resp := &wire.VerifyModelResponse{OK: err == nil, Mode: mode}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wire.EncodeVerifyModelResponse(resp))
+}
+
 // handleVerifyModel checks a model report. Every payload in a report is
 // prover-supplied — the Groth16 ops carry their verifying keys, the
 // Spartan ops carry the very R1CS they claim to satisfy — so, like epoch
@@ -384,6 +404,14 @@ func (s *Server) acquireModelSlot(w http.ResponseWriter) (func(), bool) {
 // relabeled, reordered or spliced — are rejected with a policy error,
 // not a bogus pass. Verification holds one parallel-budget token, like
 // every other unit of proving-stack work on this service.
+//
+// Two dialects share the endpoint. The legacy mode-less exchange (no
+// query) posts a bare wire.Report and reads a JSON verdict — per-op
+// verification, unchanged. The ?mode=per-op|aggregate fast path posts a
+// wire.VerifyModelRequest whose embedded mode must match the query
+// (routing and statement may not disagree) and reads a binary
+// wire.VerifyModelResponse; mode=aggregate runs the whole-report batched
+// check, attesting exactly the digest the per-op path attests.
 func (s *Server) handleVerifyModel(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.acquireModelSlot(w)
 	if !ok {
@@ -394,10 +422,33 @@ func (s *Server) handleVerifyModel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	rep, err := wire.DecodeReport(raw)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	var (
+		rep      *zkml.Report
+		mode     zkvc.VerifyMode
+		modeless = r.URL.Query().Get("mode") == ""
+	)
+	if modeless {
+		var err error
+		if rep, err = wire.DecodeReport(raw); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		var err error
+		if mode, err = zkvc.ParseVerifyMode(r.URL.Query().Get("mode")); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := wire.DecodeVerifyModelRequest(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Mode != mode {
+			http.Error(w, fmt.Sprintf("request body carries mode %q, query requests %q", req.Mode, mode), http.StatusBadRequest)
+			return
+		}
+		rep = req.Report
 	}
 	raw = nil
 	s.metrics.verifyRequests.Add(1)
@@ -414,8 +465,11 @@ func (s *Server) handleVerifyModel(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.issued.has(modelReportDigest(header, opHashes, tenant)) {
 		s.metrics.modelRejects.Add(1)
-		writeVerdict(w, fmt.Errorf("%w: report was not issued by this service under this tenant (model reports carry prover-supplied verifying material, so only reports this service streamed — resubmitted unmodified and complete, with the same Zkvc-Tenant header — are accepted; attestations also expire from the bounded issued log)",
-			zkvc.ErrVerification))
+		if modeless {
+			writeVerdict(w, errReportNotIssued())
+		} else {
+			writeVerifyModelResponse(w, mode, errReportNotIssued())
+		}
 		return
 	}
 	pool := parallel.Default()
@@ -424,5 +478,15 @@ func (s *Server) handleVerifyModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer pool.Release()
-	writeVerdict(w, zkml.VerifyReport(rep, zkml.Options{PCS: pcs.DefaultParams()}))
+	var err error
+	if mode == zkvc.VerifyAggregate {
+		err = rep.VerifyAggregated(pcs.DefaultParams())
+	} else {
+		err = zkml.VerifyReport(rep, zkml.Options{PCS: pcs.DefaultParams()})
+	}
+	if modeless {
+		writeVerdict(w, err)
+		return
+	}
+	writeVerifyModelResponse(w, mode, err)
 }

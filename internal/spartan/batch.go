@@ -1,0 +1,167 @@
+package spartan
+
+// Batch verification for Spartan proofs that share circuit structure.
+// Independent Spartan proofs cannot be merged after the fact — each
+// proof's sumcheck rounds are bound to its own Fiat–Shamir challenges —
+// so batching here works on the two expensive-to-derive final identity
+// checks and the per-structure matrix work:
+//
+//   - entries with equal R1CS structure digests share one sparse-matrix
+//     MLE extraction (the O(nnz) setup the per-proof verifier repeats
+//     per op, even though identical transformer blocks have identical
+//     matrices);
+//   - the two final equality checks of every entry — the inner R1CS
+//     identity at rx and the matrix–witness product at (rx,ry) — are
+//     deferred into ONE random-linear-combination field equation
+//     Σ_i z_i·d1_i + z_i²·d2_i = 0, with d1/d2 the per-entry identity
+//     residues. Any single corrupted proof leaves a nonzero residue and
+//     fails the combined check except with probability ~2/r over the
+//     weights.
+//
+// Sumcheck round replays and PCS openings still run per entry (they are
+// the soundness backbone binding each proof to its own transcript); the
+// weights must be sampled after every proof in the batch is fixed —
+// internal/zkml draws them from a transcript over the whole report.
+
+import (
+	"errors"
+	"fmt"
+
+	"zkvc/internal/ff"
+	"zkvc/internal/mle"
+	"zkvc/internal/pcs"
+	"zkvc/internal/r1cs"
+	"zkvc/internal/sumcheck"
+	"zkvc/internal/transcript"
+)
+
+// BatchEntry is one (system, proof, public witness) triple of a batch
+// verification.
+type BatchEntry struct {
+	Sys    *r1cs.System
+	Proof  *Proof
+	Public []ff.Fr
+}
+
+// sparseTriple is one structure-digest group's shared matrix extraction.
+type sparseTriple struct {
+	ma, mb, mc *mle.Sparse
+}
+
+// VerifyBatch checks every entry, sharing sparse-matrix extraction
+// across entries with equal structure digests and folding the final
+// identity checks of all entries into one weighted equation. weights
+// must hold one nonzero scalar per entry, sampled after all entries are
+// fixed. A nil error means every proof verifies (up to the ~2/r batching
+// error); any single invalid proof fails the batch.
+func VerifyBatch(entries []BatchEntry, weights []ff.Fr, params pcs.Params) error {
+	if len(entries) == 0 {
+		return errors.New("spartan: empty batch")
+	}
+	if len(weights) != len(entries) {
+		return fmt.Errorf("spartan: %d weights for %d entries", len(weights), len(entries))
+	}
+
+	matrixCache := make(map[[32]byte]*sparseTriple)
+	var acc ff.Fr
+
+	for i := range entries {
+		ent := &entries[i]
+		if ent.Sys == nil || ent.Proof == nil {
+			return fmt.Errorf("spartan: batch entry %d is missing its system or proof", i)
+		}
+		if weights[i].IsZero() {
+			return fmt.Errorf("spartan: batch weight %d is zero", i)
+		}
+		sys, proof, public := ent.Sys, ent.Proof, ent.Public
+		if len(public) != sys.NumPublic {
+			return fmt.Errorf("spartan: entry %d: public witness length %d != %d", i, len(public), sys.NumPublic)
+		}
+		if sys.NumPublic == 0 || !public[0].IsOne() {
+			return fmt.Errorf("spartan: entry %d: public witness must start with constant 1", i)
+		}
+		sx := logDim(sys.NumConstraints())
+		sy := logDim(sys.NumVars)
+
+		// Replay the entry's own transcript exactly as Verify does: the
+		// challenges are per-proof, only the final equality checks defer.
+		tr := transcript.New(protocolLabel)
+		tr.Append("comm", proof.Comm.Root[:])
+		tr.AppendFrs("public", public)
+
+		tau := tr.ChallengeFrs("tau", sx)
+		var zero ff.Fr
+		rx, final1, err := sumcheck.Verify(zero, sx, 3, proof.Sum1, tr)
+		if err != nil {
+			return fmt.Errorf("entry %d: %w: %v", i, ErrInvalidProof, err)
+		}
+		eqv := mle.EqEval(tau, rx)
+		var d1 ff.Fr
+		d1.Mul(&proof.VA, &proof.VB)
+		d1.Sub(&d1, &proof.VC)
+		d1.Mul(&d1, &eqv)
+		d1.Sub(&d1, &final1)
+		tr.AppendFr("va", &proof.VA)
+		tr.AppendFr("vb", &proof.VB)
+		tr.AppendFr("vc", &proof.VC)
+
+		rA := tr.ChallengeFr("rA")
+		rB := tr.ChallengeFr("rB")
+		rC := tr.ChallengeFr("rC")
+		var claim2, t ff.Fr
+		t.Mul(&rA, &proof.VA)
+		claim2.Add(&claim2, &t)
+		t.Mul(&rB, &proof.VB)
+		claim2.Add(&claim2, &t)
+		t.Mul(&rC, &proof.VC)
+		claim2.Add(&claim2, &t)
+
+		ry, final2, err := sumcheck.Verify(claim2, sy, 2, proof.Sum2, tr)
+		if err != nil {
+			return fmt.Errorf("entry %d: %w: %v", i, ErrInvalidProof, err)
+		}
+
+		digest := sys.StructureDigest()
+		m, ok := matrixCache[digest]
+		if !ok {
+			ma, mb, mc := matrices(sys)
+			m = &sparseTriple{ma: ma, mb: mb, mc: mc}
+			matrixCache[digest] = m
+		}
+		var vm ff.Fr
+		ea := m.ma.Eval(rx, ry)
+		eb := m.mb.Eval(rx, ry)
+		ec := m.mc.Eval(rx, ry)
+		t.Mul(&rA, &ea)
+		vm.Add(&vm, &t)
+		t.Mul(&rB, &eb)
+		vm.Add(&vm, &t)
+		t.Mul(&rC, &ec)
+		vm.Add(&vm, &t)
+
+		pubEval := evalPublicPart(public, ry)
+		var vz ff.Fr
+		vz.Add(&pubEval, &proof.PrivEval)
+		var d2 ff.Fr
+		d2.Mul(&vm, &vz)
+		d2.Sub(&d2, &final2)
+
+		// acc += z_i·d1 + z_i²·d2
+		var w2 ff.Fr
+		w2.Square(&weights[i])
+		t.Mul(&weights[i], &d1)
+		acc.Add(&acc, &t)
+		t.Mul(&w2, &d2)
+		acc.Add(&acc, &t)
+
+		tr.AppendFr("priv.eval", &proof.PrivEval)
+		if err := pcs.VerifyOpen(&proof.Comm, ry, &proof.PrivEval, proof.Opening, params, tr); err != nil {
+			return fmt.Errorf("entry %d: %w: %v", i, ErrInvalidProof, err)
+		}
+	}
+
+	if !acc.IsZero() {
+		return fmt.Errorf("%w: batched R1CS identity check fails", ErrInvalidProof)
+	}
+	return nil
+}

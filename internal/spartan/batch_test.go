@@ -1,0 +1,111 @@
+package spartan
+
+import (
+	"errors"
+	"testing"
+
+	"zkvc/internal/ff"
+	"zkvc/internal/pcs"
+)
+
+// spartanBatchFixture proves two paper-circuit instances (one shared
+// structure digest) and one chain-circuit instance (a second group).
+func spartanBatchFixture(t *testing.T) []BatchEntry {
+	t.Helper()
+	params := pcs.DefaultParams()
+	var entries []BatchEntry
+	for _, inst := range [][3]int64{{3, 4, 5}, {6, 2, 1}} {
+		sys, z, pub := paperCircuit(inst[0], inst[1], inst[2])
+		proof, err := Prove(sys, z, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, BatchEntry{Sys: sys, Proof: proof, Public: pub})
+	}
+	sys, z, pub := chainCircuit(4)
+	proof, err := Prove(sys, z, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(entries, BatchEntry{Sys: sys, Proof: proof, Public: pub})
+}
+
+func spartanBatchWeights(n int) []ff.Fr {
+	w := make([]ff.Fr, n)
+	for i := range w {
+		w[i] = fr(int64(2000 + 41*i))
+	}
+	return w
+}
+
+func TestSpartanVerifyBatchAccepts(t *testing.T) {
+	entries := spartanBatchFixture(t)
+	if err := VerifyBatch(entries, spartanBatchWeights(len(entries)), pcs.DefaultParams()); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+}
+
+func TestSpartanVerifyBatchRejectsSingleCorruptedProof(t *testing.T) {
+	entries := spartanBatchFixture(t)
+	forged := *entries[1].Proof
+	forged.VA.Add(&forged.VA, &forged.VB)
+	entries[1].Proof = &forged
+	err := VerifyBatch(entries, spartanBatchWeights(len(entries)), pcs.DefaultParams())
+	if !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("batch with one corrupted proof: got %v, want ErrInvalidProof", err)
+	}
+}
+
+// A corruption only the deferred identity equation can see: round polys
+// travel as evaluations at 0..deg, and the verifier's internal chain
+// only constrains p(0)+p(1) against the running claim — bending an
+// evaluation at 2 keeps every sumcheck round consistent and shifts only
+// the final evaluation, which the per-proof verifier pins with its last
+// equality check and the batch defers into the weighted accumulator.
+func TestSpartanVerifyBatchDeferredCheckCatchesBentRoundPoly(t *testing.T) {
+	entries := spartanBatchFixture(t)
+	// Entry 2 is the chain circuit — the only fixture entry with a
+	// multi-round outer sumcheck to bend.
+	orig := entries[2].Proof
+	if len(orig.Sum1.RoundPolys) == 0 {
+		t.Fatal("fixture has no outer sumcheck rounds to corrupt")
+	}
+	forged := *orig
+	sum1 := *orig.Sum1
+	sum1.RoundPolys = make([][]ff.Fr, len(orig.Sum1.RoundPolys))
+	for i, rp := range orig.Sum1.RoundPolys {
+		sum1.RoundPolys[i] = append([]ff.Fr(nil), rp...)
+	}
+	forged.Sum1 = &sum1
+	last := sum1.RoundPolys[len(sum1.RoundPolys)-1]
+	one := fr(1)
+	last[2].Add(&last[2], &one)
+	entries[2].Proof = &forged
+	err := VerifyBatch(entries, spartanBatchWeights(len(entries)), pcs.DefaultParams())
+	if !errors.Is(err, ErrInvalidProof) {
+		t.Fatalf("bent round polynomial: got %v, want ErrInvalidProof", err)
+	}
+}
+
+func TestSpartanVerifyBatchRejectsWrongPublic(t *testing.T) {
+	entries := spartanBatchFixture(t)
+	bad := make([]ff.Fr, len(entries[0].Public))
+	copy(bad, entries[0].Public)
+	bad[len(bad)-1] = fr(73)
+	entries[0].Public = bad
+	if err := VerifyBatch(entries, spartanBatchWeights(len(entries)), pcs.DefaultParams()); err == nil {
+		t.Fatal("batch accepted a wrong public input")
+	}
+}
+
+func TestSpartanVerifyBatchRejectsZeroWeight(t *testing.T) {
+	entries := spartanBatchFixture(t)
+	weights := spartanBatchWeights(len(entries))
+	weights[2] = ff.Fr{}
+	if err := VerifyBatch(entries, weights, pcs.DefaultParams()); err == nil {
+		t.Fatal("batch accepted a zero weight")
+	}
+	if err := VerifyBatch(nil, nil, pcs.DefaultParams()); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

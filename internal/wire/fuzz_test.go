@@ -87,6 +87,19 @@ func modelSeeds(f *testing.F) [][]byte {
 	corrupted := append([]byte(nil), opFrame...)
 	corrupted[len(corrupted)/2] ^= 0xff
 
+	// The mode-carrying verify exchange: a valid aggregate request plus
+	// its truncation and a trailing-byte variant (strict decoders must
+	// reject both), and the three verdict shapes.
+	verifyReq := wire.EncodeVerifyModelRequest(&wire.VerifyModelRequest{
+		Mode: zkvc.VerifyAggregate, Report: rep,
+	})
+	verifyReqTrailing := append(append([]byte(nil), verifyReq...), 0x00)
+	verifyOK := wire.EncodeVerifyModelResponse(&wire.VerifyModelResponse{OK: true, Mode: zkvc.VerifyAggregate})
+	verifyFail := wire.EncodeVerifyModelResponse(&wire.VerifyModelResponse{
+		Mode: zkvc.VerifyPerOp, Error: "verification failed: batched R1CS identity check fails",
+	})
+	verifyFailTruncated := verifyFail[:len(verifyFail)-3]
+
 	jobReq := wire.EncodeJobSubmitRequest(&wire.JobSubmitRequest{
 		TTLSeconds: 60,
 		Model: &wire.ProveModelRequest{
@@ -98,6 +111,8 @@ func modelSeeds(f *testing.F) [][]byte {
 		jobReq, jobReq[:len(jobReq)*2/3],
 		opFrame, corrupted,
 		encodedRep, encodedRep[:len(encodedRep)/3],
+		verifyReq, verifyReq[:len(verifyReq)/2], verifyReqTrailing,
+		verifyOK, verifyFail, verifyFailTruncated,
 		wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
 			Model: cfg.Name, Backend: zkvc.Spartan, Circuit: zkvc.DefaultOptions(), TotalOps: len(rep.Ops),
 		}),
@@ -168,6 +183,16 @@ func FuzzWireDecodeProof(f *testing.F) {
 		if rep, err := wire.DecodeReport(data); err == nil {
 			if again := wire.EncodeReport(rep); !bytes.Equal(data, again) {
 				t.Fatalf("accepted Report is not canonical")
+			}
+		}
+		if r, err := wire.DecodeVerifyModelRequest(data); err == nil {
+			if again := wire.EncodeVerifyModelRequest(r); !bytes.Equal(data, again) {
+				t.Fatalf("accepted VerifyModelRequest is not canonical")
+			}
+		}
+		if r, err := wire.DecodeVerifyModelResponse(data); err == nil {
+			if again := wire.EncodeVerifyModelResponse(r); !bytes.Equal(data, again) {
+				t.Fatalf("accepted VerifyModelResponse is not canonical")
 			}
 		}
 		if h, err := wire.DecodeModelStreamHeader(data); err == nil {

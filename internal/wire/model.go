@@ -635,6 +635,13 @@ func decodeOpProofBody(d *dec) (*zkml.OpProof, error) {
 // request and the on-disk format of `zkvc prove-model -out`.
 func EncodeReport(rep *zkml.Report) []byte {
 	e := newEnc(TagReport)
+	encodeReportBody(e, rep)
+	return e.buf
+}
+
+// encodeReportBody writes a report's header and ops — shared between the
+// standalone TagReport message and the mode-carrying verify request.
+func encodeReportBody(e *enc, rep *zkml.Report) {
 	e.bytes([]byte(rep.Model))
 	encodeBackend(e, rep.Backend)
 	encodeOptions(e, rep.Circuit)
@@ -642,7 +649,6 @@ func EncodeReport(rep *zkml.Report) []byte {
 	for i := range rep.Ops {
 		encodeOpProofBody(e, &rep.Ops[i])
 	}
-	return e.buf
 }
 
 // DecodeReport parses a model report, requiring ops in strict sequence
@@ -653,7 +659,18 @@ func DecodeReport(b []byte) (*zkml.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	rep, err := decodeReportBody(d)
+	if err != nil {
+		return nil, err
+	}
+	return rep, d.finish()
+}
+
+// decodeReportBody parses a report's header and ops with the same
+// strictness as DecodeReport, minus framing; the caller owns finish().
+func decodeReportBody(d *dec) (*zkml.Report, error) {
 	rep := &zkml.Report{}
+	var err error
 	name, err := d.blob("model name")
 	if err != nil {
 		return nil, err
@@ -686,7 +703,7 @@ func DecodeReport(b []byte) (*zkml.Report, error) {
 		}
 		rep.Ops[i] = *op
 	}
-	return rep, d.finish()
+	return rep, nil
 }
 
 // ---- stream header / error ----

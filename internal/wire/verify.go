@@ -1,0 +1,120 @@
+package wire
+
+// Mode-carrying verify exchange. The original /v1/verify/model path
+// posts a bare TagReport and reads a JSON verdict; the ?mode= fast path
+// introduced with aggregate verification speaks these two binary
+// messages instead, so the requested mode travels inside the signed-off
+// frame (the query string is routing, the body is the statement) and
+// the verdict comes back strict-decoded rather than as free-form JSON.
+
+import (
+	"fmt"
+
+	"zkvc"
+	"zkvc/internal/zkml"
+)
+
+// VerifyModelRequest asks the service to verify a report in an explicit
+// mode. The embedded report is encoded exactly like TagReport, so the
+// policy digest a service computes over it is byte-for-byte the digest
+// of the legacy path — an aggregate accept attests the same report.
+type VerifyModelRequest struct {
+	Mode   zkvc.VerifyMode
+	Report *zkml.Report
+}
+
+// VerifyModelResponse is the service's verdict: OK reports whether the
+// check passed, Mode echoes the mode that actually ran, and Error
+// carries the failure reason when OK is false.
+type VerifyModelResponse struct {
+	OK    bool
+	Mode  zkvc.VerifyMode
+	Error string
+}
+
+func encodeVerifyMode(e *enc, m zkvc.VerifyMode) {
+	e.u8(byte(m))
+}
+
+func decodeVerifyMode(d *dec) (zkvc.VerifyMode, error) {
+	v, err := d.u8()
+	if err != nil {
+		return 0, err
+	}
+	if v > byte(zkvc.VerifyAggregate) {
+		return 0, fmt.Errorf("%w: unknown verify mode %d", ErrDecode, v)
+	}
+	return zkvc.VerifyMode(v), nil
+}
+
+// EncodeVerifyModelRequest serializes a mode-carrying verify request.
+func EncodeVerifyModelRequest(r *VerifyModelRequest) []byte {
+	e := newEnc(TagVerifyModelRequest)
+	encodeVerifyMode(e, r.Mode)
+	encodeReportBody(e, r.Report)
+	return e.buf
+}
+
+// DecodeVerifyModelRequest parses a mode-carrying verify request with
+// the full report strictness of DecodeReport.
+func DecodeVerifyModelRequest(b []byte) (*VerifyModelRequest, error) {
+	d, err := newDec(b, TagVerifyModelRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &VerifyModelRequest{}
+	if r.Mode, err = decodeVerifyMode(d); err != nil {
+		return nil, err
+	}
+	if r.Report, err = decodeReportBody(d); err != nil {
+		return nil, err
+	}
+	return r, d.finish()
+}
+
+// EncodeVerifyModelResponse serializes a verify verdict.
+func EncodeVerifyModelResponse(r *VerifyModelResponse) []byte {
+	e := newEnc(TagVerifyModelResponse)
+	if r.OK {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	encodeVerifyMode(e, r.Mode)
+	e.bytes([]byte(r.Error))
+	return e.buf
+}
+
+// DecodeVerifyModelResponse parses a verify verdict. The error text is
+// bounded by the blob limit and must be empty exactly when OK is set,
+// which keeps the encoding canonical.
+func DecodeVerifyModelResponse(b []byte) (*VerifyModelResponse, error) {
+	d, err := newDec(b, TagVerifyModelResponse)
+	if err != nil {
+		return nil, err
+	}
+	r := &VerifyModelResponse{}
+	ok, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ok > 1 {
+		return nil, fmt.Errorf("%w: bad verdict flag %d", ErrDecode, ok)
+	}
+	r.OK = ok == 1
+	if r.Mode, err = decodeVerifyMode(d); err != nil {
+		return nil, err
+	}
+	msg, err := d.blob("verdict error")
+	if err != nil {
+		return nil, err
+	}
+	r.Error = string(msg)
+	if r.OK && r.Error != "" {
+		return nil, fmt.Errorf("%w: passing verdict carries an error message", ErrDecode)
+	}
+	if !r.OK && r.Error == "" {
+		return nil, fmt.Errorf("%w: failing verdict carries no error message", ErrDecode)
+	}
+	return r, d.finish()
+}

@@ -1,0 +1,116 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"zkvc"
+	"zkvc/internal/wire"
+	"zkvc/internal/zkml"
+)
+
+func TestVerifyModelRequestRoundTrip(t *testing.T) {
+	_, _, rep := modelFixture(t, zkml.Spartan, 31)
+	for _, mode := range []zkvc.VerifyMode{zkvc.VerifyPerOp, zkvc.VerifyAggregate} {
+		req := &wire.VerifyModelRequest{Mode: mode, Report: rep}
+		raw := wire.EncodeVerifyModelRequest(req)
+		got, err := wire.DecodeVerifyModelRequest(raw)
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if got.Mode != mode {
+			t.Fatalf("mode %s decoded as %s", mode, got.Mode)
+		}
+		if !bytes.Equal(wire.EncodeReport(got.Report), wire.EncodeReport(rep)) {
+			t.Fatalf("mode %s: report did not round-trip", mode)
+		}
+		if again := wire.EncodeVerifyModelRequest(got); !bytes.Equal(raw, again) {
+			t.Fatalf("mode %s: encoding is not canonical", mode)
+		}
+		// The embedded report encodes byte-for-byte like TagReport (tag
+		// and mode aside) — the property that makes the issued-log
+		// digest of both verify dialects attest the same report.
+		if !bytes.Equal(raw[7:], wire.EncodeReport(rep)[6:]) {
+			t.Fatal("embedded report body diverges from EncodeReport")
+		}
+	}
+}
+
+func TestVerifyModelResponseRoundTrip(t *testing.T) {
+	for _, resp := range []*wire.VerifyModelResponse{
+		{OK: true, Mode: zkvc.VerifyAggregate},
+		{OK: true, Mode: zkvc.VerifyPerOp},
+		{Mode: zkvc.VerifyAggregate, Error: "verification failed: batched R1CS identity check fails"},
+	} {
+		raw := wire.EncodeVerifyModelResponse(resp)
+		got, err := wire.DecodeVerifyModelResponse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *resp {
+			t.Fatalf("round-trip changed %+v to %+v", resp, got)
+		}
+		if again := wire.EncodeVerifyModelResponse(got); !bytes.Equal(raw, again) {
+			t.Fatal("encoding is not canonical")
+		}
+	}
+}
+
+func TestVerifyModelMessagesStrictDecode(t *testing.T) {
+	_, _, rep := modelFixture(t, zkml.Spartan, 33)
+	req := wire.EncodeVerifyModelRequest(&wire.VerifyModelRequest{Mode: zkvc.VerifyAggregate, Report: rep})
+	resp := wire.EncodeVerifyModelResponse(&wire.VerifyModelResponse{Mode: zkvc.VerifyPerOp, Error: "nope"})
+
+	// Truncations: every prefix of the response, sampled prefixes plus
+	// the tail of the (large) request.
+	for n := 0; n < len(resp); n++ {
+		if _, err := wire.DecodeVerifyModelResponse(resp[:n]); !errors.Is(err, wire.ErrDecode) {
+			t.Fatalf("response truncated to %d/%d bytes: %v", n, len(resp), err)
+		}
+	}
+	probe := func(n int) {
+		if _, err := wire.DecodeVerifyModelRequest(req[:n]); !errors.Is(err, wire.ErrDecode) {
+			t.Fatalf("request truncated to %d/%d bytes: %v", n, len(req), err)
+		}
+	}
+	for n := 0; n < len(req); n += 997 {
+		probe(n)
+	}
+	for n := len(req) - 64; n < len(req); n++ {
+		probe(n)
+	}
+
+	// Trailing bytes are rejected on both messages.
+	withTrailing := func(b []byte) []byte { return append(append([]byte(nil), b...), 0) }
+	if _, err := wire.DecodeVerifyModelRequest(withTrailing(req)); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("request with trailing byte accepted: %v", err)
+	}
+	if _, err := wire.DecodeVerifyModelResponse(withTrailing(resp)); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("response with trailing byte accepted: %v", err)
+	}
+
+	// Unknown mode bytes die in the decoder.
+	badMode := append([]byte(nil), req...)
+	badMode[6] = 0x7f
+	if _, err := wire.DecodeVerifyModelRequest(badMode); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("request with unknown mode accepted: %v", err)
+	}
+
+	// A verdict must carry an error exactly when it fails.
+	okWithError := append([]byte(nil), resp...)
+	okWithError[6] = 1 // flip OK on a message that still carries an error blob
+	if _, err := wire.DecodeVerifyModelResponse(okWithError); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("passing verdict with error text accepted: %v", err)
+	}
+	failNoError := wire.EncodeVerifyModelResponse(&wire.VerifyModelResponse{OK: true, Mode: zkvc.VerifyPerOp})
+	failNoError[6] = 0
+	if _, err := wire.DecodeVerifyModelResponse(failNoError); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("failing verdict without error text accepted: %v", err)
+	}
+
+	// Cross-tag confusion: a bare report is not a verify request.
+	if _, err := wire.DecodeVerifyModelRequest(wire.EncodeReport(rep)); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("cross-tag decode accepted: %v", err)
+	}
+}

@@ -48,6 +48,11 @@ const (
 	TagNodeAnnounce      byte = 0x0c
 	TagNodeHeartbeat     byte = 0x0d
 	TagProveBatchRequest byte = 0x0e
+	// Mode-carrying verify exchange (the ?mode= fast path of
+	// /v1/verify/model); the mode-less legacy path posts a bare
+	// TagReport and reads a JSON verdict.
+	TagVerifyModelRequest  byte = 0x0f
+	TagVerifyModelResponse byte = 0x10
 )
 
 // ErrDecode is wrapped by every decoding failure.

@@ -1,0 +1,97 @@
+package zkml
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"zkvc/internal/nn"
+	"zkvc/internal/pcs"
+)
+
+func provenReport(t *testing.T, backend Backend) *Report {
+	t.Helper()
+	kind := nn.MixerLinear
+	if backend == Groth16 {
+		kind = nn.MixerPooling // fewest ops: per-op trusted setup
+	}
+	m, _ := tinyModel(t, kind)
+	x := m.RandomInput(mrand.New(mrand.NewSource(6)))
+	opts := DefaultOptions()
+	opts.Backend = backend
+	rep, err := ProveModel(m, x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestVerifyAggregatedSpartan(t *testing.T) {
+	rep := provenReport(t, Spartan)
+	if err := rep.VerifyAggregated(pcs.DefaultParams()); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	TamperPublic(rep, 0)
+	if err := rep.VerifyAggregated(pcs.DefaultParams()); err == nil {
+		t.Fatal("tampered public input verified in aggregate mode")
+	}
+}
+
+func TestVerifyAggregatedGroth16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-op trusted setup")
+	}
+	rep := provenReport(t, Groth16)
+	if err := rep.VerifyAggregated(pcs.DefaultParams()); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+
+	// Corrupt exactly one op proof with a valid group element: only the
+	// RLC multi-pairing can catch it, and it must sink the whole batch.
+	forged := *rep.Ops[0].G16
+	forged.A.Neg(&rep.Ops[0].G16.A)
+	rep.Ops[0].G16 = &forged
+	if err := rep.VerifyAggregated(pcs.DefaultParams()); err == nil {
+		t.Fatal("report with one corrupted op proof verified in aggregate mode")
+	}
+}
+
+// The aggregation weights must be bound to the whole report: relabeling
+// an op (without touching any proof bytes) must change the transcript
+// and therefore the weights.
+func TestAggregateWeightsBindReportIdentity(t *testing.T) {
+	rep := provenReport(t, Spartan)
+	w1, err := aggregateWeights(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Ops[0].Tag += "x"
+	w2, err := aggregateWeights(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1) == 0 || len(w1) != len(w2) {
+		t.Fatalf("weight counts %d, %d", len(w1), len(w2))
+	}
+	same := true
+	for i := range w1 {
+		if !w1[i].Equal(&w2[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("relabeling an op left the aggregation weights unchanged")
+	}
+}
+
+func TestVerifyAggregatedRejectsStrippedReport(t *testing.T) {
+	rep := provenReport(t, Spartan)
+	rep.Ops[1].Spartan = nil // KeepProofs off / stripped payload
+	if err := rep.VerifyAggregated(pcs.DefaultParams()); err == nil {
+		t.Fatal("report with a missing op payload verified in aggregate mode")
+	}
+	rep.Ops = nil
+	if err := rep.VerifyAggregated(pcs.DefaultParams()); err == nil {
+		t.Fatal("empty report verified in aggregate mode")
+	}
+}
