@@ -116,14 +116,24 @@ func parseGoBench(r io.Reader) ([]bench.ParallelRow, error) {
 // (map growth, pool warmup) can exceed 25% without meaning anything.
 const minGatedAllocBytes = 1 << 20
 
+// minGatedAllocs is the same floor for the allocs/op dimension. The
+// arena work drove the proving hot path to a few thousand allocations
+// per proof, so a leak back to per-element make() shows up as a 10–100×
+// jump in this row — but below ~1000 allocs the count is dominated by
+// test scaffolding and pool warmup and must not gate.
+const minGatedAllocs = 1000
+
 // checkRegressions compares rows shared by name and returns the ones
 // that regressed beyond maxRegress (0.25 = fail above +25%) in either
 // gated dimension:
 //
-//   - allocated bytes per op, which are machine-portable (the CI bench
-//     job pins ZKVC_PARALLELISM=1 so the allocation schedule does not
-//     depend on the runner's core count) and therefore gate
-//     unconditionally — this is what makes the gate binding;
+//   - allocated bytes per op and allocations per op, which are
+//     machine-portable (the CI bench job pins ZKVC_PARALLELISM=1 so the
+//     allocation schedule does not depend on the runner's core count)
+//     and therefore gate unconditionally — this is what makes the gate
+//     binding; the allocs/op row is the one that pins the pooled hot
+//     path, since a reverted arena checkout costs few bytes but
+//     thousands of allocations;
 //   - wall-clock seconds, which only mean something on a machine
 //     comparable to the baseline's, and therefore gate only when
 //     wallComparable (same CPU count as the baseline's recorded env).
@@ -151,6 +161,14 @@ func checkRegressions(baseline, current *bench.ParallelReport, maxRegress float6
 				regressed = append(regressed,
 					fmt.Sprintf("%s: %d B/op vs baseline %d B/op (%+.1f%%)",
 						r.Name, r.AllocBytes, b.AllocBytes, 100*(float64(r.AllocBytes)/float64(b.AllocBytes)-1)))
+			}
+		}
+		if b.Allocs >= minGatedAllocs && r.Allocs > 0 {
+			counted = true
+			if float64(r.Allocs) > float64(b.Allocs)*(1+maxRegress) {
+				regressed = append(regressed,
+					fmt.Sprintf("%s: %d allocs/op vs baseline %d allocs/op (%+.1f%%)",
+						r.Name, r.Allocs, b.Allocs, 100*(float64(r.Allocs)/float64(b.Allocs)-1)))
 			}
 		}
 		if wallComparable && b.Seconds > 0 && r.Seconds > 0 {

@@ -96,4 +96,20 @@
 // The pre-Engine entry points (MatMulProver.Prove, ProveBatch,
 // ProveInference, the zkml Stop predicate) remain as thin deprecated
 // wrappers; new code should construct an Engine.
+//
+// # Memory discipline
+//
+// The proving hot path recycles its scratch memory — MLE tables,
+// sumcheck accumulators, Reed–Solomon codewords, Merkle layers, MSM
+// buckets, QAP evaluations — through pooled arenas (internal/arena)
+// instead of allocating per call, dropping a Spartan proof from
+// hundreds of thousands of allocations to a few thousand. The contract
+// callers can rely on: pooled buffers are zeroed on checkout and used
+// only for internal scratch, so pooling can never change proof bytes
+// (proofs are byte-identical with pooling on or off, at any
+// parallelism) and never leaks data between concurrent jobs; anything
+// that escapes into a Proof or Report is plainly allocated. Setting
+// ZKVC_NO_POOL=1 disables pooling process-wide for bisection. The CI
+// bench gate pins allocs/op on the hot-path benchmarks so the
+// discipline cannot silently erode.
 package zkvc

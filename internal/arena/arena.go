@@ -1,0 +1,185 @@
+// Package arena is the prover stack's pooled scratch-memory layer: a set
+// of size-bucketed, sync.Pool-backed buffers that the hot paths (MLE
+// folding and eq tables, sumcheck round polynomials, PCS codewords and
+// Merkle layers, NTT scratch, Pippenger bucket state, Spartan/QAP
+// evaluation vectors) check out per call instead of make()-ing, so a
+// proving service under concurrent load stops trading GC pauses for
+// proving throughput.
+//
+// # Contract
+//
+//   - Get returns a zeroed slice of exactly the requested length. Because
+//     checked-out memory is indistinguishable from fresh make() memory,
+//     pooling can never change proof bytes and can never leak field
+//     elements between proofs or tenants — determinism and isolation hold
+//     by construction, not by caller discipline. (The canary test in
+//     internal/server poisons every returned buffer and pins this.)
+//   - Put returns a buffer to its size bucket. The caller must not retain
+//     any reference; buffers that escape into returned proofs are the
+//     caller's bug (never Put those — proof payloads stay plainly
+//     allocated).
+//   - Get/Put are safe for concurrent use. Composition with
+//     internal/parallel is per-chunk checkout: a loop body that needs
+//     scratch rents inside its chunk, so workers never share mutable
+//     state.
+//
+// Pooling is on by default and disabled by ZKVC_NO_POOL=1 or SetEnabled
+// (false) — the determinism tests compare proofs across the two modes.
+package arena
+
+import (
+	"math/bits"
+	"os"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"zkvc/internal/ff"
+)
+
+// maxBucketLog caps the pooled buffer size at 2^26 elements; larger
+// requests fall through to plain make and are dropped on Put (one-off
+// giants must not pin memory for the process lifetime).
+const maxBucketLog = 26
+
+// enabled gates every pool. Off: Get = make, Put = drop.
+var enabled atomic.Bool
+
+// poison, when set (tests only), overwrites every buffer returned via Put
+// with a nonzero canary pattern before pooling it. Since Get zeroes, the
+// canary must never be observable; tests flip this on and assert proof
+// bytes are unchanged.
+var poison atomic.Bool
+
+func init() {
+	enabled.Store(os.Getenv("ZKVC_NO_POOL") == "")
+}
+
+// SetEnabled turns pooling on or off process-wide (used by the
+// pooled-vs-unpooled determinism tests). Buffers already checked out are
+// unaffected; disabling drops future Puts.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether pooling is active.
+func Enabled() bool { return enabled.Load() }
+
+// SetPoison makes every Put overwrite the buffer with a canary before
+// pooling (tests only; see the package contract).
+func SetPoison(on bool) { poison.Store(on) }
+
+// Of is a size-bucketed pool of []T slices. The zero value is ready to
+// use; packages declare one per element type they rent.
+type Of[T any] struct {
+	// ClearOnPut must be set when T contains pointers (e.g. T = []ff.Fr):
+	// such buffers are zeroed on Put instead of byte-poisoned (the GC
+	// scans pointer words, so a canary byte pattern would be a fabricated
+	// pointer), and clearing also stops pooled headers from retaining
+	// whatever they referenced.
+	ClearOnPut bool
+
+	buckets [maxBucketLog + 1]sync.Pool
+	// headers recycles the *[]T boxes that carry slices through
+	// sync.Pool, so the steady-state Get/Put cycle allocates nothing.
+	headers sync.Pool
+}
+
+// bucketFor returns the bucket index holding capacity 1<<idx ≥ n.
+func bucketFor(n int) int { return bits.Len(uint(n - 1)) }
+
+// Get returns a zeroed []T of length n (n ≤ 0 returns nil). The slice
+// comes from the size bucket when pooling is enabled and one is cached;
+// otherwise it is freshly allocated (with bucket-rounded capacity so it
+// can be pooled on Put).
+func (a *Of[T]) Get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	idx := bucketFor(n)
+	if !enabled.Load() || idx > maxBucketLog {
+		return make([]T, n)
+	}
+	if box, _ := a.buckets[idx].Get().(*[]T); box != nil {
+		s := (*box)[:n]
+		*box = nil
+		a.headers.Put(box)
+		clear(s)
+		return s
+	}
+	return make([]T, n, 1<<idx)
+}
+
+// Put returns s to its bucket. Slices with non-power-of-two capacity (not
+// born from Get) and oversized ones are dropped.
+func (a *Of[T]) Put(s []T) {
+	c := cap(s)
+	if c == 0 || !enabled.Load() {
+		return
+	}
+	idx := bucketFor(c)
+	if c != 1<<idx || idx > maxBucketLog {
+		return
+	}
+	s = s[:c]
+	if a.ClearOnPut {
+		clear(s)
+	} else if poison.Load() {
+		poisonSlice(s)
+	}
+	box, _ := a.headers.Get().(*[]T)
+	if box == nil {
+		box = new([]T)
+	}
+	*box = s
+	a.buckets[idx].Put(box)
+}
+
+// poisonSlice fills s with a nonzero byte pattern, element-type agnostic:
+// for field elements the canary is a garbage (non-canonical Montgomery)
+// value, so any read of un-zeroed pooled memory corrupts a proof loudly.
+// Every pooled type is plain old data (limb arrays, hashes, bytes), so
+// viewing one element's storage as bytes is well-defined.
+func poisonSlice[T any](s []T) {
+	var canary T
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&canary)), unsafe.Sizeof(canary))
+	for i := range b {
+		b[i] = 0xA5
+	}
+	for i := range s {
+		s[i] = canary
+	}
+}
+
+// Shared pools for the element types rented across package boundaries.
+var (
+	frPool     Of[ff.Fr]
+	bytePool   Of[byte]
+	hashPool   Of[[32]byte]
+	frSlicePol = Of[[]ff.Fr]{ClearOnPut: true}
+)
+
+// Frs rents a zeroed []ff.Fr of length n from the shared field-element
+// pool.
+func Frs(n int) []ff.Fr { return frPool.Get(n) }
+
+// PutFrs returns a buffer rented with Frs.
+func PutFrs(s []ff.Fr) { frPool.Put(s) }
+
+// Bytes rents a zeroed []byte of length n.
+func Bytes(n int) []byte { return bytePool.Get(n) }
+
+// PutBytes returns a buffer rented with Bytes.
+func PutBytes(s []byte) { bytePool.Put(s) }
+
+// Hashes rents a zeroed [][32]byte of length n (Merkle layers, column
+// scratch).
+func Hashes(n int) [][32]byte { return hashPool.Get(n) }
+
+// PutHashes returns a buffer rented with Hashes.
+func PutHashes(s [][32]byte) { hashPool.Put(s) }
+
+// FrSlices rents a zeroed [][]ff.Fr of length n (row-pointer tables).
+func FrSlices(n int) [][]ff.Fr { return frSlicePol.Get(n) }
+
+// PutFrSlices returns a buffer rented with FrSlices. The inner slices are
+// NOT released; return those individually first if they were rented.
+func PutFrSlices(s [][]ff.Fr) { frSlicePol.Put(s) }

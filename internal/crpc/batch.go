@@ -111,6 +111,15 @@ func SynthesizeBatchShape(shapes [][3]int, z, gamma ff.Fr, opts Options) *r1cs.S
 
 func synthesizeBatchWithChallenges(bs *BatchStatement, z, gamma ff.Fr, opts Options) (*Synthesis, error) {
 	bld := r1cs.NewBuilder()
+	// Same per-product CRPC upper bound as the single-statement
+	// synthesis (batching requires CRPC), summed over the batch.
+	growCons, growVars := 0, 0
+	for _, s := range bs.Stmts {
+		a, n, b := s.X.Rows, s.X.Cols, s.W.Cols
+		growCons += n + 1
+		growVars += a*n + a*b + n*b + 2*n + 1
+	}
+	bld.Grow(growCons, growVars)
 
 	// Publics first: every X, then every Y (batch order).
 	xVars := make([][]r1cs.Var, len(bs.Stmts))

@@ -176,6 +176,17 @@ func synthesizeWithZ(stmt *Statement, z ff.Fr, opts Options) (*Synthesis, error)
 	}
 
 	bld := r1cs.NewBuilder()
+	// Reserve the variant's exact upper bound so synthesis is free of
+	// append-growth garbage — the two circuits differ by a factor of a·b,
+	// so reserving the vanilla bound for CRPC would waste, not save.
+	// CRPC: n multiplication constraints (+1 closing add), with at most
+	// one product or prefix wire each. Vanilla: one constraint and one
+	// wire per scalar product plus one closing constraint per output.
+	if opts.CRPC {
+		bld.Grow(n+1, a*n+a*b+n*b+2*n+1)
+	} else {
+		bld.Grow(a*b*(n+1), a*n+a*b+n*b+a*b*(n+1))
+	}
 	// Publics first: X then Y.
 	xVars := make([]r1cs.Var, a*n)
 	for i := range stmt.X.Data {

@@ -6,6 +6,7 @@ import (
 	mrand "math/rand"
 	"testing"
 
+	"zkvc/internal/arena"
 	"zkvc/internal/ff"
 )
 
@@ -344,6 +345,39 @@ func TestMSMWindowsAgree(t *testing.T) {
 		if !got.Equal(&want) {
 			t.Errorf("window %d disagrees with auto", c)
 		}
+	}
+}
+
+// TestMSMWindowAllocs pins the bucket-reuse optimization: a warm MSM must
+// not allocate per window. One bucket buffer and one limb buffer are
+// rented per chunk; everything else lives on the stack, so the whole MSM
+// stays under a handful of objects per op (the pre-pooling implementation
+// allocated one 2^c-point bucket slice per window per chunk — ~19 for
+// c=14 — plus the limbs slice).
+func TestMSMWindowAllocs(t *testing.T) {
+	if !arena.Enabled() {
+		t.Skip("pooling disabled via ZKVC_NO_POOL")
+	}
+	rng := mrand.New(mrand.NewSource(79))
+	n := 1024
+	points := make([]G1Affine, n)
+	scalars := make([]ff.Fr, n)
+	jac := G1GeneratorJac()
+	for i := range points {
+		s := randScalar(rng)
+		var p G1Jac
+		p.ScalarMul(&jac, &s)
+		points[i] = p.ToAffine()
+		scalars[i] = randScalar(rng)
+	}
+	MSMG1(points, scalars) // warm the pools
+	avg := testing.AllocsPerRun(10, func() {
+		MSMG1(points, scalars)
+	})
+	// Allow a little slack for parallel.MapReduce bookkeeping; the old
+	// per-window bucket churn alone was ≥ 20 allocations here.
+	if avg > 8 {
+		t.Fatalf("warm MSM allocates %.1f objects/op, want ≤ 8", avg)
 	}
 }
 

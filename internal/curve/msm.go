@@ -1,8 +1,19 @@
 package curve
 
 import (
+	"zkvc/internal/arena"
 	"zkvc/internal/ff"
 	"zkvc/internal/parallel"
+)
+
+// Pools for MSM scratch: bucket state and canonical scalar limbs. Buckets
+// are rented once per worker chunk and reset in place between windows,
+// so Pippenger's bucket churn (nWindows allocations of 2^c points per
+// chunk) collapses to one checkout.
+var (
+	g1JacPool arena.Of[G1Jac]
+	g2JacPool arena.Of[G2Jac]
+	limbPool  arena.Of[[4]uint64]
 )
 
 // msmWindow picks a Pippenger window size for n points.
@@ -74,14 +85,14 @@ func MSMG1WithWindow(points []G1Affine, scalars []ff.Fr, c uint) G1Jac {
 			c = msmWindow(n)
 		}
 	}
-	limbs := make([][4]uint64, n)
+	limbs := limbPool.Get(n)
 	parallel.For(n, 4096, func(start, end int) {
 		for i := start; i < end; i++ {
 			limbs[i] = scalars[i].Canonical()
 		}
 	})
 
-	return parallel.MapReduce(pool, n, chunk,
+	total = parallel.MapReduce(pool, n, chunk,
 		func(start, end int) G1Jac {
 			return msmSerialG1(points[start:end], limbs[start:end], c)
 		},
@@ -89,13 +100,18 @@ func MSMG1WithWindow(points []G1Affine, scalars []ff.Fr, c uint) G1Jac {
 			acc.AddAssign(&next)
 			return acc
 		})
+	limbPool.Put(limbs)
+	return total
 }
 
 // msmSerialG1 is a single-threaded windowed MSM over one point chunk.
+// One rented bucket buffer serves every window, reset to infinity in
+// place between windows instead of reallocated.
 func msmSerialG1(points []G1Affine, limbs [][4]uint64, c uint) G1Jac {
 	nWindows := (256 + int(c) - 1) / int(c)
 	var total G1Jac
 	total.SetInfinity()
+	buckets := g1JacPool.Get(1 << c)
 	// MSB-first: double the accumulator c times between windows.
 	for w := nWindows - 1; w >= 0; w-- {
 		if w != nWindows-1 {
@@ -103,15 +119,16 @@ func msmSerialG1(points []G1Affine, limbs [][4]uint64, c uint) G1Jac {
 				total.Double(&total)
 			}
 		}
-		sum := msmWindowSumG1(points, limbs, w, c)
+		sum := msmWindowSumG1(points, limbs, w, c, buckets)
 		total.AddAssign(&sum)
 	}
+	g1JacPool.Put(buckets)
 	return total
 }
 
-// msmWindowSumG1 accumulates one Pippenger window.
-func msmWindowSumG1(points []G1Affine, limbs [][4]uint64, w int, c uint) G1Jac {
-	buckets := make([]G1Jac, 1<<c)
+// msmWindowSumG1 accumulates one Pippenger window into the caller's
+// bucket scratch (len 2^c; overwritten here).
+func msmWindowSumG1(points []G1Affine, limbs [][4]uint64, w int, c uint, buckets []G1Jac) G1Jac {
 	for i := range buckets {
 		buckets[i].SetInfinity()
 	}

@@ -34,14 +34,14 @@ func MSMG2(points []G2Affine, scalars []ff.Fr) G2Jac {
 	if chunk < n {
 		c = msmWindow(chunk)
 	}
-	limbs := make([][4]uint64, n)
+	limbs := limbPool.Get(n)
 	parallel.For(n, 4096, func(start, end int) {
 		for i := start; i < end; i++ {
 			limbs[i] = scalars[i].Canonical()
 		}
 	})
 
-	return parallel.MapReduce(pool, n, chunk,
+	total = parallel.MapReduce(pool, n, chunk,
 		func(start, end int) G2Jac {
 			return msmSerialG2(points[start:end], limbs[start:end], c)
 		},
@@ -49,28 +49,34 @@ func MSMG2(points []G2Affine, scalars []ff.Fr) G2Jac {
 			acc.AddAssign(&next)
 			return acc
 		})
+	limbPool.Put(limbs)
+	return total
 }
 
 // msmSerialG2 is a single-threaded windowed MSM over one point chunk.
+// One rented bucket buffer serves every window, reset in place (see
+// msmSerialG1).
 func msmSerialG2(points []G2Affine, limbs [][4]uint64, c uint) G2Jac {
 	nWindows := (256 + int(c) - 1) / int(c)
 	var total G2Jac
 	total.SetInfinity()
+	buckets := g2JacPool.Get(1 << c)
 	for w := nWindows - 1; w >= 0; w-- {
 		if w != nWindows-1 {
 			for k := uint(0); k < c; k++ {
 				total.Double(&total)
 			}
 		}
-		sum := msmWindowSumG2(points, limbs, w, c)
+		sum := msmWindowSumG2(points, limbs, w, c, buckets)
 		total.AddAssign(&sum)
 	}
+	g2JacPool.Put(buckets)
 	return total
 }
 
-// msmWindowSumG2 accumulates one Pippenger window.
-func msmWindowSumG2(points []G2Affine, limbs [][4]uint64, w int, c uint) G2Jac {
-	buckets := make([]G2Jac, 1<<c)
+// msmWindowSumG2 accumulates one Pippenger window into the caller's
+// bucket scratch (len 2^c; overwritten here).
+func msmWindowSumG2(points []G2Affine, limbs [][4]uint64, w int, c uint, buckets []G2Jac) G2Jac {
 	for i := range buckets {
 		buckets[i].SetInfinity()
 	}

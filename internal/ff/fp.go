@@ -146,15 +146,24 @@ func (z *Fp) SetPseudoRandom(rng *mrand.Rand) *Fp {
 	return z.SetBig(v)
 }
 
-// Bytes returns the canonical 32-byte big-endian encoding of z.
+// Bytes returns the canonical 32-byte big-endian encoding of z,
+// allocation-free (pure limb arithmetic, no math/big).
 func (z *Fp) Bytes() [32]byte {
+	canon := z.Canonical()
 	var out [32]byte
-	z.Big().FillBytes(out[:])
+	limbsToBytesBE(&canon, &out)
 	return out
 }
 
-// SetBytes interprets b as a big-endian integer mod p.
+// SetBytes interprets b as a big-endian integer mod p. Inputs of at most
+// 32 bytes take an allocation-free limb path.
 func (z *Fp) SetBytes(b []byte) *Fp {
+	if len(b) <= 32 {
+		var raw [4]uint64
+		limbsFromBytesBE(b, &raw)
+		montFromRaw((*[4]uint64)(z), &raw, &pMod)
+		return z
+	}
 	return z.SetBig(new(big.Int).SetBytes(b))
 }
 

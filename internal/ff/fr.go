@@ -136,16 +136,48 @@ func (z *Fr) SetPseudoRandom(rng *mrand.Rand) *Fr {
 	return z.SetBig(v)
 }
 
-// Bytes returns the canonical 32-byte big-endian encoding of z.
+// Bytes returns the canonical 32-byte big-endian encoding of z. It is
+// allocation-free (pure limb arithmetic, no math/big) — this is the
+// prover's hottest serialization path.
 func (z *Fr) Bytes() [32]byte {
+	canon := z.Canonical()
 	var out [32]byte
-	z.Big().FillBytes(out[:])
+	limbsToBytesBE(&canon, &out)
 	return out
 }
 
-// SetBytes interprets b as a big-endian integer mod p.
+// SetBytes interprets b as a big-endian integer mod r. Inputs of at most
+// 32 bytes take an allocation-free limb path; longer inputs fall back to
+// math/big.
 func (z *Fr) SetBytes(b []byte) *Fr {
+	if len(b) <= 32 {
+		var raw [4]uint64
+		limbsFromBytesBE(b, &raw)
+		montFromRaw((*[4]uint64)(z), &raw, &rMod)
+		return z
+	}
 	return z.SetBig(new(big.Int).SetBytes(b))
+}
+
+// SetBytesWide interprets up to 64 big-endian bytes as an integer mod r
+// without allocating: the value hi·2^256 + lo enters Montgomery form as
+// toMont(hi)·R2 + toMont(lo) (R2 = 2^512 mod r is the Montgomery form of
+// 2^256). Transcript challenges reduce 48 uniform bytes through this.
+func (z *Fr) SetBytesWide(b []byte) *Fr {
+	if len(b) <= 32 {
+		return z.SetBytes(b)
+	}
+	if len(b) > 64 {
+		return z.SetBig(new(big.Int).SetBytes(b))
+	}
+	split := len(b) - 32
+	var raw, hi [4]uint64
+	limbsFromBytesBE(b[:split], &raw)
+	montFromRaw(&hi, &raw, &rMod)
+	montMul(&hi, &hi, &rMod.r2, &rMod)
+	limbsFromBytesBE(b[split:], &raw)
+	montFromRaw((*[4]uint64)(z), &raw, &rMod)
+	return z.Add(z, (*Fr)(&hi))
 }
 
 // String renders the canonical value in decimal.

@@ -76,6 +76,36 @@ func be64(b []byte) uint64 {
 		uint64(b[3])<<32 | uint64(b[2])<<40 | uint64(b[1])<<48 | uint64(b[0])<<56
 }
 
+// limbsToBytesBE writes the little-endian limb vector as 32 big-endian
+// bytes without going through math/big — this is the prover's hottest
+// serialization (every transcript absorb and Merkle leaf).
+func limbsToBytesBE(l *[4]uint64, out *[32]byte) {
+	for i := 0; i < 4; i++ {
+		v := l[i]
+		for j := 0; j < 8; j++ {
+			out[31-8*i-j] = byte(v >> (8 * j))
+		}
+	}
+}
+
+// limbsFromBytesBE loads up to 32 big-endian bytes into little-endian
+// limbs (the value is NOT reduced mod anything).
+func limbsFromBytesBE(b []byte, out *[4]uint64) {
+	*out = [4]uint64{}
+	for i := 0; i < len(b); i++ {
+		v := uint64(b[len(b)-1-i])
+		out[i/8] |= v << (8 * (i % 8))
+	}
+}
+
+// montFromRaw sets z to the Montgomery form of the (unreduced, < 2^256)
+// limb value raw: montMul's trailing reduction loop handles inputs above
+// the modulus, so this is a full alloc-free replacement for the
+// big.Int round trip on ≤32-byte inputs.
+func montFromRaw(z, raw *[4]uint64, m *modulus) {
+	montMul(z, raw, &m.r2, m)
+}
+
 func limbsToBig(l *[4]uint64) *big.Int {
 	var buf [32]byte
 	for i := 0; i < 4; i++ {

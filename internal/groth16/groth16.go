@@ -8,6 +8,7 @@ import (
 	"fmt"
 	mrand "math/rand"
 
+	"zkvc/internal/arena"
 	"zkvc/internal/curve"
 	"zkvc/internal/ff"
 	"zkvc/internal/parallel"
@@ -202,6 +203,7 @@ func Prove(sys *r1cs.System, pk *ProvingKey, z []ff.Fr, rng *mrand.Rand) (*Proof
 	// C = Σ_priv z_i·K_i + Σ h_q·H_q + s·A + r·B1 − r·s·δ
 	cAcc := curve.MSMG1(pk.K, z[sys.NumPublic:])
 	hMSM := curve.MSMG1(pk.H, h[:len(pk.H)])
+	arena.PutFrs(h) // qap.HCoefficients sizes h for arena reuse
 	cAcc.AddAssign(&hMSM)
 	var t curve.G1Jac
 	t.FromAffine(&proofA)

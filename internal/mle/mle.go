@@ -10,6 +10,7 @@ package mle
 import (
 	"fmt"
 
+	"zkvc/internal/arena"
 	"zkvc/internal/ff"
 	"zkvc/internal/parallel"
 )
@@ -63,16 +64,21 @@ func (m *Dense) Fix(r *ff.Fr) {
 }
 
 // Eval evaluates the MLE at an arbitrary point (len(point) == NumVars)
-// without mutating the receiver.
+// without mutating the receiver. The folding scratch is rented from the
+// shared arena, so Eval is allocation-free in steady state.
 func (m *Dense) Eval(point []ff.Fr) ff.Fr {
 	if len(point) != m.NumVars {
 		panic(fmt.Sprintf("mle: point has %d coords, want %d", len(point), m.NumVars))
 	}
-	c := m.Clone()
+	scratch := arena.Frs(len(m.Evals))
+	copy(scratch, m.Evals)
+	c := &Dense{NumVars: m.NumVars, Evals: scratch}
 	for i := range point {
 		c.Fix(&point[i])
 	}
-	return c.Evals[0]
+	v := c.Evals[0]
+	arena.PutFrs(scratch)
+	return v
 }
 
 // Sum returns the sum of all hypercube evaluations.
@@ -93,27 +99,64 @@ func (m *Dense) Sum() ff.Fr {
 
 // EqTable returns the vector eq(r, x) for all x ∈ {0,1}^k, where
 // eq(r,x) = Π_i (r_i·x_i + (1−r_i)(1−x_i)). Variable 0 is the most
-// significant bit of the index, matching Dense.
+// significant bit of the index, matching Dense. The table is built in
+// place in its final buffer: one allocation total, not one per variable.
 func EqTable(r []ff.Fr) []ff.Fr {
-	out := make([]ff.Fr, 1)
+	out := make([]ff.Fr, 1<<len(r))
+	EqTableInto(r, out)
+	return out
+}
+
+// EqTableInto builds eq(r, ·) into out, which must have length 1<<len(r).
+// Entries beyond index 0 may hold arbitrary garbage on entry; every slot
+// is overwritten. Callers that rent out from the arena get a zero-alloc
+// eq table.
+func EqTableInto(r []ff.Fr, out []ff.Fr) {
+	if len(out) != 1<<len(r) {
+		panic(fmt.Sprintf("mle: eq table buffer has length %d, want %d", len(out), 1<<len(r)))
+	}
 	out[0].SetOne()
 	var one ff.Fr
 	one.SetOne()
+	size := 1
 	for i := range r {
-		next := make([]ff.Fr, 2*len(out))
 		var om ff.Fr
 		om.Sub(&one, &r[i])
 		ri := r[i]
-		parallel.For(len(out), parGrain, func(start, end int) {
-			for j := start; j < end; j++ {
-				// Variable i becomes the next-lower bit: index = 2j + bit.
-				next[2*j].Mul(&out[j], &om)
-				next[2*j+1].Mul(&out[j], &ri)
+		eqDouble(out, size, &om, &ri)
+		size *= 2
+	}
+}
+
+// eqDouble expands the length-size prefix of out into its length-2·size
+// doubling (out[2j] = out[j]·om, out[2j+1] = out[j]·ri) without auxiliary
+// storage. Source slots are consumed in descending halves — first
+// [size/2, size), whose writes land entirely in [size, 2·size) and so
+// cannot clobber any unread source, then [size/4, size/2), and so on —
+// which makes each half safe to process in parallel; the small remainder
+// runs inline in strictly descending order (writes at 2j ≥ j never
+// overtake the read cursor).
+func eqDouble(out []ff.Fr, size int, om, ri *ff.Fr) {
+	hi := size
+	for hi > 0 {
+		lo := hi / 2
+		if hi-lo < parGrain {
+			for j := hi - 1; j >= 0; j-- {
+				v := out[j]
+				out[2*j+1].Mul(&v, ri)
+				out[2*j].Mul(&v, om)
+			}
+			return
+		}
+		parallel.For(hi-lo, parGrain, func(start, end int) {
+			for j := lo + start; j < lo+end; j++ {
+				v := out[j]
+				out[2*j+1].Mul(&v, ri)
+				out[2*j].Mul(&v, om)
 			}
 		})
-		out = next
+		hi = lo
 	}
-	return out
 }
 
 // EqEval computes eq(a, b) for two points of equal length.
@@ -162,28 +205,45 @@ func NewSparse(entries []SparseEntry, numRows, numCols int) *Sparse {
 }
 
 // Eval computes M̃(rx, ry) = Σ entries v·eq(rx,row)·eq(ry,col) in
-// O(2^rowVars + 2^colVars + nnz).
+// O(2^rowVars + 2^colVars + nnz). Both eq tables are rented scratch.
 func (s *Sparse) Eval(rx, ry []ff.Fr) ff.Fr {
-	eqR := EqTable(rx)
-	eqC := EqTable(ry)
+	eqR := arena.Frs(1 << len(rx))
+	eqC := arena.Frs(1 << len(ry))
+	EqTableInto(rx, eqR)
+	EqTableInto(ry, eqC)
 	var acc, t ff.Fr
 	for _, e := range s.Entries {
 		t.Mul(&e.Val, &eqR[e.Row])
 		t.Mul(&t, &eqC[e.Col])
 		acc.Add(&acc, &t)
 	}
+	arena.PutFrs(eqR)
+	arena.PutFrs(eqC)
 	return acc
 }
 
 // BindRows returns the dense column vector d[col] = Σ_rows eq(rx,row)·M[row,col],
 // i.e. the matrix MLE with the row block bound to rx. O(2^colVars + nnz).
 func (s *Sparse) BindRows(rx []ff.Fr) *Dense {
-	eqR := EqTable(rx)
 	evals := make([]ff.Fr, 1<<s.ColVars)
+	s.BindRowsInto(rx, evals)
+	return &Dense{NumVars: s.ColVars, Evals: evals}
+}
+
+// BindRowsInto accumulates the row-bound column vector into evals, which
+// must be zeroed and of length 1<<ColVars (arena.Frs satisfies both). The
+// eq(rx, ·) table is rented scratch, so a caller that also rents evals
+// binds rows with zero allocations.
+func (s *Sparse) BindRowsInto(rx, evals []ff.Fr) {
+	if len(evals) != 1<<s.ColVars {
+		panic(fmt.Sprintf("mle: BindRowsInto buffer has length %d, want %d", len(evals), 1<<s.ColVars))
+	}
+	eqR := arena.Frs(1 << len(rx))
+	EqTableInto(rx, eqR)
 	var t ff.Fr
 	for _, e := range s.Entries {
 		t.Mul(&e.Val, &eqR[e.Row])
 		evals[e.Col].Add(&evals[e.Col], &t)
 	}
-	return &Dense{NumVars: s.ColVars, Evals: evals}
+	arena.PutFrs(eqR)
 }

@@ -12,6 +12,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 
+	"zkvc/internal/arena"
 	"zkvc/internal/parallel"
 )
 
@@ -35,24 +36,26 @@ func hashLeaf(data []byte) [32]byte {
 }
 
 func hashNode(l, r [32]byte) [32]byte {
-	h := sha256.New()
-	h.Write([]byte{0x01}) // domain separation: internal
-	h.Write(l[:])
-	h.Write(r[:])
-	var out [32]byte
-	h.Sum(out[:0])
-	return out
+	// 0x01 domain separation tag ‖ left ‖ right, hashed from a stack
+	// buffer (bit-identical to the streaming construction, no hasher
+	// allocation per node).
+	var buf [65]byte
+	buf[0] = 0x01
+	copy(buf[1:], l[:])
+	copy(buf[33:], r[:])
+	return sha256.Sum256(buf[:])
 }
 
+// newMerkleTree hashes raw leaves and builds the tree (non-power-of-two
+// counts are padded with the empty leaf hash). The hot path is
+// newMerkleTreeHashed; this wrapper serves callers that still hold leaf
+// byte slices.
 func newMerkleTree(leaves [][]byte) *merkleTree {
 	n := 1
 	for n < len(leaves) {
 		n <<= 1
 	}
-	// Leaf hashing and each internal layer fan out across the shared
-	// worker budget: every slot is written by exactly one chunk, so the
-	// tree is identical at any parallelism level.
-	layer := make([][32]byte, n)
+	layer := arena.Hashes(n)
 	parallel.For(len(leaves), hashGrain, func(start, end int) {
 		for i := start; i < end; i++ {
 			layer[i] = hashLeaf(leaves[i])
@@ -62,9 +65,18 @@ func newMerkleTree(leaves [][]byte) *merkleTree {
 	for i := len(leaves); i < n; i++ {
 		layer[i] = empty
 	}
+	return newMerkleTreeHashed(layer)
+}
+
+// newMerkleTreeHashed builds the tree over an already-hashed leaf layer
+// whose length must be a power of two, taking ownership of the (rented)
+// slice: release() returns every layer to the arena. Each internal layer
+// fans out across the shared worker budget; every slot is written by
+// exactly one chunk, so the tree is identical at any parallelism level.
+func newMerkleTreeHashed(layer [][32]byte) *merkleTree {
 	t := &merkleTree{layers: [][][32]byte{layer}}
 	for len(layer) > 1 {
-		next := make([][32]byte, len(layer)/2)
+		next := arena.Hashes(len(layer) / 2)
 		parallel.For(len(next), hashGrain, func(start, end int) {
 			for i := start; i < end; i++ {
 				next[i] = hashNode(layer[2*i], layer[2*i+1])
@@ -76,11 +88,21 @@ func newMerkleTree(leaves [][]byte) *merkleTree {
 	return t
 }
 
+// release returns all layers to the arena; the tree (and any paths not
+// yet copied out) must not be used afterwards.
+func (t *merkleTree) release() {
+	for _, l := range t.layers {
+		arena.PutHashes(l)
+	}
+	t.layers = nil
+}
+
 func (t *merkleTree) root() [32]byte { return t.layers[len(t.layers)-1][0] }
 
-// path returns the sibling hashes from leaf i to the root.
+// path returns the sibling hashes from leaf i to the root. The path
+// escapes into openings, so it is plainly allocated (exact size).
 func (t *merkleTree) path(i int) [][32]byte {
-	var out [][32]byte
+	out := make([][32]byte, 0, len(t.layers)-1)
 	for lvl := 0; lvl < len(t.layers)-1; lvl++ {
 		out = append(out, t.layers[lvl][i^1])
 		i >>= 1

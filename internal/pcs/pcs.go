@@ -1,9 +1,12 @@
 package pcs
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 
+	"zkvc/internal/arena"
 	"zkvc/internal/ff"
 	"zkvc/internal/mle"
 	"zkvc/internal/parallel"
@@ -32,15 +35,35 @@ type Commitment struct {
 }
 
 // ProverState retains everything the prover needs to open the commitment.
+// Its matrices live in rented arena buffers; call Release when the last
+// opening has been produced.
 type ProverState struct {
 	params   Params
 	rows     int
 	cols     int
 	numVars  int
-	message  [][]ff.Fr // rows × cols message matrix
-	codeword [][]ff.Fr // rows × (cols·blowup) RS codewords
+	padded   []ff.Fr   // rented backing store of the message rows
+	message  [][]ff.Fr // rows × cols message matrix (aliases padded)
+	codeword [][]ff.Fr // rows × (cols·blowup) RS codewords (rented)
 	tree     *merkleTree
 	comm     Commitment
+}
+
+// Release returns every pooled buffer held by the state (message backing
+// store, codeword rows, Merkle layers) to the arena. The state must not
+// be used afterwards. Commitments and Openings stay valid: they never
+// alias pooled memory.
+func (st *ProverState) Release() {
+	for i := range st.codeword {
+		arena.PutFrs(st.codeword[i])
+	}
+	arena.PutFrSlices(st.codeword)
+	arena.PutFrSlices(st.message) // rows alias padded; only the header table is pooled
+	arena.PutFrs(st.padded)
+	if st.tree != nil {
+		st.tree.release()
+	}
+	st.padded, st.message, st.codeword, st.tree = nil, nil, nil, nil
 }
 
 // ColumnOpening reveals one codeword column with its Merkle path.
@@ -76,44 +99,55 @@ func Commit(values []ff.Fr, p Params) (*Commitment, *ProverState, error) {
 	for (1 << k) < len(values) {
 		k++
 	}
-	padded := make([]ff.Fr, 1<<k)
+	padded := arena.Frs(1 << k)
 	copy(padded, values)
 
 	rowVars := k / 2
 	rows := 1 << rowVars
 	cols := 1 << (k - rowVars)
 
-	st := &ProverState{params: p, rows: rows, cols: cols, numVars: k}
-	st.message = make([][]ff.Fr, rows)
-	st.codeword = make([][]ff.Fr, rows)
-	d, err := poly.NewDomain(cols * p.Blowup)
+	st := &ProverState{params: p, rows: rows, cols: cols, numVars: k, padded: padded}
+	st.message = arena.FrSlices(rows)
+	st.codeword = arena.FrSlices(rows)
+	d, err := poly.Shared(cols * p.Blowup)
 	if err != nil {
+		st.tree = nil
+		st.Release()
 		return nil, nil, err
 	}
 	// Rows are Reed–Solomon encoded independently; fan the per-row NTTs
 	// out across the shared worker budget (each NTT may itself borrow
-	// further workers when the pool is otherwise idle).
+	// further workers when the pool is otherwise idle). Codeword rows are
+	// per-chunk arena checkouts, released with the state.
 	parallel.For(rows, 1, func(start, end int) {
 		for i := start; i < end; i++ {
 			st.message[i] = padded[i*cols : (i+1)*cols]
-			cw := make([]ff.Fr, d.N)
+			cw := arena.Frs(d.N)
 			copy(cw, st.message[i])
 			d.NTT(cw)
 			st.codeword[i] = cw
 		}
 	})
-	// Column leaves, one chunk of columns per worker.
-	leaves := make([][]byte, d.N)
+	// Column leaves are hashed straight into the tree's leaf layer from a
+	// per-chunk rented serialization buffer, so no leaf byte slices are
+	// ever materialized. The buffer layout reproduces
+	// hashLeaf(leafBytes(column)) exactly: 0x00 domain tag, then the
+	// little-endian row count, then the big-endian column elements.
+	leafHashes := arena.Hashes(d.N)
 	parallel.For(d.N, hashGrain, func(start, end int) {
-		colBuf := make([][32]byte, rows)
+		scratch := arena.Bytes(9 + 32*rows)
+		scratch[0] = 0x00
+		binary.LittleEndian.PutUint64(scratch[1:9], uint64(rows))
 		for j := start; j < end; j++ {
 			for i := 0; i < rows; i++ {
-				colBuf[i] = st.codeword[i][j].Bytes()
+				b := st.codeword[i][j].Bytes()
+				copy(scratch[9+32*i:], b[:])
 			}
-			leaves[j] = leafBytes(colBuf)
+			leafHashes[j] = sha256.Sum256(scratch[:9+32*rows])
 		}
+		arena.PutBytes(scratch)
 	})
-	st.tree = newMerkleTree(leaves)
+	st.tree = newMerkleTreeHashed(leafHashes)
 	st.comm = Commitment{Root: st.tree.root(), NumVars: k, Rows: rows, Cols: cols}
 	return &st.comm, st, nil
 }
@@ -129,6 +163,8 @@ func (st *ProverState) Eval(point []ff.Fr) ff.Fr {
 			acc.Add(&acc, &t)
 		}
 	}
+	arena.PutFrs(eqR)
+	arena.PutFrs(eqC)
 	return acc
 }
 
@@ -138,7 +174,8 @@ func (st *ProverState) Eval(point []ff.Fr) ff.Fr {
 func (st *ProverState) Open(point []ff.Fr, tr *transcript.Transcript) *Opening {
 	tr.AppendFrs("pcs.point", point)
 	rho := tr.ChallengeFrs("pcs.rho", st.rows)
-	eqR, _ := splitEq(point, st.rows, st.cols)
+	eqR, eqC := splitEq(point, st.rows, st.cols)
+	arena.PutFrs(eqC)
 
 	// Column-major combination: each worker owns a disjoint range of
 	// output columns and walks all rows for it, so the accumulation
@@ -158,6 +195,7 @@ func (st *ProverState) Open(point []ff.Fr, tr *transcript.Transcript) *Opening {
 		return u
 	}
 	op := &Opening{URand: combine(rho), UEq: combine(eqR)}
+	arena.PutFrs(eqR)
 	tr.AppendFrs("pcs.urand", op.URand)
 	tr.AppendFrs("pcs.ueq", op.UEq)
 
@@ -191,6 +229,8 @@ func VerifyOpen(c *Commitment, point []ff.Fr, claim *ff.Fr, op *Opening, p Param
 	tr.AppendFrs("pcs.ueq", op.UEq)
 
 	eqR, eqC := splitEq(point, c.Rows, c.Cols)
+	defer arena.PutFrs(eqR)
+	defer arena.PutFrs(eqC)
 
 	// Consistency with the claimed evaluation: ⟨uEq, eqC⟩ == claim.
 	var got, t ff.Fr
@@ -202,26 +242,33 @@ func VerifyOpen(c *Commitment, point []ff.Fr, claim *ff.Fr, op *Opening, p Param
 		return fmt.Errorf("%w: eq-row does not reproduce the claimed evaluation", ErrOpening)
 	}
 
-	// Encode both combined rows.
+	// Encode both combined rows in rented scratch.
 	cwLen := c.Cols * p.Blowup
-	d, err := poly.NewDomain(cwLen)
+	d, err := poly.Shared(cwLen)
 	if err != nil {
 		return err
 	}
 	encode := func(u []ff.Fr) []ff.Fr {
-		cw := make([]ff.Fr, d.N)
+		cw := arena.Frs(d.N)
 		copy(cw, u)
 		d.NTT(cw)
 		return cw
 	}
 	cwRand := encode(op.URand)
 	cwEq := encode(op.UEq)
+	defer arena.PutFrs(cwRand)
+	defer arena.PutFrs(cwEq)
 
 	idxs := tr.ChallengeIndices("pcs.columns", p.Queries, cwLen)
 	if len(op.Columns) != len(idxs) {
 		return fmt.Errorf("%w: %d columns opened, want %d", ErrOpening, len(op.Columns), len(idxs))
 	}
-	colBuf := make([][32]byte, c.Rows)
+	// One rented leaf-serialization buffer is reused across all spot
+	// checks (the loop is sequential). Layout matches leafBytes: count,
+	// then elements; verifyPath prepends the 0x00 leaf tag itself.
+	leafScratch := arena.Bytes(8 + 32*c.Rows)
+	defer arena.PutBytes(leafScratch)
+	binary.LittleEndian.PutUint64(leafScratch[:8], uint64(c.Rows))
 	for qi, j := range idxs {
 		col := op.Columns[qi]
 		if col.Index != j {
@@ -231,9 +278,10 @@ func VerifyOpen(c *Commitment, point []ff.Fr, claim *ff.Fr, op *Opening, p Param
 			return fmt.Errorf("%w: column height mismatch", ErrOpening)
 		}
 		for i := range col.Values {
-			colBuf[i] = col.Values[i].Bytes()
+			b := col.Values[i].Bytes()
+			copy(leafScratch[8+32*i:], b[:])
 		}
-		if !verifyPath(c.Root, leafBytes(colBuf), j, col.Path) {
+		if !verifyPath(c.Root, leafScratch, j, col.Path) {
 			return fmt.Errorf("%w: bad Merkle path for column %d", ErrOpening, j)
 		}
 		// Σ_i ρ_i·col[i] == encode(uRand)[j] and likewise for eq weights.
@@ -255,13 +303,16 @@ func VerifyOpen(c *Commitment, point []ff.Fr, claim *ff.Fr, op *Opening, p Param
 }
 
 // splitEq returns the eq tables for the row block (variables 0..log rows)
-// and column block (the rest) of an evaluation point.
+// and column block (the rest) of an evaluation point. Both tables are
+// rented from the arena; the caller must PutFrs them.
 func splitEq(point []ff.Fr, rows, cols int) (eqR, eqC []ff.Fr) {
 	rowVars := 0
 	for (1 << rowVars) < rows {
 		rowVars++
 	}
-	eqR = mle.EqTable(point[:rowVars])
-	eqC = mle.EqTable(point[rowVars:])
+	eqR = arena.Frs(1 << rowVars)
+	eqC = arena.Frs(1 << (len(point) - rowVars))
+	mle.EqTableInto(point[:rowVars], eqR)
+	mle.EqTableInto(point[rowVars:], eqC)
 	return eqR, eqC
 }

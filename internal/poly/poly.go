@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/bits"
+	"sync"
 
 	"zkvc/internal/ff"
 	"zkvc/internal/parallel"
@@ -68,6 +69,31 @@ func NewDomain(minSize int) (*Domain, error) {
 	d.roots = precomputeRoots(&d.Omega, log2n)
 	d.rootsInv = precomputeRoots(&d.OmegaInv, log2n)
 	return d, nil
+}
+
+// sharedDomains caches one Domain per power-of-two size. A Domain is
+// immutable after construction (transforms only read the twiddle tables),
+// so sharing across goroutines is race-free.
+var sharedDomains sync.Map // Log2N -> *Domain
+
+// Shared returns a process-wide cached domain of the smallest power-of-two
+// size ≥ minSize, building it on first use. Hot paths (PCS row encoding,
+// opening verification) use this instead of NewDomain so the O(N) twiddle
+// tables are computed once per size rather than once per proof.
+func Shared(minSize int) (*Domain, error) {
+	if minSize < 1 {
+		return nil, fmt.Errorf("poly: domain size %d < 1", minSize)
+	}
+	log2n := bits.Len(uint(minSize - 1))
+	if v, ok := sharedDomains.Load(log2n); ok {
+		return v.(*Domain), nil
+	}
+	d, err := NewDomain(minSize)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := sharedDomains.LoadOrStore(log2n, d)
+	return v.(*Domain), nil
 }
 
 // precomputeRoots builds per-level twiddle tables for an NTT of 2^log2n
@@ -193,12 +219,24 @@ func mulByPowers(a []ff.Fr, s *ff.Fr) {
 	}
 	parallel.For(len(a), parThreshold/2, func(start, end int) {
 		var acc ff.Fr
-		acc.Exp(s, big.NewInt(int64(start)))
+		expUint64(&acc, s, uint64(start))
 		for i := start; i < end; i++ {
 			a[i].Mul(&a[i], &acc)
 			acc.Mul(&acc, s)
 		}
 	})
+}
+
+// expUint64 sets z = s^e by square-and-multiply on machine words, keeping
+// the per-chunk ladder restart in mulByPowers free of big.Int allocations.
+func expUint64(z, s *ff.Fr, e uint64) {
+	z.SetOne()
+	for i := bits.Len64(e) - 1; i >= 0; i-- {
+		z.Mul(z, z)
+		if e&(1<<uint(i)) != 0 {
+			z.Mul(z, s)
+		}
+	}
 }
 
 // VanishingAtCoset returns Z_H(g·x) for x ∈ H, which is the constant

@@ -7,19 +7,21 @@ package qap
 import (
 	"fmt"
 
+	"zkvc/internal/arena"
 	"zkvc/internal/ff"
 	"zkvc/internal/parallel"
 	"zkvc/internal/poly"
 	"zkvc/internal/r1cs"
 )
 
-// Domain returns the evaluation domain sized for the system's constraints.
+// Domain returns the evaluation domain sized for the system's constraints
+// (process-wide cached: domains are immutable after construction).
 func Domain(sys *r1cs.System) (*poly.Domain, error) {
 	n := sys.NumConstraints()
 	if n == 0 {
 		n = 1
 	}
-	return poly.NewDomain(n)
+	return poly.Shared(n)
 }
 
 // EvalAtTau evaluates the QAP variable polynomials at a point τ:
@@ -54,6 +56,13 @@ func ABCEvals(sys *r1cs.System, z []ff.Fr, d *poly.Domain) (a, b, c []ff.Fr) {
 	a = make([]ff.Fr, d.N)
 	b = make([]ff.Fr, d.N)
 	c = make([]ff.Fr, d.N)
+	abcEvalsInto(sys, z, a, b, c)
+	return a, b, c
+}
+
+// abcEvalsInto fills zeroed length-d.N buffers with the per-constraint
+// inner products, so the prover can run it on rented scratch.
+func abcEvalsInto(sys *r1cs.System, z []ff.Fr, a, b, c []ff.Fr) {
 	parallel.For(len(sys.Constraints), 512, func(start, end int) {
 		for q := start; q < end; q++ {
 			a[q] = r1cs.EvalLC(sys.Constraints[q].A, z)
@@ -61,15 +70,22 @@ func ABCEvals(sys *r1cs.System, z []ff.Fr, d *poly.Domain) (a, b, c []ff.Fr) {
 			c[q] = r1cs.EvalLC(sys.Constraints[q].C, z)
 		}
 	})
-	return a, b, c
 }
 
 // HCoefficients computes the quotient h(X) = (A(X)·B(X) − C(X)) / Z_H(X)
 // on a coset (degree ≤ N−2, returned with N coefficients, the top one
 // zero). Returns an error when the assignment does not satisfy the system
-// (the division would not be exact).
+// (the division would not be exact). The three intermediate evaluation
+// vectors are rented scratch; only h itself is allocated (it escapes to
+// the prover's MSM, which may release it with arena.PutFrs when done).
 func HCoefficients(sys *r1cs.System, z []ff.Fr, d *poly.Domain) ([]ff.Fr, error) {
-	a, b, c := ABCEvals(sys, z, d)
+	a := arena.Frs(d.N)
+	b := arena.Frs(d.N)
+	c := arena.Frs(d.N)
+	defer arena.PutFrs(a)
+	defer arena.PutFrs(b)
+	defer arena.PutFrs(c)
+	abcEvalsInto(sys, z, a, b, c)
 	// To coefficients.
 	d.INTT(a)
 	d.INTT(b)

@@ -155,6 +155,22 @@ func NewBuilder() *Builder {
 // One returns the constant-1 wire.
 func (b *Builder) One() Var { return 0 }
 
+// Grow reserves capacity for at least n more constraints and v more wires,
+// so synthesis of circuits with known shape runs without append-growth
+// garbage. Underestimates are safe (appends fall back to growth).
+func (b *Builder) Grow(n, v int) {
+	if n > 0 && cap(b.constraints)-len(b.constraints) < n {
+		c := make([]Constraint, len(b.constraints), len(b.constraints)+n)
+		copy(c, b.constraints)
+		b.constraints = c
+	}
+	if v > 0 && cap(b.assignment)-len(b.assignment) < v {
+		a := make([]ff.Fr, len(b.assignment), len(b.assignment)+v)
+		copy(a, b.assignment)
+		b.assignment = a
+	}
+}
+
 // PublicInput allocates an instance wire with the given value.
 func (b *Builder) PublicInput(v ff.Fr) Var {
 	if b.sealed {

@@ -3,6 +3,8 @@ package server
 import (
 	"encoding/json"
 	"io"
+	"runtime"
+	rtmetrics "runtime/metrics"
 	"sync/atomic"
 
 	"zkvc"
@@ -147,6 +149,17 @@ type Snapshot struct {
 	Parallelism   int `json:"parallelism"`
 	ParallelInUse int `json:"parallel_in_use"`
 
+	// Memory-discipline gauges. The proving hot path recycles its scratch
+	// buffers through internal/arena, so under steady load the live heap
+	// and the GC pause total should both plateau; a service where either
+	// climbs with every proof has lost the pooled hot path (e.g. runs
+	// with ZKVC_NO_POOL set). HeapAllocBytes is the bytes currently
+	// occupied by live heap objects (runtime/metrics
+	// "/memory/classes/heap/objects:bytes"); GCPauseTotalNanos is the
+	// cumulative stop-the-world pause time since process start.
+	HeapAllocBytes    uint64 `json:"heap_alloc_bytes"`
+	GCPauseTotalNanos int64  `json:"gc_pause_total_nanos"`
+
 	PhaseNanos struct {
 		Synthesis int64 `json:"synthesis"`
 		Setup     int64 `json:"setup"`
@@ -190,6 +203,16 @@ func (m *metrics) snapshot(pool *parallel.Pool) Snapshot {
 		s.Parallelism = pool.Size()
 		s.ParallelInUse = pool.InUse()
 	}
+	sample := []rtmetrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	rtmetrics.Read(sample)
+	if sample[0].Value.Kind() == rtmetrics.KindUint64 {
+		s.HeapAllocBytes = sample[0].Value.Uint64()
+	}
+	// PauseTotalNs has no scalar runtime/metrics equivalent (only a
+	// histogram); ReadMemStats is exact and /metrics is polled, not hot.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.GCPauseTotalNanos = int64(ms.PauseTotalNs)
 	s.PhaseNanos.Synthesis = m.synthesisNanos.Load()
 	s.PhaseNanos.Setup = m.setupNanos.Load()
 	s.PhaseNanos.Prove = m.proveNanos.Load()

@@ -133,6 +133,15 @@ func TestServerCoalescingE2E(t *testing.T) {
 	if snap.PhaseNanos.Prove == 0 {
 		t.Error("per-phase prove timing not recorded")
 	}
+	// The memory gauges come from the runtime, not counters: live heap is
+	// never zero in a running process, and proving enough batches to get
+	// here has certainly triggered at least one GC cycle.
+	if snap.HeapAllocBytes == 0 {
+		t.Error("heap_alloc_bytes gauge is zero")
+	}
+	if snap.GCPauseTotalNanos == 0 {
+		t.Error("gc_pause_total_nanos gauge is zero")
+	}
 }
 
 // TestSingleProveCRSCache exercises the uncoalesced Groth16 path:

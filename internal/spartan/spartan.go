@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"zkvc/internal/arena"
 	"zkvc/internal/ff"
 	"zkvc/internal/mle"
 	"zkvc/internal/parallel"
@@ -58,13 +59,23 @@ func logDim(n int) int {
 	return k
 }
 
-// matrices extracts the three sparse matrix MLEs of the system.
+// matrices extracts the three sparse matrix MLEs of the system. Entry
+// slices are counted first and allocated exactly, avoiding the ~2×
+// append-growth garbage of the naive build.
 func matrices(sys *r1cs.System) (a, b, c *mle.Sparse) {
 	nCons := sys.NumConstraints()
 	if nCons == 0 {
 		nCons = 1
 	}
-	var ea, eb, ec []mle.SparseEntry
+	na, nb, nc := 0, 0, 0
+	for q := range sys.Constraints {
+		na += len(sys.Constraints[q].A)
+		nb += len(sys.Constraints[q].B)
+		nc += len(sys.Constraints[q].C)
+	}
+	ea := make([]mle.SparseEntry, 0, na)
+	eb := make([]mle.SparseEntry, 0, nb)
+	ec := make([]mle.SparseEntry, 0, nc)
 	for q := range sys.Constraints {
 		for _, t := range sys.Constraints[q].A {
 			ea = append(ea, mle.SparseEntry{Row: q, Col: int(t.V), Val: t.Coeff})
@@ -92,8 +103,12 @@ func Prove(sys *r1cs.System, z []ff.Fr, params pcs.Params) (*Proof, error) {
 	sx := logDim(sys.NumConstraints())
 	sy := logDim(sys.NumVars)
 
-	// Commit to the private slice (public slots zeroed).
-	priv := make([]ff.Fr, 1<<sy)
+	// Commit to the private slice (public slots zeroed). Every prover
+	// working vector below is rented scratch: the PCS copies priv into its
+	// own state, the sumchecks fold the vectors down to scalars, and the
+	// proof only ever captures plainly allocated copies — so each buffer
+	// is returned to the arena as soon as its protocol phase ends.
+	priv := arena.Frs(1 << sy)
 	for i := sys.NumPublic; i < sys.NumVars; i++ {
 		priv[i] = z[i]
 	}
@@ -108,9 +123,9 @@ func Prove(sys *r1cs.System, z []ff.Fr, params pcs.Params) (*Proof, error) {
 
 	// Sumcheck 1: 0 = Σ_x eq(τ,x)·(Az(x)·Bz(x) − Cz(x)).
 	tau := tr.ChallengeFrs("tau", sx)
-	az := make([]ff.Fr, 1<<sx)
-	bz := make([]ff.Fr, 1<<sx)
-	cz := make([]ff.Fr, 1<<sx)
+	az := arena.Frs(1 << sx)
+	bz := arena.Frs(1 << sx)
+	cz := arena.Frs(1 << sx)
 	parallel.For(len(sys.Constraints), 512, func(start, end int) {
 		for q := start; q < end; q++ {
 			az[q] = r1cs.EvalLC(sys.Constraints[q].A, z)
@@ -118,7 +133,12 @@ func Prove(sys *r1cs.System, z []ff.Fr, params pcs.Params) (*Proof, error) {
 			cz[q] = r1cs.EvalLC(sys.Constraints[q].C, z)
 		}
 	})
-	eqTau := &mle.Dense{NumVars: sx, Evals: mle.EqTable(tau)}
+	eqTab := arena.Frs(1 << sx)
+	mle.EqTableInto(tau, eqTab)
+	eqTab2 := arena.Frs(1 << sx)
+	copy(eqTab2, eqTab)
+	eqTau := &mle.Dense{NumVars: sx, Evals: eqTab}
+	eqTau2 := &mle.Dense{NumVars: sx, Evals: eqTab2}
 	azM := &mle.Dense{NumVars: sx, Evals: az}
 	bzM := &mle.Dense{NumVars: sx, Evals: bz}
 	czM := &mle.Dense{NumVars: sx, Evals: cz}
@@ -126,7 +146,7 @@ func Prove(sys *r1cs.System, z []ff.Fr, params pcs.Params) (*Proof, error) {
 	one.SetOne()
 	minusOne.Neg(&one)
 	ins1, err := sumcheck.NewInstance(sx, []sumcheck.Term{
-		{Coeff: one, Factors: []*mle.Dense{eqTau.Clone(), azM, bzM}},
+		{Coeff: one, Factors: []*mle.Dense{eqTau2, azM, bzM}},
 		{Coeff: minusOne, Factors: []*mle.Dense{eqTau, czM}},
 	})
 	if err != nil {
@@ -134,6 +154,11 @@ func Prove(sys *r1cs.System, z []ff.Fr, params pcs.Params) (*Proof, error) {
 	}
 	sum1, rx, finals1 := sumcheck.Prove(ins1, tr)
 	va, vb, vc := finals1[0][1], finals1[0][2], finals1[1][1]
+	arena.PutFrs(az)
+	arena.PutFrs(bz)
+	arena.PutFrs(cz)
+	arena.PutFrs(eqTab)
+	arena.PutFrs(eqTab2)
 	tr.AppendFr("va", &va)
 	tr.AppendFr("vb", &vb)
 	tr.AppendFr("vc", &vc)
@@ -143,22 +168,28 @@ func Prove(sys *r1cs.System, z []ff.Fr, params pcs.Params) (*Proof, error) {
 	rB := tr.ChallengeFr("rB")
 	rC := tr.ChallengeFr("rC")
 	ma, mb, mc := matrices(sys)
-	mzA := ma.BindRows(rx)
-	mzB := mb.BindRows(rx)
-	mzC := mc.BindRows(rx)
-	mz := make([]ff.Fr, 1<<sy)
+	mzA := arena.Frs(1 << sy)
+	mzB := arena.Frs(1 << sy)
+	mzC := arena.Frs(1 << sy)
+	ma.BindRowsInto(rx, mzA)
+	mb.BindRowsInto(rx, mzB)
+	mc.BindRowsInto(rx, mzC)
+	mz := arena.Frs(1 << sy)
 	parallel.For(len(mz), 2048, func(start, end int) {
 		var t ff.Fr
 		for y := start; y < end; y++ {
-			t.Mul(&rA, &mzA.Evals[y])
+			t.Mul(&rA, &mzA[y])
 			mz[y].Add(&mz[y], &t)
-			t.Mul(&rB, &mzB.Evals[y])
+			t.Mul(&rB, &mzB[y])
 			mz[y].Add(&mz[y], &t)
-			t.Mul(&rC, &mzC.Evals[y])
+			t.Mul(&rC, &mzC[y])
 			mz[y].Add(&mz[y], &t)
 		}
 	})
-	zPad := make([]ff.Fr, 1<<sy)
+	arena.PutFrs(mzA)
+	arena.PutFrs(mzB)
+	arena.PutFrs(mzC)
+	zPad := arena.Frs(1 << sy)
 	copy(zPad, z)
 	ins2, err := sumcheck.NewInstance(sy, []sumcheck.Term{
 		{Coeff: one, Factors: []*mle.Dense{
@@ -170,12 +201,16 @@ func Prove(sys *r1cs.System, z []ff.Fr, params pcs.Params) (*Proof, error) {
 		return nil, err
 	}
 	sum2, ry, _ := sumcheck.Prove(ins2, tr)
+	arena.PutFrs(mz)
+	arena.PutFrs(zPad)
 
 	// Witness evaluation: z̃(ry) = pub̃(ry) + priṽ(ry).
-	privM := mle.NewDense(priv)
+	privM := &mle.Dense{NumVars: sy, Evals: priv}
 	privEval := privM.Eval(ry)
 	tr.AppendFr("priv.eval", &privEval)
 	opening := st.Open(ry, tr)
+	arena.PutFrs(priv)
+	st.Release()
 
 	return &Proof{
 		Comm: *comm, Sum1: sum1, VA: va, VB: vb, VC: vc,

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"zkvc/internal/arena"
 	"zkvc/internal/ff"
 	"zkvc/internal/mle"
 	"zkvc/internal/parallel"
@@ -119,9 +120,9 @@ const roundGrain = 256
 // the result is identical at every parallelism level).
 func roundPolynomial(ins *Instance, deg int) []ff.Fr {
 	half := 1 << (factorVars(ins) - 1)
-	return parallel.MapReduce(parallel.Default(), half, roundGrain,
+	acc := parallel.MapReduce(parallel.Default(), half, roundGrain,
 		func(start, end int) []ff.Fr {
-			out := make([]ff.Fr, deg+1)
+			out := arena.Frs(deg + 1)
 			var prod, diff, ft ff.Fr
 			for _, term := range ins.Terms {
 				for x := start; x < end; x++ {
@@ -155,8 +156,15 @@ func roundPolynomial(ins *Instance, deg int) []ff.Fr {
 			for t := range acc {
 				acc[t].Add(&acc[t], &next[t])
 			}
+			arena.PutFrs(next)
 			return acc
 		})
+	// The round polynomial escapes into the proof, so it is copied out of
+	// the rented accumulator into plainly allocated memory.
+	evals := make([]ff.Fr, deg+1)
+	copy(evals, acc)
+	arena.PutFrs(acc)
+	return evals
 }
 
 func factorVars(ins *Instance) int {

@@ -6,7 +6,6 @@ package transcript
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"math/big"
 
 	"zkvc/internal/ff"
 )
@@ -14,6 +13,11 @@ import (
 // Transcript accumulates protocol messages and derives challenges. The
 // state after each message is H(state ‖ len(label) ‖ label ‖ data), so the
 // challenge stream binds every prior message and label.
+//
+// Absorbs and squeezes are allocation-free on the hot path: messages are
+// assembled in a fixed stack buffer and hashed with sha256.Sum256 (the
+// digest is bit-identical to the streaming sha256.New construction, which
+// remains as the fallback for oversized labels/data).
 type Transcript struct {
 	state   [32]byte
 	counter uint64
@@ -26,8 +30,25 @@ func New(label string) *Transcript {
 	return t
 }
 
+// absorbBufSize fits state ‖ len ‖ label ‖ len ‖ data for every message
+// the protocols in this repo absorb (labels are short, data is ≤48 bytes
+// on the per-element paths). Longer messages fall back to streaming.
+const absorbBufSize = 160
+
 // Append absorbs labeled bytes.
 func (t *Transcript) Append(label string, data []byte) {
+	if 32+8+len(label)+8+len(data) <= absorbBufSize {
+		var buf [absorbBufSize]byte
+		n := copy(buf[:], t.state[:])
+		binary.LittleEndian.PutUint64(buf[n:], uint64(len(label)))
+		n += 8
+		n += copy(buf[n:], label)
+		binary.LittleEndian.PutUint64(buf[n:], uint64(len(data)))
+		n += 8
+		n += copy(buf[n:], data)
+		t.state = sha256.Sum256(buf[:n])
+		return
+	}
 	h := sha256.New()
 	h.Write(t.state[:])
 	var lenBuf [8]byte
@@ -60,30 +81,53 @@ func (t *Transcript) AppendUint64(label string, v uint64) {
 	t.Append(label, b[:])
 }
 
+// squeeze fills out with pseudorandom bytes bound to the current state,
+// then folds the squeeze back into the state so later challenges differ.
+// It writes ⌈len(out)/32⌉ SHA-256 blocks without allocating.
+func (t *Transcript) squeeze(label string, out []byte) {
+	filled := 0
+	for filled < len(out) {
+		var digest [32]byte
+		if 32+len(label)+8 <= absorbBufSize {
+			var buf [absorbBufSize]byte
+			n := copy(buf[:], t.state[:])
+			n += copy(buf[n:], label)
+			binary.LittleEndian.PutUint64(buf[n:], t.counter)
+			n += 8
+			t.counter++
+			digest = sha256.Sum256(buf[:n])
+		} else {
+			h := sha256.New()
+			h.Write(t.state[:])
+			h.Write([]byte(label))
+			var c [8]byte
+			binary.LittleEndian.PutUint64(c[:], t.counter)
+			t.counter++
+			h.Write(c[:])
+			h.Sum(digest[:0])
+		}
+		filled += copy(out[filled:], digest[:])
+	}
+	t.Append("squeeze", []byte(label))
+}
+
 // ChallengeBytes squeezes n pseudorandom bytes bound to the current state.
 func (t *Transcript) ChallengeBytes(label string, n int) []byte {
-	out := make([]byte, 0, n)
-	for len(out) < n {
-		h := sha256.New()
-		h.Write(t.state[:])
-		h.Write([]byte(label))
-		var c [8]byte
-		binary.LittleEndian.PutUint64(c[:], t.counter)
-		t.counter++
-		h.Write(c[:])
-		out = h.Sum(out)
-	}
-	// Fold the squeeze back into the state so later challenges differ.
-	t.Append("squeeze", []byte(label))
+	// The squeeze pads to whole 32-byte blocks exactly like the previous
+	// h.Sum-append construction, so the byte stream is unchanged.
+	blocks := (n + 31) / 32 * 32
+	out := make([]byte, blocks)
+	t.squeeze(label, out)
 	return out[:n]
 }
 
 // ChallengeFr squeezes a field element. 48 bytes are reduced mod r, keeping
 // the modular bias below 2^{-128}.
 func (t *Transcript) ChallengeFr(label string) ff.Fr {
-	raw := t.ChallengeBytes(label, 48)
+	var raw [64]byte // two SHA-256 blocks; the reduction reads the first 48
+	t.squeeze(label, raw[:48])
 	var x ff.Fr
-	x.SetBig(new(big.Int).SetBytes(raw))
+	x.SetBytesWide(raw[:48])
 	return x
 }
 
@@ -100,9 +144,10 @@ func (t *Transcript) ChallengeFrs(label string, n int) []ff.Fr {
 // spot checks.
 func (t *Transcript) ChallengeIndices(label string, n, bound int) []int {
 	out := make([]int, n)
+	var raw [32]byte
 	for i := range out {
-		raw := t.ChallengeBytes(label, 8)
-		out[i] = int(binary.LittleEndian.Uint64(raw) % uint64(bound))
+		t.squeeze(label, raw[:8])
+		out[i] = int(binary.LittleEndian.Uint64(raw[:8]) % uint64(bound))
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"zkvc"
+	"zkvc/internal/arena"
 	"zkvc/internal/wire"
 )
 
@@ -81,6 +82,34 @@ func TestBatchProveBitIdenticalAcrossParallelism(t *testing.T) {
 	for _, par := range []int{2, 4} {
 		if got := proveAt(par); !bytes.Equal(seq, got) {
 			t.Fatalf("batch proof at parallelism %d differs from sequential", par)
+		}
+	}
+}
+
+// TestProveBitIdenticalPooledVsUnpooled pins the memory-discipline
+// contract of internal/arena end to end: proofs produced with pooled
+// scratch buffers must be byte-identical to proofs produced with pooling
+// disabled, at parallelism 1, 2 and 4 on both backends. The pooled runs
+// additionally poison every buffer returned to the arena with a nonzero
+// canary, so any code path that reads pooled memory without the zero-on-
+// checkout guarantee corrupts proof bytes loudly instead of silently.
+func TestProveBitIdenticalPooledVsUnpooled(t *testing.T) {
+	defer zkvc.SetParallelism(0)
+	defer arena.SetEnabled(true)
+	defer arena.SetPoison(false)
+	rng := mrand.New(mrand.NewSource(13))
+	x := zkvc.RandomMatrix(rng, 16, 24, 128)
+	w := zkvc.RandomMatrix(rng, 24, 32, 128)
+	for _, backend := range []zkvc.Backend{zkvc.Spartan, zkvc.Groth16} {
+		arena.SetEnabled(false)
+		arena.SetPoison(false)
+		ref := proveSingleAt(t, backend, 1, x, w)
+		arena.SetEnabled(true)
+		arena.SetPoison(true)
+		for _, par := range []int{1, 2, 4} {
+			if got := proveSingleAt(t, backend, par, x, w); !bytes.Equal(ref, got) {
+				t.Fatalf("%v: pooled proof at parallelism %d differs from unpooled reference", backend, par)
+			}
 		}
 	}
 }
