@@ -5,6 +5,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -60,6 +62,8 @@ func cmdServe(args []string) {
 	fs.Var(&nodes, "node", "prover node base URL (repeatable; coordinator mode)")
 	probeInterval := fs.Duration("probe-interval", time.Second, "node health-probe interval (coordinator mode)")
 	probeFailures := fs.Int("probe-failures", 2, "consecutive probe failures before a node stops receiving work (coordinator mode)")
+	replicas := fs.Int("replicas", 2, "nodes each attestation digest is replicated to for verify failover; f+1 tolerates f failures (coordinator mode)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the service address")
 
 	announce := fs.String("announce", "",
 		"coordinator base URL to register this node with (node mode); requires -advertise")
@@ -78,14 +82,15 @@ func cmdServe(args []string) {
 		ccfg.ProbeInterval = *probeInterval
 		ccfg.ProbeFailures = *probeFailures
 		ccfg.StreamWriteTimeout = *streamTimeout
+		ccfg.ReplicaCount = *replicas
 		c, err := cluster.New(ccfg)
 		if err != nil {
 			fatalf("serve: %v", err)
 		}
 		defer c.Close()
-		fmt.Printf("zkvc cluster coordinator on %s: %d static node(s), probe every %v\n",
-			*addr, len(nodes), *probeInterval)
-		if err := c.ListenAndServe(*addr); err != nil {
+		fmt.Printf("zkvc cluster coordinator on %s: %d static node(s), probe every %v, %d attestation replicas\n",
+			*addr, len(nodes), *probeInterval, ccfg.ReplicaCount)
+		if err := serveHTTP(*addr, c.Handler(), *pprofOn); err != nil {
 			fatalf("serve: %v", err)
 		}
 		return
@@ -107,26 +112,59 @@ func cmdServe(args []string) {
 	cfg.JobTTL = *jobTTL
 	cfg.TenantJobQuota = *tenantQuota
 
+	// The node's identity is fixed before the server starts: New wires
+	// the attestation replicator from NodeName + ReplicateTo, so both
+	// must be known here, not after the announce loop spins up.
+	name := *nodeName
+	if name == "" {
+		name = *advertise
+	}
+	if *announce != "" {
+		if *advertise == "" {
+			fatalf("serve: -announce requires -advertise (the URL the coordinator reaches this node at)")
+		}
+		cfg.NodeName = name
+		cfg.ReplicateTo = *announce
+	}
+
 	s, err := server.New(cfg)
 	if err != nil {
 		fatalf("serve: %v", err)
 	}
 	defer s.Close()
 	if *announce != "" {
-		if *advertise == "" {
-			fatalf("serve: -announce requires -advertise (the URL the coordinator reaches this node at)")
-		}
-		name := *nodeName
-		if name == "" {
-			name = *advertise
-		}
 		go announceLoop(s, *announce, name, *advertise, cfg.Workers, *heartbeat)
 	}
 	fmt.Printf("zkvc proving service on %s: backend %s, window %v, max batch %d, parallelism %d\n",
 		*addr, backend, *window, *maxBatch, zkvc.Parallelism())
-	if err := s.ListenAndServe(*addr); err != nil {
+	if err := serveHTTP(*addr, s.Handler(), *pprofOn); err != nil {
 		fatalf("serve: %v", err)
 	}
+}
+
+// serveHTTP serves h on addr, optionally with the pprof surface mounted
+// in front.
+func serveHTTP(addr string, h http.Handler, pprofOn bool) error {
+	if pprofOn {
+		h = withPprof(h)
+	}
+	hs := &http.Server{Addr: addr, Handler: h}
+	return hs.ListenAndServe()
+}
+
+// withPprof mounts net/http/pprof under /debug/pprof/ in front of h.
+// The handlers are registered explicitly — the service never serves
+// http.DefaultServeMux, so the profiling surface exists only behind
+// the -pprof flag.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 // announceLoop registers the node with a coordinator and keeps its
@@ -150,6 +188,8 @@ func announceLoop(s *server.Server, coordinatorURL, name, advertise string, work
 		err := c.Heartbeat(context.Background(), &wire.NodeHeartbeat{
 			Name:       name,
 			QueueUnits: snap.QueueDepth + snap.ModelOpsQueued,
+			DiskBytes:  snap.DiskBytes,
+			MemBytes:   snap.HeapAllocBytes,
 		})
 		var se *server.StatusError
 		if errors.As(err, &se) && se.Code == 404 {

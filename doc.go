@@ -97,6 +97,21 @@
 // ProveInference, the zkml Stop predicate) remain as thin deprecated
 // wrappers; new code should construct an Engine.
 //
+// # Operating the service
+//
+// The remote engines' issued-only verify policy is durable: a service
+// started with a journal directory appends every attestation to a
+// hash-chained issued log before responding and replays it on startup,
+// so a restart does not amnesty the service out of what it vouched for
+// (withdrawals are explicit tombstone records, not forgetting). In a
+// cluster, attestation digests additionally replicate through the
+// coordinator to f+1 nodes, so verify fails over when the issuing node
+// is dead instead of relaying its silence as "not issued". Operators
+// scrape GET /metrics/prometheus (text exposition format; issued-log,
+// disk and memory gauges, per-node series on the coordinator) and can
+// enable net/http/pprof with zkvc serve -pprof. README.md, "Operating
+// the service", has the full contract.
+//
 // # Memory discipline
 //
 // The proving hot path recycles its scratch memory — MLE tables,

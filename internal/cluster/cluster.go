@@ -25,10 +25,15 @@
 // exactly what Drain does on demand.
 //
 // Verify endpoints route by the same affinity as their prove
-// counterparts. That is what keeps the issued-proof policy sound
-// without a replicated log: the node that issued a proof is the only
-// one whose issued log can vouch for it, and affinity is how a
-// resubmitted proof finds that node again.
+// counterparts, so a resubmitted proof finds the node whose issued log
+// attests it. That affinity is backed by replication: every node pushes
+// its new (and withdrawn) attestation digests to the coordinator, which
+// fans each update out to the digest's ReplicaCount-node replica set,
+// so the policy survives f node failures with ReplicaCount = f+1 —
+// when the issuing node is unreachable, verification fails over to a
+// replica that holds the attestation (and re-checks the proof
+// cryptographically) instead of relaying a dead node's silence as "not
+// issued".
 package cluster
 
 import (
@@ -68,6 +73,11 @@ type Config struct {
 	// toward the client, exactly like server.Config.StreamWriteTimeout.
 	// 0 means 30s.
 	StreamWriteTimeout time.Duration
+	// ReplicaCount is how many nodes beyond the issuer each attestation
+	// digest is replicated to. To tolerate f simultaneous node failures
+	// set it to f+1: even with the issuer and f-1 replicas down, one
+	// replica still vouches. 0 means 2 (f = 1).
+	ReplicaCount int
 }
 
 // DefaultConfig returns a production-shaped coordinator configuration.
@@ -78,6 +88,7 @@ func DefaultConfig() Config {
 		ProbeFailures:      2,
 		ProbeTimeout:       5 * time.Second,
 		StreamWriteTimeout: 30 * time.Second,
+		ReplicaCount:       2,
 	}
 }
 
@@ -110,6 +121,11 @@ type node struct {
 	// queueUnits is the node's accepted-but-unproved work as of the last
 	// probe or heartbeat (matmul jobs + model ops).
 	queueUnits atomic.Int64
+	// diskBytes and memBytes are the node's on-disk state (journals plus
+	// issued log) and live heap, as of its last probe or heartbeat — the
+	// operator's per-node capacity gauges.
+	diskBytes atomic.Uint64
+	memBytes  atomic.Uint64
 
 	routed     atomic.Int64
 	failedOver atomic.Int64
@@ -157,6 +173,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.StreamWriteTimeout <= 0 {
 		cfg.StreamWriteTimeout = 30 * time.Second
+	}
+	if cfg.ReplicaCount <= 0 {
+		cfg.ReplicaCount = 2
 	}
 	c := &Coordinator{
 		cfg:        cfg,
@@ -281,6 +300,8 @@ func (c *Coordinator) probeLoop() {
 				n.fails.Store(0)
 				n.probeOK.Store(true)
 				n.queueUnits.Store(snap.QueueDepth + snap.ModelOpsQueued)
+				n.diskBytes.Store(snap.DiskBytes)
+				n.memBytes.Store(snap.HeapAllocBytes)
 			}(n)
 		}
 		wg.Wait()
@@ -354,7 +375,9 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/cluster/announce", c.handleAnnounce)
 	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /v1/cluster/drain", c.handleDrain)
+	mux.HandleFunc("POST /v1/cluster/attest", c.handleAttest)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /metrics/prometheus", c.handleMetricsProm)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	return mux
 }
@@ -404,6 +427,8 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	n.probeOK.Store(true)
 	n.queueUnits.Store(h.QueueUnits)
 	n.selfDraining.Store(h.Draining)
+	n.diskBytes.Store(h.DiskBytes)
+	n.memBytes.Store(h.MemBytes)
 	w.WriteHeader(http.StatusOK)
 }
 

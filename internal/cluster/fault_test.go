@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	mrand "math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -591,4 +592,102 @@ func runClusterCancelScenario(t *testing.T, seed int64) bool {
 		t.Fatalf("client-side cancel must not count as a node stream error: %+v", snap)
 	}
 	return true
+}
+
+// TestDeadIssuingNodeVerifyFailover is the replication tentpole's fault
+// drill: a report issued by a node that then dies must still verify
+// through the coordinator. The issuer replicated the attestation digest
+// upward on issue; the coordinator fanned it out to the digest's
+// replica set; so when the verify forward finds the issuer unreachable
+// it fails over to a replica that vouches — instead of relaying the
+// dead node's silence as a definitive "not issued".
+func TestDeadIssuingNodeVerifyFailover(t *testing.T) {
+	ccfg := cluster.DefaultConfig()
+	ccfg.ProbeInterval = time.Hour // the death goes unprobed: forwarding must cope
+	ccfg.ReplicaCount = 2
+	coord, coordTS := newCoordinator(t, ccfg)
+
+	// Each node needs its listen URL at construction time: server.New
+	// wires the replicator from NodeName + ReplicateTo, so bind first.
+	type fnode struct {
+		s    *server.Server
+		ts   *httptest.Server
+		name string
+	}
+	var nodes []*fnode
+	cc := server.NewClient(coordTS.URL)
+	for i := 0; i < 3; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := "http://" + l.Addr().String()
+		ncfg := nodeConfig(31)
+		ncfg.NodeName = name
+		ncfg.ReplicateTo = coordTS.URL
+		s, err := server.New(ncfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(s.Handler())
+		ts.Listener = l
+		ts.Start()
+		n := &fnode{s: s, ts: ts, name: name}
+		nodes = append(nodes, n)
+		t.Cleanup(func() {
+			n.ts.Close()
+			n.s.Close()
+		})
+		if err := cc.Announce(tctx, &wire.NodeAnnounce{Name: name, URL: name, Workers: 1}); err != nil {
+			t.Fatalf("announce node %d: %v", i, err)
+		}
+	}
+
+	cc.Tenant = "failover-verify"
+	rep, err := cc.ProveModel(tctx, modelRequest(t, zkvc.Spartan, 31)).Report()
+	if err != nil {
+		t.Fatalf("model prove through coordinator: %v", err)
+	}
+
+	// Replication is asynchronous (issuer → coordinator → replicas);
+	// wait until both non-issuing nodes hold the replicated digest
+	// before pulling the plug.
+	var issuer *fnode
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		issuer = nil
+		replicated := 0
+		for _, n := range nodes {
+			snap := n.s.Metrics()
+			if snap.ModelJobsProved > 0 {
+				issuer = n
+			} else if snap.ReplicatedAttestations > 0 {
+				replicated++
+			}
+		}
+		if issuer != nil && replicated == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("attestation never reached both replicas (issuer found: %v, replicas holding it: %d)",
+				issuer != nil, replicated)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Kill the issuing node — unprobed, the coordinator still believes
+	// it healthy and will try it first.
+	issuer.ts.Close()
+	issuer.s.Close()
+
+	if err := cc.VerifyModel(tctx, rep); err != nil {
+		t.Fatalf("verify of the dead issuer's report did not fail over to a replica: %v", err)
+	}
+	snap := coord.Metrics()
+	if snap.AttestUpdates < 1 {
+		t.Fatalf("coordinator relayed no attestation updates: %+v", snap)
+	}
+	if snap.FailedOver < 1 {
+		t.Fatalf("verify succeeded without a recorded failover — did the dead node answer? %+v", snap)
+	}
 }

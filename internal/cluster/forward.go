@@ -90,11 +90,21 @@ func retryable(resp *http.Response, err error) bool {
 // failing a shed verify over to another node would turn a transient
 // "busy" into a definitive (and wrong) "not issued by this service".
 // Verify requests therefore relay the 503 verbatim — honestly
-// retryable — and fail over only when the node is unreachable, in which
-// case its attestations are gone with it and the fallback node's policy
-// rejection is the truthful service answer (same as attestation expiry).
+// retryable — and fail over only when the node is unreachable. The
+// fallback for verify is the digest's replica set (verifyCandidates):
+// a replica holding the replicated attestation vouches in the issuer's
+// stead, and only if no candidate holds it is the policy rejection the
+// service's answer (same as attestation expiry).
 func (c *Coordinator) forwardBuffered(w http.ResponseWriter, r *http.Request, path string, key []byte, body []byte, failover503 bool) {
-	nodes := c.healthyRanked(key)
+	c.forwardToCandidates(w, r, path, c.healthyRanked(key), body, failover503)
+}
+
+// forwardToCandidates relays one buffered exchange to the first
+// candidate node that produces an answer, in the order given. It is
+// forwardBuffered with the candidate ordering factored out: prove paths
+// pass plain affinity order, verify paths pass verifyCandidates — the
+// issuer first, then the digest's attestation replicas.
+func (c *Coordinator) forwardToCandidates(w http.ResponseWriter, r *http.Request, path string, nodes []*node, body []byte, failover503 bool) {
 	if len(nodes) == 0 {
 		c.metrics.unroutable.Add(1)
 		http.Error(w, "no healthy prover nodes", http.StatusServiceUnavailable)
@@ -218,7 +228,8 @@ func (c *Coordinator) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := matmulKey(r.Header.Get(server.TenantHeader), req.X.Rows, req.X.Cols, req.Proof.Y.Cols, c.cfg.Opts)
-	c.forwardBuffered(w, r, "/v1/verify", key, raw, false)
+	digest := server.IssuedDigest(req.X, req.Proof, 0)
+	c.forwardToCandidates(w, r, "/v1/verify", c.verifyCandidates(key, digest), raw, false)
 }
 
 // handleVerifyBatch routes by the first statement's shape: every job in
@@ -237,7 +248,8 @@ func (c *Coordinator) handleVerifyBatch(w http.ResponseWriter, r *http.Request) 
 	}
 	x := resp.Xs[0]
 	key := matmulKey(r.Header.Get(server.TenantHeader), x.Rows, x.Cols, resp.Batch.Shapes[0][2], c.cfg.Opts)
-	c.forwardBuffered(w, r, "/v1/verify/batch", key, raw, false)
+	digest := server.IssuedBatchDigest(resp)
+	c.forwardToCandidates(w, r, "/v1/verify/batch", c.verifyCandidates(key, digest), raw, false)
 }
 
 // handleVerifyModel routes a report verification — legacy mode-less or
@@ -282,8 +294,10 @@ func (c *Coordinator) handleVerifyModel(w http.ResponseWriter, r *http.Request) 
 			return
 		}
 	}
-	key := modelKeyFromReport(r.Header.Get(server.TenantHeader), rep)
-	c.forwardBuffered(w, r, path, key, raw, false)
+	tenant := r.Header.Get(server.TenantHeader)
+	key := modelKeyFromReport(tenant, rep)
+	digest := server.ReportDigest(rep, tenant)
+	c.forwardToCandidates(w, r, path, c.verifyCandidates(key, digest), raw, false)
 }
 
 // errClientGone marks a relay failure on the client side of the stream;

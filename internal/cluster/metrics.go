@@ -18,6 +18,11 @@ type clusterMetrics struct {
 	// jobsRouted counts async job submissions accepted through the
 	// cluster (each also counts in routed).
 	jobsRouted atomic.Int64
+	// attestUpdates counts attestation updates fanned out to replica
+	// sets; attestFailures counts per-replica pushes that failed (the
+	// replica misses that update — best-effort by design).
+	attestUpdates  atomic.Int64
+	attestFailures atomic.Int64
 }
 
 // NodeStatus is one node's row in the cluster snapshot.
@@ -38,6 +43,10 @@ type NodeStatus struct {
 	FailedOver int64 `json:"failed_over"`
 	// ProbeFailures is the current consecutive-failure streak.
 	ProbeFailures int64 `json:"probe_failures"`
+	// DiskBytes is the node's on-disk state (job journals plus issued
+	// log) and MemBytes its live heap, as of its last probe or heartbeat.
+	DiskBytes uint64 `json:"disk_bytes"`
+	MemBytes  uint64 `json:"mem_bytes"`
 }
 
 // Snapshot is the JSON shape of the coordinator's GET /metrics.
@@ -61,21 +70,27 @@ type Snapshot struct {
 	// cluster; JobRoutes is the live size of the jobID→node table.
 	JobsRouted int64 `json:"cluster_jobs_routed"`
 	JobRoutes  int   `json:"cluster_job_routes"`
+	// AttestUpdates counts attestation updates fanned out to replica
+	// sets; AttestFailures counts per-replica pushes that failed.
+	AttestUpdates  int64 `json:"cluster_attest_updates"`
+	AttestFailures int64 `json:"cluster_attest_failures"`
 }
 
 // Metrics returns a point-in-time snapshot of the cluster state.
 func (c *Coordinator) Metrics() Snapshot {
 	nodes := c.snapshotNodes()
 	s := Snapshot{
-		Nodes:        make([]NodeStatus, len(nodes)),
-		Routed:       c.metrics.routed.Load(),
-		Retried:      c.metrics.retried.Load(),
-		FailedOver:   c.metrics.failedOver.Load(),
-		StreamErrors: c.metrics.streamErrors.Load(),
-		Unroutable:   c.metrics.unroutable.Load(),
-		Announces:    c.metrics.announces.Load(),
-		JobsRouted:   c.metrics.jobsRouted.Load(),
-		JobRoutes:    c.jobRoutes.len(),
+		Nodes:          make([]NodeStatus, len(nodes)),
+		Routed:         c.metrics.routed.Load(),
+		Retried:        c.metrics.retried.Load(),
+		FailedOver:     c.metrics.failedOver.Load(),
+		StreamErrors:   c.metrics.streamErrors.Load(),
+		Unroutable:     c.metrics.unroutable.Load(),
+		Announces:      c.metrics.announces.Load(),
+		JobsRouted:     c.metrics.jobsRouted.Load(),
+		JobRoutes:      c.jobRoutes.len(),
+		AttestUpdates:  c.metrics.attestUpdates.Load(),
+		AttestFailures: c.metrics.attestFailures.Load(),
 	}
 	for i, n := range nodes {
 		s.Nodes[i] = NodeStatus{
@@ -88,6 +103,8 @@ func (c *Coordinator) Metrics() Snapshot {
 			Routed:        n.routed.Load(),
 			FailedOver:    n.failedOver.Load(),
 			ProbeFailures: n.fails.Load(),
+			DiskBytes:     n.diskBytes.Load(),
+			MemBytes:      n.memBytes.Load(),
 		}
 	}
 	return s

@@ -1,0 +1,68 @@
+package cluster
+
+// Prometheus-text rendering of the coordinator metrics. Cluster-wide
+// counters come first; per-node state is emitted as labeled series
+// (node="<name>") so one scrape of the coordinator shows every prover's
+// health, queue, disk and memory without scraping the nodes themselves.
+
+import (
+	"bytes"
+	"net/http"
+
+	"zkvc/internal/promtext"
+)
+
+func (c *Coordinator) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	snap := c.Metrics()
+	var buf bytes.Buffer
+	p := promtext.NewWriter(&buf)
+
+	p.Counter("zkvc_cluster_routed_total", float64(snap.Routed))
+	p.Counter("zkvc_cluster_retried_total", float64(snap.Retried))
+	p.Counter("zkvc_cluster_failovers_total", float64(snap.FailedOver))
+	p.Counter("zkvc_cluster_stream_errors_total", float64(snap.StreamErrors))
+	p.Counter("zkvc_cluster_unroutable_total", float64(snap.Unroutable))
+	p.Counter("zkvc_cluster_announces_total", float64(snap.Announces))
+	p.Counter("zkvc_cluster_jobs_routed_total", float64(snap.JobsRouted))
+	p.Gauge("zkvc_cluster_job_routes", float64(snap.JobRoutes))
+	p.Counter("zkvc_cluster_attest_updates_total", float64(snap.AttestUpdates))
+	p.Counter("zkvc_cluster_attest_failures_total", float64(snap.AttestFailures))
+
+	bool01 := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	// One family at a time: the exposition format wants all samples of a
+	// metric in one contiguous group, so iterate metrics outer, nodes
+	// inner.
+	nodeGauge := func(name string, value func(*NodeStatus) float64) {
+		for i := range snap.Nodes {
+			n := &snap.Nodes[i]
+			p.Gauge(name, value(n), promtext.Label{Name: "node", Value: n.Name})
+		}
+	}
+	nodeCounter := func(name string, value func(*NodeStatus) float64) {
+		for i := range snap.Nodes {
+			n := &snap.Nodes[i]
+			p.Counter(name, value(n), promtext.Label{Name: "node", Value: n.Name})
+		}
+	}
+	nodeGauge("zkvc_node_healthy", func(n *NodeStatus) float64 { return bool01(n.Healthy) })
+	nodeGauge("zkvc_node_draining", func(n *NodeStatus) float64 { return bool01(n.Draining) })
+	nodeGauge("zkvc_node_queue_units", func(n *NodeStatus) float64 { return float64(n.QueueUnits) })
+	nodeGauge("zkvc_node_workers", func(n *NodeStatus) float64 { return float64(n.Workers) })
+	nodeCounter("zkvc_node_routed_total", func(n *NodeStatus) float64 { return float64(n.Routed) })
+	nodeCounter("zkvc_node_failovers_total", func(n *NodeStatus) float64 { return float64(n.FailedOver) })
+	nodeGauge("zkvc_node_probe_failures", func(n *NodeStatus) float64 { return float64(n.ProbeFailures) })
+	nodeGauge("zkvc_node_disk_bytes", func(n *NodeStatus) float64 { return float64(n.DiskBytes) })
+	nodeGauge("zkvc_node_mem_bytes", func(n *NodeStatus) float64 { return float64(n.MemBytes) })
+
+	if p.Err() != nil {
+		http.Error(w, "rendering metrics failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", promtext.ContentType)
+	w.Write(buf.Bytes())
+}

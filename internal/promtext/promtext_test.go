@@ -1,0 +1,77 @@
+package promtext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriterOutputValidates(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewWriter(&buf)
+	p.Counter("reqs_total", 42)
+	p.Gauge("queue_depth", 3.5)
+	p.Counter("phase_nanos_total", 100, Label{Name: "phase", Value: "prove"})
+	p.Counter("phase_nanos_total", 200, Label{Name: "phase", Value: "verify"})
+	p.Gauge("weird", 1, Label{Name: "x", Value: "a\\b\"c\nd"})
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := Validate([]byte(out)); err != nil {
+		t.Fatalf("writer output fails its own validator: %v\n%s", err, out)
+	}
+	if got := strings.Count(out, "# TYPE phase_nanos_total counter"); got != 1 {
+		t.Errorf("TYPE line for phase_nanos_total emitted %d times, want 1", got)
+	}
+	if !strings.Contains(out, `weird{x="a\\b\"c\nd"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+}
+
+func TestWriterRejectsBadNamesAndTypeFlips(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewWriter(&buf)
+	p.Counter("1bad", 1)
+	if p.Err() == nil {
+		t.Error("metric name starting with a digit accepted")
+	}
+	p = NewWriter(&buf)
+	p.Counter("m", 1)
+	p.Gauge("m", 2)
+	if p.Err() == nil {
+		t.Error("same family emitted as counter then gauge accepted")
+	}
+	p = NewWriter(&buf)
+	p.Gauge("m", 1, Label{Name: "bad-label", Value: "v"})
+	if p.Err() == nil {
+		t.Error("label name with a dash accepted")
+	}
+}
+
+func TestValidateRejectsMalformedPayloads(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"no final newline":   "# TYPE a counter\na 1",
+		"sample before TYPE": "a 1\n",
+		"unknown type":       "# TYPE a widget\na 1\n",
+		"duplicate TYPE":     "# TYPE a counter\na 1\n# TYPE a counter\n",
+		"bad value":          "# TYPE a counter\na xyz\n",
+		"blank line":         "# TYPE a counter\n\na 1\n",
+		"unterminated label": "# TYPE a counter\na{x=\"v 1\n",
+		"unquoted label":     "# TYPE a counter\na{x=v} 1\n",
+		"stray comment":      "# a comment\n",
+		"missing value":      "# TYPE a counter\na\n",
+		"bad escape":         "# TYPE a counter\na{x=\"\\q\"} 1\n",
+		"trailing comma":     "# TYPE a counter\na{x=\"v\",} 1\n",
+	}
+	for name, payload := range cases {
+		if err := Validate([]byte(payload)); err == nil {
+			t.Errorf("%s: validated:\n%q", name, payload)
+		}
+	}
+	good := "# TYPE a counter\na 1\na{x=\"v\"} 2.5\n# TYPE b gauge\n# HELP b free text\nb{p=\"q\",r=\"s\"} -3e7 1700000000\n"
+	if err := Validate([]byte(good)); err != nil {
+		t.Errorf("well-formed payload rejected: %v", err)
+	}
+}

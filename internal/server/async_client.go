@@ -142,13 +142,21 @@ func rejectionError(resp *http.Response, raw []byte) error {
 }
 
 // rejectionWait extracts the server's Retry-After advice from a 429
-// (typed body first, header as fallback), capped by RetryCap.
+// (typed body first, header as fallback), capped by RetryCap. The
+// header may legally be either delay-seconds or an HTTP-date (RFC 9110
+// §10.2.3); both forms are honored.
 func (c *AsyncClient) rejectionWait(resp *http.Response, raw []byte) time.Duration {
 	wait := c.retryBase()
 	if st, err := wire.DecodeJobStatus(raw); err == nil && st.RetryAfterSeconds > 0 {
 		wait = time.Duration(st.RetryAfterSeconds) * time.Second
-	} else if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
-		wait = time.Duration(v) * time.Second
+	} else if hdr := resp.Header.Get("Retry-After"); hdr != "" {
+		if v, err := strconv.Atoi(hdr); err == nil && v > 0 {
+			wait = time.Duration(v) * time.Second
+		} else if at, err := http.ParseTime(hdr); err == nil {
+			if until := time.Until(at); until > 0 {
+				wait = until
+			}
+		}
 	}
 	if cap := c.retryCap(); wait > cap {
 		wait = cap

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRejectionWaitParsesHTTPDate: RFC 9110 allows Retry-After to be an
+// HTTP-date as well as delay-seconds; a client that only parses the
+// integer form silently falls back to its 100ms base and hammers a
+// server that asked for a long pause. Both forms must be honored.
+func TestRejectionWaitParsesHTTPDate(t *testing.T) {
+	c := NewAsyncClient("http://unused")
+	c.RetryCap = time.Minute
+	resp := &http.Response{Header: http.Header{}}
+
+	resp.Header.Set("Retry-After", time.Now().Add(10*time.Second).UTC().Format(http.TimeFormat))
+	if wait := c.rejectionWait(resp, nil); wait <= 8*time.Second || wait > 10*time.Second {
+		t.Errorf("HTTP-date 10s ahead: wait = %v, want in (8s, 10s]", wait)
+	}
+
+	resp.Header.Set("Retry-After", "3")
+	if wait := c.rejectionWait(resp, nil); wait != 3*time.Second {
+		t.Errorf("delay-seconds form: wait = %v, want 3s", wait)
+	}
+
+	// A date already in the past means "no wait required": fall back to
+	// the base backoff rather than sleeping a negative duration or zero.
+	resp.Header.Set("Retry-After", time.Now().Add(-10*time.Second).UTC().Format(http.TimeFormat))
+	if wait := c.rejectionWait(resp, nil); wait != c.retryBase() {
+		t.Errorf("past HTTP-date: wait = %v, want base %v", wait, c.retryBase())
+	}
+
+	// Garbage is neither form: base backoff again.
+	resp.Header.Set("Retry-After", "soon-ish")
+	if wait := c.rejectionWait(resp, nil); wait != c.retryBase() {
+		t.Errorf("malformed header: wait = %v, want base %v", wait, c.retryBase())
+	}
+
+	// RetryCap bounds the advice in either form.
+	c.RetryCap = 2 * time.Second
+	resp.Header.Set("Retry-After", time.Now().Add(10*time.Minute).UTC().Format(http.TimeFormat))
+	if wait := c.rejectionWait(resp, nil); wait != 2*time.Second {
+		t.Errorf("capped HTTP-date: wait = %v, want 2s", wait)
+	}
+}

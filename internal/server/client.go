@@ -330,3 +330,12 @@ func (c *Client) Heartbeat(ctx context.Context, h *wire.NodeHeartbeat) error {
 	_, err := c.post(ctx, "/v1/cluster/heartbeat", wire.EncodeNodeHeartbeat(h))
 	return err
 }
+
+// Attest pushes an attestation update: to a coordinator (which fans it
+// out to the digests' replica nodes) or directly to a peer node (which
+// ingests it into its replicated set) — both serve POST
+// /v1/cluster/attest.
+func (c *Client) Attest(ctx context.Context, u *wire.AttestationUpdate) error {
+	_, err := c.post(ctx, "/v1/cluster/attest", wire.EncodeAttestationUpdate(u))
+	return err
+}

@@ -2,6 +2,8 @@ package server
 
 import (
 	mrand "math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"zkvc"
@@ -14,21 +16,25 @@ func TestIssuedLogEviction(t *testing.T) {
 	l := newIssuedLog(3)
 	d := func(b byte) [32]byte { return [32]byte{b} }
 
-	l.add(d(1))
-	l.add(d(2))
-	l.add(d(1)) // duplicate, must not evict anything
-	l.add(d(3))
+	l.add(d(1), 0)
+	l.add(d(2), 0)
+	if l.add(d(1), 0) { // duplicate, must not evict anything
+		t.Error("duplicate add reported an insertion")
+	}
+	l.add(d(3), 0)
 	for _, b := range []byte{1, 2, 3} {
 		if !l.has(d(b)) {
 			t.Fatalf("digest %d missing before eviction", b)
 		}
 	}
 
-	l.add(d(4)) // evicts 1
+	if !l.add(d(4), 0) { // evicts 1
+		t.Error("fresh add did not report an insertion")
+	}
 	if l.has(d(1)) {
 		t.Error("oldest digest survived eviction")
 	}
-	l.add(d(5)) // evicts 2
+	l.add(d(5), 0) // evicts 2
 	if l.has(d(2)) {
 		t.Error("second digest survived eviction")
 	}
@@ -36,6 +42,162 @@ func TestIssuedLogEviction(t *testing.T) {
 		if !l.has(d(b)) {
 			t.Errorf("digest %d missing after eviction", b)
 		}
+	}
+}
+
+// TestIssuedLogDurability: adds and tombstones replay across a
+// close/reopen cycle — the restart-amnesia fix at the unit level.
+func TestIssuedLogDurability(t *testing.T) {
+	dir := t.TempDir()
+	d := func(b byte) [32]byte { return [32]byte{b} }
+
+	l, err := openIssuedLog(issuedLogCap, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.add(d(1), 7)
+	l.add(d(2), 0)
+	l.add(d(3), 0)
+	if !l.remove(d(2)) {
+		t.Fatal("remove of a present digest reported absent")
+	}
+	l.close()
+
+	l2, err := openIssuedLog(issuedLogCap, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.close()
+	if !l2.has(d(1)) || !l2.has(d(3)) {
+		t.Error("attestations lost across reopen")
+	}
+	if l2.has(d(2)) {
+		t.Error("tombstoned attestation resurrected by reopen")
+	}
+	if e := l2.set[d(1)]; e.tag != 7 {
+		t.Errorf("CRS tag not recovered: got %d, want 7", e.tag)
+	}
+	live, records, bytes, errs := l2.stats()
+	if live != 2 || records != 4 || bytes == 0 || errs != 0 {
+		t.Errorf("stats after reopen: live=%d records=%d bytes=%d errs=%d, want 2/4/>0/0",
+			live, records, bytes, errs)
+	}
+	// The log keeps accepting appends after a reopen (the chain resumed
+	// where the file left off).
+	l2.add(d(4), 0)
+	l2.close()
+	l3, err := openIssuedLog(issuedLogCap, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.close()
+	if !l3.has(d(4)) {
+		t.Error("post-reopen append lost on the next reopen")
+	}
+}
+
+// TestIssuedLogTornTail: bytes chopped off (or flipped) mid-record are
+// truncated back to the intact prefix, like a job journal's torn tail.
+func TestIssuedLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d := func(b byte) [32]byte { return [32]byte{b} }
+	l, err := openIssuedLog(issuedLogCap, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.add(d(1), 0)
+	l.add(d(2), 0)
+	l.add(d(3), 0)
+	l.close()
+
+	path := filepath.Join(dir, issuedLogFile)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := openIssuedLog(issuedLogCap, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l2.has(d(1)) || !l2.has(d(2)) {
+		t.Error("intact prefix lost with the torn tail")
+	}
+	if l2.has(d(3)) {
+		t.Error("torn record replayed as an attestation")
+	}
+	if fi2, err := os.Stat(path); err != nil || fi2.Size() >= fi.Size()-5 {
+		t.Errorf("torn tail not truncated off the file: %v, size %d", err, fi2.Size())
+	}
+	l2.close()
+
+	// A flipped byte inside an early record breaks the hash chain there:
+	// everything from that record on is the torn tail.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := openIssuedLog(issuedLogCap, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.close()
+	if l3.has(d(2)) {
+		t.Error("record after a chain break replayed as an attestation")
+	}
+}
+
+// TestIssuedLogCompaction: once dead records outgrow the live set by the
+// slack, the file is rewritten to just the live adds — and the rewritten
+// log still replays correctly.
+func TestIssuedLogCompaction(t *testing.T) {
+	old := issuedCompactSlack
+	issuedCompactSlack = 4
+	defer func() { issuedCompactSlack = old }()
+
+	dir := t.TempDir()
+	d := func(b byte) [32]byte { return [32]byte{b} }
+	l, err := openIssuedLog(issuedLogCap, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.add(d(1), 3)
+	l.add(d(2), 0)
+	// Each add+remove pair leaves two dead records; with 2 live, the
+	// trigger is records-live > live+4, i.e. more than 6 dead.
+	for i := byte(10); i < 18; i++ {
+		l.add(d(i), 0)
+		l.remove(d(i))
+	}
+	_, records, _, _ := l.stats()
+	if records != 2 {
+		t.Errorf("log not compacted: %d records on disk, want 2", records)
+	}
+	// Compaction still appends-after: new adds land in the rewritten file.
+	l.add(d(3), 0)
+	l.close()
+
+	l2, err := openIssuedLog(issuedLogCap, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.close()
+	for _, b := range []byte{1, 2, 3} {
+		if !l2.has(d(b)) {
+			t.Errorf("digest %d missing after compaction + reopen", b)
+		}
+	}
+	if e := l2.set[d(1)]; e.tag != 3 {
+		t.Errorf("CRS tag lost in compaction: got %d, want 3", e.tag)
+	}
+	if live, records, _, _ := l2.stats(); live != 3 || records != 3 {
+		t.Errorf("after compaction + reopen: live=%d records=%d, want 3/3", live, records)
 	}
 }
 

@@ -145,9 +145,13 @@ func (j *asyncJob) run(s *Server, _ *zkvc.MatMulProver) {
 		// Attest the journaled report exactly like a streamed one: the
 		// digest binds header, op frames in sequence order, and tenant,
 		// so /v1/verify/model vouches for the reassembled report until
-		// the reaper withdraws it.
+		// the reaper withdraws it. The attestation is memory-only in the
+		// issued log — the journal is its durable record, and recovery
+		// re-attests exactly the journals that are still complete.
 		d := modelReportDigest(j.header, j.opHashes, j.tenant)
-		s.issued.add(d)
+		if s.issued.addMem(d) {
+			s.replicate([][sha256.Size]byte{d}, nil)
+		}
 		j.mu.Lock()
 		j.digest, j.attested = d, true
 		j.state = wire.JobDone
@@ -418,7 +422,9 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(wire.EncodeJobStatus(j.status(s.metrics.queueUnits.Load())))
+	if _, err := w.Write(wire.EncodeJobStatus(j.status(s.metrics.queueUnits.Load()))); err != nil {
+		s.metrics.countWriteError(err)
+	}
 }
 
 func (s *Server) handleJobStreamGet(w http.ResponseWriter, r *http.Request) {
@@ -458,6 +464,16 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, id string, fr
 	j := s.jobs.get(id, r.Header.Get(TenantHeader))
 	if j == nil {
 		http.Error(w, "no such job (it may have expired and been reaped)", http.StatusNotFound)
+		return
+	}
+	// On a terminal journal, a resume point beyond the last frame can
+	// never be satisfied — replying with an empty 200 would be exactly
+	// the silent truncation the stream contract forbids (the client
+	// would read "nothing new" when really its ack state is ahead of
+	// anything this journal ever held). Reject it loudly. from == n
+	// stays legal: the client holds everything and drains zero frames.
+	if n, done := j.jl.frames(); done && from > n {
+		http.Error(w, fmt.Sprintf("from=%d is beyond the stream's final frame count %d", from, n), http.StatusBadRequest)
 		return
 	}
 	if from > 0 {
@@ -508,7 +524,12 @@ func (s *Server) reapJob(id, reason string) {
 	j.jl.removeFile()
 	j.mu.Lock()
 	if j.attested {
-		s.issued.remove(j.digest)
+		// Deleting the journal IS the durable withdrawal (recovery only
+		// re-attests journals it can still read complete); here the
+		// in-memory attestation goes, and the cluster learns the removal.
+		if s.issued.removeMem(j.digest) {
+			s.replicate(nil, [][sha256.Size]byte{j.digest})
+		}
 		j.attested = false
 	}
 	j.mu.Unlock()
@@ -559,6 +580,8 @@ func (s *Server) recoverJobs() error {
 			continue
 		}
 		if !rec.jl.deadline.IsZero() && now.After(rec.jl.deadline) {
+			// Expired while the process was down: reap it now, before
+			// the complete branch below would have re-attested it.
 			rec.jl.removeFile()
 			s.metrics.jobsReaped.Add(1)
 			continue
@@ -577,7 +600,10 @@ func (s *Server) recoverJobs() error {
 			j.state = wire.JobDone
 			j.digest = modelReportDigest(rec.header, rec.opHashes, rec.jl.tenant)
 			j.attested = true
-			s.issued.add(j.digest)
+			// Journal-backed attestation, rebuilt from the journal on
+			// every restart (memory-only in the issued log; see addMem).
+			s.issued.addMem(j.digest)
+			s.replicate([][sha256.Size]byte{j.digest}, nil)
 		case rec.jl.errMsg != "":
 			j.state = wire.JobFailed
 		default:

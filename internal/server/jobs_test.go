@@ -278,6 +278,23 @@ func readFrames(t *testing.T, body io.Reader, max int) [][]byte {
 	return frames
 }
 
+// journalFiles lists the *.journal files in a journal directory (which
+// also holds the durable issued log, so a raw ReadDir over-counts).
+func journalFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".journal") {
+			names = append(names, ent.Name())
+		}
+	}
+	return names
+}
+
 // assembleReport decodes a full frame sequence (header first) through
 // the same trust boundary the client uses.
 func assembleReport(t *testing.T, frames [][]byte) *zkml.Report {
@@ -550,15 +567,13 @@ func TestJobTTLReaperWithdrawsAttestation(t *testing.T) {
 	}
 
 	// The journal file is named after the job ID — the one completed job
-	// in this directory is the one to expire.
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
+	// in this directory is the one to expire. (The directory also holds
+	// the durable issued log; only *.journal files are job journals.)
+	journals := journalFiles(t, dir)
+	if len(journals) != 1 {
+		t.Fatalf("journal dir holds %d journals, want 1", len(journals))
 	}
-	if len(entries) != 1 {
-		t.Fatalf("journal dir holds %d files, want 1", len(entries))
-	}
-	id := strings.TrimSuffix(entries[0].Name(), ".journal")
+	id := strings.TrimSuffix(journals[0], ".journal")
 	if !server.ExpireJob(s, id) {
 		t.Fatalf("job %s not in the store", id)
 	}
@@ -566,15 +581,12 @@ func TestJobTTLReaperWithdrawsAttestation(t *testing.T) {
 	// Wait for the reaper. The journal and the attestation must both go.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		entries, err := os.ReadDir(dir)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(entries) == 0 {
+		journals := journalFiles(t, dir)
+		if len(journals) == 0 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("journal never reaped; %d files remain", len(entries))
+			t.Fatalf("journal never reaped; %d journals remain", len(journals))
 		}
 		time.Sleep(20 * time.Millisecond)
 	}

@@ -205,6 +205,15 @@ func (jl *journal) frame(ctx context.Context, k int) (payload []byte, ok bool) {
 	}
 }
 
+// frames reports how many stream frames exist right now (the manifest
+// record is not a frame) and whether the journal is terminal — i.e.
+// whether that count is final.
+func (jl *journal) frames() (n int, done bool) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return len(jl.recs) - 1, jl.done
+}
+
 // snapshot reports the journal's progress for job status responses.
 func (jl *journal) snapshot() (ops, totalOps int, done bool, errMsg string) {
 	jl.mu.Lock()

@@ -3,8 +3,12 @@ package server
 import (
 	"encoding/json"
 	"io"
+	"log"
+	"os"
+	"path/filepath"
 	"runtime"
 	rtmetrics "runtime/metrics"
+	"sync"
 	"sync/atomic"
 
 	"zkvc"
@@ -69,6 +73,35 @@ type metrics struct {
 	setupNanos     atomic.Int64
 	proveNanos     atomic.Int64
 	verifyNanos    atomic.Int64
+
+	// replicationErrors counts attestation updates dropped or failed on
+	// their way to the coordinator (replication is best-effort; this is
+	// where the effort's failures become visible). writeErrors counts
+	// response writes/encodes that failed on /metrics and job-status
+	// responses — a wedged scraper or poller should show up here, not
+	// vanish. Each logs once so a broken scrape loop does not flood the
+	// log.
+	replicationErrors atomic.Int64
+	writeErrors       atomic.Int64
+	replLogOnce       sync.Once
+	writeLogOnce      sync.Once
+}
+
+// countWriteError records a failed response write or encode: counted
+// always, logged once.
+func (m *metrics) countWriteError(err error) {
+	m.writeErrors.Add(1)
+	m.writeLogOnce.Do(func() {
+		log.Printf("server: response write failed (counted in write_errors from here on): %v", err)
+	})
+}
+
+// countReplicationError records a failed or dropped attestation update.
+func (m *metrics) countReplicationError(err error) {
+	m.replicationErrors.Add(1)
+	m.replLogOnce.Do(func() {
+		log.Printf("server: attestation replication failed (counted in replication_errors from here on): %v", err)
+	})
 }
 
 func (m *metrics) recordTimings(t zkvc.Timings) {
@@ -160,6 +193,24 @@ type Snapshot struct {
 	HeapAllocBytes    uint64 `json:"heap_alloc_bytes"`
 	GCPauseTotalNanos int64  `json:"gc_pause_total_nanos"`
 
+	// Issued-log gauges: live attestations in the local log, records and
+	// bytes in its durable file (both 0 without a JournalDir), and write
+	// errors — a nonzero error count means attestations made this run may
+	// not survive the next restart. ReplicatedAttestations counts peer
+	// attestations this node holds (the cluster verify-failover set) and
+	// ReplicationErrors the updates this node failed to push out.
+	// WriteErrors counts failed /metrics and job-status response writes.
+	// DiskBytes is the node's total on-disk state (job journals plus the
+	// issued log) — the disk gauge heartbeats carry to the coordinator.
+	IssuedAttestations     int64  `json:"issued_attestations"`
+	IssuedLogRecords       int64  `json:"issued_log_records"`
+	IssuedLogBytes         int64  `json:"issued_log_bytes"`
+	IssuedLogErrors        int64  `json:"issued_log_errors"`
+	ReplicatedAttestations int64  `json:"replicated_attestations"`
+	ReplicationErrors      int64  `json:"replication_errors"`
+	WriteErrors            int64  `json:"write_errors"`
+	DiskBytes              uint64 `json:"disk_bytes"`
+
 	PhaseNanos struct {
 		Synthesis int64 `json:"synthesis"`
 		Setup     int64 `json:"setup"`
@@ -217,14 +268,56 @@ func (m *metrics) snapshot(pool *parallel.Pool) Snapshot {
 	s.PhaseNanos.Setup = m.setupNanos.Load()
 	s.PhaseNanos.Prove = m.proveNanos.Load()
 	s.PhaseNanos.Verify = m.verifyNanos.Load()
+	s.ReplicationErrors = m.replicationErrors.Load()
+	s.WriteErrors = m.writeErrors.Load()
 	return s
 }
 
-func (m *metrics) writeJSON(w io.Writer, pool *parallel.Pool) {
+// writeJSON encodes a snapshot; a failed encode (client hung up
+// mid-scrape) is counted, not swallowed.
+func (m *metrics) writeJSON(w io.Writer, snap Snapshot) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	enc.Encode(m.snapshot(pool))
+	if err := enc.Encode(snap); err != nil {
+		m.countWriteError(err)
+	}
 }
 
-// Metrics returns a point-in-time snapshot of the service counters.
-func (s *Server) Metrics() Snapshot { return s.metrics.snapshot(parallel.Default()) }
+// Metrics returns a point-in-time snapshot of the service counters,
+// including the issued-log, replication and disk gauges only the Server
+// (not the bare counter set) can see.
+func (s *Server) Metrics() Snapshot {
+	snap := s.metrics.snapshot(parallel.Default())
+	live, records, bytes, errs := s.issued.stats()
+	snap.IssuedAttestations = live
+	snap.IssuedLogRecords = records
+	snap.IssuedLogBytes = bytes
+	snap.IssuedLogErrors = errs
+	replicated, _, _, _ := s.replicated.stats()
+	snap.ReplicatedAttestations = replicated
+	snap.DiskBytes = s.diskBytes()
+	return snap
+}
+
+// diskBytes sums the node's on-disk state: every regular file directly
+// under JournalDir (job journals and the issued log). 0 without a
+// JournalDir.
+func (s *Server) diskBytes() uint64 {
+	if s.cfg.JournalDir == "" {
+		return 0
+	}
+	entries, err := os.ReadDir(s.cfg.JournalDir)
+	if err != nil {
+		return 0
+	}
+	var total uint64
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if info, err := os.Stat(filepath.Join(s.cfg.JournalDir, ent.Name())); err == nil {
+			total += uint64(info.Size())
+		}
+	}
+	return total
+}

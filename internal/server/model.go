@@ -117,7 +117,10 @@ func (j *modelJob) run(s *Server, _ *zkvc.MatMulProver) {
 	// sequence order, and the tenant. A report relabeled, spliced from
 	// other issued reports, or reordered no longer matches. Canceled or
 	// failed jobs attest nothing.
-	s.issued.add(modelReportDigest(j.header, j.opHashes, j.tenant))
+	d := modelReportDigest(j.header, j.opHashes, j.tenant)
+	if s.issued.add(d, 0) {
+		s.replicate([][sha256.Size]byte{d}, nil)
+	}
 	s.metrics.modelJobsProved.Add(1)
 }
 
@@ -211,6 +214,25 @@ func modelReportDigest(header []byte, opHashes [][32]byte, tenant string) [sha25
 	var d [sha256.Size]byte
 	h.Sum(d[:0])
 	return d
+}
+
+// ReportDigest recomputes the whole-report attestation digest for a
+// report as submitted by tenant — the digest the issued log records
+// when the report is streamed and /v1/verify/model looks up before
+// vouching. Exported for the cluster router, which needs the digest to
+// pick a report's replica set for verify failover.
+func ReportDigest(rep *zkml.Report, tenant string) [sha256.Size]byte {
+	header := wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
+		Model:    rep.Model,
+		Backend:  rep.Backend,
+		Circuit:  rep.Circuit,
+		TotalOps: len(rep.Ops),
+	})
+	opHashes := make([][32]byte, len(rep.Ops))
+	for i := range rep.Ops {
+		opHashes[i] = sha256.Sum256(wire.EncodeOpProof(&rep.Ops[i]))
+	}
+	return modelReportDigest(header, opHashes, tenant)
 }
 
 // submitModel admits a model job into the dispatcher. The job charges
@@ -453,17 +475,7 @@ func (s *Server) handleVerifyModel(w http.ResponseWriter, r *http.Request) {
 	raw = nil
 	s.metrics.verifyRequests.Add(1)
 	tenant := r.Header.Get(TenantHeader)
-	header := wire.EncodeModelStreamHeader(&wire.ModelStreamHeader{
-		Model:    rep.Model,
-		Backend:  rep.Backend,
-		Circuit:  rep.Circuit,
-		TotalOps: len(rep.Ops),
-	})
-	opHashes := make([][32]byte, len(rep.Ops))
-	for i := range rep.Ops {
-		opHashes[i] = sha256.Sum256(wire.EncodeOpProof(&rep.Ops[i]))
-	}
-	if !s.issued.has(modelReportDigest(header, opHashes, tenant)) {
+	if !s.attested(ReportDigest(rep, tenant)) {
 		s.metrics.modelRejects.Add(1)
 		if modeless {
 			writeVerdict(w, errReportNotIssued())

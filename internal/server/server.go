@@ -71,6 +71,7 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -137,9 +138,25 @@ type Config struct {
 	TenantJobQuota int
 	// JournalDir, when set, persists each async job's journal to
 	// <JournalDir>/<id>.journal so resumable streams survive a server
-	// restart; New recovers every journal found there. Empty keeps
-	// journals in memory only (they still survive client reconnects).
+	// restart; New recovers every journal found there. It also holds the
+	// durable issued-proof log (<JournalDir>/issued.log): every sync-path
+	// attestation is fsynced there before the response is sent and
+	// recovered on restart, so /v1/verify keeps vouching for proofs
+	// issued by earlier runs. Empty keeps journals and attestations in
+	// memory only (they still survive client reconnects, not restarts).
 	JournalDir string
+	// NodeName is this node's stable cluster identity (the name it
+	// announces under). It labels replicated attestation updates so the
+	// coordinator can exclude the issuer from a digest's replica set.
+	// Empty outside a cluster.
+	NodeName string
+	// ReplicateTo, when set together with NodeName, is the coordinator
+	// base URL this node replicates attestation digests to; the
+	// coordinator fans them out to peer nodes so cluster verify requests
+	// fail over to a replica instead of reading a dead issuer's silence
+	// as "not issued". Replication is asynchronous and best-effort —
+	// failures are counted (replication_errors), never block proving.
+	ReplicateTo string
 	// ReapInterval is how often the reaper scans for expired jobs.
 	// 0 means 1 second.
 	ReapInterval time.Duration
@@ -242,6 +259,19 @@ type Server struct {
 	cache   *crsCache
 	issued  *issuedLog
 
+	// replicated holds attestation digests peer nodes issued, ingested
+	// via POST /v1/cluster/attest; the verify handlers fall back to it
+	// when the local log has no attestation, which is what lets cluster
+	// verify fail over to this node after the issuer dies. In-memory
+	// only: the peers' durable logs are the source of truth.
+	replicated *issuedLog
+
+	// attestCh buffers outbound attestation updates for the replicator
+	// goroutine; attestStop ends it on Close. A full buffer drops the
+	// update (counted), never blocks a prove response.
+	attestCh   chan *wire.AttestationUpdate
+	attestStop chan struct{}
+
 	submit chan submission
 	work   chan workItem
 
@@ -312,6 +342,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: epoch label is %d bytes, wire format allows %d",
 			len(cfg.Epoch), wire.MaxEpochLen)
 	}
+	// The issued log opens (and replays) before anything else can fail:
+	// it is the attestation store every prove handler appends to, and an
+	// unreadable one is a refuse-to-start error, not a degraded mode.
+	issued := newIssuedLog(issuedLogCap)
+	if cfg.JournalDir != "" {
+		var err error
+		if issued, err = openIssuedLog(issuedLogCap, cfg.JournalDir); err != nil {
+			return nil, err
+		}
+	}
 	prevParallelism := 0
 	var installedPool *parallel.Pool
 	if cfg.Parallelism > 0 {
@@ -320,12 +360,16 @@ func New(cfg Config) (*Server, error) {
 		installedPool = parallel.Default()
 	}
 	s := &Server{
-		cfg:     cfg,
-		metrics: &metrics{},
-		cache:   newCRSCache(cfg.MaxShapes),
-		issued:  newIssuedLog(issuedLogCap),
-		submit:  make(chan submission, cfg.QueueCap),
-		work:    make(chan workItem),
+		cfg:        cfg,
+		metrics:    &metrics{},
+		cache:      newCRSCache(cfg.MaxShapes),
+		issued:     issued,
+		replicated: newIssuedLog(issuedLogCap),
+		submit:     make(chan submission, cfg.QueueCap),
+		work:       make(chan workItem),
+
+		attestCh:   make(chan *wire.AttestationUpdate, 1024),
+		attestStop: make(chan struct{}),
 
 		modelSlots: make(chan struct{}, modelBodySlots),
 
@@ -337,6 +381,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.JournalDir != "" {
 		if err := s.recoverJobs(); err != nil {
+			s.issued.close()
 			return nil, err
 		}
 	}
@@ -345,6 +390,10 @@ func New(cfg Config) (*Server, error) {
 	go s.reaper()
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.ReplicateTo != "" && cfg.NodeName != "" {
+		s.wg.Add(1)
+		go s.replicator()
 	}
 	return s, nil
 }
@@ -360,11 +409,13 @@ func (s *Server) Close() {
 	s.closed = true
 	close(s.submit)
 	close(s.reapStop)
+	close(s.attestStop)
 	s.mu.Unlock()
 	s.wg.Wait()
 	// Queued async jobs drained through the pool above; release journal
 	// file handles so a successor server can recover the directory.
 	s.jobs.closeAll()
+	s.issued.close()
 	if s.prevParallelism > 0 && parallel.Default() == s.installedPool {
 		parallel.SetDefaultSize(s.prevParallelism)
 	}
@@ -596,10 +647,9 @@ func (s *Server) proveBatch(prover *zkvc.MatMulProver, jobs []*job) {
 	s.metrics.recordTimings(proof.Timings)
 	if s.cfg.Backend == zkvc.Groth16 {
 		// Attest Groth16 batches so /v1/verify/batch can tell this
-		// service's responses from foreign-setup forgeries.
-		for _, d := range issuedBatchDigests(xs, proof, len(jobs)) {
-			s.issued.add(d)
-		}
+		// service's responses from foreign-setup forgeries: one fsync
+		// for the whole batch, then one replication update.
+		s.replicate(s.issued.addAll(issuedBatchDigests(xs, proof, len(jobs)), 0), nil)
 	}
 	for i, j := range jobs {
 		j.resp <- jobResult{resp: &wire.ProveResponse{Index: i, Xs: xs, Batch: proof}}
@@ -640,7 +690,12 @@ func (s *Server) proveSingle(x, w *zkvc.Matrix) (*zkvc.MatMulProof, error) {
 	if s.cfg.Backend != zkvc.Groth16 {
 		tag = 0
 	}
-	s.issued.add(issuedDigest(x, proof, tag))
+	if s.issued.add(issuedDigest(x, proof, tag), tag) {
+		// The replicated digest is always untagged: a replica holds no
+		// copy of this node's epoch CRS, so the tag would name a key it
+		// cannot use — the digest alone binds the exact issued bytes.
+		s.replicate([][sha256.Size]byte{issuedDigest(x, proof, 0)}, nil)
+	}
 	s.metrics.singlesProved.Add(1)
 	s.metrics.recordTimings(proof.Timings)
 	return proof, nil
@@ -662,7 +717,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
 	mux.HandleFunc("POST /v1/verify/model", s.handleVerifyModel)
+	mux.HandleFunc("POST /v1/cluster/attest", s.handleAttest)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/prometheus", s.handleMetricsProm)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -778,7 +835,10 @@ func (s *Server) handleProveMatMul(w http.ResponseWriter, r *http.Request) {
 	// only push live Groth16/epoch/model attestations out of the
 	// bounded FIFO.
 	if s.cfg.Backend == zkvc.Groth16 {
-		s.issued.add(issuedDigest(req.X, proof, 0))
+		d := issuedDigest(req.X, proof, 0)
+		if s.issued.add(d, 0) {
+			s.replicate([][sha256.Size]byte{d}, nil)
+		}
 	}
 	s.metrics.matmulsProved.Add(1)
 	s.metrics.recordTimings(proof.Timings)
@@ -828,7 +888,10 @@ func (s *Server) handleProveBatch(w http.ResponseWriter, r *http.Request) {
 		for i, pair := range req.Pairs {
 			xs[i] = pair[0]
 		}
-		s.issued.add(issuedBatchDigest(&wire.ProveResponse{Index: 0, Xs: xs, Batch: proof}))
+		d := issuedBatchDigest(&wire.ProveResponse{Index: 0, Xs: xs, Batch: proof})
+		if s.issued.add(d, 0) {
+			s.replicate([][sha256.Size]byte{d}, nil)
+		}
 	}
 	s.metrics.directBatchesProved.Add(1)
 	s.metrics.recordTimings(proof.Timings)
@@ -855,11 +918,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	// key from a setup this service did not witness proves nothing — its
 	// creator holds the toxic waste and can simulate proofs of false
 	// statements. The exception is a proof this service itself issued
-	// (/v1/prove/matmul attests one digest per proof): the embedded key
-	// came from this service's own setup, so re-checking against it is
+	// (/v1/prove/matmul attests one digest per proof) or a peer node
+	// attested through replication — either way the embedded key came
+	// from a setup a cluster member ran, so re-checking against it is
 	// sound. Everything else must use the transparent Spartan backend,
 	// which verifies without trusting prover-supplied material.
-	if req.Proof.Backend == zkvc.Groth16 && !s.issued.has(issuedDigest(req.X, req.Proof, 0)) {
+	if req.Proof.Backend == zkvc.Groth16 && !s.attested(issuedDigest(req.X, req.Proof, 0)) {
 		s.metrics.vkRejects.Add(1)
 		writeVerdict(w, fmt.Errorf("%w: per-statement Groth16 proofs carry a prover-supplied verifying key this service has no reason to trust (only proofs this service issued are re-checked; attestations also expire from the bounded issued log); use the Spartan backend, or an epoch proof issued by this service", zkvc.ErrVerification))
 		return
@@ -887,16 +951,26 @@ func (s *Server) verifyEpochProof(req *wire.VerifyRequest) error {
 		}}
 		crs, tag, ok := s.cache.peek(key)
 		if !ok {
+			// No local CRS to re-check against; a replicated peer
+			// attestation still vouches — the issuer verified these exact
+			// bytes under its own CRS before attesting them, and that CRS
+			// never left the issuer.
+			if s.replicated.has(issuedDigest(req.X, req.Proof, 0)) {
+				return nil
+			}
 			s.metrics.epochRejects.Add(1)
 			return fmt.Errorf("%w: no trusted CRS for this shape (it may have been evicted)", zkvc.ErrVerification)
 		}
 		if !s.issued.has(issuedDigest(req.X, req.Proof, tag)) {
+			if s.replicated.has(issuedDigest(req.X, req.Proof, 0)) {
+				return nil
+			}
 			s.metrics.epochRejects.Add(1)
 			return fmt.Errorf("%w: epoch proof was not issued by this service under its current CRS (the epoch label is public, so third-party epoch proofs are forgeable, and attestations expire when a shape's CRS rotates); submit a per-statement Spartan proof instead", zkvc.ErrVerification)
 		}
 		return crs.Verify(req.X, req.Proof)
 	}
-	if !s.issued.has(issuedDigest(req.X, req.Proof, 0)) {
+	if !s.attested(issuedDigest(req.X, req.Proof, 0)) {
 		s.metrics.epochRejects.Add(1)
 		return fmt.Errorf("%w: epoch proof was not issued by this service (the epoch label is public, so third-party epoch proofs are forgeable); submit a per-statement Spartan proof instead", zkvc.ErrVerification)
 	}
@@ -918,7 +992,7 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	// per-statement Fiat–Shamir challenges). A Groth16 batch proof is
 	// only checked against its own embedded verifying key, so it proves
 	// nothing unless this service ran the setup — i.e. issued the batch.
-	if resp.Batch.Backend == zkvc.Groth16 && !s.issued.has(issuedBatchDigest(resp)) {
+	if resp.Batch.Backend == zkvc.Groth16 && !s.attested(issuedBatchDigest(resp)) {
 		s.metrics.vkRejects.Add(1)
 		writeVerdict(w, fmt.Errorf("%w: Groth16 batch proofs carry a prover-supplied verifying key; only batches this service issued are accepted", zkvc.ErrVerification))
 		return
@@ -938,5 +1012,5 @@ func writeVerdict(w http.ResponseWriter, err error) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	s.metrics.writeJSON(w, parallel.Default())
+	s.metrics.writeJSON(w, s.Metrics())
 }

@@ -1,0 +1,83 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"zkvc"
+	"zkvc/internal/nn"
+	"zkvc/internal/server"
+	"zkvc/internal/wire"
+)
+
+// TestJobStreamFromBeyondTerminalRejected: once a job's journal is
+// terminal, a resume point past its final frame count can never be
+// satisfied — an empty 200 would be exactly the silent truncation the
+// stream contract forbids, telling a client whose ack state is corrupt
+// that it already holds everything. from == n (drain zero frames) stays
+// legal; from > n is a loud 400.
+func TestJobStreamFromBeyondTerminalRejected(t *testing.T) {
+	cfg := tinyModelConfig(nn.MixerPooling)
+	trace := capturedTrace(t, cfg, 3)
+	scfg := server.DefaultConfig()
+	scfg.Seed = 7
+	_, ts := newTestServer(t, scfg)
+
+	ac := server.NewAsyncClient(ts.URL)
+	st, err := ac.SubmitJob(context.Background(), modelRequest(zkvc.Spartan, cfg, trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the live stream to EOF — which also means the journal is
+	// terminal — counting its frames.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	n := 0
+	for {
+		if _, err := wire.ReadFrame(resp.Body); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("frame %d: %v", n, err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("terminal stream carried no frames")
+	}
+
+	// from == n: the client holds everything; empty 200.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream?from=" + strconv.Itoa(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("from=n: status %d, %d body bytes, want empty 200", resp2.StatusCode, len(body))
+	}
+
+	// from == n+1: beyond anything this journal ever held.
+	resp3, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream?from=" + strconv.Itoa(n+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("from=n+1: status %d, want 400 (body: %s)", resp3.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "beyond") {
+		t.Errorf("400 body does not explain the rejection: %s", body)
+	}
+}

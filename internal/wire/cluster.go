@@ -27,11 +27,16 @@ type NodeAnnounce struct {
 // load. QueueUnits mirrors the node's own capacity ledger (matmul jobs
 // plus model ops accepted but not yet proved). Draining asks the
 // coordinator to stop routing new work while in-flight jobs finish —
-// the graceful half of a shutdown.
+// the graceful half of a shutdown. DiskBytes is the node's on-disk state
+// (job journals plus the durable issued log) and MemBytes its live heap —
+// the capacity signals an autoscaler or an operator watches, carried in
+// the heartbeat so the coordinator has them even between probes.
 type NodeHeartbeat struct {
 	Name       string
 	QueueUnits int64
 	Draining   bool
+	DiskBytes  uint64
+	MemBytes   uint64
 }
 
 // EncodeNodeAnnounce serializes a node registration.
@@ -84,6 +89,8 @@ func EncodeNodeHeartbeat(h *NodeHeartbeat) []byte {
 	} else {
 		e.u8(0)
 	}
+	e.u64(h.DiskBytes)
+	e.u64(h.MemBytes)
 	return e.buf
 }
 
@@ -118,5 +125,17 @@ func DecodeNodeHeartbeat(b []byte) (*NodeHeartbeat, error) {
 		return nil, fmt.Errorf("%w: bad draining flag %d", ErrDecode, draining)
 	}
 	h.Draining = draining == 1
+	if h.DiskBytes, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if h.DiskBytes > uint64(maxStatInt) {
+		return nil, fmt.Errorf("%w: disk bytes %d out of range", ErrDecode, h.DiskBytes)
+	}
+	if h.MemBytes, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if h.MemBytes > uint64(maxStatInt) {
+		return nil, fmt.Errorf("%w: mem bytes %d out of range", ErrDecode, h.MemBytes)
+	}
 	return h, d.finish()
 }

@@ -26,6 +26,7 @@ func TestNodeHeartbeatRoundTrip(t *testing.T) {
 	for _, h := range []wire.NodeHeartbeat{
 		{Name: "prover-1", QueueUnits: 0, Draining: false},
 		{Name: "prover-2", QueueUnits: 12345, Draining: true},
+		{Name: "prover-3", QueueUnits: 7, DiskBytes: 1 << 30, MemBytes: 512 << 20},
 	} {
 		raw := wire.EncodeNodeHeartbeat(&h)
 		got, err := wire.DecodeNodeHeartbeat(raw)
@@ -75,17 +76,25 @@ func TestClusterMessagesStrictDecode(t *testing.T) {
 		}
 	}
 
-	// Bad draining flag: patch the last byte of a valid heartbeat.
+	// Bad draining flag: patch the flag byte (17th from the end — the
+	// disk and memory u64 gauges follow it).
 	bad := append([]byte(nil), heartbeat...)
-	bad[len(bad)-1] = 2
+	bad[len(bad)-17] = 2
 	if _, err := wire.DecodeNodeHeartbeat(bad); err == nil {
 		t.Error("heartbeat with draining flag 2 decoded")
 	}
 
 	// Negative / overflowing queue units: patch the u64 after the name.
 	bad = append([]byte(nil), heartbeat...)
-	bad[len(bad)-9] = 0xff // high byte of QueueUnits → sign bit set
+	bad[len(bad)-25] = 0xff // high byte of QueueUnits → sign bit set
 	if _, err := wire.DecodeNodeHeartbeat(bad); err == nil {
 		t.Error("heartbeat with out-of-range queue units decoded")
+	}
+
+	// Overflowing disk gauge: patch the high byte of DiskBytes.
+	bad = append([]byte(nil), heartbeat...)
+	bad[len(bad)-16] = 0xff
+	if _, err := wire.DecodeNodeHeartbeat(bad); err == nil {
+		t.Error("heartbeat with out-of-range disk bytes decoded")
 	}
 }

@@ -44,8 +44,23 @@ func TestWriteVerifyCorpus(t *testing.T) {
 	corrupted := append([]byte(nil), req...)
 	corrupted[len(corrupted)/2] ^= 0xff
 
+	issuedAdd := wire.EncodeIssuedRecord(&wire.IssuedRecord{
+		Seq: 1, Kind: wire.IssuedAdd, Digest: [32]byte{0xd1}, CRSTag: 42,
+	})
+	issuedTomb := wire.EncodeIssuedRecord(&wire.IssuedRecord{
+		Seq: 2, Kind: wire.IssuedTombstone, Prev: [32]byte{0xc4}, Digest: [32]byte{0xd1},
+	})
+	attest := wire.EncodeAttestationUpdate(&wire.AttestationUpdate{
+		Node: "prover-1", Added: [][32]byte{{0xd1}, {0xd2}}, Removed: [][32]byte{{0xd3}},
+	})
+
 	dir := filepath.Join("testdata", "fuzz", "FuzzWireDecodeProof")
 	for name, data := range map[string][]byte{
+		"issued-record-add":              issuedAdd,
+		"issued-record-tombstone":        issuedTomb,
+		"issued-record-truncated":        issuedAdd[:len(issuedAdd)-5],
+		"attestation-update":             attest,
+		"attestation-update-truncated":   attest[:len(attest)/2],
 		"verify-model-request-aggregate": req,
 		"verify-model-request-truncated": req[:len(req)*2/3],
 		"verify-model-request-trailing":  append(append([]byte(nil), req...), 0x00),

@@ -44,7 +44,10 @@ func fuzzSeeds(f *testing.F) [][]byte {
 			Pairs: [][2]*zkvc.Matrix{{x, w}, {x, w}},
 		}),
 		wire.EncodeNodeAnnounce(&wire.NodeAnnounce{Name: "prover-1", URL: "http://10.0.0.7:8799", Workers: 4}),
-		wire.EncodeNodeHeartbeat(&wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 17, Draining: true}),
+		wire.EncodeNodeHeartbeat(&wire.NodeHeartbeat{Name: "prover-1", QueueUnits: 17, Draining: true, DiskBytes: 1 << 20, MemBytes: 1 << 24}),
+		wire.EncodeIssuedRecord(&wire.IssuedRecord{Seq: 3, Kind: wire.IssuedAdd, Digest: [32]byte{1, 2, 3}, CRSTag: 7}),
+		wire.EncodeIssuedRecord(&wire.IssuedRecord{Seq: 4, Kind: wire.IssuedTombstone, Prev: [32]byte{9}, Digest: [32]byte{1, 2, 3}}),
+		wire.EncodeAttestationUpdate(&wire.AttestationUpdate{Node: "prover-1", Added: [][32]byte{{4, 5}}, Removed: [][32]byte{{6}}}),
 		wire.EncodeJobStatus(&wire.JobStatus{ID: "job-1", State: wire.JobRunning, TotalOps: 9, CompletedOps: 4}),
 		wire.EncodeJobStatus(&wire.JobStatus{State: wire.JobRejected, QueuePos: 12, RetryAfterSeconds: 2, Error: "queue full"}),
 		wire.EncodeJournalRecord(&wire.JournalRecord{Seq: 2, Kind: wire.JournalOp, Payload: []byte("frame")}),
@@ -223,6 +226,16 @@ func FuzzWireDecodeProof(f *testing.F) {
 		if s, err := wire.DecodeJobStatus(data); err == nil {
 			if again := wire.EncodeJobStatus(s); !bytes.Equal(data, again) {
 				t.Fatalf("accepted JobStatus is not canonical")
+			}
+		}
+		if rec, err := wire.DecodeIssuedRecord(data); err == nil {
+			if again := wire.EncodeIssuedRecord(rec); !bytes.Equal(data, again) {
+				t.Fatalf("accepted IssuedRecord is not canonical")
+			}
+		}
+		if u, err := wire.DecodeAttestationUpdate(data); err == nil {
+			if again := wire.EncodeAttestationUpdate(u); !bytes.Equal(data, again) {
+				t.Fatalf("accepted AttestationUpdate is not canonical")
 			}
 		}
 		if rec, err := wire.DecodeJournalRecord(data); err == nil {

@@ -1,0 +1,176 @@
+package wire
+
+// Issued-log and attestation-replication messages. IssuedRecord is the
+// on-disk frame of the durable issued-proof log: every attestation a node
+// makes (and every withdrawal) is one hash-chained record, re-read after
+// a crash, so the strict-decode discipline applies exactly as it does for
+// job journal records. AttestationUpdate crosses the unauthenticated
+// cluster HTTP surface (node → coordinator → replicas), so bounded
+// lengths and no trailing bytes apply there too.
+
+import "fmt"
+
+// Issued-log message type tags (continuing the job tag space in jobs.go).
+const (
+	TagIssuedRecord      byte = 0x14
+	TagAttestationUpdate byte = 0x15
+)
+
+// Issued-log record kinds. An add attests a digest (with the CRS tag the
+// issuing epoch used, 0 for untagged kinds); a tombstone withdraws one —
+// the reaper's "remove" is an append, never an in-place delete, so the
+// log stays append-only and the chain stays verifiable.
+const (
+	IssuedAdd       byte = 0
+	IssuedTombstone byte = 1
+)
+
+const maxIssuedKind = IssuedTombstone
+
+// maxIssuedSeq bounds the record sequence number. The log compacts long
+// before this; a sequence beyond it is corruption, not history.
+const maxIssuedSeq = maxStatInt
+
+// maxAttestationDigests bounds one replication update. Updates are sent
+// per response (a batch prove adds at most maxBatch digests), so a large
+// count is an attack, not a workload.
+const maxAttestationDigests = 1 << 12
+
+// IssuedRecord is one entry of the durable issued-proof log. Prev is the
+// hash chain up to the previous record (seeded from a fixed label, not a
+// per-file identity — the log has exactly one chain), so a log read back
+// from disk proves its own integrity and a torn or tampered suffix is
+// truncated instead of trusted. Digest is the attestation itself — the
+// sha256 the verify handlers look up — and CRSTag names the Groth16
+// epoch CRS the proof verifies under (0 for Spartan and untagged kinds).
+type IssuedRecord struct {
+	Seq    int64
+	Kind   byte
+	Prev   [32]byte
+	Digest [32]byte
+	CRSTag uint64
+}
+
+// EncodeIssuedRecord serializes one issued-log entry.
+func EncodeIssuedRecord(r *IssuedRecord) []byte {
+	e := newEnc(TagIssuedRecord)
+	e.u64(uint64(r.Seq))
+	e.u8(r.Kind)
+	e.buf = append(e.buf, r.Prev[:]...)
+	e.buf = append(e.buf, r.Digest[:]...)
+	e.u64(r.CRSTag)
+	return e.buf
+}
+
+// DecodeIssuedRecord parses one issued-log entry.
+func DecodeIssuedRecord(b []byte) (*IssuedRecord, error) {
+	d, err := newDec(b, TagIssuedRecord)
+	if err != nil {
+		return nil, err
+	}
+	r := &IssuedRecord{}
+	seq, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if int64(seq) < 0 || int64(seq) > maxIssuedSeq {
+		return nil, fmt.Errorf("%w: issued sequence %d out of range", ErrDecode, seq)
+	}
+	r.Seq = int64(seq)
+	if r.Kind, err = d.u8(); err != nil {
+		return nil, err
+	}
+	if r.Kind > maxIssuedKind {
+		return nil, fmt.Errorf("%w: bad issued record kind %d", ErrDecode, r.Kind)
+	}
+	prev, err := d.take(32)
+	if err != nil {
+		return nil, err
+	}
+	copy(r.Prev[:], prev)
+	digest, err := d.take(32)
+	if err != nil {
+		return nil, err
+	}
+	copy(r.Digest[:], digest)
+	if r.CRSTag, err = d.u64(); err != nil {
+		return nil, err
+	}
+	return r, d.finish()
+}
+
+// AttestationUpdate replicates attestation digests across the cluster:
+// the issuing node posts it to the coordinator, which fans it out to the
+// digest's replica set, so a verify request can be vouched for by a
+// surviving replica after the issuer dies. Digests travel untagged — a
+// replica has no copy of the issuer's epoch CRS, so the tag would name a
+// key it cannot use; the digest alone binds the exact issued bytes.
+type AttestationUpdate struct {
+	Node    string
+	Added   [][32]byte
+	Removed [][32]byte
+}
+
+// EncodeAttestationUpdate serializes a replication update.
+func EncodeAttestationUpdate(u *AttestationUpdate) []byte {
+	e := newEnc(TagAttestationUpdate)
+	e.bytes([]byte(u.Node))
+	e.u32(uint32(len(u.Added)))
+	for i := range u.Added {
+		e.buf = append(e.buf, u.Added[i][:]...)
+	}
+	e.u32(uint32(len(u.Removed)))
+	for i := range u.Removed {
+		e.buf = append(e.buf, u.Removed[i][:]...)
+	}
+	return e.buf
+}
+
+// DecodeAttestationUpdate parses a replication update. Node must be
+// non-empty (the coordinator excludes the sender from the replica set by
+// name), and an update must carry at least one digest — an empty update
+// is a protocol error, not a heartbeat.
+func DecodeAttestationUpdate(b []byte) (*AttestationUpdate, error) {
+	d, err := newDec(b, TagAttestationUpdate)
+	if err != nil {
+		return nil, err
+	}
+	u := &AttestationUpdate{}
+	node, err := d.blob("attesting node")
+	if err != nil {
+		return nil, err
+	}
+	if len(node) == 0 {
+		return nil, fmt.Errorf("%w: empty attesting node", ErrDecode)
+	}
+	u.Node = string(node)
+	if u.Added, err = decodeDigests(d, "added attestations"); err != nil {
+		return nil, err
+	}
+	if u.Removed, err = decodeDigests(d, "removed attestations"); err != nil {
+		return nil, err
+	}
+	if len(u.Added)+len(u.Removed) == 0 {
+		return nil, fmt.Errorf("%w: empty attestation update", ErrDecode)
+	}
+	return u, d.finish()
+}
+
+func decodeDigests(d *dec, what string) ([][32]byte, error) {
+	n, err := d.count(what, maxAttestationDigests, 32)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([][32]byte, n)
+	for i := range out {
+		b, err := d.take(32)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[i][:], b)
+	}
+	return out, nil
+}
