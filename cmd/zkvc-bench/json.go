@@ -309,6 +309,24 @@ func runJSONMode(parallelRun bool, parseBench, jsonOut, baseline string, maxRegr
 			rep.Speedups[name] = ratio
 			fmt.Printf("%-40s %5.2fx (per-op → aggregate)\n", name, ratio)
 		}
+
+		// Conv harness: the CNNMNIST conv layers proved as their lowered
+		// im2col matmuls on both backends, next to the zkCNN interactive
+		// baseline on the same statements. The ratio rows are the SNARK
+		// overhead factor over the interactive prover. Never gates.
+		convRows, convRatios, err := bench.RunConvReport(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zkvc-bench: conv harness: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Rows = append(rep.Rows, convRows...)
+		for _, r := range convRows {
+			fmt.Printf("%-40s %8.3fs/proof\n", r.Name, r.Seconds)
+		}
+		for name, ratio := range convRatios {
+			rep.Speedups[name] = ratio
+			fmt.Printf("%-40s %5.2fx (zkCNN interactive baseline → zkVC SNARK, same lowered shape)\n", name, ratio)
+		}
 	}
 
 	if parseBench != "" {

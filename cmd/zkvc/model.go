@@ -40,10 +40,14 @@ func modelByName(name string, scale int) (zkvc.ModelConfig, error) {
 		cfg = zkvc.ViTImageNetHier()
 	case "bert-glue":
 		cfg = zkvc.BERTGLUE()
+	case "cnn-mnist":
+		cfg = zkvc.CNNMNIST()
 	case "tiny":
 		cfg = nn.TinyConfig("tiny", zkvc.MixerSoftmax)
+	case "tiny-cnn":
+		cfg = nn.TinyCNNConfig("tiny-cnn")
 	default:
-		return cfg, fmt.Errorf("unknown model %q (want vit-cifar10, vit-tiny-imagenet, vit-imagenet-hier, bert-glue or tiny)", name)
+		return cfg, fmt.Errorf("unknown model %q (want vit-cifar10, vit-tiny-imagenet, vit-imagenet-hier, bert-glue, cnn-mnist, tiny or tiny-cnn)", name)
 	}
 	if scale > 1 {
 		cfg = cfg.Scaled(scale)
@@ -65,13 +69,18 @@ func cmdProveModel(args []string) {
 		"prove through the durable job API (POST /v1/jobs): the stream resumes across reconnects instead of dying with the connection")
 	jobTTL := fs.Duration("job-ttl", 0,
 		"with -async, ask the server to retain the job's journal at most this long (0 = server default)")
-	modelName := fs.String("model", "tiny", "architecture: vit-cifar10, vit-tiny-imagenet, vit-imagenet-hier, bert-glue or tiny")
+	modelName := fs.String("model", "tiny", "architecture: vit-cifar10, vit-tiny-imagenet, vit-imagenet-hier, bert-glue, cnn-mnist, tiny or tiny-cnn")
 	scale := fs.Int("scale", 1, "divide model dims/tokens by this factor (1 = full paper shape)")
 	backendName := fs.String("backend", "spartan", "proof system: groth16 or spartan")
 	weightSeed := fs.Int64("seed", 42, "model weight synthesis seed")
 	inputSeed := fs.Int64("input-seed", 9, "input synthesis seed")
 	nonlinear := fs.Bool("nonlinear", true, "prove the SoftMax/GELU gadget circuits too")
 	hybrid := fs.Bool("hybrid", false, "use the planner's hybrid token-mixer assignment")
+	sgd := fs.Bool("sgd", false,
+		"prove one verifiable fine-tuning step (W' = W − lr·∇W on the classification head) instead of plain inference")
+	label := fs.Int("label", 0, "with -sgd, the training label of the step")
+	lr := fs.Int64("lr", 0,
+		"with -sgd, fixed-point learning rate (denominator Scale, e.g. 32 = 0.125 at FracBits 8; 0 = Scale/8)")
 	tenant := fs.String("tenant", "", "tenant header; verify-model must present the same value")
 	out := fs.String("out", "report.bin", "write the wire-encoded report here")
 	fs.Parse(args)
@@ -92,9 +101,24 @@ func cmdProveModel(args []string) {
 		fatalf("prove-model: %v", err)
 	}
 	x := model.RandomInput(mrand.New(mrand.NewSource(*inputSeed)))
-	trace := zkvc.Trace{Capture: true}
-	logits := model.Forward(x, &trace)
-	fmt.Printf("model %s: %d traced ops, logits %v\n", cfg.Name, len(trace.Ops), logits.Data)
+	var trace zkvc.Trace
+	if *sgd {
+		rate := *lr
+		if rate == 0 {
+			rate = cfg.Fixed.Scale() / 8
+		}
+		step, err := zkvc.TraceSGDStep(model, x, *label, rate)
+		if err != nil {
+			fatalf("prove-model: %v", err)
+		}
+		trace = *step.Trace
+		fmt.Printf("model %s: one SGD step (label %d, lr %d/%d), %d traced ops, logits %v\n",
+			cfg.Name, *label, rate, cfg.Fixed.Scale(), len(trace.Ops), step.Logits.Data)
+	} else {
+		trace = zkvc.Trace{Capture: true}
+		logits := model.Forward(x, &trace)
+		fmt.Printf("model %s: %d traced ops, logits %v\n", cfg.Name, len(trace.Ops), logits.Data)
+	}
 
 	var eng zkvc.Engine
 	switch {

@@ -43,6 +43,36 @@
 //	for op, err := range stream.All() { ... }
 //	report, err := stream.Report()
 //
+// # Convolution lowering
+//
+// Convolutional models (CNNMNIST, any Config with Convs) flow through
+// the same pipeline as transformers because every conv layer is lowered
+// to a matrix product inside the trace: the input feature map is
+// expanded with im2col — one row per output pixel, one column per
+// (channel, ky, kx) kernel position, zero padding — and multiplied by
+// the kernel bank reshaped to (KH·KW·CIn)×COut. The contract that makes
+// this sound: the expansion is deterministic, integer-exact data
+// movement (same input and geometry give byte-identical matrices at
+// every parallelism level), and the expanded matrix is captured in the
+// attested trace as the conv op's public operand — the lowering is part
+// of the statement, not a prover choice. The wire decoder cross-checks
+// every conv op's geometry against its lowered dimensions
+// (A = outH·outW, N = KH·KW·CIn, B = COut), so a relabeled or resized
+// conv op cannot decode into a valid request. Identical conv layers
+// synthesize identical circuits and therefore share one Groth16 CRS
+// through the structure-digest cache.
+//
+// # Verifiable fine-tuning
+//
+// TraceSGDStep records one SGD step on the classification head as an
+// ordinary trace: the forward pass, the loss softmax, the gradient
+// matmul ∇W = featᵀ·dlog, and the update W' = W − lr·∇W expressed as a
+// single matmul with public structured operand [Scale·I | −lr·I]
+// against the stacked witness [W; ∇W] — the fixed-point rescale every
+// matmul performs yields the exact quantized update. The step proves
+// and verifies through any Engine unchanged; tampering with the update
+// op fails verification in both modes.
+//
 // # The Engine contract
 //
 // Every implementation satisfies the same contract, pinned by the

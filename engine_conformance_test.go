@@ -262,6 +262,78 @@ func TestEngineConformance(t *testing.T) {
 	}
 }
 
+// conformanceCNNRequest captures a tiny CNN forward pass — the
+// convolutional counterpart of conformanceModelRequest, with the conv
+// lowered to its im2col matmul inside the trace.
+func conformanceCNNRequest(t *testing.T, backend zkvc.Backend) *zkvc.ModelRequest {
+	t.Helper()
+	cfg := nn.TinyCNNConfig("conformance-cnn")
+	model, err := zkvc.NewModel(cfg, confSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := zkvc.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(confSeed+1))), &trace)
+	return &zkvc.ModelRequest{Backend: backend, ProveNonlinear: true, Cfg: cfg, Trace: &trace}
+}
+
+// TestEngineConformanceCNN runs the CNN fixture through every engine on
+// both backends: round trip in both verify modes, cross-engine byte
+// identity at equal seeds, and the tamper sentinel on the conv op.
+func TestEngineConformanceCNN(t *testing.T) {
+	for _, backend := range []zkvc.Backend{zkvc.Spartan, zkvc.Groth16} {
+		backend := backend
+		t.Run(backend.String(), func(t *testing.T) {
+			ctx := context.Background()
+			engines := conformanceEngines(t, backend)
+			req := conformanceCNNRequest(t, backend)
+
+			reports := make(map[string][]byte)
+			for _, ne := range engines {
+				ne := ne
+				t.Run(ne.name, func(t *testing.T) {
+					stream := ne.eng.ProveModel(ctx, req)
+					rep, err := stream.Report()
+					if err != nil {
+						t.Fatalf("Report: %v", err)
+					}
+					convIdx := -1
+					for i := range rep.Ops {
+						if rep.Ops[i].Kind == nn.OpConv2D {
+							convIdx = i
+						}
+					}
+					if convIdx < 0 {
+						t.Fatal("CNN report has no conv2d op")
+					}
+					for _, mode := range []zkvc.VerifyMode{zkvc.VerifyPerOp, zkvc.VerifyAggregate} {
+						if err := ne.eng.VerifyModel(ctx, rep, zkvc.VerifyOptions{Mode: mode}); err != nil {
+							t.Fatalf("VerifyModel(%s): %v", mode, err)
+						}
+					}
+					reports[ne.name] = canonicalReport(rep)
+
+					bad := *rep
+					bad.Ops = append([]zkvc.OpProof(nil), rep.Ops...)
+					pub := append([]ff.Fr(nil), bad.Ops[convIdx].Public...)
+					var one ff.Fr
+					one.SetOne()
+					pub[1].Add(&pub[1], &one)
+					bad.Ops[convIdx].Public = pub
+					if err := ne.eng.VerifyModel(ctx, &bad); !errors.Is(err, zkvc.ErrVerification) {
+						t.Fatalf("tampered conv op: got %v, want ErrVerification", err)
+					}
+				})
+			}
+			for _, ne := range engines[1:] {
+				if !bytes.Equal(reports[ne.name], reports["local"]) {
+					t.Fatalf("%s CNN report differs from local at equal seeds", ne.name)
+				}
+			}
+		})
+	}
+}
+
 // TestVerifyModelAggregateRejectsCorruptedOpProof pins the soundness of
 // the random-linear-combination batch behind VerifyAggregate: corrupting
 // exactly one op proof — with a valid group element, so no decode-stage

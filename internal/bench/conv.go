@@ -1,0 +1,135 @@
+package bench
+
+// This file is the PR10 conv harness. It runs the CNNMNIST conv layers
+// exactly as the model pipeline lowers them — im2col patches against the
+// reshaped kernel bank, an ordinary [A×N]·[N×B] product — through the
+// CRPC+PSQ matmul prover on both backends, and then runs the zkCNN-style
+// interactive baseline (Thaler's matmul sumcheck over a PCS-committed
+// weight matrix, internal/baselines) on the *same lowered statements*.
+// The resulting rows land in BENCH_PR<N>.json next to the other harness
+// rows; like them they never gate (the gate only reads gotest/ rows).
+// The ratio rows are the Table I / Fig 6 trade-off on conv shapes: the
+// interactive prover is far cheaper, but its verifier does per-round
+// field work and its transcript is larger, which is exactly what the
+// SNARK overhead factor buys off.
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand"
+
+	"zkvc"
+	"zkvc/internal/baselines"
+	"zkvc/internal/matrix"
+	"zkvc/internal/nn"
+	"zkvc/internal/pcs"
+)
+
+// convBackendTag names backends in conv row names (lower-case by
+// convention of the issue: conv/im2col-groth16, conv/im2col-spartan).
+func convBackendTag(b zkvc.Backend) string {
+	if b == zkvc.Groth16 {
+		return "groth16"
+	}
+	return "spartan"
+}
+
+// RunConvReport traces one CNNMNIST forward pass, proves every conv
+// layer's im2col product on both backends, and proves the same
+// statements under the zkCNN interactive baseline. It returns the
+// timing rows plus a ratio map (zkVC prove seconds / zkCNN prove
+// seconds per backend and shape — the SNARK overhead factor over the
+// interactive protocol).
+func RunConvReport(seed int64) ([]ParallelRow, map[string]float64, error) {
+	cfg := nn.CNNMNIST()
+	model, err := nn.NewModel(cfg, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	trace := nn.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(seed+1))), &trace)
+
+	var rows []ParallelRow
+	ratios := map[string]float64{}
+	params := pcs.DefaultParams()
+	for _, op := range trace.Ops {
+		if op.Kind != nn.OpConv2D {
+			continue
+		}
+		shape := fmt.Sprintf("%dx%dx%d", op.A, op.N, op.B)
+		// The attested statement: X is the deterministic im2col of the
+		// feature map, W the reshaped kernel bank — the same matrices
+		// the zkml compiler hands to proveMatMul.
+		x := matrix.FromInt64(op.X.Rows, op.X.Cols, op.X.Data)
+		w := matrix.FromInt64(op.W.Rows, op.W.Cols, op.W.Data)
+
+		zkvcSecs := map[zkvc.Backend]float64{}
+		for _, backend := range []zkvc.Backend{zkvc.Spartan, zkvc.Groth16} {
+			prover := zkvc.NewMatMulProver(backend, zkvc.DefaultOptions())
+			prover.Reseed(seed)
+			var proof *zkvc.MatMulProof
+			_, allocs, allocBytes, err := measure(func() error {
+				var e error
+				proof, e = prover.ProveContext(context.Background(), x, w)
+				return e
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("conv %s %s: %w", convBackendTag(backend), shape, err)
+			}
+			if err := zkvc.VerifyMatMul(x, proof); err != nil {
+				return nil, nil, fmt.Errorf("conv %s %s: proof does not verify: %w",
+					convBackendTag(backend), shape, err)
+			}
+			secs := (proof.Timings.Synthesis + proof.Timings.Prove).Seconds()
+			zkvcSecs[backend] = secs
+			rows = append(rows, ParallelRow{
+				Name:        fmt.Sprintf("conv/im2col-%s/%s/%s", convBackendTag(backend), op.Tag, shape),
+				Parallelism: 1,
+				Seconds:     secs,
+				SetupSecs:   proof.Timings.Setup.Seconds(),
+				Allocs:      allocs,
+				AllocBytes:  allocBytes,
+				ProofBytes:  proof.SizeBytes(),
+			})
+		}
+
+		// The interactive baseline on the identical lowered statement.
+		// Commit time is excluded: zkCNN commits to the weights once per
+		// model, so the honest per-proof comparison is the online
+		// sumcheck + opening.
+		y := matrix.Mul(x, w)
+		comm, st, err := baselines.ZKCNNCommit(w, params)
+		if err != nil {
+			return nil, nil, fmt.Errorf("conv zkcnn commit %s: %w", shape, err)
+		}
+		var bproof *baselines.ZKCNNProof
+		zkcnnElapsed, _, _, err := measure(func() error {
+			var e error
+			bproof, e = baselines.ZKCNNProve(x, w, y, comm, st, params)
+			return e
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("conv zkcnn prove %s: %w", shape, err)
+		}
+		if err := baselines.ZKCNNVerify(x, y, bproof, params); err != nil {
+			return nil, nil, fmt.Errorf("conv zkcnn %s: proof does not verify: %w", shape, err)
+		}
+		zkcnnSecs := zkcnnElapsed.Seconds()
+		rows = append(rows, ParallelRow{
+			Name:        fmt.Sprintf("conv/vs-zkcnn-baseline/%s/%s", op.Tag, shape),
+			Parallelism: 1,
+			Seconds:     zkcnnSecs,
+			ProofBytes:  bproof.SizeBytes(),
+		})
+		if zkcnnSecs > 0 {
+			for _, backend := range []zkvc.Backend{zkvc.Spartan, zkvc.Groth16} {
+				ratios[fmt.Sprintf("conv/vs-zkcnn-baseline/%s/%s/%s",
+					convBackendTag(backend), op.Tag, shape)] = zkvcSecs[backend] / zkcnnSecs
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("conv harness: CNNMNIST trace recorded no conv ops")
+	}
+	return rows, ratios, nil
+}

@@ -70,7 +70,10 @@ func modelKeyFromRequest(tenant string, req *wire.ProveModelRequest) ([]byte, er
 	ops := make([]opShape, len(plan))
 	for i, op := range plan {
 		ops[i] = opShape{kind: op.Kind, layer: op.Layer, tag: op.Tag}
-		if op.Kind == nn.OpMatMul {
+		// Conv ops carry their im2col product in A/N/B, exactly like
+		// matmuls — OpProof.Dims on the report side does the same, so
+		// both derivations of the key agree.
+		if op.Kind == nn.OpMatMul || op.Kind == nn.OpConv2D {
 			ops[i].dims = [3]int{op.A, op.N, op.B}
 		} else {
 			ops[i].dims = [3]int{op.Rows, op.Width, 0}

@@ -1,0 +1,231 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	mrand "math/rand"
+	"testing"
+
+	"zkvc/internal/fixed"
+	"zkvc/internal/parallel"
+	"zkvc/internal/tensor"
+)
+
+// naiveConv2D is the direct sliding-window reference the im2col lowering
+// must reproduce exactly, including the fixed-point rescale every matmul
+// performs.
+func naiveConv2D(x *tensor.Mat, inH, inW int, kernel *tensor.Mat, s ConvSpec, fx fixed.Config) *tensor.Mat {
+	ch := x.Rows
+	outH, outW := s.OutSize(inH), s.OutSize(inW)
+	out := tensor.New(s.Out, outH*outW)
+	for o := 0; o < s.Out; o++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				var acc int64
+				for c := 0; c < ch; c++ {
+					for ky := 0; ky < s.Kernel; ky++ {
+						iy := oy*s.Stride + ky - s.Pad
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < s.Kernel; kx++ {
+							ix := ox*s.Stride + kx - s.Pad
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							acc += x.At(c, iy*inW+ix) * kernel.At((c*s.Kernel+ky)*s.Kernel+kx, o)
+						}
+					}
+				}
+				out.Set(o, oy*outW+ox, fixed.FloorDiv(acc, fx.Scale()))
+			}
+		}
+	}
+	return out
+}
+
+// TestIm2colMatchesNaiveConv pins the lowering: im2col·kernel, transposed
+// back to channel-major, must equal the direct sliding-window convolution
+// for a spread of geometries including padding, stride and multi-channel.
+func TestIm2colMatchesNaiveConv(t *testing.T) {
+	fx := fixed.Config{FracBits: 8}
+	rng := mrand.New(mrand.NewSource(41))
+	specs := []struct {
+		cin, inH, inW int
+		s             ConvSpec
+	}{
+		{1, 5, 5, ConvSpec{Out: 1, Kernel: 3, Stride: 1, Pad: 0, Pool: 1}},
+		{1, 8, 8, ConvSpec{Out: 2, Kernel: 3, Stride: 1, Pad: 1, Pool: 1}},
+		{3, 7, 9, ConvSpec{Out: 4, Kernel: 3, Stride: 2, Pad: 1, Pool: 1}},
+		{2, 6, 6, ConvSpec{Out: 3, Kernel: 5, Stride: 1, Pad: 2, Pool: 1}},
+		{4, 4, 4, ConvSpec{Out: 2, Kernel: 1, Stride: 1, Pad: 0, Pool: 1}},
+	}
+	for _, tc := range specs {
+		x := tensor.Random(rng, tc.cin, tc.inH*tc.inW, 256)
+		kernel := tensor.Random(rng, tc.s.Kernel*tc.s.Kernel*tc.cin, tc.s.Out, 256)
+		want := naiveConv2D(x, tc.inH, tc.inW, kernel, tc.s, fx)
+		cols := Im2col(x, tc.inH, tc.inW, tc.s.Kernel, tc.s.Stride, tc.s.Pad)
+		got := tensor.Transpose(tensor.MatMul(cols, kernel, fx))
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("%+v: lowered conv is %dx%d, direct is %dx%d", tc, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%+v: lowered conv differs from direct conv at %d: %d vs %d",
+					tc, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// matBytes serializes a tensor for exact byte comparison.
+func matBytes(m *tensor.Mat) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, int64(m.Rows))
+	binary.Write(&buf, binary.LittleEndian, int64(m.Cols))
+	binary.Write(&buf, binary.LittleEndian, m.Data)
+	return buf.Bytes()
+}
+
+// TestIm2colDeterministicAcrossParallelism runs the full CNNMNIST forward
+// pass under worker budgets 1, 2 and 4 and requires byte-identical traces
+// — captured im2col operands, kernels and outputs included. This is the
+// determinism contract that makes the lowering attestable: the im2col
+// matrix is part of the trace, not a prover choice.
+func TestIm2colDeterministicAcrossParallelism(t *testing.T) {
+	cfg := CNNMNIST()
+	m, err := NewModel(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.RandomInput(mrand.New(mrand.NewSource(8)))
+
+	var reference [][]byte
+	for _, par := range []int{1, 2, 4} {
+		parallel.SetDefaultSize(par)
+		trace := Trace{Capture: true}
+		out := m.Forward(x, &trace)
+		var blobs [][]byte
+		blobs = append(blobs, matBytes(out))
+		for _, op := range trace.Ops {
+			for _, captured := range []*tensor.Mat{op.X, op.W, op.In} {
+				if captured != nil {
+					blobs = append(blobs, matBytes(captured))
+				}
+			}
+		}
+		if reference == nil {
+			reference = blobs
+			continue
+		}
+		if len(blobs) != len(reference) {
+			t.Fatalf("par=%d captured %d tensors, par=1 captured %d", par, len(blobs), len(reference))
+		}
+		for i := range blobs {
+			if !bytes.Equal(blobs[i], reference[i]) {
+				t.Fatalf("par=%d: captured tensor %d differs from the par=1 run", par, i)
+			}
+		}
+	}
+	parallel.SetDefaultSize(0)
+}
+
+// TestCNNForwardShapes checks the end-to-end geometry of both CNN
+// configs: logits are 1×NumClasses and the head sees FeatureDim inputs.
+func TestCNNForwardShapes(t *testing.T) {
+	for _, cfg := range []Config{CNNMNIST(), TinyCNNConfig("tiny-cnn")} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if !cfg.IsCNN() {
+			t.Fatalf("%s: IsCNN false", cfg.Name)
+		}
+		m, err := NewModel(cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := Trace{Capture: true}
+		out := m.Forward(m.RandomInput(mrand.New(mrand.NewSource(6))), &trace)
+		if out.Rows != 1 || out.Cols != cfg.NumClasses {
+			t.Fatalf("%s: logits are %dx%d", cfg.Name, out.Rows, out.Cols)
+		}
+		head := trace.Ops[len(trace.Ops)-1]
+		if head.Tag != "head" || head.N != cfg.FeatureDim() {
+			t.Fatalf("%s: head op %+v does not match FeatureDim %d", cfg.Name, head, cfg.FeatureDim())
+		}
+	}
+	if got := CNNMNIST().FeatureDim(); got != 8*7*7 {
+		t.Fatalf("CNNMNIST FeatureDim = %d, want 392", got)
+	}
+}
+
+// TestConvFLOPs pins the satellite fix: lowered conv ops report their
+// true matmul cost instead of 0.
+func TestConvFLOPs(t *testing.T) {
+	op := Op{Kind: OpConv2D, A: 784, N: 9, B: 4}
+	if got := op.MatMulFLOPs(); got != 2*784*9*4 {
+		t.Fatalf("conv FLOPs = %d, want %d", got, 2*784*9*4)
+	}
+	if (Op{Kind: OpPool, Rows: 4, Width: 196}).MatMulFLOPs() != 0 {
+		t.Error("pool op has FLOPs")
+	}
+}
+
+// TestValidateRejectsBadCNNConfigs walks the conv validation errors.
+func TestValidateRejectsBadCNNConfigs(t *testing.T) {
+	base := TinyCNNConfig("bad")
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"transformer leftovers", func(c *Config) { c.Stages = []Stage{{Blocks: 1, Dim: 8, Tokens: 4}} }},
+		{"zero input", func(c *Config) { c.InputH = 0 }},
+		{"zero classes", func(c *Config) { c.NumClasses = 0 }},
+		{"zero kernel", func(c *Config) { c.Convs[0].Kernel = 0 }},
+		{"zero stride", func(c *Config) { c.Convs[0].Stride = 0 }},
+		{"negative pad", func(c *Config) { c.Convs[0].Pad = -1 }},
+		{"kernel exceeds input", func(c *Config) { c.Convs[0].Kernel = 99 }},
+		{"pool does not tile", func(c *Config) { c.Convs[0].Pool = 3 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		cfg.Convs = append([]ConvSpec(nil), base.Convs...)
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: config validated", tc.name)
+		}
+	}
+}
+
+// TestAvgPoolSpatial checks the quantized pool on known values,
+// including the floor behavior on negative sums.
+func TestAvgPoolSpatial(t *testing.T) {
+	// One channel, 2×4 grid pooled 2×2 → 1×2.
+	x := &tensor.Mat{Rows: 1, Cols: 8, Data: []int64{
+		1, 2, 5, 6,
+		3, 4, -7, -8,
+	}}
+	out := AvgPoolSpatial(x, 2, 4, 2)
+	if out.Rows != 1 || out.Cols != 2 {
+		t.Fatalf("pooled to %dx%d", out.Rows, out.Cols)
+	}
+	// (1+2+3+4)/4 = 2; floor((5+6-7-8)/4) = floor(-1) = -1.
+	if out.At(0, 0) != 2 || out.At(0, 1) != -1 {
+		t.Fatalf("pooled values %v", out.Data)
+	}
+}
+
+// TestScaledCNNConfig checks channel scaling keeps the config valid and
+// shrinks the head.
+func TestScaledCNNConfig(t *testing.T) {
+	cfg := CNNMNIST().Scaled(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Convs[0].Out != 1 || cfg.Convs[1].Out != 2 {
+		t.Fatalf("scaled channels %+v", cfg.Convs)
+	}
+	if cfg.FeatureDim() != 2*7*7 {
+		t.Fatalf("scaled FeatureDim = %d", cfg.FeatureDim())
+	}
+}

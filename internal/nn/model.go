@@ -29,7 +29,11 @@ type Model struct {
 	Embed  *tensor.Mat   // PatchDim × Dim₀
 	Proj   []*tensor.Mat // stage transitions: Dimᵢ × Dimᵢ₊₁
 	Blocks []BlockWeights
-	Head   *tensor.Mat // Dim_last × NumClasses
+	Head   *tensor.Mat // Dim_last × NumClasses (CNN: FeatureDim × NumClasses)
+
+	// Conv holds one reshaped kernel bank per conv layer of a CNN
+	// config: KH·KW·CIn × COut, the weight side of the im2col matmul.
+	Conv []*tensor.Mat
 }
 
 // weightBound keeps synthesized weights within ±¼ in fixed point so
@@ -46,6 +50,15 @@ func NewModel(cfg Config, seed int64) (*Model, error) {
 	bound := weightBound(cfg)
 
 	m := &Model{Cfg: cfg}
+	if cfg.IsCNN() {
+		ch := cfg.InputC
+		for _, s := range cfg.Convs {
+			m.Conv = append(m.Conv, tensor.Random(rng, s.Kernel*s.Kernel*ch, s.Out, bound))
+			ch = s.Out
+		}
+		m.Head = tensor.Random(rng, cfg.FeatureDim(), cfg.NumClasses, bound)
+		return m, nil
+	}
 	dim0 := cfg.Stages[0].Dim
 	m.Embed = tensor.Random(rng, cfg.PatchDim, dim0, bound)
 
@@ -100,17 +113,34 @@ func dctMatrix(n int, cfg Config) *tensor.Mat {
 	return m
 }
 
-// RandomInput synthesizes a quantized input at the model's token grid:
-// Tokens₀ × PatchDim with entries within ±1 in fixed point.
+// RandomInput synthesizes a quantized input at the model's input grid:
+// Tokens₀ × PatchDim for a transformer, InputC × (InputH·InputW) for a
+// CNN, entries within ±1 in fixed point.
 func (m *Model) RandomInput(rng *mrand.Rand) *tensor.Mat {
+	if m.Cfg.IsCNN() {
+		return tensor.Random(rng, m.Cfg.InputC, m.Cfg.InputH*m.Cfg.InputW, m.Cfg.Fixed.Scale())
+	}
 	return tensor.Random(rng, m.Cfg.Stages[0].Tokens, m.Cfg.PatchDim, m.Cfg.Fixed.Scale())
 }
 
 // Forward runs inference and returns the 1×NumClasses logits. If trace is
-// non-nil it records every matmul and nonlinear application.
+// non-nil it records every matmul, conv and nonlinear application.
 func (m *Model) Forward(x *tensor.Mat, trace *Trace) *tensor.Mat {
+	feat := m.features(x, trace)
+	trace.matmul(-1, "head", feat, m.Head)
+	return tensor.MatMul(feat, m.Head, m.Cfg.Fixed)
+}
+
+// features runs everything before the classification head and returns
+// the 1×D pre-head feature row (D = Dim_last for a transformer,
+// FeatureDim for a CNN). Forward and TraceSGDStep share it, so a
+// fine-tuning trace records exactly the forward ops inference records.
+func (m *Model) features(x *tensor.Mat, trace *Trace) *tensor.Mat {
 	cfg := m.Cfg
 	fx := cfg.Fixed
+	if cfg.IsCNN() {
+		return m.featuresCNN(x, trace)
+	}
 
 	trace.matmul(-1, "embed", x, m.Embed)
 	h := tensor.MatMul(x, m.Embed, fx)
@@ -133,9 +163,33 @@ func (m *Model) Forward(x *tensor.Mat, trace *Trace) *tensor.Mat {
 		}
 	}
 
-	pooled := tensor.MeanRows(h)
-	trace.matmul(-1, "head", pooled, m.Head)
-	return tensor.MatMul(pooled, m.Head, fx)
+	return tensor.MeanRows(h)
+}
+
+// featuresCNN is the convolutional forward pass: per layer, im2col →
+// traced conv matmul → average pool → GELU, then a row-major flatten.
+// It must stay in lockstep with shapeTraceCNN.
+func (m *Model) featuresCNN(x *tensor.Mat, trace *Trace) *tensor.Mat {
+	cfg := m.Cfg
+	fx := cfg.Fixed
+	h, w, ch := cfg.InputH, cfg.InputW, cfg.InputC
+	cur := x
+	for i, s := range cfg.Convs {
+		cols := Im2col(cur, h, w, s.Kernel, s.Stride, s.Pad)
+		trace.conv2d(i, fmt.Sprintf("conv%d", i), cols, m.Conv[i], s, ch, h, w)
+		// (outH·outW)×Out product, transposed back to channel-major.
+		cur = tensor.Transpose(tensor.MatMul(cols, m.Conv[i], fx))
+		h, w, ch = s.OutSize(h), s.OutSize(w), s.Out
+		if s.Pool > 1 {
+			trace.pool(i, fmt.Sprintf("conv%d.pool", i), cur.Rows, cur.Cols)
+			cur = AvgPoolSpatial(cur, h, w, s.Pool)
+			h, w = h/s.Pool, w/s.Pool
+		}
+		trace.gelu(i, fmt.Sprintf("conv%d.gelu", i), cur)
+		cur = tensor.GELU(cur, fx)
+	}
+	// Row-major flatten: channel-major data is already contiguous.
+	return &tensor.Mat{Rows: 1, Cols: ch * h * w, Data: cur.Data}
 }
 
 // block applies one pre-norm transformer block: x + Mixer(Norm(x)), then

@@ -72,6 +72,14 @@ const (
 	OpGELU
 	// OpPool is an unweighted token pooling (additions only in-circuit).
 	OpPool
+	// OpConv2D is a 2-D convolution lowered to a matmul via im2col: the
+	// captured X is the im2col expansion of the input feature map
+	// (outH·outW rows of KH·KW·CIn patch values) and W the kernel
+	// reshaped to KH·KW·CIn × COut, so A/N/B describe an ordinary
+	// [A×N]·[N×B] product the CRPC+PSQ circuits prove unchanged. The
+	// expansion is deterministic (fixed patch order, zero padding) and
+	// part of the attested trace — never prover-chosen.
+	OpConv2D
 )
 
 // String names the op kind.
@@ -85,6 +93,8 @@ func (k OpKind) String() string {
 		return "gelu"
 	case OpPool:
 		return "pool"
+	case OpConv2D:
+		return "conv2d"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -97,20 +107,35 @@ type Op struct {
 	Tag   string // human-readable site, e.g. "attn.qk" or "mlp.fc1"
 
 	// MatMul dimensions: [A×N]·[N×B]. For OpSoftmax/OpGELU, Rows×Width
-	// describes the element grid instead.
+	// describes the element grid instead. OpConv2D uses A/N/B for its
+	// im2col product (A = outH·outW, N = KH·KW·CIn, B = COut).
 	A, N, B     int
 	Rows, Width int
 
+	// Conv2D geometry (OpConv2D only). The decoder cross-checks these
+	// against A/N/B, so a conv op cannot declare a product shape its
+	// geometry does not produce.
+	KH, KW    int // kernel height/width
+	Stride    int
+	Pad       int // symmetric zero padding
+	CIn, COut int // channel counts
+	InH, InW  int // input spatial dims (pre-padding)
+
 	// Captured operands (nil unless Trace.Capture). For OpMatMul these
-	// are the activation X and weight W; for nonlinears In holds the
+	// are the activation X and weight W (for OpConv2D, the im2col matrix
+	// and the reshaped kernel); for nonlinears In holds the
 	// pre-activation values.
 	X, W *tensor.Mat
 	In   *tensor.Mat
 }
 
-// MatMulFLOPs returns 2·A·N·B for a matmul op and 0 otherwise.
+// MatMulFLOPs returns 2·A·N·B for ops that prove a matrix product — a
+// plain matmul, or a conv2d's im2col lowering — and 0 otherwise. Conv
+// ops must report their true product cost here: the planner prices
+// traces through this shape, and a conv that costed 0 would make any
+// CNN look free.
 func (o Op) MatMulFLOPs() int64 {
-	if o.Kind != OpMatMul {
+	if o.Kind != OpMatMul && o.Kind != OpConv2D {
 		return 0
 	}
 	return 2 * int64(o.A) * int64(o.N) * int64(o.B)
@@ -132,6 +157,25 @@ func (t *Trace) matmul(layer int, tag string, x, w *tensor.Mat) {
 	op := Op{Kind: OpMatMul, Layer: layer, Tag: tag, A: x.Rows, N: x.Cols, B: w.Cols}
 	if t.Capture {
 		op.X, op.W = x.Clone(), w.Clone()
+	}
+	t.Ops = append(t.Ops, op)
+}
+
+// conv2d records one lowered convolution: cols is the im2col expansion
+// of a cin×(inH·inW) feature map under spec's geometry, kernel the
+// KH·KW·CIn × COut reshaped filter bank.
+func (t *Trace) conv2d(layer int, tag string, cols, kernel *tensor.Mat, spec ConvSpec, cin, inH, inW int) {
+	if t == nil {
+		return
+	}
+	op := Op{
+		Kind: OpConv2D, Layer: layer, Tag: tag,
+		A: cols.Rows, N: cols.Cols, B: kernel.Cols,
+		KH: spec.Kernel, KW: spec.Kernel, Stride: spec.Stride, Pad: spec.Pad,
+		CIn: cin, COut: kernel.Cols, InH: inH, InW: inW,
+	}
+	if t.Capture {
+		op.X, op.W = cols.Clone(), kernel.Clone()
 	}
 	t.Ops = append(t.Ops, op)
 }
@@ -204,6 +248,14 @@ type Config struct {
 	// stages. len(Mixers) must equal TotalBlocks().
 	Mixers []MixerKind
 
+	// Convs, when non-empty, makes this a convolutional architecture
+	// (IsCNN): the forward pass is conv→pool→gelu per layer followed by
+	// a flatten and the classification head, with no transformer stages
+	// (Stages and Mixers must be empty). InputC/InputH/InputW fix the
+	// input feature-map geometry.
+	Convs                  []ConvSpec
+	InputC, InputH, InputW int
+
 	Fixed fixed.Config
 	// ClipT and SquareIters parameterize the §III-C exp approximation.
 	ClipT       int64
@@ -221,8 +273,15 @@ func (c *Config) TotalBlocks() int {
 	return n
 }
 
+// IsCNN reports whether this is a convolutional architecture (any conv
+// layers present).
+func (c *Config) IsCNN() bool { return len(c.Convs) > 0 }
+
 // Validate checks internal consistency.
 func (c *Config) Validate() error {
+	if c.IsCNN() {
+		return c.validateCNN()
+	}
 	if len(c.Stages) == 0 {
 		return fmt.Errorf("nn: %s: no stages", c.Name)
 	}
@@ -351,10 +410,15 @@ func TinyConfig(name string, mixer MixerKind) Config {
 
 // Scaled returns a copy with every stage's tokens and dim divided by f
 // (floored to legal values) — the harness's tractable "scaled mode".
-// Head count is reduced to keep dim divisible.
+// Head count is reduced to keep dim divisible. For a CNN, channel
+// counts shrink instead; spatial geometry is untouched so the pooling
+// divisibility invariants survive any factor.
 func (c Config) Scaled(f int) Config {
 	if f <= 1 {
 		return c
+	}
+	if c.IsCNN() {
+		return c.scaledCNN(f)
 	}
 	out := c
 	out.Name = fmt.Sprintf("%s/scaled%d", c.Name, f)
@@ -396,6 +460,9 @@ func max(a, b int) int {
 // measurement). It must stay in lockstep with Model.Forward; the
 // equivalence is asserted by TestShapeTraceMatchesForward.
 func ShapeTrace(cfg Config) *Trace {
+	if cfg.IsCNN() {
+		return shapeTraceCNN(cfg)
+	}
 	t := &Trace{}
 	dim0 := cfg.Stages[0].Dim
 	t.Ops = append(t.Ops, Op{Kind: OpMatMul, Layer: -1, Tag: "embed",

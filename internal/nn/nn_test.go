@@ -304,7 +304,7 @@ func TestShapeTraceMatchesForward(t *testing.T) {
 		NumClasses: 2,
 	}.defaults()
 	hier.Mixers = []MixerKind{MixerScaling, MixerSoftmax, MixerLinear}
-	configs = append(configs, hier)
+	configs = append(configs, hier, CNNMNIST(), TinyCNNConfig("tiny-cnn"))
 
 	for _, cfg := range configs {
 		m, err := NewModel(cfg, 3)
@@ -320,7 +320,9 @@ func TestShapeTraceMatchesForward(t *testing.T) {
 		for i := range real.Ops {
 			a, b := real.Ops[i], shape.Ops[i]
 			if a.Kind != b.Kind || a.Tag != b.Tag || a.Layer != b.Layer ||
-				a.A != b.A || a.N != b.N || a.B != b.B || a.Rows != b.Rows || a.Width != b.Width {
+				a.A != b.A || a.N != b.N || a.B != b.B || a.Rows != b.Rows || a.Width != b.Width ||
+				a.KH != b.KH || a.KW != b.KW || a.Stride != b.Stride || a.Pad != b.Pad ||
+				a.CIn != b.CIn || a.COut != b.COut || a.InH != b.InH || a.InW != b.InW {
 				t.Errorf("%s op %d: real %+v vs shape %+v", cfg.Name, i, a, b)
 			}
 		}

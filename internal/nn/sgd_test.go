@@ -1,0 +1,148 @@
+package nn
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"zkvc/internal/fixed"
+)
+
+// TestSGDStepUpdateArithmetic pins the update matmul's semantics: the
+// fixed-point rescale of [Scale·I | −lr·I]·[Head; Grad] must equal the
+// elementwise floor((Scale·Head − lr·Grad)/Scale) for every entry, for
+// both a transformer and a CNN model.
+func TestSGDStepUpdateArithmetic(t *testing.T) {
+	for _, cfg := range []Config{TinyConfig("sgd-vit", MixerPooling), TinyCNNConfig("sgd-cnn")} {
+		m, err := NewModel(cfg, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := m.RandomInput(mrand.New(mrand.NewSource(12)))
+		lr := cfg.Fixed.Scale() / 8
+		step, err := m.TraceSGDStep(x, 1, lr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := cfg.Fixed.Scale()
+		if step.NewHead.Rows != m.Head.Rows || step.NewHead.Cols != m.Head.Cols {
+			t.Fatalf("%s: NewHead is %dx%d, Head is %dx%d", cfg.Name,
+				step.NewHead.Rows, step.NewHead.Cols, m.Head.Rows, m.Head.Cols)
+		}
+		changed := false
+		for i := range step.NewHead.Data {
+			want := fixed.FloorDiv(scale*m.Head.Data[i]-lr*step.Grad.Data[i], scale)
+			if step.NewHead.Data[i] != want {
+				t.Fatalf("%s: NewHead[%d] = %d, want %d", cfg.Name, i, step.NewHead.Data[i], want)
+			}
+			if step.NewHead.Data[i] != m.Head.Data[i] {
+				changed = true
+			}
+		}
+		if !changed {
+			t.Fatalf("%s: SGD step left every head weight unchanged", cfg.Name)
+		}
+	}
+}
+
+// TestSGDStepTraceStructure checks the recorded trace: the training ops
+// follow the forward pass, carry captured operands, and the update's
+// public operand has the documented [Scale·I | −lr·I] structure.
+func TestSGDStepTraceStructure(t *testing.T) {
+	cfg := TinyCNNConfig("sgd-trace")
+	m, err := NewModel(cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := cfg.Fixed.Scale() / 4
+	step, err := m.TraceSGDStep(m.RandomInput(mrand.New(mrand.NewSource(14))), 0, lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTag := map[string]*Op{}
+	for i := range step.Trace.Ops {
+		byTag[step.Trace.Ops[i].Tag] = &step.Trace.Ops[i]
+	}
+	for _, tag := range []string{"conv0", "head", "sgd.softmax", "sgd.grad.head", "sgd.update.head"} {
+		if byTag[tag] == nil {
+			t.Fatalf("trace is missing op %q (have %d ops)", tag, len(step.Trace.Ops))
+		}
+	}
+	grad := byTag["sgd.grad.head"]
+	d := cfg.FeatureDim()
+	if grad.A != d || grad.N != 1 || grad.B != cfg.NumClasses || grad.X == nil || grad.W == nil {
+		t.Fatalf("gradient op %+v lacks the D×1·1×C shape or captured operands", grad)
+	}
+	upd := byTag["sgd.update.head"]
+	if upd.A != d || upd.N != 2*d || upd.B != cfg.NumClasses {
+		t.Fatalf("update op %+v is not D×2D·2D×C", upd)
+	}
+	scale := cfg.Fixed.Scale()
+	for i := 0; i < d; i++ {
+		for j := 0; j < 2*d; j++ {
+			want := int64(0)
+			if j == i {
+				want = scale
+			} else if j == d+i {
+				want = -lr
+			}
+			if upd.X.At(i, j) != want {
+				t.Fatalf("update X[%d,%d] = %d, want %d", i, j, upd.X.At(i, j), want)
+			}
+		}
+	}
+	// The stacked witness is [Head; Grad].
+	for i := 0; i < d*cfg.NumClasses; i++ {
+		if upd.W.Data[i] != m.Head.Data[i] || upd.W.Data[d*cfg.NumClasses+i] != step.Grad.Data[i] {
+			t.Fatal("update witness is not [Head; Grad]")
+		}
+	}
+}
+
+// TestSGDStepRejectsBadInputs checks argument validation.
+func TestSGDStepRejectsBadInputs(t *testing.T) {
+	cfg := TinyCNNConfig("sgd-args")
+	m, err := NewModel(cfg, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.RandomInput(mrand.New(mrand.NewSource(16)))
+	if _, err := m.TraceSGDStep(x, -1, 32); err == nil {
+		t.Error("negative label accepted")
+	}
+	if _, err := m.TraceSGDStep(x, cfg.NumClasses, 32); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := m.TraceSGDStep(x, 0, 0); err == nil {
+		t.Error("zero learning rate accepted")
+	}
+}
+
+// TestSGDStepDeterministic: equal model, input and hyperparameters give
+// identical steps; the model itself is never mutated.
+func TestSGDStepDeterministic(t *testing.T) {
+	cfg := TinyCNNConfig("sgd-det")
+	m, err := NewModel(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]int64(nil), m.Head.Data...)
+	x := m.RandomInput(mrand.New(mrand.NewSource(18)))
+	s1, err := m.TraceSGDStep(x, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.TraceSGDStep(x, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1.NewHead.Data {
+		if s1.NewHead.Data[i] != s2.NewHead.Data[i] {
+			t.Fatal("SGD step is not deterministic")
+		}
+	}
+	for i := range before {
+		if m.Head.Data[i] != before[i] {
+			t.Fatal("TraceSGDStep mutated the model head")
+		}
+	}
+}

@@ -73,7 +73,9 @@ func (c CostModel) GELU(n int) float64 {
 // Op prices one traced operation.
 func (c CostModel) Op(op nn.Op) float64 {
 	switch op.Kind {
-	case nn.OpMatMul:
+	case nn.OpMatMul, nn.OpConv2D:
+		// A lowered conv costs exactly its im2col product — pricing it
+		// 0 (the old default arm) made any CNN look free to the planner.
 		return c.MatMul(op.A, op.N, op.B)
 	case nn.OpSoftmax:
 		return c.Softmax(op.Rows, op.Width)
@@ -130,8 +132,12 @@ func (c CostModel) Block(kind nn.MixerKind, t, d, h, mlpRatio int) float64 {
 }
 
 // Model prices an entire configuration (embedding, stage projections,
-// blocks, head).
+// blocks, head). Convolutional configs price through their shape trace
+// — every conv is its im2col matmul, GELUs their element grids.
 func (c CostModel) Model(cfg nn.Config) float64 {
+	if cfg.IsCNN() {
+		return c.Trace(nn.ShapeTrace(cfg))
+	}
 	sum := c.MatMul(cfg.Stages[0].Tokens, cfg.PatchDim, cfg.Stages[0].Dim)
 	block := 0
 	for si, st := range cfg.Stages {

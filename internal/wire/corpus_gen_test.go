@@ -54,17 +54,45 @@ func TestWriteVerifyCorpus(t *testing.T) {
 		Node: "prover-1", Added: [][32]byte{{0xd1}, {0xd2}}, Removed: [][32]byte{{0xd3}},
 	})
 
+	// The OpConv2D trace encoding: a valid CNN prove-model request plus
+	// its truncation, a trailing-byte variant, and one whose conv
+	// geometry disagrees with the lowered A/N/B product (the decoder's
+	// kernel-dims cross-check must reject it).
+	cnnCfg := nn.TinyCNNConfig("fuzz-cnn")
+	cnnModel, err := nn.NewModel(cnnCfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnnTrace := nn.Trace{Capture: true}
+	cnnModel.Forward(cnnModel.RandomInput(mrand.New(mrand.NewSource(4))), &cnnTrace)
+	cnnReq := wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+		Backend: zkvc.Spartan, Cfg: cnnCfg, Trace: &cnnTrace,
+	})
+	badKernel := nn.Trace{Capture: true, Ops: append([]nn.Op(nil), cnnTrace.Ops...)}
+	for i := range badKernel.Ops {
+		if badKernel.Ops[i].Kind == nn.OpConv2D {
+			badKernel.Ops[i].KH++
+		}
+	}
+	cnnBadKernel := wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+		Backend: zkvc.Spartan, Cfg: cnnCfg, Trace: &badKernel,
+	})
+
 	dir := filepath.Join("testdata", "fuzz", "FuzzWireDecodeProof")
 	for name, data := range map[string][]byte{
-		"issued-record-add":              issuedAdd,
-		"issued-record-tombstone":        issuedTomb,
-		"issued-record-truncated":        issuedAdd[:len(issuedAdd)-5],
-		"attestation-update":             attest,
-		"attestation-update-truncated":   attest[:len(attest)/2],
-		"verify-model-request-aggregate": req,
-		"verify-model-request-truncated": req[:len(req)*2/3],
-		"verify-model-request-trailing":  append(append([]byte(nil), req...), 0x00),
-		"verify-model-request-corrupted": corrupted,
+		"conv-prove-model-request":                 cnnReq,
+		"conv-prove-model-request-truncated":       cnnReq[:len(cnnReq)*2/3],
+		"conv-prove-model-request-trailing":        append(append([]byte(nil), cnnReq...), 0x00),
+		"conv-prove-model-request-bad-kernel-dims": cnnBadKernel,
+		"issued-record-add":                        issuedAdd,
+		"issued-record-tombstone":                  issuedTomb,
+		"issued-record-truncated":                  issuedAdd[:len(issuedAdd)-5],
+		"attestation-update":                       attest,
+		"attestation-update-truncated":             attest[:len(attest)/2],
+		"verify-model-request-aggregate":           req,
+		"verify-model-request-truncated":           req[:len(req)*2/3],
+		"verify-model-request-trailing":            append(append([]byte(nil), req...), 0x00),
+		"verify-model-request-corrupted":           corrupted,
 		"verify-model-response-ok": wire.EncodeVerifyModelResponse(
 			&wire.VerifyModelResponse{OK: true, Mode: zkvc.VerifyPerOp}),
 		"verify-model-response-fail":      fail,

@@ -58,7 +58,49 @@ func fuzzSeeds(f *testing.F) [][]byte {
 		bytes.Repeat([]byte{0xff}, 64),
 	)
 	seeds = append(seeds, modelSeeds(f)...)
+	seeds = append(seeds, cnnSeeds(f)...)
 	return seeds
+}
+
+// cnnSeeds covers the OpConv2D encoding family: a CNN prove-model
+// request (conv config section + conv op geometry), its report, and
+// characteristic corruptions of the conv geometry.
+func cnnSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	cfg := nn.TinyCNNConfig("fuzz-cnn")
+	model, err := nn.NewModel(cfg, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	trace := nn.Trace{Capture: true}
+	model.Forward(model.RandomInput(mrand.New(mrand.NewSource(4))), &trace)
+
+	req := wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+		Backend: zkvc.Spartan, Cfg: cfg, Trace: &trace,
+	})
+	// Bad kernel dims: geometry that disagrees with the lowered product.
+	badKernel := nn.Trace{Capture: true, Ops: append([]nn.Op(nil), trace.Ops...)}
+	for i := range badKernel.Ops {
+		if badKernel.Ops[i].Kind == nn.OpConv2D {
+			badKernel.Ops[i].KH++
+		}
+	}
+	badReq := wire.EncodeProveModelRequest(&wire.ProveModelRequest{
+		Backend: zkvc.Spartan, Cfg: cfg, Trace: &badKernel,
+	})
+
+	opts := zkml.DefaultOptions()
+	opts.Seed = 5
+	rep, err := zkml.ProveTrace(cfg, &trace, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	encodedRep := wire.EncodeReport(rep)
+	return [][]byte{
+		req, req[:len(req)/2], append(append([]byte(nil), req...), 0x00),
+		badReq,
+		encodedRep, encodedRep[:len(encodedRep)*2/3],
+	}
 }
 
 // modelSeeds covers the model-proving message family: a prove-model

@@ -139,6 +139,19 @@ func encodeConfigBody(e *enc, cfg *nn.Config) {
 	e.i64(cfg.ClipT)
 	e.u32(uint32(cfg.SquareIters))
 	e.u32(uint32(cfg.PoolWindow))
+	// Conv section, always present so the encoding stays canonical:
+	// transformer configs encode a zero layer count and zero geometry.
+	e.u32(uint32(len(cfg.Convs)))
+	for _, s := range cfg.Convs {
+		e.u32(uint32(s.Out))
+		e.u32(uint32(s.Kernel))
+		e.u32(uint32(s.Stride))
+		e.u32(uint32(s.Pad))
+		e.u32(uint32(s.Pool))
+	}
+	e.u32(uint32(cfg.InputC))
+	e.u32(uint32(cfg.InputH))
+	e.u32(uint32(cfg.InputW))
 }
 
 func decodeConfigBody(d *dec) (nn.Config, error) {
@@ -164,13 +177,15 @@ func decodeConfigBody(d *dec) (nn.Config, error) {
 			return cfg, err
 		}
 	}
-	if cfg.Heads, err = d.posU32("heads", maxDim); err != nil {
+	// Heads/MLPRatio/PatchDim are transformer-only; conv configs carry
+	// zeros here, so positivity is Validate's per-architecture call.
+	if cfg.Heads, err = d.boundedU32("heads", maxDim); err != nil {
 		return cfg, err
 	}
-	if cfg.MLPRatio, err = d.posU32("MLP ratio", maxDim); err != nil {
+	if cfg.MLPRatio, err = d.boundedU32("MLP ratio", maxDim); err != nil {
 		return cfg, err
 	}
-	if cfg.PatchDim, err = d.posU32("patch dim", maxDim); err != nil {
+	if cfg.PatchDim, err = d.boundedU32("patch dim", maxDim); err != nil {
 		return cfg, err
 	}
 	if cfg.NumClasses, err = d.posU32("class count", maxDim); err != nil {
@@ -207,6 +222,40 @@ func decodeConfigBody(d *dec) (nn.Config, error) {
 	if cfg.PoolWindow, err = d.boundedU32("pool window", maxDim); err != nil {
 		return cfg, err
 	}
+	nConvs, err := d.count("conv layers", maxStages, 20)
+	if err != nil {
+		return cfg, err
+	}
+	if nConvs > 0 {
+		cfg.Convs = make([]nn.ConvSpec, nConvs)
+	}
+	for i := range cfg.Convs {
+		s := &cfg.Convs[i]
+		if s.Out, err = d.posU32("conv out channels", maxDim); err != nil {
+			return cfg, err
+		}
+		if s.Kernel, err = d.posU32("conv kernel", maxDim); err != nil {
+			return cfg, err
+		}
+		if s.Stride, err = d.posU32("conv stride", maxDim); err != nil {
+			return cfg, err
+		}
+		if s.Pad, err = d.boundedU32("conv padding", maxDim); err != nil {
+			return cfg, err
+		}
+		if s.Pool, err = d.posU32("conv pool window", maxDim); err != nil {
+			return cfg, err
+		}
+	}
+	if cfg.InputC, err = d.boundedU32("input channels", maxDim); err != nil {
+		return cfg, err
+	}
+	if cfg.InputH, err = d.boundedU32("input height", maxDim); err != nil {
+		return cfg, err
+	}
+	if cfg.InputW, err = d.boundedU32("input width", maxDim); err != nil {
+		return cfg, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return cfg, fmt.Errorf("%w: invalid model config: %v", ErrDecode, err)
 	}
@@ -236,6 +285,13 @@ func encodeOpBody(e *enc, op *nn.Op) {
 	e.u32(uint32(op.B))
 	e.u32(uint32(op.Rows))
 	e.u32(uint32(op.Width))
+	if op.Kind == nn.OpConv2D {
+		// Conv geometry rides only on conv ops, so every other kind's
+		// bytes are unchanged from the pre-conv wire format.
+		for _, v := range []int{op.KH, op.KW, op.Stride, op.Pad, op.CIn, op.COut, op.InH, op.InW} {
+			e.u32(uint32(v))
+		}
+	}
 	var flags byte
 	if op.X != nil {
 		flags |= 1
@@ -284,7 +340,7 @@ func decodeOpBody(d *dec, op *nn.Op) error {
 	if err != nil {
 		return err
 	}
-	if kind > byte(nn.OpPool) {
+	if kind > byte(nn.OpConv2D) {
 		return fmt.Errorf("%w: unknown op kind %d", ErrDecode, kind)
 	}
 	op.Kind = nn.OpKind(kind)
@@ -304,6 +360,45 @@ func decodeOpBody(d *dec, op *nn.Op) error {
 	for _, dst := range []*int{&op.A, &op.N, &op.B, &op.Rows, &op.Width} {
 		if *dst, err = d.boundedU32("op dimension", maxDim); err != nil {
 			return err
+		}
+	}
+	if op.Kind == nn.OpConv2D {
+		for _, f := range []struct {
+			dst  *int
+			what string
+			pos  bool
+		}{
+			{&op.KH, "conv kernel height", true},
+			{&op.KW, "conv kernel width", true},
+			{&op.Stride, "conv stride", true},
+			{&op.Pad, "conv padding", false},
+			{&op.CIn, "conv input channels", true},
+			{&op.COut, "conv output channels", true},
+			{&op.InH, "conv input height", true},
+			{&op.InW, "conv input width", true},
+		} {
+			if f.pos {
+				*f.dst, err = d.posU32(f.what, maxDim)
+			} else {
+				*f.dst, err = d.boundedU32(f.what, maxDim)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		// The geometry must produce exactly the product shape the op
+		// declares — an attacker cannot pair a conv label with a matmul
+		// of some other provenance, and the im2col captured below is
+		// dimension-checked against the same A/N.
+		if op.KH > op.InH+2*op.Pad || op.KW > op.InW+2*op.Pad {
+			return fmt.Errorf("%w: conv kernel %dx%d exceeds padded input %dx%d",
+				ErrDecode, op.KH, op.KW, op.InH+2*op.Pad, op.InW+2*op.Pad)
+		}
+		outH := (op.InH+2*op.Pad-op.KH)/op.Stride + 1
+		outW := (op.InW+2*op.Pad-op.KW)/op.Stride + 1
+		if op.A != outH*outW || op.N != op.KH*op.KW*op.CIn || op.B != op.COut {
+			return fmt.Errorf("%w: conv geometry yields %dx%dx%d, op declares %dx%dx%d",
+				ErrDecode, outH*outW, op.KH*op.KW*op.CIn, op.COut, op.A, op.N, op.B)
 		}
 	}
 	flags, err := d.u8()
@@ -549,7 +644,7 @@ func decodeOpProofBody(d *dec) (*zkml.OpProof, error) {
 	if err != nil {
 		return nil, err
 	}
-	if kind > byte(nn.OpPool) {
+	if kind > byte(nn.OpConv2D) {
 		return nil, fmt.Errorf("%w: unknown op kind %d", ErrDecode, kind)
 	}
 	op.Kind = nn.OpKind(kind)

@@ -128,7 +128,7 @@ func MeasureTrace(cfg nn.Config, trace *nn.Trace, opts Options, caps MeasureCaps
 	for _, op := range trace.Ops {
 		var key opShapeKey
 		switch op.Kind {
-		case nn.OpMatMul:
+		case nn.OpMatMul, nn.OpConv2D:
 			key = opShapeKey{op.Kind, [3]int{op.A, op.N, op.B}}
 		case nn.OpSoftmax, nn.OpGELU:
 			key = opShapeKey{op.Kind, [3]int{op.Rows, op.Width, 0}}
@@ -147,7 +147,7 @@ func MeasureTrace(cfg nn.Config, trace *nn.Trace, opts Options, caps MeasureCaps
 	measureOpts.KeepProofs = false
 	for _, key := range order {
 		g := groups[key]
-		if !opts.ProveNonlinear && g.Kind != nn.OpMatMul {
+		if !opts.ProveNonlinear && g.Kind != nn.OpMatMul && g.Kind != nn.OpConv2D {
 			continue
 		}
 		if err := measureOne(g, cfg, measureOpts, caps, cm, rng); err != nil {
@@ -170,7 +170,10 @@ func minInt(a, b int) int {
 func measureOne(g *OpEstimate, cfg nn.Config, opts Options, caps MeasureCaps, cm planner.CostModel, rng *mrand.Rand) error {
 	bound := cfg.Fixed.Scale()
 	switch g.Kind {
-	case nn.OpMatMul:
+	case nn.OpMatMul, nn.OpConv2D:
+		// A conv measures as its im2col product — dims already carry
+		// the lowered A/N/B, and the capped sub-shape is just a smaller
+		// matmul of the same circuit family.
 		a, n, b := g.Dims[0], g.Dims[1], g.Dims[2]
 		ca, cn, cb := minInt(a, caps.MaxDim), minInt(n, caps.MaxDim), minInt(b, caps.MaxDim)
 		op := nn.Op{

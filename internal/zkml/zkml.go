@@ -260,7 +260,7 @@ func PlanTrace(trace *nn.Trace, opts Options) ([]nn.Op, error) {
 	var plan []nn.Op
 	for _, op := range trace.Ops {
 		switch op.Kind {
-		case nn.OpMatMul:
+		case nn.OpMatMul, nn.OpConv2D:
 		case nn.OpSoftmax, nn.OpGELU:
 			if !opts.ProveNonlinear {
 				continue
@@ -320,7 +320,11 @@ func ProveTraceContext(ctx context.Context, cfg nn.Config, trace *nn.Trace, opts
 			var proof OpProof
 			var err error
 			switch op.Kind {
-			case nn.OpMatMul:
+			case nn.OpMatMul, nn.OpConv2D:
+				// A conv op is its im2col product: X is the (attested)
+				// im2col expansion, W the reshaped kernel, so the same
+				// CRPC+PSQ path proves it and identical conv layers
+				// share a CRS through the structure-digest cache.
 				proof, err = proveMatMul(op, opts, rng, setups)
 			default:
 				proof, err = proveNonlinear(op, opts, ncfg, cfg, rng, setups)

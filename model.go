@@ -48,7 +48,31 @@ var (
 	ViTImageNetHier = nn.ViTImageNetHier
 	// BERTGLUE is the NLP model: 4 layers, 4 heads, embedding 256.
 	BERTGLUE = nn.BERTGLUE
+	// CNNMNIST is the MNIST-scale CNN: two 3×3 conv layers (4 and 8
+	// channels, each pooled 2×2 and GELU-activated) on 1×28×28 input,
+	// 10-class head. Every conv lowers to an im2col matmul, so CNN
+	// traces prove through the same pipeline as transformers.
+	CNNMNIST = nn.CNNMNIST
 )
+
+// ConvSpec fixes one conv layer of a convolutional ModelConfig: a
+// square Kernel at Stride with zero Pad producing Out channels,
+// followed by a Pool×Pool average pool (1 = none) and a GELU.
+type ConvSpec = nn.ConvSpec
+
+// SGDStep is one recorded fine-tuning step: a capturing trace of the
+// forward pass, the loss softmax, the gradient matmul and the
+// weight-update matmul W' = W − lr·∇W, plus the step's results. Feed
+// step.Trace to any Engine's ProveModel to attest the step.
+type SGDStep = nn.SGDStep
+
+// TraceSGDStep records one verifiable fine-tuning step of the model's
+// classification head for input x and the given label. lr is a
+// fixed-point learning rate (denominator cfg.Fixed.Scale()). The model
+// is not mutated; adopt step.NewHead to take the step.
+func TraceSGDStep(m *Model, x *IntMatrix, label int, lr int64) (*SGDStep, error) {
+	return m.TraceSGDStep(x, label, lr)
+}
 
 // NewModel synthesizes a model with deterministic (seeded) weights at the
 // config's shapes. Training is out of scope (DESIGN.md substitution 5);
